@@ -1,0 +1,34 @@
+//! Criterion bench for Figs. 5/17: end-to-end rendering across renderers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::config::GpuConfig;
+use gsplat::preprocess::preprocess;
+use gsplat::scene::EVALUATED_SCENES;
+use swrender::cuda_like::{CudaLikeRenderer, SwConfig};
+use vrpipe::{PipelineVariant, Renderer};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_end_to_end");
+    group.sample_size(10);
+    let spec = &EVALUATED_SCENES[4]; // Lego
+    let scene = spec.generate_scaled(0.06);
+    let cam = scene.default_camera();
+
+    group.bench_function("sw_cuda_with_et", |b| {
+        let pre = preprocess(&scene, &cam);
+        let sw = CudaLikeRenderer::new(SwConfig::default(), true);
+        b.iter(|| sw.render(&pre.splats, cam.width(), cam.height()).total_ms())
+    });
+    group.bench_function("hw_baseline", |b| {
+        let r = Renderer::new(GpuConfig::default(), PipelineVariant::Baseline);
+        b.iter(|| r.render(&scene, &cam).time.total_ms())
+    });
+    group.bench_function("vrpipe_het_qm", |b| {
+        let r = Renderer::new(GpuConfig::default(), PipelineVariant::HetQm);
+        b.iter(|| r.render(&scene, &cam).time.total_ms())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

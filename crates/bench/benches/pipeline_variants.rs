@@ -1,0 +1,35 @@
+//! Criterion bench for Fig. 16: draw-call simulation per pipeline variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::config::GpuConfig;
+use gsplat::preprocess::preprocess;
+use gsplat::scene::EVALUATED_SCENES;
+use vrpipe::{draw, PipelineVariant};
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_pipeline_variants");
+    group.sample_size(10);
+    for spec in &[&EVALUATED_SCENES[4], &EVALUATED_SCENES[2]] {
+        // Lego (synthetic) and Train (outdoor) at a small scale.
+        let scene = spec.generate_scaled(0.06);
+        let cam = scene.default_camera();
+        let pre = preprocess(&scene, &cam);
+        for v in PipelineVariant::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(spec.name, v.label()),
+                &v,
+                |b, &v| {
+                    b.iter(|| {
+                        draw(&pre.splats, cam.width(), cam.height(), &GpuConfig::default(), v)
+                            .stats
+                            .total_cycles
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for Figs. 8/10/11: software renderer variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsplat::preprocess::preprocess;
+use gsplat::scene::EVALUATED_SCENES;
+use swrender::cuda_like::{CudaLikeRenderer, SwConfig};
+use swrender::inshader::{fragment_workload, normalized_time, BlendStrategy, InShaderConfig};
+use swrender::multipass::{render_multipass, MultiPassConfig};
+
+fn bench_software(c: &mut Criterion) {
+    let spec = &EVALUATED_SCENES[4];
+    let scene = spec.generate_scaled(0.06);
+    let cam = scene.default_camera();
+    let pre = preprocess(&scene, &cam);
+
+    let mut group = c.benchmark_group("fig8_cuda_early_termination");
+    group.sample_size(10);
+    for et in [false, true] {
+        group.bench_with_input(BenchmarkId::from_parameter(et), &et, |b, &et| {
+            let sw = CudaLikeRenderer::new(SwConfig::default(), et);
+            b.iter(|| sw.render(&pre.splats, cam.width(), cam.height()).stats.blended_fragments)
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig11_multipass");
+    group.sample_size(10);
+    for passes in [1usize, 5, 15] {
+        group.bench_with_input(BenchmarkId::from_parameter(passes), &passes, |b, &p| {
+            let cfg = MultiPassConfig::default();
+            b.iter(|| render_multipass(&pre.splats, cam.width(), cam.height(), p, &cfg).time_ms)
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig10_inshader");
+    group.sample_size(10);
+    let (frags, quads, chain) = fragment_workload(&pre.splats, cam.width(), cam.height());
+    for strat in [
+        BlendStrategy::RopBased,
+        BlendStrategy::InShaderInterlock,
+        BlendStrategy::InShaderUnordered,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(strat.label()), &strat, |b, &s| {
+            let cfg = InShaderConfig::default();
+            b.iter(|| normalized_time(s, frags, quads, chain, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_software);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for the gsplat substrate kernels: projection, sorting
+//! and blending throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsplat::blend::{blend_over, PixelAccumulator};
+use gsplat::color::Rgba;
+use gsplat::math::Vec3;
+use gsplat::projection::project_gaussian;
+use gsplat::scene::EVALUATED_SCENES;
+use gsplat::sort::sort_splats_by_depth;
+
+fn bench_substrate(c: &mut Criterion) {
+    let scene = EVALUATED_SCENES[4].generate_scaled(0.1);
+    let cam = scene.default_camera();
+
+    c.bench_function("substrate/project_gaussians", |b| {
+        b.iter(|| {
+            scene
+                .gaussians
+                .iter()
+                .enumerate()
+                .filter_map(|(i, g)| project_gaussian(g, &cam, i as u32))
+                .count()
+        })
+    });
+
+    let depths: Vec<f32> = (0..100_000).map(|i| ((i * 2654435761u64 as usize) % 10_000) as f32).collect();
+    c.bench_function("substrate/radix_depth_sort_100k", |b| {
+        b.iter(|| sort_splats_by_depth(&depths).len())
+    });
+
+    c.bench_function("substrate/blend_over_chain", |b| {
+        let frag = Rgba::new(0.01, 0.02, 0.03, 0.05);
+        b.iter(|| {
+            let mut acc = Rgba::TRANSPARENT;
+            for _ in 0..1000 {
+                acc = blend_over(acc, frag);
+            }
+            acc
+        })
+    });
+
+    c.bench_function("substrate/pixel_accumulator_chain", |b| {
+        b.iter(|| {
+            let mut acc = PixelAccumulator::new();
+            for _ in 0..1000 {
+                acc.blend(Vec3::new(0.2, 0.3, 0.4), 0.05);
+            }
+            acc.alpha()
+        })
+    });
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,234 @@
+//! Motivation & software-limitation experiments: Figs. 1, 5, 6, 7, 8, 9,
+//! 10, 11 of the paper.
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::stats::Unit;
+use gsplat::preprocess::preprocess;
+use gsplat::scene::EVALUATED_SCENES;
+use swrender::cuda_like::{CudaLikeRenderer, SwConfig};
+use swrender::inshader::{fragment_workload, normalized_time, BlendStrategy, InShaderConfig};
+use swrender::multipass::{render_multipass, MultiPassConfig};
+use vrpipe::{PipelineVariant, Renderer};
+
+use crate::common::{banner, default_scale};
+
+/// Fig. 1: shader-core vs ROP scaling across GPU generations (static data
+/// from the paper's survey of NVIDIA desktop GPUs).
+pub fn fig1() {
+    banner("Fig. 1", "Shading units vs render output units across GPU generations");
+    let rows = [
+        ("GTX 1080 Ti (Pascal; 16 nm)", 3584u32, 88u32),
+        ("RTX 2080 Ti (Turing; 12 nm)", 4352, 88),
+        ("RTX 3090 Ti (Ampere; 8 nm)", 10752, 112),
+        ("RTX 4090 (Ada Lovelace; 5 nm)", 16384, 176),
+    ];
+    let (base_sh, base_rop) = (rows[0].1 as f64, rows[0].2 as f64);
+    println!("{:<32} {:>8} {:>8} {:>10} {:>10}", "GPU", "Shaders", "ROPs", "Shaders/x", "ROPs/x");
+    for (name, sh, rop) in rows {
+        println!(
+            "{:<32} {:>8} {:>8} {:>9.2}x {:>9.2}x",
+            name,
+            sh,
+            rop,
+            sh as f64 / base_sh,
+            rop as f64 / base_rop
+        );
+    }
+    println!("-> ROP growth (2.0x) lags shader growth (4.6x): volume rendering pressure lands on ROPs.");
+}
+
+/// Fig. 5: CUDA vs OpenGL time breakdown (preprocess / sort / rasterize).
+pub fn fig5() {
+    let scale = default_scale();
+    banner("Fig. 5", "Software (CUDA) vs hardware (OpenGL) rendering time breakdown [ms, full-scale estimate]");
+    println!(
+        "{:<8} | {:>10} {:>8} {:>9} {:>7} | {:>10} {:>8} {:>9} {:>7}",
+        "scene", "CUDA-pre", "sort", "raster", "total", "GL-pre", "sort", "raster", "total"
+    );
+    for spec in &EVALUATED_SCENES {
+        let scene = spec.generate_scaled(scale);
+        let cam = scene.default_camera();
+        let pre = preprocess(&scene, &cam);
+        let scale2 = (scale as f64) * (scale as f64);
+
+        // CUDA path (with early termination, as the strongest software
+        // baseline — matching Fig. 17's setup; Fig. 5's relative shape is
+        // unaffected).
+        let sw = CudaLikeRenderer::new(SwConfig::default(), true)
+            .render(&pre.splats, cam.width(), cam.height());
+        let (cp, cs, cr) = (
+            spec.gaussians as f64 * sw.config_preprocess_ns() * 1e-6,
+            sw.sort_ms / scale2,
+            sw.rasterize_ms / scale2,
+        );
+
+        // OpenGL path (hardware baseline pipeline).
+        let hw = Renderer::new(GpuConfig::default(), PipelineVariant::Baseline)
+            .render(&scene, &cam);
+        let (gp, gs, gr) = (
+            hw.time.preprocess_ms,
+            hw.time.sort_ms,
+            hw.time.rasterize_ms,
+        );
+        println!(
+            "{:<8} | {:>10.1} {:>8.1} {:>9.1} {:>7.1} | {:>10.1} {:>8.1} {:>9.1} {:>7.1}",
+            spec.name, cp, cs, cr, cp + cs + cr, gp, gs, gr, gp + gs + gr
+        );
+    }
+    println!("-> hardware rendering avoids per-tile duplication: smaller preprocess+sort, comparable raster.");
+}
+
+trait SwExt {
+    fn config_preprocess_ns(&self) -> f64;
+}
+impl SwExt for swrender::cuda_like::SwFrame {
+    fn config_preprocess_ns(&self) -> f64 {
+        SwConfig::default().preprocess_ns_per_gaussian
+    }
+}
+
+/// Fig. 6: throughput utilisation of each hardware unit (OpenGL baseline).
+pub fn fig6() {
+    let scale = default_scale();
+    banner("Fig. 6", "Unit utilisation for OpenGL-based rendering [%]");
+    println!(
+        "{:<8} {:>6} {:>6} {:>8} {:>6}",
+        "scene", "PROP", "CROP", "Raster", "SM"
+    );
+    for spec in &EVALUATED_SCENES {
+        let scene = spec.generate_scaled(scale);
+        let cam = scene.default_camera();
+        let f = Renderer::new(GpuConfig::default(), PipelineVariant::Baseline).render(&scene, &cam);
+        println!(
+            "{:<8} {:>5.0}% {:>5.0}% {:>7.0}% {:>5.0}%",
+            spec.name,
+            100.0 * f.stats.utilization(Unit::Prop),
+            100.0 * f.stats.utilization(Unit::Crop),
+            100.0 * f.stats.utilization(Unit::Raster),
+            100.0 * f.stats.utilization(Unit::Sm),
+        );
+    }
+    println!("-> ROP-side units (PROP/CROP) dictate performance; SMs are underutilised.");
+}
+
+/// Fig. 7: per-pixel blended-fragment counts with and without early
+/// termination (Bonsai heat-map summarised as a histogram).
+pub fn fig7() {
+    let scale = default_scale();
+    banner("Fig. 7", "Fragments per pixel with and without early termination (Bonsai)");
+    let spec = &EVALUATED_SCENES[1];
+    let scene = spec.generate_scaled(scale);
+    let cam = scene.default_camera();
+    let pre = preprocess(&scene, &cam);
+
+    let histogram = |et: bool| -> (Vec<u64>, f64, u64) {
+        let sw = CudaLikeRenderer::new(SwConfig::default(), et)
+            .render(&pre.splats, cam.width(), cam.height());
+        // Reconstruct per-pixel counts by rendering per-pixel: the SwStats
+        // only carries totals, so re-derive the average and max from the
+        // frame: use blended fragments / pixels for the mean.
+        let px = (cam.width() * cam.height()) as f64;
+        let mean = sw.stats.blended_fragments as f64 / px;
+        (vec![], mean, sw.stats.blended_fragments)
+    };
+    let (_, mean_no_et, total_no_et) = histogram(false);
+    let (_, mean_et, total_et) = histogram(true);
+    println!("{:<24} {:>14} {:>12}", "", "total frags", "mean/pixel");
+    println!("{:<24} {:>14} {:>12.1}", "w/o early termination", total_no_et, mean_no_et);
+    println!("{:<24} {:>14} {:>12.1}", "w/  early termination", total_et, mean_et);
+    println!(
+        "-> early termination removes {:.1}% of per-pixel blending work.",
+        100.0 * (1.0 - total_et as f64 / total_no_et as f64)
+    );
+}
+
+/// Fig. 8: CUDA early-termination speedup and fragment reduction.
+pub fn fig8() {
+    let scale = default_scale();
+    banner("Fig. 8", "CUDA early-termination speedup and fragment reduction");
+    println!("{:<8} {:>12} {:>16}", "scene", "speedup", "frag reduction");
+    for spec in &EVALUATED_SCENES {
+        let scene = spec.generate_scaled(scale);
+        let cam = scene.default_camera();
+        let pre = preprocess(&scene, &cam);
+        let base = CudaLikeRenderer::new(SwConfig::default(), false)
+            .render(&pre.splats, cam.width(), cam.height());
+        let et = CudaLikeRenderer::new(SwConfig::default(), true)
+            .render(&pre.splats, cam.width(), cam.height());
+        println!(
+            "{:<8} {:>11.2}x {:>15.2}x",
+            spec.name,
+            base.rasterize_ms / et.rasterize_ms,
+            base.stats.blended_fragments as f64 / et.stats.blended_fragments as f64
+        );
+    }
+    println!("-> lockstep execution keeps the speedup well below the fragment reduction.");
+}
+
+/// Fig. 9: percentage of warp threads performing blending (CUDA).
+pub fn fig9() {
+    let scale = default_scale();
+    banner("Fig. 9", "Threads per warp performing blending in CUDA rendering [%]");
+    println!("{:<8} {:>10}", "scene", "blending%");
+    for spec in &EVALUATED_SCENES {
+        let scene = spec.generate_scaled(scale);
+        let cam = scene.default_camera();
+        let pre = preprocess(&scene, &cam);
+        let et = CudaLikeRenderer::new(SwConfig::default(), true)
+            .render(&pre.splats, cam.width(), cam.height());
+        println!("{:<8} {:>9.1}%", spec.name, et.stats.blending_thread_pct());
+    }
+    println!("-> alpha pruning + early termination leave most warp lanes idle (<40% in the paper).");
+}
+
+/// Fig. 10: normalized rasterization time of in-shader blending.
+pub fn fig10() {
+    let scale = default_scale();
+    banner("Fig. 10", "ROP-based vs in-shader blending, normalized time (log-scale axis in the paper)");
+    println!(
+        "{:<8} {:>10} {:>22} {:>24}",
+        "scene", "ROP-based", "In-Shader w/ Extension", "In-Shader w/o Extension"
+    );
+    let cfg = InShaderConfig::default();
+    for spec in &EVALUATED_SCENES {
+        let scene = spec.generate_scaled(scale);
+        let cam = scene.default_camera();
+        let pre = preprocess(&scene, &cam);
+        let (frags, quads, chain) = fragment_workload(&pre.splats, cam.width(), cam.height());
+        let rop = normalized_time(BlendStrategy::RopBased, frags, quads, chain, &cfg);
+        let lock = normalized_time(BlendStrategy::InShaderInterlock, frags, quads, chain, &cfg);
+        let free = normalized_time(BlendStrategy::InShaderUnordered, frags, quads, chain, &cfg);
+        println!("{:<8} {:>10.2} {:>22.2} {:>24.2}", spec.name, rop, lock, free);
+    }
+    println!("-> the interlock's ordered critical section erases the shader-parallelism advantage.");
+}
+
+/// Fig. 11: multi-pass software early termination vs number of passes.
+pub fn fig11() {
+    let scale = default_scale();
+    banner("Fig. 11", "Software early termination speedup vs number of passes");
+    let passes = [1usize, 2, 5, 10, 15, 20, 25, 30];
+    print!("{:<8}", "scene");
+    for p in passes {
+        print!(" {:>6}", format!("N={p}"));
+    }
+    println!();
+    for spec in &EVALUATED_SCENES {
+        let scene = spec.generate_scaled(scale);
+        let cam = scene.default_camera();
+        let pre = preprocess(&scene, &cam);
+        // The per-draw-call overhead is a full-scale constant; at reduced
+        // scene scale it must shrink with the workload (scale^2) to keep
+        // the overhead-to-work ratio of the full-resolution experiment.
+        let mut cfg = MultiPassConfig::default();
+        cfg.draw_call_overhead_cycles *= (scale as f64) * (scale as f64);
+        let base = render_multipass(&pre.splats, cam.width(), cam.height(), 1, &cfg);
+        print!("{:<8}", spec.name);
+        for p in passes {
+            let f = render_multipass(&pre.splats, cam.width(), cam.height(), p, &cfg);
+            print!(" {:>6.2}", base.time_ms / f.time_ms);
+        }
+        println!();
+    }
+    println!("-> modest gains at best; stencil-update passes eat the benefit (the paper sees 0.7-1.2x).");
+}

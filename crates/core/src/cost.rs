@@ -1,0 +1,71 @@
+//! Hardware cost of the VR-Pipe extensions (paper Table III).
+//!
+//! The extensions are storage-dominated; computational logic (bitwise
+//! operators, comparators, two FP comparators in the alpha test unit) is
+//! negligible next to the SRAM, so — like the paper — we account storage
+//! only.
+
+use gpu_sim::config::GpuConfig;
+use serde::{Deserialize, Serialize};
+
+/// Storage cost breakdown in bytes (per GPC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardwareCost {
+    /// Tile Grid Coalescing unit: per bin, `tgc_bin_size` primitive entries
+    /// of 3 × 4-byte circular-buffer-entry (CBE) pointers, plus a 2-byte
+    /// tile-grid ID.
+    pub tgc_bytes: usize,
+    /// Quad Reorder Unit: 128 quad entries of a 4-byte CBE pointer plus a
+    /// 6-bit quad position, 64 × 1-byte position registers, and a 16-byte
+    /// merge bitmap.
+    pub qru_bytes: usize,
+}
+
+impl HardwareCost {
+    /// Computes the cost for a configuration (Table III uses the default).
+    pub fn for_config(cfg: &GpuConfig) -> Self {
+        // (4B CBE pointer * 3 vertices * bin_size entries + 2B grid ID) * bins
+        let tgc_bytes = (4 * 3 * cfg.tgc_bin_size + 2) * cfg.tgc_bins;
+        // (4B CBE pointer + 6-bit quad position) * 128 quads, in bits,
+        // + 64 * 1B registers + 128-bit bitmap.
+        let qru_entry_bits = 4 * 8 + 6;
+        let qru_bytes = (qru_entry_bits * cfg.tc_bin_size).div_ceil(8) + 64 + 16;
+        Self { tgc_bytes, qru_bytes }
+    }
+
+    /// Total extension storage in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.tgc_bytes + self.qru_bytes
+    }
+
+    /// Total in kibibytes (Table III reports 24.92 KB).
+    pub fn total_kib(&self) -> f64 {
+        self.total_bytes() as f64 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_figures() {
+        let cost = HardwareCost::for_config(&GpuConfig::default());
+        // TGC: (4*3*16 + 2) * 128 = 24832 B = 24.25 KB.
+        assert_eq!(cost.tgc_bytes, 24_832);
+        assert!((cost.tgc_bytes as f64 / 1024.0 - 24.25).abs() < 0.01);
+        // QRU: 38 bits * 128 / 8 + 64 + 16 = 688 B.
+        assert_eq!(cost.qru_bytes, 688);
+        // Total ≈ 24.92 KB.
+        assert!((cost.total_kib() - 24.92).abs() < 0.02);
+    }
+
+    #[test]
+    fn cost_scales_with_bin_count() {
+        let mut cfg = GpuConfig::default();
+        cfg.tgc_bins = 256;
+        let doubled = HardwareCost::for_config(&cfg);
+        let base = HardwareCost::for_config(&GpuConfig::default());
+        assert_eq!(doubled.tgc_bytes, base.tgc_bytes * 2);
+    }
+}

@@ -1,0 +1,589 @@
+//! The hardware graphics pipeline orchestrator: drives one draw call of
+//! sorted splats through the unit models (paper Fig. 12) and produces both
+//! the rendered image (functional correctness) and per-unit timing
+//! (performance), for any [`PipelineVariant`].
+//!
+//! Flow per primitive (front-to-back draw order):
+//!
+//! ```text
+//! VPO ─→ [TGC (QM)] ─→ Raster (setup/coarse/fine) ─→ TC bins
+//!   TC flush ─→ [ZROP termination test (HET)] ─→ PROP [QRU (QM)]
+//!     ─→ SM fragment shading (alpha prune, merge) ─→ CROP blending
+//!       └─ alpha test unit (HET) ─→ ZROP termination update
+//! ```
+
+use gpu_sim::binning::{BinTable, Flush, FlushReason};
+use gpu_sim::cache::Cache;
+use gpu_sim::config::GpuConfig;
+use gpu_sim::quad::{Quad, ShadedQuad};
+use gpu_sim::raster::{rasterize_in_tile, SplatSetup};
+use gpu_sim::stats::{PipelineStats, Unit};
+use gpu_sim::tiles::{TileGridId, TileId, Tiling};
+use gpu_sim::timing::{PipelineTimer, WorkBatch};
+use gsplat::blend::blend_over;
+use gsplat::color::Rgba;
+use gsplat::framebuffer::{ColorBuffer, DepthStencilBuffer};
+use gsplat::splat::Splat;
+
+use crate::het::{alpha_test, termination_test, termination_update};
+use crate::qm::{plan_warps, WarpPlan, WarpSlot};
+use crate::shading::{merge_pair, premultiplied_fragment, shade_quad};
+use crate::variant::PipelineVariant;
+
+/// Result of one simulated draw call.
+#[derive(Debug, Clone)]
+pub struct DrawOutput {
+    /// The rendered (pre-multiplied) color buffer.
+    pub color: ColorBuffer,
+    /// Final depth/stencil state (termination flags in the MSB).
+    pub depth_stencil: DepthStencilBuffer,
+    /// Work counters, cache behaviour, cycles and utilisation.
+    pub stats: PipelineStats,
+}
+
+/// Simulates one draw call of depth-sorted splats.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::config::GpuConfig;
+/// use gsplat::{preprocess::preprocess, scene::EVALUATED_SCENES};
+/// use vrpipe::{draw, PipelineVariant};
+///
+/// let scene = EVALUATED_SCENES[4].generate_scaled(0.04);
+/// let cam = scene.default_camera();
+/// let pre = preprocess(&scene, &cam);
+/// let cfg = GpuConfig::default();
+/// let out = draw(&pre.splats, cam.width(), cam.height(), &cfg, PipelineVariant::Baseline);
+/// assert!(out.stats.total_cycles > 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics when the configuration fails [`GpuConfig::validate`].
+pub fn draw(
+    splats: &[Splat],
+    width: u32,
+    height: u32,
+    cfg: &GpuConfig,
+    variant: PipelineVariant,
+) -> DrawOutput {
+    cfg.validate().expect("invalid GPU configuration");
+    Pipeline::new(splats, width, height, cfg, variant).run()
+}
+
+/// Internal per-draw-call state.
+struct Pipeline<'a> {
+    splats: &'a [Splat],
+    cfg: &'a GpuConfig,
+    variant: PipelineVariant,
+    tiling: Tiling,
+    color: ColorBuffer,
+    ds: DepthStencilBuffer,
+    crop_cache: Cache,
+    z_cache: Cache,
+    l2: Cache,
+    timer: PipelineTimer,
+    stats: PipelineStats,
+    /// Upstream work accumulated since the last TC flush.
+    pending: WorkBatch,
+    tc: BinTable<TileId, Quad>,
+    /// Color-cache line geometry (pixels per line block).
+    line_block: (u32, u32),
+}
+
+impl<'a> Pipeline<'a> {
+    fn new(
+        splats: &'a [Splat],
+        width: u32,
+        height: u32,
+        cfg: &'a GpuConfig,
+        variant: PipelineVariant,
+    ) -> Self {
+        let tiling = Tiling::new(width, height, cfg.screen_tile_px, cfg.tile_grid_tiles);
+        // A 128-B color line covers a (128/bpp/4)-wide × 4-tall pixel block.
+        let bpp = cfg.pixel_format.bytes_per_pixel() as u32;
+        let block_h = 4u32;
+        let block_w = (cfg.cache_line_bytes as u32 / (bpp * block_h)).max(1);
+        Self {
+            splats,
+            cfg,
+            variant,
+            tiling,
+            color: ColorBuffer::new(width, height, cfg.pixel_format),
+            ds: DepthStencilBuffer::new(width, height),
+            crop_cache: Cache::new(cfg.crop_cache_bytes, cfg.cache_line_bytes, cfg.cache_ways),
+            z_cache: Cache::new(cfg.z_cache_bytes, cfg.cache_line_bytes, cfg.cache_ways),
+            l2: Cache::new(4 * 1024 * 1024, cfg.cache_line_bytes, 16),
+            timer: PipelineTimer::new(),
+            stats: PipelineStats::default(),
+            pending: WorkBatch::default(),
+            tc: BinTable::new(cfg.tc_bins, cfg.tc_bin_size),
+            line_block: (block_w, block_h),
+        }
+    }
+
+    fn run(mut self) -> DrawOutput {
+        if self.variant.qm() {
+            self.run_with_tgc();
+        } else {
+            self.run_direct();
+        }
+        // End-of-draw: drain the TC unit (subsumes the timeout flush).
+        let drains = self.tc.drain();
+        for flush in drains {
+            self.process_tc_flush(flush);
+        }
+        // Push any trailing upstream work.
+        if self.pending.total() > 0.0 {
+            let batch = std::mem::take(&mut self.pending);
+            self.timer.push(batch);
+        }
+        self.crop_cache.flush();
+        self.z_cache.flush();
+
+        self.stats.crop_cache = self.crop_cache.stats();
+        self.stats.z_cache = self.z_cache.stats();
+        let (total, busy) = self.timer.finish();
+        self.stats.total_cycles = total;
+        self.stats.busy_cycles = busy;
+        DrawOutput {
+            color: self.color,
+            depth_stencil: self.ds,
+            stats: self.stats,
+        }
+    }
+
+    /// Baseline path: each primitive rasterizes across all its screen
+    /// tiles immediately, in draw order.
+    fn run_direct(&mut self) {
+        for i in 0..self.splats.len() {
+            self.account_vertex(i);
+            let splat = &self.splats[i];
+            let Some(setup) = SplatSetup::new(splat) else { continue };
+            let tiles: Vec<TileId> = self
+                .tiling
+                .tiles_in_aabb(
+                    (setup.aabb.0.x, setup.aabb.0.y),
+                    (setup.aabb.1.x, setup.aabb.1.y),
+                )
+                .collect();
+            self.rasterize_tiles(i as u32, &setup, &tiles);
+        }
+    }
+
+    /// QM path: primitives are first gathered per tile grid by the TGC
+    /// unit; a TGC flush rasterizes its primitives restricted to that grid,
+    /// concentrating spatially-overlapping quads in the TC bins.
+    fn run_with_tgc(&mut self) {
+        let mut tgc: BinTable<TileGridId, u32> =
+            BinTable::new(self.cfg.tgc_bins, self.cfg.tgc_bin_size);
+        for i in 0..self.splats.len() {
+            self.account_vertex(i);
+            let splat = &self.splats[i];
+            let Some(setup) = SplatSetup::new(splat) else { continue };
+            // Identify intersecting tile grids from the AABB.
+            let mut grids: Vec<TileGridId> = self
+                .tiling
+                .tiles_in_aabb(
+                    (setup.aabb.0.x, setup.aabb.0.y),
+                    (setup.aabb.1.x, setup.aabb.1.y),
+                )
+                .map(|t| self.tiling.grid_of_tile(t))
+                .collect();
+            grids.sort_unstable();
+            grids.dedup();
+            for grid in grids {
+                self.stats.tgc_insertions += 1;
+                self.pending.add(Unit::Tgc, 1.0);
+                for flush in tgc.insert(grid, i as u32) {
+                    self.process_tgc_flush(flush);
+                }
+            }
+        }
+        let drains = tgc.drain();
+        self.stats.tgc_flushes = 0; // recomputed below from BinStats
+        for flush in drains {
+            self.process_tgc_flush(flush);
+        }
+        let s = tgc.stats();
+        self.stats.tgc_flushes = s.flushes;
+        self.stats.tgc_evictions = s.evictions;
+    }
+
+    fn account_vertex(&mut self, _index: usize) {
+        self.stats.primitives += 1;
+        self.pending
+            .add(Unit::Vpo, 1.0 / self.cfg.vpo_prims_per_cycle as f64);
+        self.pending.add(
+            Unit::Sm,
+            self.cfg.vertex_shader_cycles_per_prim as f64 / self.cfg.simt_cores as f64,
+        );
+    }
+
+    /// Rasterizes a TGC flush: every primitive in the bin, restricted to
+    /// the screen tiles of that tile grid.
+    fn process_tgc_flush(&mut self, flush: Flush<TileGridId, u32>) {
+        let grid = flush.key;
+        let g = self.cfg.tile_grid_tiles;
+        for prim in flush.items {
+            let splat = &self.splats[prim as usize];
+            let Some(setup) = SplatSetup::new(splat) else { continue };
+            let tiles: Vec<TileId> = self
+                .tiling
+                .tiles_in_aabb(
+                    (setup.aabb.0.x, setup.aabb.0.y),
+                    (setup.aabb.1.x, setup.aabb.1.y),
+                )
+                .filter(|t| t.x / g == grid.x && t.y / g == grid.y)
+                .collect();
+            self.rasterize_tiles(prim, &setup, &tiles);
+        }
+    }
+
+    /// Runs setup + coarse + fine raster over the given tiles and feeds
+    /// the TC unit.
+    fn rasterize_tiles(&mut self, prim: u32, setup: &SplatSetup, tiles: &[TileId]) {
+        if tiles.is_empty() {
+            return;
+        }
+        self.pending
+            .add(Unit::Raster, 1.0 / self.cfg.setup_prims_per_cycle as f64);
+        for &tile in tiles {
+            let out = rasterize_in_tile(setup, prim, tile, &self.tiling, self.cfg.raster_tile_px);
+            self.stats.coarse_tiles += out.coarse_tiles;
+            self.pending.add(
+                Unit::Raster,
+                out.coarse_tiles as f64 / self.cfg.coarse_raster_tiles_per_cycle as f64
+                    + out.quads.len() as f64 / self.cfg.fine_raster_quads_per_cycle as f64,
+            );
+            for q in out.quads {
+                self.stats.raster_quads += 1;
+                self.stats.raster_fragments += q.coverage_count() as u64;
+                self.tc_insert(q);
+            }
+        }
+    }
+
+    fn tc_insert(&mut self, q: Quad) {
+        self.stats.tc_insertions += 1;
+        self.pending.add(Unit::Tc, 1.0 / self.cfg.tc_quads_per_cycle as f64);
+        let tile = q.tile;
+        for flush in self.tc.insert(tile, q) {
+            self.process_tc_flush(flush);
+        }
+    }
+
+    /// The heart of the pipeline: one TC-bin flush travels through ZROP
+    /// (HET), PROP/QRU (QM), the SMs and CROP, producing one timing batch.
+    fn process_tc_flush(&mut self, flush: Flush<TileId, Quad>) {
+        let mut batch = std::mem::take(&mut self.pending);
+        self.stats.tc_flushes += 1;
+        if flush.reason == FlushReason::Evicted {
+            self.stats.tc_evictions += 1;
+        }
+
+        // --- ZROP early-termination test (HET) ---
+        let bin: Vec<Quad> = if self.variant.het() {
+            let mut survivors = Vec::with_capacity(flush.items.len());
+            let n = flush.items.len() as f64;
+            self.stats.zrop_term_tests += flush.items.len() as u64;
+            batch.add(Unit::Zrop, n / self.cfg.zrop_quads_per_cycle as f64);
+            for q in flush.items {
+                // One z-cache line read per quad (stencil MSBs).
+                self.z_cache_access(q.origin, false, &mut batch);
+                let t = termination_test(&q, &self.ds);
+                if t.survives {
+                    self.stats.zrop_term_discarded_fragments += t.terminated_fragments as u64;
+                    survivors.push(q);
+                } else {
+                    self.stats.zrop_term_discards += 1;
+                    self.stats.zrop_term_discarded_fragments += q.coverage_count() as u64;
+                }
+            }
+            survivors
+        } else {
+            flush.items
+        };
+        if bin.is_empty() {
+            self.timer.push(batch);
+            return;
+        }
+
+        // --- PROP routing / quad reorder unit (QM) ---
+        let plan: WarpPlan = if self.variant.qm() {
+            plan_warps(&bin)
+        } else {
+            sequential_plan(bin.len())
+        };
+        // Pre-shading routing (and QRU examination, which proceeds at the
+        // routing rate — the scan is simple register compares pipelined
+        // with dispatch).
+        batch.add(
+            Unit::Prop,
+            bin.len() as f64 / self.cfg.prop_quads_per_cycle as f64,
+        );
+        self.stats.warps_launched += plan.warp_count() as u64;
+        self.stats.warp_quad_slots_used += plan.slots_used() as u64;
+        self.stats.merged_pairs += plan.pairs as u64;
+
+        // --- SM fragment shading ---
+        let mut warp_cycles = 0u64;
+        for warp in &plan.warps {
+            let has_pair = warp.iter().any(|s| matches!(s, WarpSlot::Pair(..)));
+            warp_cycles += self.cfg.frag_shader_cycles_per_warp as u64
+                + if has_pair { self.cfg.qm_extra_cycles_per_warp as u64 } else { 0 };
+        }
+        batch.add(Unit::Sm, warp_cycles as f64 / self.cfg.simt_cores as f64);
+
+        let shaded: Vec<ShadedQuad> = bin
+            .iter()
+            .map(|q| {
+                let sq = shade_quad(q, &self.splats[q.splat as usize]);
+                let covered = q.coverage_count() as u64;
+                self.stats.shaded_fragments += covered;
+                self.stats.alpha_pruned_fragments += covered - sq.alive_count() as u64;
+                sq
+            })
+            .collect();
+
+        // Merge pairs: replace the front quad, skip the back quad.
+        let mut replacement: Vec<Option<ShadedQuad>> = vec![None; bin.len()];
+        let mut skip = vec![false; bin.len()];
+        for warp in &plan.warps {
+            for slot in warp {
+                if let WarpSlot::Pair(front, back) = *slot {
+                    replacement[front] = Some(merge_pair(&shaded[front], &shaded[back]));
+                    skip[back] = true;
+                }
+            }
+        }
+
+        // --- CROP blending (+ HET alpha test unit) ---
+        let mut crop_quads_here = 0u64;
+        for idx in 0..bin.len() {
+            if skip[idx] {
+                continue;
+            }
+            let sq = replacement[idx].as_ref().unwrap_or(&shaded[idx]);
+            if sq.is_dead() {
+                self.stats.dead_quads += 1;
+                continue;
+            }
+            crop_quads_here += 1;
+            self.stats.crop_quads += 1;
+            self.crop_cache_access(sq.quad.origin, &mut batch);
+            for i in 0..4 {
+                if sq.alive & (1 << i) == 0 {
+                    continue;
+                }
+                let (x, y) = sq.quad.fragment_xy(i);
+                if x >= self.color.width() || y >= self.color.height() {
+                    continue;
+                }
+                self.stats.crop_fragments += 1;
+                let (rgb, a) = premultiplied_fragment(sq, i);
+                let dest = self.color.get(x, y);
+                let prev_alpha = dest.a;
+                let blended = blend_over(dest, Rgba::from_rgb(rgb, a));
+                self.color.set(x, y, blended);
+                if self.variant.het() && alpha_test(prev_alpha, blended.a) {
+                    // Termination signal → ZROP update (read-modify-write
+                    // of the stencil line through the z-cache).
+                    self.stats.term_updates += 1;
+                    self.z_cache_access((x, y), true, &mut batch);
+                    batch.add(Unit::Zrop, 0.5);
+                    termination_update(&mut self.ds, x, y);
+                }
+            }
+        }
+        batch.add(
+            Unit::Crop,
+            crop_quads_here as f64 / self.cfg.crop_quads_per_cycle() as f64,
+        );
+        // Post-shading ordering in PROP proceeds at CROP pace (PROP
+        // orchestrates the color-fragment flow into CROP).
+        batch.add(
+            Unit::Prop,
+            crop_quads_here as f64 / self.cfg.crop_quads_per_cycle() as f64,
+        );
+        self.timer.push(batch);
+    }
+
+    /// One CROP-cache access for the color line(s) under a quad.
+    fn crop_cache_access(&mut self, origin: (u32, u32), batch: &mut WorkBatch) {
+        let (bw, bh) = self.line_block;
+        let blocks_x = self.color.width().div_ceil(bw) as u64;
+        let mut lines = [u64::MAX; 4];
+        let mut n = 0;
+        for (dx, dy) in [(0u32, 0u32), (1, 0), (0, 1), (1, 1)] {
+            let x = origin.0 + dx;
+            let y = origin.1 + dy;
+            if x >= self.color.width() || y >= self.color.height() {
+                continue;
+            }
+            let line = (y / bh) as u64 * blocks_x + (x / bw) as u64;
+            if !lines[..n].contains(&line) {
+                lines[n] = line;
+                n += 1;
+            }
+        }
+        for &line in &lines[..n] {
+            if !self.crop_cache.access(line, true) {
+                self.memory_fill(line, batch);
+            }
+        }
+    }
+
+    /// One z-cache access for the stencil line under a quad or pixel.
+    fn z_cache_access(&mut self, origin: (u32, u32), write: bool, batch: &mut WorkBatch) {
+        // 128-B stencil line = 16×8 pixel block at 1 B/pixel.
+        let blocks_x = self.color.width().div_ceil(16) as u64;
+        let line = (origin.1 / 8) as u64 * blocks_x + (origin.0 / 16) as u64;
+        // Address-space tag to keep z lines distinct from color lines in L2.
+        let tagged = line | 1 << 62;
+        if !self.z_cache.access(tagged, write) {
+            self.memory_fill(tagged, batch);
+        }
+    }
+
+    /// A ROP-cache miss: fill from L2; an L2 miss goes to DRAM.
+    fn memory_fill(&mut self, line: u64, batch: &mut WorkBatch) {
+        let bytes = self.cfg.cache_line_bytes as f64;
+        batch.add(Unit::L2, bytes / self.cfg.l2_bytes_per_cycle as f64);
+        if !self.l2.access(line, false) {
+            batch.add(Unit::Dram, bytes / self.cfg.dram_bytes_per_cycle as f64);
+        }
+    }
+}
+
+/// Baseline warp packing: quads in bin order, eight per warp, no pairs.
+fn sequential_plan(n: usize) -> WarpPlan {
+    let mut warps = Vec::with_capacity(n.div_ceil(8));
+    let mut i = 0;
+    while i < n {
+        let end = (i + 8).min(n);
+        warps.push((i..end).map(WarpSlot::Single).collect());
+        i = end;
+    }
+    WarpPlan {
+        warps,
+        merge_bitmap: 0,
+        pairs: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsplat::math::{Vec2, Vec3};
+
+    /// A deterministic stack of fully-overlapping circular splats.
+    fn stacked_splats(n: usize, opacity: f32) -> Vec<Splat> {
+        (0..n)
+            .map(|i| Splat {
+                center: Vec2::new(16.0, 16.0),
+                depth: 1.0 + i as f32,
+                conic: (0.02, 0.0, 0.02),
+                axis_major: Vec2::new(14.0, 0.0),
+                axis_minor: Vec2::new(0.0, 14.0),
+                color: Vec3::new(0.5, 0.25, 0.75),
+                opacity,
+                source: i as u32,
+            })
+            .collect()
+    }
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::default()
+    }
+
+    #[test]
+    fn draw_produces_nonzero_image_and_cycles() {
+        let splats = stacked_splats(10, 0.5);
+        let out = draw(&splats, 32, 32, &cfg(), PipelineVariant::Baseline);
+        assert!(out.stats.total_cycles > 0);
+        assert!(out.color.get(16, 16).a > 0.9);
+        assert!(out.stats.crop_fragments > 0);
+        assert_eq!(out.stats.primitives, 10);
+    }
+
+    #[test]
+    fn variants_render_equivalent_images() {
+        let splats = stacked_splats(30, 0.3);
+        let base = draw(&splats, 32, 32, &cfg(), PipelineVariant::Baseline);
+        for v in [PipelineVariant::Qm, PipelineVariant::Het, PipelineVariant::HetQm] {
+            let out = draw(&splats, 32, 32, &cfg(), v);
+            let diff = base.color.max_abs_diff(&out.color);
+            // HET legitimately drops invisible contributions; tolerance is
+            // sub-quantization (1/255 ≈ 0.0039).
+            assert!(diff < 3.0 / 255.0, "{v}: diff {diff}");
+        }
+    }
+
+    #[test]
+    fn qm_without_het_is_floating_point_exact_enough() {
+        let splats = stacked_splats(40, 0.2);
+        let base = draw(&splats, 32, 32, &cfg(), PipelineVariant::Baseline);
+        let qm = draw(&splats, 32, 32, &cfg(), PipelineVariant::Qm);
+        // Associative regrouping only: differences are float rounding.
+        assert!(base.color.max_abs_diff(&qm.color) < 1e-4);
+    }
+
+    #[test]
+    fn het_terminates_saturated_pixels() {
+        let splats = stacked_splats(50, 0.8);
+        let out = draw(&splats, 32, 32, &cfg(), PipelineVariant::Het);
+        assert!(out.depth_stencil.terminated_count() > 0);
+        assert!(out.stats.zrop_term_discards > 0);
+        assert!(out.stats.term_updates > 0);
+        // HET must reduce CROP work vs baseline.
+        let base = draw(&splats, 32, 32, &cfg(), PipelineVariant::Baseline);
+        assert!(out.stats.crop_fragments < base.stats.crop_fragments);
+        assert!(out.stats.total_cycles < base.stats.total_cycles);
+    }
+
+    #[test]
+    fn qm_merges_overlapping_quads() {
+        let splats = stacked_splats(40, 0.2);
+        let out = draw(&splats, 32, 32, &cfg(), PipelineVariant::Qm);
+        assert!(out.stats.merged_pairs > 0);
+        let base = draw(&splats, 32, 32, &cfg(), PipelineVariant::Baseline);
+        assert!(out.stats.crop_quads < base.stats.crop_quads);
+        // A merged pair blends each pixel once with the pre-blended value,
+        // so ROP fragments drop too (exactly what Fig. 18 counts).
+        assert!(out.stats.crop_fragments < base.stats.crop_fragments);
+    }
+
+    #[test]
+    fn baseline_never_uses_extension_hardware() {
+        let splats = stacked_splats(20, 0.5);
+        let out = draw(&splats, 32, 32, &cfg(), PipelineVariant::Baseline);
+        assert_eq!(out.stats.zrop_term_tests, 0);
+        assert_eq!(out.stats.merged_pairs, 0);
+        assert_eq!(out.stats.tgc_insertions, 0);
+        assert_eq!(out.stats.term_updates, 0);
+        assert_eq!(out.depth_stencil.terminated_count(), 0);
+    }
+
+    #[test]
+    fn fragment_conservation() {
+        // Raster fragments = shaded + termination-discarded (HET off: equal).
+        let splats = stacked_splats(25, 0.4);
+        let out = draw(&splats, 32, 32, &cfg(), PipelineVariant::Baseline);
+        assert_eq!(out.stats.raster_fragments, out.stats.shaded_fragments);
+        // Blended = shaded − pruned (single tile, no edge clipping here).
+        assert_eq!(
+            out.stats.crop_fragments,
+            out.stats.shaded_fragments - out.stats.alpha_pruned_fragments
+        );
+    }
+
+    #[test]
+    fn empty_draw_is_empty() {
+        let out = draw(&[], 32, 32, &cfg(), PipelineVariant::HetQm);
+        assert_eq!(out.stats.total_cycles, 0);
+        assert_eq!(out.stats.crop_fragments, 0);
+        assert_eq!(out.color.mean_alpha(), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Pipeline variants evaluated in the paper (Fig. 16): the baseline
+//! graphics pipeline and the three VR-Pipe configurations.
+
+use serde::{Deserialize, Serialize};
+
+/// Which VR-Pipe hardware extensions are enabled.
+///
+/// # Examples
+///
+/// ```
+/// use vrpipe::PipelineVariant;
+/// assert!(PipelineVariant::HetQm.het() && PipelineVariant::HetQm.qm());
+/// assert!(!PipelineVariant::Baseline.het());
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PipelineVariant {
+    /// Conventional graphics pipeline (no extensions).
+    #[default]
+    Baseline,
+    /// Multi-granular tile binning with quad merging only.
+    Qm,
+    /// Hardware early termination only.
+    Het,
+    /// Both extensions — full VR-Pipe.
+    HetQm,
+}
+
+impl PipelineVariant {
+    /// All variants in the paper's figure order.
+    pub const ALL: [PipelineVariant; 4] = [
+        PipelineVariant::Baseline,
+        PipelineVariant::Qm,
+        PipelineVariant::Het,
+        PipelineVariant::HetQm,
+    ];
+
+    /// `true` when hardware early termination is enabled.
+    #[inline]
+    pub fn het(self) -> bool {
+        matches!(self, PipelineVariant::Het | PipelineVariant::HetQm)
+    }
+
+    /// `true` when quad merging (and the TGC unit) is enabled.
+    #[inline]
+    pub fn qm(self) -> bool {
+        matches!(self, PipelineVariant::Qm | PipelineVariant::HetQm)
+    }
+
+    /// Label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PipelineVariant::Baseline => "Baseline",
+            PipelineVariant::Qm => "QM",
+            PipelineVariant::Het => "HET",
+            PipelineVariant::HetQm => "HET+QM",
+        }
+    }
+}
+
+impl std::fmt::Display for PipelineVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_flags() {
+        assert!(!PipelineVariant::Baseline.het() && !PipelineVariant::Baseline.qm());
+        assert!(!PipelineVariant::Qm.het() && PipelineVariant::Qm.qm());
+        assert!(PipelineVariant::Het.het() && !PipelineVariant::Het.qm());
+        assert!(PipelineVariant::HetQm.het() && PipelineVariant::HetQm.qm());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<&str> = PipelineVariant::ALL.iter().map(|v| v.label()).collect();
+        assert_eq!(labels, vec!["Baseline", "QM", "HET", "HET+QM"]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the VR-Pipe extensions: QRU invariants, merge
+//! correctness, and cross-variant image equivalence on randomized scenes.
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::quad::Quad;
+use gpu_sim::tiles::{QuadPos, TileId};
+use gsplat::math::{Vec2, Vec3};
+use gsplat::splat::Splat;
+use proptest::prelude::*;
+use vrpipe::qm::{plan_warps, WarpSlot};
+use vrpipe::{draw, PipelineVariant};
+
+fn quad_at(pos_idx: u8, splat: u32) -> Quad {
+    let pos = QuadPos { x: pos_idx % 8, y: pos_idx / 8 };
+    Quad {
+        tile: TileId { x: 0, y: 0 },
+        pos,
+        origin: (pos.x as u32 * 2, pos.y as u32 * 2),
+        coverage: 0xF,
+        splat,
+    }
+}
+
+fn splat_strategy() -> impl Strategy<Value = Splat> {
+    (
+        1.0f32..31.0, // cx
+        1.0f32..31.0, // cy
+        0.5f32..12.0, // r major
+        0.5f32..12.0, // r minor
+        0.05f32..0.95, // opacity
+        1.0f32..100.0, // depth
+        0.0f32..1.0,   // color seed
+    )
+        .prop_map(|(cx, cy, rx, ry, opacity, depth, c)| Splat {
+            center: Vec2::new(cx, cy),
+            depth,
+            conic: (1.0 / (rx * rx), 0.0, 1.0 / (ry * ry)),
+            axis_major: Vec2::new(rx * 2.5, 0.0),
+            axis_minor: Vec2::new(0.0, ry * 2.5),
+            color: Vec3::new(c, 1.0 - c, 0.5),
+            opacity,
+            source: 0,
+        })
+}
+
+proptest! {
+    /// QRU invariants for arbitrary bins of up to 128 quads: every quad is
+    /// planned exactly once, pairs share a position with front before back,
+    /// no warp exceeds 8 slots, and the bitmap matches the pairs.
+    #[test]
+    fn qru_plan_invariants(positions in proptest::collection::vec(0u8..64, 0..128)) {
+        let bin: Vec<Quad> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| quad_at(p, i as u32))
+            .collect();
+        let plan = plan_warps(&bin);
+
+        let mut seen = vec![0u32; bin.len()];
+        let mut bitmap_check = 0u128;
+        for warp in &plan.warps {
+            let slots: usize = warp.iter().map(WarpSlot::slots).sum();
+            prop_assert!(slots <= 8, "warp over 8 quad slots");
+            for slot in warp {
+                match *slot {
+                    WarpSlot::Single(i) => seen[i] += 1,
+                    WarpSlot::Pair(f, b) => {
+                        seen[f] += 1;
+                        seen[b] += 1;
+                        prop_assert!(f < b, "pair front must precede back in bin order");
+                        prop_assert_eq!(bin[f].pos, bin[b].pos, "pair positions differ");
+                        bitmap_check |= 1 << f;
+                        bitmap_check |= 1 << b;
+                    }
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "quad planned {seen:?} times");
+        prop_assert_eq!(bitmap_check, plan.merge_bitmap);
+        // Pair count is the maximum possible given consecutive pairing.
+        let mut expected_pairs = 0usize;
+        let mut counts = [0usize; 64];
+        for &p in &positions { counts[p as usize] += 1; }
+        for c in counts { expected_pairs += c / 2; }
+        prop_assert_eq!(plan.pairs, expected_pairs);
+    }
+
+    /// QM renders the same image as the baseline (associative regrouping
+    /// only), for arbitrary splat sets.
+    #[test]
+    fn qm_image_equals_baseline(mut splats in proptest::collection::vec(splat_strategy(), 1..60)) {
+        splats.sort_by(|a, b| a.depth.partial_cmp(&b.depth).unwrap());
+        for (i, s) in splats.iter_mut().enumerate() { s.source = i as u32; }
+        let cfg = GpuConfig::default();
+        let base = draw(&splats, 32, 32, &cfg, PipelineVariant::Baseline);
+        let qm = draw(&splats, 32, 32, &cfg, PipelineVariant::Qm);
+        let diff = base.color.max_abs_diff(&qm.color);
+        prop_assert!(diff < 1e-4, "QM image diverged by {diff}");
+    }
+
+    /// HET only removes visually negligible contributions: the image stays
+    /// within ~1 quantization step of the baseline, and never more work is
+    /// done than the baseline.
+    #[test]
+    fn het_image_close_and_work_reduced(mut splats in proptest::collection::vec(splat_strategy(), 1..60)) {
+        splats.sort_by(|a, b| a.depth.partial_cmp(&b.depth).unwrap());
+        for (i, s) in splats.iter_mut().enumerate() { s.source = i as u32; }
+        let cfg = GpuConfig::default();
+        let base = draw(&splats, 32, 32, &cfg, PipelineVariant::Baseline);
+        let het = draw(&splats, 32, 32, &cfg, PipelineVariant::Het);
+        prop_assert!(base.color.max_abs_diff(&het.color) < 3.0 / 255.0);
+        prop_assert!(het.stats.crop_fragments <= base.stats.crop_fragments);
+        prop_assert!(het.stats.shaded_fragments <= base.stats.shaded_fragments);
+    }
+
+    /// Work-counter invariants hold for every variant: blended fragments
+    /// never exceed shaded, which never exceed rasterized.
+    #[test]
+    fn fragment_funnel_is_monotone(
+        mut splats in proptest::collection::vec(splat_strategy(), 1..40),
+        variant_idx in 0usize..4,
+    ) {
+        splats.sort_by(|a, b| a.depth.partial_cmp(&b.depth).unwrap());
+        for (i, s) in splats.iter_mut().enumerate() { s.source = i as u32; }
+        let v = PipelineVariant::ALL[variant_idx];
+        let out = draw(&splats, 32, 32, &GpuConfig::default(), v);
+        let s = &out.stats;
+        prop_assert!(s.shaded_fragments <= s.raster_fragments);
+        prop_assert!(s.crop_fragments <= s.shaded_fragments);
+        prop_assert!(s.crop_quads <= s.raster_quads);
+        prop_assert!(s.warp_quad_slots_used <= s.warps_launched * 8);
+    }
+}

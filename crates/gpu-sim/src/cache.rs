@@ -1,0 +1,173 @@
+//! A set-associative cache model with LRU replacement, used for the CROP
+//! color cache and the ZROP z-cache (paper §VII-A: the CROP cache is a
+//! 16 KB per-GPC structure in front of the L2).
+
+use crate::stats::CacheStats;
+
+/// Set-associative LRU cache over 64-bit line addresses.
+///
+/// Tracks hits/misses/writebacks; the caller converts byte addresses to
+/// line addresses. No data storage — this is a tag-only timing model.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::cache::Cache;
+/// let mut c = Cache::new(1024, 128, 2); // 8 lines, 2-way, 4 sets
+/// assert!(!c.access(0, false)); // cold miss
+/// assert!(c.access(0, false));  // hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<Line>>,
+    set_mask: u64,
+    stats: CacheStats,
+    ways: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+    /// Monotonic timestamp of last touch (LRU).
+    lru: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `size_bytes` with `line_bytes` lines and `ways`
+    /// associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the geometry is inconsistent (zero sizes, `size` not a
+    /// multiple of `line × ways`, or a non-power-of-two set count).
+    pub fn new(size_bytes: usize, line_bytes: usize, ways: usize) -> Self {
+        assert!(size_bytes > 0 && line_bytes > 0 && ways > 0, "zero cache geometry");
+        let lines = size_bytes / line_bytes;
+        assert!(lines >= ways && lines % ways == 0, "size must be a multiple of line*ways");
+        let sets = lines / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            sets: vec![Vec::with_capacity(ways); sets],
+            set_mask: sets as u64 - 1,
+            stats: CacheStats::default(),
+            ways,
+        }
+    }
+
+    /// Accesses the line containing `line_addr` (already divided by line
+    /// size). Returns `true` on hit. `write` marks the line dirty.
+    pub fn access(&mut self, line_addr: u64, write: bool) -> bool {
+        let stamp = self.stats.hits + self.stats.misses;
+        let set = &mut self.sets[(line_addr & self.set_mask) as usize];
+        if let Some(line) = set.iter_mut().find(|l| l.tag == line_addr) {
+            line.lru = stamp;
+            line.dirty |= write;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if set.len() == self.ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty");
+            if set[victim].dirty {
+                self.stats.writebacks += 1;
+            }
+            set.swap_remove(victim);
+        }
+        set.push(Line { tag: line_addr, dirty: write, lru: stamp });
+        false
+    }
+
+    /// Flushes all lines, counting writebacks for dirty ones (end of draw).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in set.drain(..) {
+                if line.dirty {
+                    self.stats.writebacks += 1;
+                }
+            }
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics but keeps cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(1024, 128, 2);
+        assert!(!c.access(5, false));
+        assert!(c.access(5, false));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2-way, 4 sets: addresses 0, 4, 8 share set 0.
+        let mut c = Cache::new(1024, 128, 2);
+        c.access(0, false);
+        c.access(4, false);
+        c.access(0, false); // refresh 0 → 4 is LRU
+        c.access(8, false); // evicts 4
+        assert!(c.access(0, false), "0 should still be resident");
+        assert!(!c.access(4, false), "4 should have been evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = Cache::new(256, 128, 1); // 2 sets, direct-mapped
+        c.access(0, true);
+        c.access(2, false); // same set (mask 1), evicts dirty 0
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn flush_writes_back_dirty_lines() {
+        let mut c = Cache::new(1024, 128, 2);
+        c.access(1, true);
+        c.access(2, false);
+        c.flush();
+        assert_eq!(c.stats().writebacks, 1);
+        // After flush, everything misses again.
+        assert!(!c.access(1, false));
+    }
+
+    #[test]
+    fn working_set_within_capacity_all_hits_after_warmup() {
+        // 16KB, 128B lines, 8-way = 128 lines.
+        let mut c = Cache::new(16 * 1024, 128, 8);
+        for addr in 0..128u64 {
+            c.access(addr, true);
+        }
+        c.reset_stats();
+        for round in 0..10 {
+            for addr in 0..128u64 {
+                assert!(c.access(addr, true), "round {round} addr {addr}");
+            }
+        }
+        assert_eq!(c.stats().misses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(3 * 128, 128, 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Hierarchical-Z (Hi-z) test unit — the raster-tile-granularity depth
+//! cull between coarse and fine raster (paper §V-A).
+//!
+//! Volume rendering draws with depth testing off, so the Gaussian pipeline
+//! bypasses this unit; it exists because VR-Pipe extends a *general*
+//! graphics pipeline that must keep running conventional opaque geometry
+//! (the paper's generality argument versus dedicated accelerators,
+//! §VII-C). The unit keeps one conservative `max-z` per raster tile and
+//! rejects raster tiles whose nearest incoming depth is farther than
+//! everything already stored.
+
+use serde::{Deserialize, Serialize};
+
+/// Hierarchical-Z buffer: one conservative farthest-depth entry per raster
+/// tile (smaller depth = nearer, OpenGL window-space convention).
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::hiz::HiZBuffer;
+/// let mut hiz = HiZBuffer::new(64, 64, 8);
+/// // An opaque surface at depth 0.3 covers tile (0, 0)...
+/// hiz.update(0, 0, 0.3);
+/// // ...so geometry entirely behind it is rejected without fine raster.
+/// assert!(!hiz.test(0, 0, 0.5));
+/// assert!(hiz.test(0, 0, 0.2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HiZBuffer {
+    tiles_x: u32,
+    tiles_y: u32,
+    tile_px: u32,
+    /// Farthest depth that could still be visible in each raster tile.
+    max_z: Vec<f32>,
+    /// Statistics: tests performed and tiles rejected.
+    tests: u64,
+    rejects: u64,
+}
+
+impl HiZBuffer {
+    /// Creates a cleared Hi-z buffer for a `width`×`height` target with
+    /// `tile_px` raster tiles (cleared to the far plane, 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions.
+    pub fn new(width: u32, height: u32, tile_px: u32) -> Self {
+        assert!(width > 0 && height > 0 && tile_px > 0, "empty Hi-z target");
+        let tiles_x = width.div_ceil(tile_px);
+        let tiles_y = height.div_ceil(tile_px);
+        Self {
+            tiles_x,
+            tiles_y,
+            tile_px,
+            max_z: vec![1.0; (tiles_x * tiles_y) as usize],
+            tests: 0,
+            rejects: 0,
+        }
+    }
+
+    #[inline]
+    fn index(&self, px: u32, py: u32) -> usize {
+        let tx = (px / self.tile_px).min(self.tiles_x - 1);
+        let ty = (py / self.tile_px).min(self.tiles_y - 1);
+        (ty * self.tiles_x + tx) as usize
+    }
+
+    /// Tests whether geometry with nearest depth `min_depth` could be
+    /// visible in the raster tile containing `(px, py)`. Returns `false`
+    /// when the whole tile is provably occluded.
+    pub fn test(&mut self, px: u32, py: u32, min_depth: f32) -> bool {
+        self.tests += 1;
+        let visible = min_depth <= self.max_z[self.index(px, py)];
+        if !visible {
+            self.rejects += 1;
+        }
+        visible
+    }
+
+    /// Conservatively narrows the tile's max-z after opaque geometry at
+    /// `depth` fully covers the raster tile containing `(px, py)`.
+    ///
+    /// (Real hardware updates from the per-pixel z-buffer's tile maximum;
+    /// callers must only call this for full coverage to stay conservative.)
+    pub fn update(&mut self, px: u32, py: u32, depth: f32) {
+        let i = self.index(px, py);
+        if depth < self.max_z[i] {
+            self.max_z[i] = depth;
+        }
+    }
+
+    /// `(tests, rejects)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.tests, self.rejects)
+    }
+
+    /// Clears to the far plane and resets counters.
+    pub fn clear(&mut self) {
+        self.max_z.fill(1.0);
+        self.tests = 0;
+        self.rejects = 0;
+    }
+}
+
+/// The late per-pixel depth test (OpenGL `GL_LESS`) against a
+/// [`gsplat::framebuffer::DepthStencilBuffer`]: passes when `depth` is
+/// nearer than stored, writing on pass.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::hiz::depth_test_less;
+/// use gsplat::framebuffer::DepthStencilBuffer;
+/// let mut ds = DepthStencilBuffer::new(4, 4);
+/// assert!(depth_test_less(&mut ds, 1, 1, 0.5));
+/// assert!(!depth_test_less(&mut ds, 1, 1, 0.7)); // behind
+/// assert!(depth_test_less(&mut ds, 1, 1, 0.2));  // nearer
+/// ```
+pub fn depth_test_less(
+    ds: &mut gsplat::framebuffer::DepthStencilBuffer,
+    x: u32,
+    y: u32,
+    depth: f32,
+) -> bool {
+    if depth < ds.depth(x, y) {
+        ds.set_depth(x, y, depth);
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsplat::framebuffer::DepthStencilBuffer;
+
+    #[test]
+    fn cleared_buffer_accepts_everything() {
+        let mut hiz = HiZBuffer::new(32, 32, 8);
+        for (x, y) in [(0, 0), (31, 31), (16, 8)] {
+            assert!(hiz.test(x, y, 0.999));
+        }
+        assert_eq!(hiz.stats(), (3, 0));
+    }
+
+    #[test]
+    fn occluder_rejects_farther_tiles_only() {
+        let mut hiz = HiZBuffer::new(32, 32, 8);
+        hiz.update(4, 4, 0.25); // tile (0,0)
+        assert!(!hiz.test(7, 7, 0.5), "behind occluder, same tile");
+        assert!(hiz.test(7, 7, 0.1), "in front of occluder");
+        assert!(hiz.test(12, 4, 0.5), "different tile unaffected");
+        assert_eq!(hiz.stats().1, 1);
+    }
+
+    #[test]
+    fn update_is_monotone() {
+        let mut hiz = HiZBuffer::new(16, 16, 8);
+        hiz.update(0, 0, 0.5);
+        hiz.update(0, 0, 0.8); // farther: must not widen
+        assert!(!hiz.test(0, 0, 0.6));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut hiz = HiZBuffer::new(16, 16, 8);
+        hiz.update(0, 0, 0.1);
+        hiz.test(0, 0, 0.5);
+        hiz.clear();
+        assert!(hiz.test(0, 0, 0.99));
+        assert_eq!(hiz.stats(), (1, 0));
+    }
+
+    #[test]
+    fn hiz_never_rejects_visible_fragments() {
+        // Conservativeness: emulate opaque front-to-back draws; any
+        // fragment that passes the late z-test must also have passed Hi-z.
+        let mut hiz = HiZBuffer::new(16, 16, 8);
+        let mut ds = DepthStencilBuffer::new(16, 16);
+        let draws = [(3u32, 3u32, 0.4f32), (3, 3, 0.6), (5, 5, 0.3), (12, 12, 0.5)];
+        for (x, y, d) in draws {
+            let hiz_pass = hiz.test(x, y, d);
+            let z_pass = depth_test_less(&mut ds, x, y, d);
+            assert!(
+                !z_pass || hiz_pass,
+                "Hi-z rejected a visible fragment at ({x},{y},{d})"
+            );
+            // Only full-tile occluders may narrow Hi-z; here we never
+            // narrow, staying conservative.
+        }
+    }
+
+    #[test]
+    fn depth_test_less_updates_buffer() {
+        let mut ds = DepthStencilBuffer::new(4, 4);
+        assert!(depth_test_less(&mut ds, 0, 0, 0.9));
+        assert!(depth_test_less(&mut ds, 0, 0, 0.5));
+        assert_eq!(ds.depth(0, 0), 0.5);
+        assert!(!depth_test_less(&mut ds, 0, 0, 0.5), "GL_LESS is strict");
+    }
+}

@@ -1,0 +1,131 @@
+//! The 2×2-fragment quad — the smallest unit of work in the hardware
+//! pipeline (paper §II-A: "the ROP units operate at a quad granularity").
+
+use serde::{Deserialize, Serialize};
+
+use crate::tiles::{QuadPos, TileId};
+
+/// A 2×2 block of fragments produced by the fine rasterizer for one
+/// primitive, addressed by its screen tile and quad position within it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quad {
+    /// Screen tile containing the quad.
+    pub tile: TileId,
+    /// Quad position within the tile (the QRU register address).
+    pub pos: QuadPos,
+    /// Top-left pixel coordinate of the quad in the framebuffer.
+    pub origin: (u32, u32),
+    /// 4-bit coverage mask: bit i set when fragment i is inside the
+    /// primitive. Fragment order: (0,0), (1,0), (0,1), (1,1).
+    pub coverage: u8,
+    /// Index into the draw call's splat list (the source primitive).
+    pub splat: u32,
+}
+
+impl Quad {
+    /// Pixel coordinate of fragment `i` (0..4).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when `i >= 4`.
+    #[inline]
+    pub fn fragment_xy(&self, i: usize) -> (u32, u32) {
+        debug_assert!(i < 4);
+        (self.origin.0 + (i as u32 & 1), self.origin.1 + (i as u32 >> 1))
+    }
+
+    /// Number of covered fragments.
+    #[inline]
+    pub fn coverage_count(&self) -> u32 {
+        (self.coverage & 0xF).count_ones()
+    }
+
+    /// `true` when fragment `i` is covered.
+    #[inline]
+    pub fn covers(&self, i: usize) -> bool {
+        self.coverage & (1 << i) != 0
+    }
+}
+
+/// A quad annotated with shaded fragment data, flowing from the SMs to CROP.
+///
+/// After fragment shading each covered fragment carries a straight-alpha
+/// color; after quad merging a fragment may instead carry a *pre-blended*
+/// pre-multiplied color pair (the `merged` flag tells CROP which blend to
+/// apply — on hardware both reduce to the same `ffb` in pre-multiplied
+/// space; we keep the distinction for exact bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShadedQuad {
+    /// The rasterized quad.
+    pub quad: Quad,
+    /// Per-fragment straight RGB color (valid where `alive` bit set).
+    pub rgb: [gsplat::math::Vec3; 4],
+    /// Per-fragment alpha after Gaussian falloff evaluation.
+    pub alpha: [f32; 4],
+    /// Bitmask of fragments that survived alpha pruning (subset of
+    /// coverage).
+    pub alive: u8,
+    /// `true` when this quad is the result of a shader-side merge of two
+    /// quads; its `rgb`/`alpha` then encode a pre-multiplied partial blend.
+    pub merged: bool,
+}
+
+impl ShadedQuad {
+    /// Number of fragments that will reach the blender.
+    #[inline]
+    pub fn alive_count(&self) -> u32 {
+        (self.alive & 0xF).count_ones()
+    }
+
+    /// `true` when no fragment survived (the quad is dropped before CROP).
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.alive & 0xF == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad() -> Quad {
+        Quad {
+            tile: TileId { x: 1, y: 2 },
+            pos: QuadPos { x: 3, y: 4 },
+            origin: (22, 40),
+            coverage: 0b1011,
+            splat: 9,
+        }
+    }
+
+    #[test]
+    fn fragment_positions() {
+        let q = quad();
+        assert_eq!(q.fragment_xy(0), (22, 40));
+        assert_eq!(q.fragment_xy(1), (23, 40));
+        assert_eq!(q.fragment_xy(2), (22, 41));
+        assert_eq!(q.fragment_xy(3), (23, 41));
+    }
+
+    #[test]
+    fn coverage_queries() {
+        let q = quad();
+        assert_eq!(q.coverage_count(), 3);
+        assert!(q.covers(0) && q.covers(1) && !q.covers(2) && q.covers(3));
+    }
+
+    #[test]
+    fn shaded_quad_alive_accounting() {
+        let sq = ShadedQuad {
+            quad: quad(),
+            rgb: [gsplat::math::Vec3::ZERO; 4],
+            alpha: [0.0; 4],
+            alive: 0b0001,
+            merged: false,
+        };
+        assert_eq!(sq.alive_count(), 1);
+        assert!(!sq.is_dead());
+        let dead = ShadedQuad { alive: 0, ..sq };
+        assert!(dead.is_dead());
+    }
+}

@@ -1,0 +1,242 @@
+//! The stencil-test unit with OpenGL semantics — the hardware VR-Pipe
+//! repurposes (paper §V-B).
+//!
+//! The paper's key observation is that only a few stencil bits are used in
+//! practice (via `glStencilMask`), so the MSB can host the termination
+//! flag while the low bits keep serving the conventional stencil test.
+//! This module implements the full OpenGL stencil state (compare function,
+//! reference, masks, and the three update ops) so that coexistence is
+//! testable, and so the simulator can run conventional stencil-based
+//! rendering (e.g. the multi-pass Algorithm 1) natively.
+
+use serde::{Deserialize, Serialize};
+
+use gsplat::framebuffer::{DepthStencilBuffer, TERMINATION_BIT};
+
+/// Stencil comparison functions (OpenGL `glStencilFunc`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StencilFunc {
+    Never,
+    Less,
+    LessEqual,
+    Greater,
+    GreaterEqual,
+    Equal,
+    NotEqual,
+    #[default]
+    Always,
+}
+
+impl StencilFunc {
+    /// Applies the comparison `ref OP stored` (both pre-masked).
+    #[inline]
+    pub fn passes(self, reference: u8, stored: u8) -> bool {
+        match self {
+            StencilFunc::Never => false,
+            StencilFunc::Less => reference < stored,
+            StencilFunc::LessEqual => reference <= stored,
+            StencilFunc::Greater => reference > stored,
+            StencilFunc::GreaterEqual => reference >= stored,
+            StencilFunc::Equal => reference == stored,
+            StencilFunc::NotEqual => reference != stored,
+            StencilFunc::Always => true,
+        }
+    }
+}
+
+/// Stencil update operations (OpenGL `glStencilOp`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StencilOp {
+    /// Keep the stored value.
+    #[default]
+    Keep,
+    /// Set to zero.
+    Zero,
+    /// Replace with the reference value.
+    Replace,
+    /// Saturating increment.
+    IncrClamp,
+    /// Saturating decrement.
+    DecrClamp,
+    /// Bitwise invert.
+    Invert,
+    /// Wrapping increment.
+    IncrWrap,
+    /// Wrapping decrement.
+    DecrWrap,
+}
+
+impl StencilOp {
+    /// Applies the op to `stored` given `reference`.
+    #[inline]
+    pub fn apply(self, stored: u8, reference: u8) -> u8 {
+        match self {
+            StencilOp::Keep => stored,
+            StencilOp::Zero => 0,
+            StencilOp::Replace => reference,
+            StencilOp::IncrClamp => stored.saturating_add(1),
+            StencilOp::DecrClamp => stored.saturating_sub(1),
+            StencilOp::Invert => !stored,
+            StencilOp::IncrWrap => stored.wrapping_add(1),
+            StencilOp::DecrWrap => stored.wrapping_sub(1),
+        }
+    }
+}
+
+/// Complete stencil state for a draw call.
+///
+/// `write_mask` defaults to `!TERMINATION_BIT` (0x7F) so conventional
+/// stencil updates never clobber the termination flag — the masking
+/// discipline the paper's harmonic coexistence relies on.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::stencil::{StencilFunc, StencilOp, StencilState};
+/// // Algorithm 1's first draw call: pass only where stencil == 0.
+/// let state = StencilState {
+///     func: StencilFunc::Equal,
+///     reference: 0,
+///     ..StencilState::default()
+/// };
+/// assert!(state.test(0b0000_0000));
+/// assert!(!state.test(0b0000_0001));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StencilState {
+    /// Comparison function.
+    pub func: StencilFunc,
+    /// Reference value.
+    pub reference: u8,
+    /// Bits participating in the comparison.
+    pub compare_mask: u8,
+    /// Bits the update ops may write.
+    pub write_mask: u8,
+    /// Op when the stencil test fails.
+    pub op_fail: StencilOp,
+    /// Op when the stencil test passes.
+    pub op_pass: StencilOp,
+}
+
+impl Default for StencilState {
+    fn default() -> Self {
+        Self {
+            func: StencilFunc::Always,
+            reference: 0,
+            compare_mask: !TERMINATION_BIT,
+            write_mask: !TERMINATION_BIT,
+            op_fail: StencilOp::Keep,
+            op_pass: StencilOp::Keep,
+        }
+    }
+}
+
+impl StencilState {
+    /// Runs the stencil test against a stored value (masked compare).
+    #[inline]
+    pub fn test(&self, stored: u8) -> bool {
+        self.func
+            .passes(self.reference & self.compare_mask, stored & self.compare_mask)
+    }
+
+    /// Runs the test and applies the corresponding update through the
+    /// write mask, returning `(passed, new_value)`.
+    #[inline]
+    pub fn test_and_update(&self, stored: u8) -> (bool, u8) {
+        let passed = self.test(stored);
+        let op = if passed { self.op_pass } else { self.op_fail };
+        let updated = op.apply(stored, self.reference);
+        let merged = (stored & !self.write_mask) | (updated & self.write_mask);
+        (passed, merged)
+    }
+
+    /// Convenience: applies the test+update at a framebuffer location.
+    pub fn apply_at(&self, ds: &mut DepthStencilBuffer, x: u32, y: u32) -> bool {
+        let stored = ds.stencil(x, y);
+        let (passed, merged) = self.test_and_update(stored);
+        ds.set_stencil(x, y, merged);
+        passed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_funcs_behave_like_opengl() {
+        use StencilFunc::*;
+        assert!(!Never.passes(1, 1));
+        assert!(Always.passes(0, 255));
+        assert!(Less.passes(1, 2) && !Less.passes(2, 2));
+        assert!(LessEqual.passes(2, 2) && !LessEqual.passes(3, 2));
+        assert!(Greater.passes(3, 2) && !Greater.passes(2, 2));
+        assert!(GreaterEqual.passes(2, 2) && !GreaterEqual.passes(1, 2));
+        assert!(Equal.passes(5, 5) && !Equal.passes(5, 4));
+        assert!(NotEqual.passes(5, 4) && !NotEqual.passes(5, 5));
+    }
+
+    #[test]
+    fn ops_clamp_and_wrap() {
+        assert_eq!(StencilOp::IncrClamp.apply(255, 0), 255);
+        assert_eq!(StencilOp::IncrWrap.apply(255, 0), 0);
+        assert_eq!(StencilOp::DecrClamp.apply(0, 0), 0);
+        assert_eq!(StencilOp::DecrWrap.apply(0, 0), 255);
+        assert_eq!(StencilOp::Invert.apply(0b1010_0101, 0), 0b0101_1010);
+        assert_eq!(StencilOp::Replace.apply(7, 42), 42);
+        assert_eq!(StencilOp::Zero.apply(200, 42), 0);
+        assert_eq!(StencilOp::Keep.apply(200, 42), 200);
+    }
+
+    #[test]
+    fn default_write_mask_protects_termination_bit() {
+        // A Replace through the default state must not touch the MSB.
+        let state = StencilState {
+            func: StencilFunc::Always,
+            reference: 0xFF,
+            op_pass: StencilOp::Replace,
+            ..StencilState::default()
+        };
+        let (passed, merged) = state.test_and_update(TERMINATION_BIT);
+        assert!(passed);
+        assert_eq!(merged & TERMINATION_BIT, TERMINATION_BIT, "MSB clobbered");
+        assert_eq!(merged & !TERMINATION_BIT, 0x7F);
+    }
+
+    #[test]
+    fn compare_mask_ignores_termination_bit() {
+        // A terminated pixel with low stencil bits 0 must still pass an
+        // Equal-0 test: termination and stencil coexist independently.
+        let state = StencilState {
+            func: StencilFunc::Equal,
+            reference: 0,
+            ..StencilState::default()
+        };
+        assert!(state.test(TERMINATION_BIT));
+        assert!(!state.test(TERMINATION_BIT | 0x01));
+    }
+
+    #[test]
+    fn invert_through_mask_is_partial() {
+        let state = StencilState {
+            op_pass: StencilOp::Invert,
+            write_mask: 0x0F,
+            ..StencilState::default()
+        };
+        let (_, merged) = state.test_and_update(0b1010_1010);
+        assert_eq!(merged, 0b1010_0101);
+    }
+
+    #[test]
+    fn apply_at_roundtrips_buffer() {
+        let mut ds = DepthStencilBuffer::new(4, 4);
+        let state = StencilState {
+            op_pass: StencilOp::IncrClamp,
+            ..StencilState::default()
+        };
+        for _ in 0..3 {
+            assert!(state.apply_at(&mut ds, 2, 2));
+        }
+        assert_eq!(ds.stencil(2, 2), 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! Transaction-level pipelined timing engine.
+//!
+//! The functional pipeline emits a sequence of [`WorkBatch`]es (one per TC
+//! bin flush, carrying the cycle cost each hardware unit spends on that
+//! batch). The engine replays them through the unit pipeline with the
+//! classic flow-shop recurrence
+//!
+//! ```text
+//! finish[i][s] = max(finish[i][s-1], finish[i-1][s]) + service[i][s]
+//! ```
+//!
+//! which models full pipelining across units with in-order batches: the
+//! draw-call time converges to the bottleneck unit's total work (plus fill
+//! latency), and per-unit utilisation (`busy / total`) reproduces the
+//! back-pressure behaviour of Fig. 6 — when CROP saturates, the SMs idle.
+
+use crate::stats::{Unit, ALL_UNITS};
+
+/// Per-unit cycle costs of one batch of work.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct WorkBatch {
+    /// Service cycles per unit, indexed by [`Unit::index`].
+    pub cycles: [f64; 10],
+}
+
+impl WorkBatch {
+    /// Adds `cycles` of work on `unit`.
+    #[inline]
+    pub fn add(&mut self, unit: Unit, cycles: f64) {
+        self.cycles[unit.index()] += cycles;
+    }
+
+    /// Total cycles across units (not wall time — just a magnitude check).
+    pub fn total(&self) -> f64 {
+        self.cycles.iter().sum()
+    }
+}
+
+/// Fixed per-unit pipeline latency applied once per batch traversal
+/// (register stages, crossbar hops). Small relative to service times.
+const STAGE_LATENCY: f64 = 4.0;
+
+/// The pipelined timing engine. Feed batches in order, then call
+/// [`PipelineTimer::finish`].
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::timing::{PipelineTimer, WorkBatch};
+/// use gpu_sim::stats::Unit;
+/// let mut t = PipelineTimer::new();
+/// let mut b = WorkBatch::default();
+/// b.add(Unit::Crop, 64.0);
+/// b.add(Unit::Sm, 16.0);
+/// t.push(b);
+/// t.push(b);
+/// let (total, busy) = t.finish();
+/// // CROP work dominates: ~128 cycles plus pipeline fill.
+/// assert!(total as f64 >= 128.0);
+/// assert_eq!(busy[Unit::Crop.index()], 128);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineTimer {
+    /// Time each stage becomes free to accept the next batch.
+    stage_avail: [f64; 10],
+    /// Departure time of the last batch from each stage (includes the
+    /// forwarding latency, which overlaps with the stage's next service).
+    stage_depart: [f64; 10],
+    busy: [f64; 10],
+    batches: u64,
+}
+
+impl Default for PipelineTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PipelineTimer {
+    /// Creates an idle pipeline at cycle 0.
+    pub fn new() -> Self {
+        Self {
+            stage_avail: [0.0; 10],
+            stage_depart: [0.0; 10],
+            busy: [0.0; 10],
+            batches: 0,
+        }
+    }
+
+    /// Advances the pipeline by one batch.
+    pub fn push(&mut self, batch: WorkBatch) {
+        let mut upstream_depart = 0.0f64;
+        for unit in ALL_UNITS {
+            let s = unit.index();
+            let service = batch.cycles[s];
+            // A stage starts when the batch arrives and the stage is free;
+            // the forwarding latency delays downstream arrival only, it
+            // does not occupy the stage.
+            let start = upstream_depart.max(self.stage_avail[s]);
+            let avail = start + service;
+            let depart = avail + if service > 0.0 { STAGE_LATENCY } else { 0.0 };
+            self.busy[s] += service;
+            self.stage_avail[s] = avail;
+            self.stage_depart[s] = depart;
+            upstream_depart = depart;
+        }
+        self.batches += 1;
+    }
+
+    /// Completes the simulation, returning `(total_cycles, busy_cycles)`.
+    pub fn finish(self) -> (u64, [u64; 10]) {
+        let total = self
+            .stage_depart
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b))
+            .ceil() as u64;
+        let mut busy = [0u64; 10];
+        for (b, &f) in busy.iter_mut().zip(self.busy.iter()) {
+            *b = f.ceil() as u64;
+        }
+        (total, busy)
+    }
+
+    /// Number of batches pushed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch_with(pairs: &[(Unit, f64)]) -> WorkBatch {
+        let mut b = WorkBatch::default();
+        for &(u, c) in pairs {
+            b.add(u, c);
+        }
+        b
+    }
+
+    #[test]
+    fn single_batch_latency_is_sum_of_services() {
+        let mut t = PipelineTimer::new();
+        t.push(batch_with(&[(Unit::Raster, 10.0), (Unit::Crop, 20.0)]));
+        let (total, busy) = t.finish();
+        // 10 + 20 service + 2 stage latencies.
+        assert_eq!(total, 10 + 20 + 8);
+        assert_eq!(busy[Unit::Raster.index()], 10);
+        assert_eq!(busy[Unit::Crop.index()], 20);
+    }
+
+    #[test]
+    fn steady_state_converges_to_bottleneck() {
+        let mut t = PipelineTimer::new();
+        let b = batch_with(&[(Unit::Sm, 5.0), (Unit::Crop, 50.0)]);
+        for _ in 0..100 {
+            t.push(b);
+        }
+        let (total, busy) = t.finish();
+        let crop_work = busy[Unit::Crop.index()];
+        assert_eq!(crop_work, 5000);
+        // Total is bottleneck-bound: within a few percent of CROP work.
+        assert!(total >= crop_work);
+        assert!((total as f64) < crop_work as f64 * 1.05, "total {total}");
+    }
+
+    #[test]
+    fn upstream_bottleneck_also_binds() {
+        let mut t = PipelineTimer::new();
+        let b = batch_with(&[(Unit::Raster, 40.0), (Unit::Crop, 4.0)]);
+        for _ in 0..50 {
+            t.push(b);
+        }
+        let (total, busy) = t.finish();
+        assert!(total as f64 >= busy[Unit::Raster.index()] as f64);
+        assert!((total as f64) < busy[Unit::Raster.index()] as f64 * 1.1);
+    }
+
+    #[test]
+    fn batches_preserve_order_per_stage() {
+        // Finish times must be monotonically increasing per stage.
+        let mut t = PipelineTimer::new();
+        t.push(batch_with(&[(Unit::Crop, 10.0)]));
+        let f1 = t.stage_avail[Unit::Crop.index()];
+        t.push(batch_with(&[(Unit::Crop, 1.0)]));
+        let f2 = t.stage_avail[Unit::Crop.index()];
+        assert!(f2 > f1);
+    }
+
+    #[test]
+    fn empty_pipeline_is_zero() {
+        let (total, busy) = PipelineTimer::new().finish();
+        assert_eq!(total, 0);
+        assert!(busy.iter().all(|&b| b == 0));
+    }
+}

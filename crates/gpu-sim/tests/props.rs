@@ -1,0 +1,127 @@
+//! Property-based tests for the hardware-unit models.
+
+use gpu_sim::binning::BinTable;
+use gpu_sim::cache::Cache;
+use gpu_sim::stats::Unit;
+use gpu_sim::timing::{PipelineTimer, WorkBatch};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// Bin tables conserve items: everything inserted comes out exactly
+    /// once across flushes + drain, with per-key insertion order intact.
+    #[test]
+    fn bin_table_conserves_items(
+        keys in proptest::collection::vec(0u32..12, 1..300),
+        bins in 1usize..8,
+        cap in 1usize..16,
+    ) {
+        let mut table: BinTable<u32, (u32, usize)> = BinTable::new(bins, cap);
+        let mut out: Vec<(u32, (u32, usize))> = Vec::new();
+        for (seq, &k) in keys.iter().enumerate() {
+            for flush in table.insert(k, (k, seq)) {
+                for item in flush.items {
+                    out.push((flush.key, item));
+                }
+            }
+        }
+        for flush in table.drain() {
+            for item in flush.items {
+                out.push((flush.key, item));
+            }
+        }
+        prop_assert_eq!(out.len(), keys.len(), "conservation violated");
+        // Flushed under the right key, and order preserved per key.
+        let mut per_key: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (key, (k, seq)) in out {
+            prop_assert_eq!(key, k, "item flushed under wrong key");
+            per_key.entry(k).or_default().push(seq);
+        }
+        for seqs in per_key.values() {
+            prop_assert!(seqs.windows(2).all(|w| w[0] < w[1]), "per-key order violated");
+        }
+    }
+
+    /// A bin never exceeds its capacity and the table never exceeds its
+    /// bin budget.
+    #[test]
+    fn bin_table_respects_limits(
+        keys in proptest::collection::vec(0u32..50, 1..300),
+        bins in 1usize..6,
+        cap in 1usize..10,
+    ) {
+        let mut table: BinTable<u32, u32> = BinTable::new(bins, cap);
+        for &k in &keys {
+            for flush in table.insert(k, k) {
+                prop_assert!(flush.items.len() <= cap);
+            }
+            prop_assert!(table.occupied() <= bins);
+        }
+    }
+
+    /// Cache: hits + misses equals accesses; a working set no larger than
+    /// the capacity in a single set never misses after warmup.
+    #[test]
+    fn cache_accounting_is_consistent(addrs in proptest::collection::vec(0u64..64, 1..500)) {
+        let mut cache = Cache::new(16 * 128, 128, 16); // fully assoc, 16 lines
+        for &a in &addrs {
+            cache.access(a, a % 3 == 0);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+        prop_assert!(s.hit_rate() >= 0.0 && s.hit_rate() <= 1.0);
+    }
+
+    /// Small working sets are fully resident after one pass.
+    #[test]
+    fn cache_retains_small_working_set(unique in proptest::collection::hash_set(0u64..1000, 1..16)) {
+        let mut cache = Cache::new(16 * 128, 128, 16);
+        let addrs: Vec<u64> = unique.into_iter().collect();
+        for &a in &addrs { cache.access(a, false); }
+        cache.reset_stats();
+        for &a in &addrs {
+            prop_assert!(cache.access(a, false), "address {a} evicted prematurely");
+        }
+    }
+
+    /// Timing: total time is at least the bottleneck's busy time and at
+    /// most the sum of all busy time plus per-batch latency.
+    #[test]
+    fn timer_total_bounded_by_work(
+        services in proptest::collection::vec((0.0f64..50.0, 0.0f64..50.0, 0.0f64..50.0), 1..100)
+    ) {
+        let mut t = PipelineTimer::new();
+        for (r, s, c) in &services {
+            let mut b = WorkBatch::default();
+            b.add(Unit::Raster, *r);
+            b.add(Unit::Sm, *s);
+            b.add(Unit::Crop, *c);
+            t.push(b);
+        }
+        let n = services.len() as f64;
+        let (total, busy) = t.finish();
+        let max_busy = *busy.iter().max().unwrap();
+        let sum_busy: u64 = busy.iter().sum();
+        prop_assert!(total >= max_busy, "total {total} < bottleneck {max_busy}");
+        prop_assert!((total as f64) <= sum_busy as f64 + 12.0 * n + 10.0,
+            "total {total} exceeds serial bound {sum_busy} + latency");
+    }
+
+    /// Adding work never makes the pipeline finish earlier.
+    #[test]
+    fn timer_monotone_in_work(
+        base in proptest::collection::vec(0.0f64..20.0, 1..50),
+        extra in 0.0f64..30.0,
+    ) {
+        let run = |boost: f64| {
+            let mut t = PipelineTimer::new();
+            for (i, &c) in base.iter().enumerate() {
+                let mut b = WorkBatch::default();
+                b.add(Unit::Crop, c + if i == 0 { boost } else { 0.0 });
+                t.push(b);
+            }
+            t.finish().0
+        };
+        prop_assert!(run(extra) >= run(0.0));
+    }
+}

@@ -1,0 +1,283 @@
+//! # gscore — a GSCore-like dedicated 3DGS accelerator model
+//!
+//! The paper compares VR-Pipe against GSCore (ASPLOS 2024), a specialised
+//! accelerator for Gaussian splatting, in Fig. 22. GSCore outperforms
+//! VR-Pipe because its datapath is tailored to splatting:
+//!
+//! * **Shape-aware intersection** culls Gaussian-tile pairs with an OBB
+//!   test before any rasterisation work.
+//! * **Hierarchical sorting** sorts only tile-local key ranges.
+//! * **Subtile skipping** evaluates a 4×4-subtile alpha bound and skips
+//!   subtiles whose peak contribution is below the pruning threshold.
+//! * **Exact early termination** at fragment granularity inside the
+//!   volume-rendering cores (no stencil round-trip).
+//!
+//! This crate provides a transaction-level cost model with the same
+//! functional fragment accounting as the other renderers, so the Fig. 22
+//! slowdown comparison is apples-to-apples.
+
+use gsplat::blend::{fragment_alpha, EARLY_TERMINATION_THRESHOLD};
+use gsplat::splat::Splat;
+use serde::{Deserialize, Serialize};
+
+/// GSCore hardware configuration (the ASPLOS'24 configuration scaled to
+/// the same clock as the Table I GPU).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GsCoreConfig {
+    /// Volume-rendering core (VRC) count.
+    pub vr_cores: u32,
+    /// Fragments each VRC blends per cycle.
+    pub frags_per_cycle_per_core: u32,
+    /// Gaussians the culling & conversion unit processes per cycle.
+    pub ccu_gaussians_per_cycle: f64,
+    /// Sort throughput in keys per cycle (hierarchical bitonic sorter).
+    pub sort_keys_per_cycle: f64,
+    /// Subtile edge in pixels for subtile skipping.
+    pub subtile_px: u32,
+    /// Core clock in MHz (matched to the GPU for cycle comparability).
+    pub core_freq_mhz: u32,
+}
+
+impl Default for GsCoreConfig {
+    fn default() -> Self {
+        Self {
+            vr_cores: 16,
+            frags_per_cycle_per_core: 1,
+            ccu_gaussians_per_cycle: 0.5,
+            sort_keys_per_cycle: 4.0,
+            subtile_px: 4,
+            core_freq_mhz: 612,
+        }
+    }
+}
+
+/// Work counters and cycle estimate for one GSCore frame.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GsCoreStats {
+    /// Gaussian-tile pairs after shape-aware intersection.
+    pub intersected_pairs: u64,
+    /// Subtiles visited.
+    pub subtiles_visited: u64,
+    /// Subtiles skipped by the alpha-bound test.
+    pub subtiles_skipped: u64,
+    /// Fragments blended (after subtile skipping, pruning and exact early
+    /// termination).
+    pub blended_fragments: u64,
+    /// Estimated execution cycles.
+    pub cycles: u64,
+}
+
+/// Estimates GSCore's execution for a depth-sorted splat list.
+///
+/// The per-pixel blend state is tracked exactly (transmittance form), with
+/// termination applied at fragment granularity, subtile skipping at
+/// `subtile_px` granularity, and OBB intersection at tile granularity.
+///
+/// # Examples
+///
+/// ```
+/// use gscore::{estimate, GsCoreConfig};
+/// use gsplat::{preprocess::preprocess, scene::EVALUATED_SCENES};
+///
+/// let scene = EVALUATED_SCENES[4].generate_scaled(0.04);
+/// let cam = scene.default_camera();
+/// let pre = preprocess(&scene, &cam);
+/// let stats = estimate(&pre.splats, cam.width(), cam.height(), &GsCoreConfig::default());
+/// assert!(stats.cycles > 0);
+/// ```
+pub fn estimate(splats: &[Splat], width: u32, height: u32, cfg: &GsCoreConfig) -> GsCoreStats {
+    let mut stats = GsCoreStats::default();
+    let tile = 16u32;
+    let tiles_x = width.div_ceil(tile);
+    let tiles_y = height.div_ceil(tile);
+
+    // Shape-aware intersection: OBB-tile tests instead of AABB.
+    let mut tile_lists: Vec<Vec<u32>> = vec![Vec::new(); (tiles_x * tiles_y) as usize];
+    for (i, s) in splats.iter().enumerate() {
+        let (lo, hi) = s.aabb();
+        if hi.x < 0.0 || hi.y < 0.0 || lo.x >= width as f32 || lo.y >= height as f32 {
+            continue;
+        }
+        let tx0 = (lo.x.max(0.0) as u32).min(width - 1) / tile;
+        let ty0 = (lo.y.max(0.0) as u32).min(height - 1) / tile;
+        let tx1 = (hi.x.max(0.0) as u32).min(width - 1) / tile;
+        let ty1 = (hi.y.max(0.0) as u32).min(height - 1) / tile;
+        for ty in ty0..=ty1 {
+            for tx in tx0..=tx1 {
+                // Shape-aware refinement: reject tiles whose nearest point
+                // to the splat center falls outside the OBB.
+                if obb_intersects_tile(s, tx * tile, ty * tile, tile, width, height) {
+                    tile_lists[(ty * tiles_x + tx) as usize].push(i as u32);
+                    stats.intersected_pairs += 1;
+                }
+            }
+        }
+    }
+
+    // Per-tile volume rendering with subtile skipping + exact ET.
+    let st = cfg.subtile_px;
+    for ty in 0..tiles_y {
+        for tx in 0..tiles_x {
+            let list = &tile_lists[(ty * tiles_x + tx) as usize];
+            if list.is_empty() {
+                continue;
+            }
+            render_tile(splats, list, tx * tile, ty * tile, tile, st, width, height, &mut stats);
+        }
+    }
+
+    // Pipelined stages: preprocess/sort overlap with rendering; the
+    // longest stage dominates (plus a small fill).
+    let ccu = splats.len() as f64 / cfg.ccu_gaussians_per_cycle;
+    let sort = stats.intersected_pairs as f64 / cfg.sort_keys_per_cycle;
+    let blend = stats.blended_fragments as f64
+        / (cfg.vr_cores as f64 * cfg.frags_per_cycle_per_core as f64);
+    // Four subtile-bound evaluators per VRC test bounds in parallel with
+    // blending.
+    let subtile_overhead = stats.subtiles_visited as f64 / (cfg.vr_cores as f64 * 4.0);
+    stats.cycles = (ccu.max(sort).max(blend + subtile_overhead)).ceil() as u64;
+    stats
+}
+
+/// Conservative OBB vs tile test (shape-aware intersection).
+fn obb_intersects_tile(s: &Splat, x0: u32, y0: u32, tile: u32, width: u32, height: u32) -> bool {
+    let x1 = (x0 + tile).min(width) as f32;
+    let y1 = (y0 + tile).min(height) as f32;
+    // Closest point of the tile rectangle to the splat center.
+    let cx = s.center.x.clamp(x0 as f32, x1);
+    let cy = s.center.y.clamp(y0 as f32, y1);
+    // Inside the OBB (in axis coordinates) at that point?
+    let d = gsplat::math::Vec2::new(cx - s.center.x, cy - s.center.y);
+    let major_len2 = s.axis_major.length_squared().max(1e-12);
+    let minor_len2 = s.axis_minor.length_squared().max(1e-12);
+    let a = d.dot(s.axis_major) / major_len2;
+    let b = d.dot(s.axis_minor) / minor_len2;
+    a.abs() <= 1.0 && b.abs() <= 1.0
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_tile(
+    splats: &[Splat],
+    list: &[u32],
+    x0: u32,
+    y0: u32,
+    tile: u32,
+    subtile: u32,
+    width: u32,
+    height: u32,
+    stats: &mut GsCoreStats,
+) {
+    let n = (tile * tile) as usize;
+    let mut alpha_acc = vec![0.0f32; n];
+    let mut trans = vec![1.0f32; n];
+    for &si in list {
+        let s = &splats[si as usize];
+        let mut sy = 0;
+        while sy < tile {
+            let mut sx = 0;
+            while sx < tile {
+                let sub_x = x0 + sx;
+                let sub_y = y0 + sy;
+                if sub_x >= width || sub_y >= height {
+                    sx += subtile;
+                    continue;
+                }
+                stats.subtiles_visited += 1;
+                // Subtile skipping: bound the peak alpha over the subtile
+                // by evaluating at the point closest to the splat center.
+                let cx = s.center.x.clamp(sub_x as f32, (sub_x + subtile) as f32);
+                let cy = s.center.y.clamp(sub_y as f32, (sub_y + subtile) as f32);
+                let peak = s.alpha_at(gsplat::math::Vec2::new(cx, cy));
+                if peak < gsplat::blend::ALPHA_PRUNE_THRESHOLD {
+                    stats.subtiles_skipped += 1;
+                    sx += subtile;
+                    continue;
+                }
+                for dy in 0..subtile {
+                    for dx in 0..subtile {
+                        let px = sub_x + dx;
+                        let py = sub_y + dy;
+                        if px >= width || py >= height {
+                            continue;
+                        }
+                        let t = ((py - y0) * tile + (px - x0)) as usize;
+                        if alpha_acc[t] >= EARLY_TERMINATION_THRESHOLD {
+                            continue; // exact per-fragment early termination
+                        }
+                        let fdx = px as f32 + 0.5 - s.center.x;
+                        let fdy = py as f32 + 0.5 - s.center.y;
+                        if let Some(a) = fragment_alpha(s.opacity, s.conic, fdx, fdy) {
+                            alpha_acc[t] += trans[t] * a;
+                            trans[t] *= 1.0 - a;
+                            stats.blended_fragments += 1;
+                        }
+                    }
+                }
+                sx += subtile;
+            }
+            sy += subtile;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsplat::math::{Vec2, Vec3};
+
+    fn stacked(n: usize, opacity: f32) -> Vec<Splat> {
+        (0..n)
+            .map(|i| Splat {
+                center: Vec2::new(16.0, 16.0),
+                depth: 1.0 + i as f32,
+                conic: (0.02, 0.0, 0.02),
+                axis_major: Vec2::new(14.0, 0.0),
+                axis_minor: Vec2::new(0.0, 14.0),
+                color: Vec3::splat(0.5),
+                opacity,
+                source: i as u32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn estimates_nonzero_work() {
+        let s = estimate(&stacked(20, 0.5), 32, 32, &GsCoreConfig::default());
+        assert!(s.cycles > 0);
+        assert!(s.blended_fragments > 0);
+        assert!(s.intersected_pairs > 0);
+    }
+
+    #[test]
+    fn subtile_skipping_skips_far_subtiles() {
+        // A small splat in a big tile: most subtiles skipped.
+        let mut splats = stacked(1, 0.9);
+        splats[0].axis_major = Vec2::new(2.0, 0.0);
+        splats[0].axis_minor = Vec2::new(0.0, 2.0);
+        splats[0].conic = (1.0, 0.0, 1.0);
+        let s = estimate(&splats, 32, 32, &GsCoreConfig::default());
+        assert!(s.subtiles_skipped > 0);
+        assert!(s.subtiles_skipped < s.subtiles_visited);
+    }
+
+    #[test]
+    fn early_termination_caps_fragments() {
+        let deep = estimate(&stacked(200, 0.9), 32, 32, &GsCoreConfig::default());
+        let shallow = estimate(&stacked(10, 0.9), 32, 32, &GsCoreConfig::default());
+        // 20x the splats must not produce 20x the blended fragments.
+        assert!(deep.blended_fragments < shallow.blended_fragments * 10);
+    }
+
+    #[test]
+    fn shape_aware_intersection_culls_corner_tiles() {
+        // A thin diagonal splat: its AABB covers many tiles, the OBB fewer.
+        let mut splats = stacked(1, 0.9);
+        let d = std::f32::consts::FRAC_1_SQRT_2;
+        splats[0].center = Vec2::new(32.0, 32.0);
+        splats[0].axis_major = Vec2::new(30.0 * d, 30.0 * d);
+        splats[0].axis_minor = Vec2::new(-2.0 * d, 2.0 * d);
+        let s = estimate(&splats, 64, 64, &GsCoreConfig::default());
+        // The AABB covers 16 tiles; the diagonal OBB intersects fewer.
+        assert!(s.intersected_pairs < 16, "pairs = {}", s.intersected_pairs);
+    }
+}

@@ -1,0 +1,257 @@
+//! Cameras, viewports and viewpoint generators (dataset-style orbits).
+
+use serde::{Deserialize, Serialize};
+
+use crate::math::{Mat4, Vec3, Vec4};
+
+/// A pinhole camera: pose + perspective intrinsics + viewport.
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::camera::Camera;
+/// use gsplat::math::Vec3;
+/// let cam = Camera::look_at(
+///     Vec3::new(0.0, 0.0, 5.0),
+///     Vec3::ZERO,
+///     800, 800,
+///     60f32.to_radians(),
+/// );
+/// let (screen, depth) = cam.project(Vec3::ZERO).unwrap();
+/// assert!((screen.x - 400.0).abs() < 1e-3 && depth > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Camera {
+    view: Mat4,
+    proj: Mat4,
+    eye: Vec3,
+    width: u32,
+    height: u32,
+    fov_y: f32,
+    near: f32,
+    far: f32,
+}
+
+impl Camera {
+    /// Near plane used when none is specified.
+    pub const DEFAULT_NEAR: f32 = 0.05;
+    /// Far plane used when none is specified.
+    pub const DEFAULT_FAR: f32 = 1000.0;
+
+    /// Creates a camera at `eye` looking at `center` with +y up.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width`/`height` are zero or `fov_y` is not in `(0, π)`.
+    pub fn look_at(eye: Vec3, center: Vec3, width: u32, height: u32, fov_y: f32) -> Self {
+        assert!(width > 0 && height > 0, "viewport must be non-empty");
+        let aspect = width as f32 / height as f32;
+        Self {
+            view: Mat4::look_at(eye, center, Vec3::new(0.0, 1.0, 0.0)),
+            proj: Mat4::perspective(fov_y, aspect, Self::DEFAULT_NEAR, Self::DEFAULT_FAR),
+            eye,
+            width,
+            height,
+            fov_y,
+            near: Self::DEFAULT_NEAR,
+            far: Self::DEFAULT_FAR,
+        }
+    }
+
+    /// Camera position in world space.
+    #[inline]
+    pub fn eye(&self) -> Vec3 {
+        self.eye
+    }
+
+    /// Viewport width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Viewport height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total pixel count.
+    #[inline]
+    pub fn pixel_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// The world→camera (view) matrix.
+    #[inline]
+    pub fn view_matrix(&self) -> Mat4 {
+        self.view
+    }
+
+    /// The camera→clip (projection) matrix.
+    #[inline]
+    pub fn projection_matrix(&self) -> Mat4 {
+        self.proj
+    }
+
+    /// Focal length in pixels along x and y — the EWA projection Jacobian
+    /// scale factors.
+    pub fn focal(&self) -> (f32, f32) {
+        let fy = self.height as f32 / (2.0 * (self.fov_y * 0.5).tan());
+        // Square pixels: fx == fy; the aspect ratio only widens the frustum.
+        (fy, fy)
+    }
+
+    /// Transforms a world point into camera space.
+    #[inline]
+    pub fn to_camera_space(&self, p: Vec3) -> Vec3 {
+        self.view.transform_point(p).truncate()
+    }
+
+    /// Camera-space depth of a world point (positive in front of the camera).
+    #[inline]
+    pub fn depth_of(&self, p: Vec3) -> f32 {
+        -self.to_camera_space(p).z
+    }
+
+    /// Projects a world point to `(screen position, camera depth)`.
+    ///
+    /// Screen coordinates have the origin at the top-left pixel corner, like
+    /// a framebuffer. Returns `None` behind the near plane.
+    pub fn project(&self, p: Vec3) -> Option<(crate::math::Vec2, f32)> {
+        let cam = self.to_camera_space(p);
+        let depth = -cam.z;
+        if depth <= self.near {
+            return None;
+        }
+        let clip: Vec4 = self.proj * cam.extend(1.0);
+        let ndc = clip.perspective_divide();
+        let x = (ndc.x * 0.5 + 0.5) * self.width as f32;
+        let y = (0.5 - ndc.y * 0.5) * self.height as f32;
+        Some((crate::math::Vec2::new(x, y), depth))
+    }
+
+    /// Conservative sphere-vs-frustum test used for Gaussian culling.
+    ///
+    /// Returns `true` when a sphere at `center` with `radius` may intersect
+    /// the view frustum (using camera-space plane distances with a guard-band
+    /// slack as in the reference renderer's `1.3×` tile bound).
+    pub fn sphere_visible(&self, center: Vec3, radius: f32) -> bool {
+        let cam = self.to_camera_space(center);
+        let depth = -cam.z;
+        if depth + radius < self.near || depth - radius > self.far {
+            return false;
+        }
+        // Half-extents of the frustum cross-section at this depth, with a
+        // 30% guard band to match the reference culling slack.
+        let half_h = (self.fov_y * 0.5).tan() * depth.max(self.near) * 1.3;
+        let half_w = half_h * self.width as f32 / self.height as f32;
+        cam.x.abs() - radius <= half_w && cam.y.abs() - radius <= half_h
+    }
+}
+
+/// Generates an orbit of viewpoints around a scene center, mimicking the
+/// dataset's capture trajectories (used for Fig. 21's per-viewpoint sweep).
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::camera::orbit_viewpoints;
+/// use gsplat::math::Vec3;
+/// let cams = orbit_viewpoints(Vec3::ZERO, 4.0, 0.5, 8, 800, 600, 60f32.to_radians());
+/// assert_eq!(cams.len(), 8);
+/// ```
+pub fn orbit_viewpoints(
+    center: Vec3,
+    radius: f32,
+    height: f32,
+    count: usize,
+    width: u32,
+    height_px: u32,
+    fov_y: f32,
+) -> Vec<Camera> {
+    (0..count)
+        .map(|i| {
+            let theta = i as f32 / count as f32 * std::f32::consts::TAU;
+            let eye = center + Vec3::new(radius * theta.cos(), height, radius * theta.sin());
+            Camera::look_at(eye, center, width, height_px, fov_y)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::Vec2;
+
+    fn cam() -> Camera {
+        Camera::look_at(Vec3::new(0.0, 0.0, 10.0), Vec3::ZERO, 640, 480, 1.0)
+    }
+
+    #[test]
+    fn project_center_lands_mid_screen() {
+        let (p, depth) = cam().project(Vec3::ZERO).unwrap();
+        assert!((p - Vec2::new(320.0, 240.0)).length() < 1e-2);
+        assert!((depth - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn project_behind_camera_is_none() {
+        assert!(cam().project(Vec3::new(0.0, 0.0, 20.0)).is_none());
+    }
+
+    #[test]
+    fn projection_moves_right_for_positive_x() {
+        let c = cam();
+        let (p0, _) = c.project(Vec3::ZERO).unwrap();
+        let (p1, _) = c.project(Vec3::new(1.0, 0.0, 0.0)).unwrap();
+        assert!(p1.x > p0.x);
+        // +y in world is up, which is smaller screen y.
+        let (p2, _) = c.project(Vec3::new(0.0, 1.0, 0.0)).unwrap();
+        assert!(p2.y < p0.y);
+    }
+
+    #[test]
+    fn sphere_culling_agrees_with_projection() {
+        let c = cam();
+        // Visible at the center.
+        assert!(c.sphere_visible(Vec3::ZERO, 0.1));
+        // Far outside the frustum to the side.
+        assert!(!c.sphere_visible(Vec3::new(100.0, 0.0, 0.0), 0.1));
+        // Behind the camera.
+        assert!(!c.sphere_visible(Vec3::new(0.0, 0.0, 20.0), 0.1));
+        // Huge radius makes the side sphere visible again.
+        assert!(c.sphere_visible(Vec3::new(100.0, 0.0, 0.0), 120.0));
+    }
+
+    #[test]
+    fn depth_increases_away_from_eye() {
+        let c = cam();
+        assert!(c.depth_of(Vec3::new(0.0, 0.0, -5.0)) > c.depth_of(Vec3::ZERO));
+    }
+
+    #[test]
+    fn focal_matches_fov() {
+        let c = Camera::look_at(
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::ZERO,
+            800,
+            800,
+            std::f32::consts::FRAC_PI_2,
+        );
+        let (fx, fy) = c.focal();
+        // tan(45°) = 1 → focal = height/2.
+        assert!((fx - 400.0).abs() < 1e-3);
+        assert_eq!(fx, fy);
+    }
+
+    #[test]
+    fn orbit_viewpoints_look_at_center() {
+        let cams = orbit_viewpoints(Vec3::new(1.0, 0.0, 2.0), 5.0, 1.0, 6, 320, 240, 1.0);
+        assert_eq!(cams.len(), 6);
+        for c in &cams {
+            let (p, _) = c.project(Vec3::new(1.0, 0.0, 2.0)).unwrap();
+            assert!((p - Vec2::new(160.0, 120.0)).length() < 1e-2);
+        }
+    }
+}

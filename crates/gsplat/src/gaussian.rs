@@ -1,0 +1,173 @@
+//! 3D Gaussian primitives: geometry (mean + anisotropic covariance) and
+//! appearance (opacity + spherical-harmonics color).
+
+use serde::{Deserialize, Serialize};
+
+use crate::math::{Mat3, Vec3};
+use crate::sh::ShColor;
+
+/// An anisotropic 3D Gaussian, the explicit rendering primitive of 3DGS.
+///
+/// Geometry is stored in the factored form the reference implementation
+/// uses — per-axis scales `s` and a rotation quaternion `q` — from which the
+/// covariance is `Σ = R S Sᵀ Rᵀ` (always positive semi-definite by
+/// construction).
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::gaussian::Gaussian;
+/// use gsplat::math::Vec3;
+/// use gsplat::sh::ShColor;
+/// let g = Gaussian::new(
+///     Vec3::ZERO,
+///     Vec3::splat(0.1),
+///     [1.0, 0.0, 0.0, 0.0],
+///     0.8,
+///     ShColor::from_base_color(Vec3::new(1.0, 0.0, 0.0)),
+/// );
+/// let cov = g.covariance_3d();
+/// assert!((cov.at(0, 0) - 0.01).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gaussian {
+    /// Center (mean) in world space.
+    pub mean: Vec3,
+    /// Per-axis standard deviations (the ellipsoid semi-axes).
+    pub scale: Vec3,
+    /// Orientation quaternion `(w, x, y, z)`, not necessarily normalized.
+    pub rotation: [f32; 4],
+    /// Peak opacity `o ∈ [0, 1]`.
+    pub opacity: f32,
+    /// View-dependent color.
+    pub sh: ShColor,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian from its factored representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `opacity` is outside `[0, 1]` or any scale is negative.
+    pub fn new(mean: Vec3, scale: Vec3, rotation: [f32; 4], opacity: f32, sh: ShColor) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&opacity),
+            "opacity {opacity} outside [0, 1]"
+        );
+        assert!(
+            scale.x >= 0.0 && scale.y >= 0.0 && scale.z >= 0.0,
+            "negative scale"
+        );
+        Self {
+            mean,
+            scale,
+            rotation,
+            opacity,
+            sh,
+        }
+    }
+
+    /// An isotropic Gaussian with a view-independent color — convenient for
+    /// tests and synthetic micro-scenes.
+    pub fn isotropic(mean: Vec3, radius: f32, opacity: f32, rgb: Vec3) -> Self {
+        Self::new(
+            mean,
+            Vec3::splat(radius),
+            [1.0, 0.0, 0.0, 0.0],
+            opacity,
+            ShColor::from_base_color(rgb),
+        )
+    }
+
+    /// The rotation part `R` as a matrix.
+    #[inline]
+    pub fn rotation_matrix(&self) -> Mat3 {
+        let [w, x, y, z] = self.rotation;
+        Mat3::from_quaternion(w, x, y, z)
+    }
+
+    /// Full 3D covariance `Σ = R S Sᵀ Rᵀ` (symmetric PSD).
+    pub fn covariance_3d(&self) -> Mat3 {
+        let r = self.rotation_matrix();
+        let s = Mat3::from_diagonal(self.scale.component_mul(self.scale));
+        r * s * r.transpose()
+    }
+
+    /// Largest semi-axis — a conservative bounding-sphere radius at 1σ.
+    #[inline]
+    pub fn max_scale(&self) -> f32 {
+        self.scale.x.max(self.scale.y).max(self.scale.z)
+    }
+
+    /// The 3σ bounding-sphere radius used by frustum culling: beyond 3σ a
+    /// Gaussian's contribution is negligible.
+    #[inline]
+    pub fn bounding_radius(&self) -> f32 {
+        3.0 * self.max_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_gaussian(scale: Vec3, rotation: [f32; 4]) -> Gaussian {
+        Gaussian::new(
+            Vec3::new(1.0, 2.0, 3.0),
+            scale,
+            rotation,
+            0.5,
+            ShColor::from_base_color(Vec3::splat(0.5)),
+        )
+    }
+
+    #[test]
+    fn covariance_identity_rotation_is_diagonal() {
+        let g = test_gaussian(Vec3::new(1.0, 2.0, 3.0), [1.0, 0.0, 0.0, 0.0]);
+        let cov = g.covariance_3d();
+        assert!((cov.at(0, 0) - 1.0).abs() < 1e-5);
+        assert!((cov.at(1, 1) - 4.0).abs() < 1e-5);
+        assert!((cov.at(2, 2) - 9.0).abs() < 1e-5);
+        assert!(cov.at(0, 1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_under_rotation() {
+        let g = test_gaussian(Vec3::new(0.5, 1.5, 0.2), [0.7, 0.3, -0.4, 0.5]);
+        let cov = g.covariance_3d();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((cov.at(i, j) - cov.at(j, i)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_determinant_invariant_under_rotation() {
+        // det(Σ) = (sx sy sz)² regardless of rotation.
+        let s = Vec3::new(0.5, 1.5, 0.2);
+        let expected = (s.x * s.y * s.z).powi(2);
+        let g1 = test_gaussian(s, [1.0, 0.0, 0.0, 0.0]);
+        let g2 = test_gaussian(s, [0.3, 0.6, -0.2, 0.1]);
+        assert!((g1.covariance_3d().determinant() - expected).abs() < 1e-5);
+        assert!((g2.covariance_3d().determinant() - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bounding_radius_is_three_sigma() {
+        let g = test_gaussian(Vec3::new(0.1, 0.4, 0.2), [1.0, 0.0, 0.0, 0.0]);
+        assert!((g.bounding_radius() - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "opacity")]
+    fn invalid_opacity_panics() {
+        let _ = Gaussian::new(
+            Vec3::ZERO,
+            Vec3::splat(1.0),
+            [1.0, 0.0, 0.0, 0.0],
+            1.5,
+            ShColor::from_base_color(Vec3::ZERO),
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Self-contained linear algebra for the splatting pipeline.
+//!
+//! Everything the paper's math requires: 2/3/4-dimensional vectors,
+//! 2/3/4-dimensional square matrices (column-major, OpenGL convention), and
+//! symmetric 2×2 eigendecomposition for splat ellipse axes.
+
+mod mat;
+mod vec;
+
+pub use mat::{Mat2, Mat3, Mat4};
+pub use vec::{Vec2, Vec3, Vec4};

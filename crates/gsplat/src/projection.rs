@@ -1,0 +1,235 @@
+//! EWA splatting projection: 3D Gaussians → 2D screen-space splats.
+//!
+//! Implements the preprocessing math of the 3DGS reference renderer: the
+//! perspective Jacobian approximation projects the 3D covariance to a 2D
+//! covariance, whose inverse (the *conic*) drives fragment alpha evaluation,
+//! and whose eigendecomposition gives the **tight OBB** the paper uses to
+//! bound each splat (the Gaussian's boundary is where `α = 1/255`,
+//! paper §III-A footnote 2).
+
+use crate::blend::ALPHA_PRUNE_THRESHOLD;
+use crate::camera::Camera;
+use crate::gaussian::Gaussian;
+use crate::math::{Mat2, Mat3};
+use crate::splat::Splat;
+
+/// Low-pass dilation added to the 2D covariance diagonal, ensuring every
+/// splat covers at least ~one pixel (the reference renderer's `+0.3`).
+pub const COVARIANCE_DILATION: f32 = 0.3;
+
+/// Maximum allowed ratio between camera-plane offset and depth in the
+/// Jacobian (the reference renderer clamps to 1.3 × tan(fov/2) ≈ guards
+/// against extreme distortion at the frustum edge).
+const JACOBIAN_CLAMP: f32 = 1.3;
+
+/// Projects one Gaussian to a screen-space [`Splat`].
+///
+/// Returns `None` when the Gaussian does not produce a visible splat:
+/// behind the near plane, outside the (guard-banded) frustum, opacity below
+/// the alpha-pruning threshold, or a degenerate projected covariance.
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::{camera::Camera, gaussian::Gaussian, math::Vec3, projection::project_gaussian};
+/// let cam = Camera::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, 640, 480, 1.0);
+/// let g = Gaussian::isotropic(Vec3::ZERO, 0.1, 0.9, Vec3::new(1.0, 0.0, 0.0));
+/// let splat = project_gaussian(&g, &cam, 0).expect("visible");
+/// assert!((splat.center.x - 320.0).abs() < 0.5);
+/// ```
+pub fn project_gaussian(g: &Gaussian, camera: &Camera, index: u32) -> Option<Splat> {
+    if g.opacity < ALPHA_PRUNE_THRESHOLD {
+        return None;
+    }
+    if !camera.sphere_visible(g.mean, g.bounding_radius()) {
+        return None;
+    }
+    let (center, depth) = camera.project(g.mean)?;
+
+    let cov2d = project_covariance(g, camera)?;
+    let conic_mat = cov2d.inverse()?;
+    let conic = (conic_mat.at(0, 0), conic_mat.at(0, 1), conic_mat.at(1, 1));
+
+    // Tight OBB: solve opacity·exp(-r²/2σ²) = 1/255 along each eigen-axis.
+    let (l_major, l_minor) = cov2d.symmetric_eigenvalues();
+    if l_minor <= 0.0 {
+        return None;
+    }
+    let cutoff = tight_cutoff_sigmas(g.opacity);
+    let dir_major = cov2d.symmetric_eigenvector(l_major);
+    let dir_minor = dir_major.perp();
+    let axis_major = dir_major * (cutoff * l_major.sqrt());
+    let axis_minor = dir_minor * (cutoff * l_minor.sqrt());
+
+    let view_dir = g.mean - camera.eye();
+    let color = g.sh.evaluate(view_dir);
+
+    Some(Splat {
+        center,
+        depth,
+        conic,
+        axis_major,
+        axis_minor,
+        color,
+        opacity: g.opacity,
+        source: index,
+    })
+}
+
+/// Number of standard deviations to the `α = 1/255` iso-contour for a given
+/// peak opacity — the half-extent of the *tight* OBB in σ units.
+///
+/// For opacity `o`, solving `o · exp(-r²/2) = 1/255` gives
+/// `r = √(2 ln(255 o))`. Low-opacity Gaussians get much smaller boxes than
+/// the fixed 3σ AABB, which is what makes the tight OBB cut ineffective
+/// fragments (paper §III-A).
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::projection::tight_cutoff_sigmas;
+/// assert!(tight_cutoff_sigmas(1.0) > tight_cutoff_sigmas(0.1));
+/// ```
+pub fn tight_cutoff_sigmas(opacity: f32) -> f32 {
+    (2.0 * (opacity.max(ALPHA_PRUNE_THRESHOLD) * 255.0).max(1.0).ln()).sqrt()
+}
+
+/// Projects the 3D covariance through the EWA Jacobian:
+/// `Σ' = J W Σ Wᵀ Jᵀ + dilation·I`.
+fn project_covariance(g: &Gaussian, camera: &Camera) -> Option<Mat2> {
+    let t = camera.to_camera_space(g.mean);
+    let depth = -t.z;
+    if depth <= 0.0 {
+        return None;
+    }
+    let (fx, fy) = camera.focal();
+
+    // Clamp the camera-plane offsets like the reference implementation to
+    // bound the linearization error at the frustum edges.
+    let lim_x = JACOBIAN_CLAMP * (camera.width() as f32 / camera.height() as f32);
+    let lim_y = JACOBIAN_CLAMP;
+    let tx = (t.x / depth).clamp(-lim_x, lim_x) * depth;
+    let ty = (t.y / depth).clamp(-lim_y, lim_y) * depth;
+
+    // Jacobian of the perspective projection at t (2×3), rows:
+    //   [fx/d, 0, fx·tx/d²]  (note: camera looks down -z; d = -t.z)
+    //   [0, fy/d, fy·ty/d²]
+    let j00 = fx / depth;
+    let j02 = fx * tx / (depth * depth);
+    let j11 = fy / depth;
+    let j12 = fy * ty / (depth * depth);
+
+    let w = camera.view_matrix().upper_left3();
+    let cov3 = g.covariance_3d();
+    let m: Mat3 = w * cov3 * w.transpose();
+
+    // T = J M Jᵀ expanded for the 2×3 Jacobian above. Camera space has
+    // -z forward; the sign of the third column cancels in the quadratic form.
+    let a = j00 * j00 * m.at(0, 0) + 2.0 * j00 * j02 * m.at(0, 2) + j02 * j02 * m.at(2, 2);
+    let b = j00 * j11 * m.at(0, 1)
+        + j00 * j12 * m.at(0, 2)
+        + j02 * j11 * m.at(1, 2)
+        + j02 * j12 * m.at(2, 2);
+    let c = j11 * j11 * m.at(1, 1) + 2.0 * j11 * j12 * m.at(1, 2) + j12 * j12 * m.at(2, 2);
+
+    let cov = Mat2::symmetric(a + COVARIANCE_DILATION, b, c + COVARIANCE_DILATION);
+    if !cov.cols[0].is_finite() || !cov.cols[1].is_finite() {
+        return None;
+    }
+    Some(cov)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::{Vec2, Vec3};
+
+    fn camera() -> Camera {
+        Camera::look_at(Vec3::new(0.0, 0.0, 10.0), Vec3::ZERO, 800, 600, 1.0)
+    }
+
+    fn gaussian_at(p: Vec3, radius: f32, opacity: f32) -> Gaussian {
+        Gaussian::isotropic(p, radius, opacity, Vec3::new(0.5, 0.5, 0.5))
+    }
+
+    #[test]
+    fn center_gaussian_projects_to_screen_center() {
+        let s = project_gaussian(&gaussian_at(Vec3::ZERO, 0.2, 0.8), &camera(), 7).unwrap();
+        assert!((s.center - Vec2::new(400.0, 300.0)).length() < 0.5);
+        assert!((s.depth - 10.0).abs() < 1e-3);
+        assert_eq!(s.source, 7);
+    }
+
+    #[test]
+    fn behind_camera_is_culled() {
+        assert!(project_gaussian(&gaussian_at(Vec3::new(0.0, 0.0, 30.0), 0.2, 0.8), &camera(), 0)
+            .is_none());
+    }
+
+    #[test]
+    fn transparent_gaussian_is_pruned() {
+        assert!(project_gaussian(&gaussian_at(Vec3::ZERO, 0.2, 0.001), &camera(), 0).is_none());
+    }
+
+    #[test]
+    fn closer_gaussian_has_bigger_splat() {
+        let cam = camera();
+        let near = project_gaussian(&gaussian_at(Vec3::new(0.0, 0.0, 5.0), 0.2, 0.8), &cam, 0)
+            .unwrap();
+        let far = project_gaussian(&gaussian_at(Vec3::new(0.0, 0.0, -5.0), 0.2, 0.8), &cam, 0)
+            .unwrap();
+        assert!(near.obb_area() > far.obb_area());
+        assert!(near.depth < far.depth);
+    }
+
+    #[test]
+    fn tight_obb_shrinks_with_opacity() {
+        let cam = camera();
+        let opaque = project_gaussian(&gaussian_at(Vec3::ZERO, 0.2, 0.99), &cam, 0).unwrap();
+        let faint = project_gaussian(&gaussian_at(Vec3::ZERO, 0.2, 0.05), &cam, 0).unwrap();
+        assert!(opaque.obb_area() > faint.obb_area());
+    }
+
+    #[test]
+    fn alpha_at_obb_corner_is_below_prune_threshold() {
+        // The tight OBB is defined so the boundary iso-contour is α = 1/255;
+        // corners lie outside the inscribed ellipse, hence below threshold.
+        let cam = camera();
+        let s = project_gaussian(&gaussian_at(Vec3::ZERO, 0.3, 0.9), &cam, 0).unwrap();
+        for corner in s.obb_corners() {
+            assert!(s.alpha_at(corner) <= ALPHA_PRUNE_THRESHOLD * 1.05);
+        }
+        // Along the axis, the boundary is exactly at threshold.
+        let edge = s.center + s.axis_major;
+        let a = s.alpha_at(edge);
+        assert!(
+            (a - ALPHA_PRUNE_THRESHOLD).abs() < ALPHA_PRUNE_THRESHOLD,
+            "edge alpha {a} should be near 1/255"
+        );
+    }
+
+    #[test]
+    fn anisotropic_gaussian_produces_elongated_obb() {
+        let cam = camera();
+        let g = Gaussian::new(
+            Vec3::ZERO,
+            Vec3::new(1.0, 0.05, 0.05),
+            [1.0, 0.0, 0.0, 0.0],
+            0.9,
+            crate::sh::ShColor::from_base_color(Vec3::splat(0.5)),
+        );
+        let s = project_gaussian(&g, &cam, 0).unwrap();
+        let ratio = s.axis_major.length() / s.axis_minor.length();
+        assert!(ratio > 3.0, "expected elongated splat, ratio {ratio}");
+        // World x-axis elongation should appear along screen x.
+        assert!(s.axis_major.x.abs() > s.axis_major.y.abs());
+    }
+
+    #[test]
+    fn cutoff_sigma_bounds() {
+        // Full opacity: r = sqrt(2 ln 255) ≈ 3.33 sigma.
+        assert!((tight_cutoff_sigmas(1.0) - (2.0f32 * 255.0f32.ln()).sqrt()).abs() < 1e-4);
+        // Opacity at the prune threshold collapses to zero extent.
+        assert!(tight_cutoff_sigmas(ALPHA_PRUNE_THRESHOLD) < 0.1);
+    }
+}

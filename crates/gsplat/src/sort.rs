@@ -1,0 +1,126 @@
+//! Depth sorting of splats, modelled after the GPU radix sort (NVIDIA CUB)
+//! the paper uses: splats are sorted front-to-back by camera-space depth
+//! using a stable LSD radix sort over order-preserving float keys.
+
+/// Converts an `f32` depth into a radix-sortable `u32` key.
+///
+/// Standard order-preserving transform: flip the sign bit for positive
+/// floats, flip all bits for negative ones. Total order matches `f32`
+/// comparison for all non-NaN inputs.
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::sort::depth_key;
+/// assert!(depth_key(1.0) < depth_key(2.0));
+/// assert!(depth_key(-1.0) < depth_key(0.5));
+/// ```
+#[inline]
+pub fn depth_key(depth: f32) -> u32 {
+    let bits = depth.to_bits();
+    if bits & 0x8000_0000 != 0 {
+        !bits
+    } else {
+        bits | 0x8000_0000
+    }
+}
+
+/// Stable LSD radix sort (8-bit digits) of indices by `u32` key.
+///
+/// Returns a permutation `order` such that `keys[order[i]]` is
+/// non-decreasing, with ties kept in input order (stability matters for
+/// reproducible blend order between renderer variants).
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::sort::radix_argsort;
+/// let order = radix_argsort(&[30, 10, 20, 10]);
+/// assert_eq!(order, vec![1, 3, 2, 0]);
+/// ```
+pub fn radix_argsort(keys: &[u32]) -> Vec<u32> {
+    let n = keys.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    if n <= 1 {
+        return order;
+    }
+    let mut scratch = vec![0u32; n];
+    for pass in 0..4 {
+        let shift = pass * 8;
+        let mut histogram = [0usize; 256];
+        for &idx in &order {
+            let digit = ((keys[idx as usize] >> shift) & 0xFF) as usize;
+            histogram[digit] += 1;
+        }
+        let mut offsets = [0usize; 256];
+        let mut running = 0;
+        for (d, &count) in histogram.iter().enumerate() {
+            offsets[d] = running;
+            running += count;
+        }
+        for &idx in &order {
+            let digit = ((keys[idx as usize] >> shift) & 0xFF) as usize;
+            scratch[offsets[digit]] = idx;
+            offsets[digit] += 1;
+        }
+        std::mem::swap(&mut order, &mut scratch);
+    }
+    order
+}
+
+/// Sorts splat indices front-to-back by depth.
+///
+/// This is the single global sort hardware rendering needs (paper §III-A:
+/// no per-tile duplication/sorting, unlike the CUDA renderer).
+pub fn sort_splats_by_depth(depths: &[f32]) -> Vec<u32> {
+    let keys: Vec<u32> = depths.iter().map(|&d| depth_key(d)).collect();
+    radix_argsort(&keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_key_preserves_order() {
+        let samples = [-10.0f32, -0.5, -0.0, 0.0, 0.25, 1.0, 1e6];
+        for w in samples.windows(2) {
+            assert!(depth_key(w[0]) <= depth_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn radix_sorts_random_keys() {
+        let keys: Vec<u32> = (0..1000).map(|i| (i * 2654435761u64 % 100000) as u32).collect();
+        let order = radix_argsort(&keys);
+        for w in order.windows(2) {
+            assert!(keys[w[0] as usize] <= keys[w[1] as usize]);
+        }
+        // Order is a permutation.
+        let mut seen = vec![false; keys.len()];
+        for &i in &order {
+            assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+    }
+
+    #[test]
+    fn radix_is_stable() {
+        let keys = [5u32, 1, 5, 1, 5];
+        let order = radix_argsort(&keys);
+        assert_eq!(order, vec![1, 3, 0, 2, 4]);
+    }
+
+    #[test]
+    fn sort_splats_front_to_back() {
+        let depths = [10.0f32, 2.0, 7.5, 0.1];
+        let order = sort_splats_by_depth(&depths);
+        assert_eq!(order, vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(radix_argsort(&[]).is_empty());
+        assert_eq!(radix_argsort(&[42]), vec![0]);
+    }
+}

@@ -1,0 +1,116 @@
+//! 2D splats: the screen-space footprint of a projected 3D Gaussian.
+
+use serde::{Deserialize, Serialize};
+
+use crate::math::Vec2;
+
+/// A 2D splat — one projected Gaussian ready for rasterization.
+///
+/// Produced by [`crate::projection::project_gaussian`] during preprocessing.
+/// Carries everything vertex/fragment shading needs: the screen-space center,
+/// conic (inverse 2D covariance) for alpha evaluation, the tight OBB
+/// semi-axes for vertex positioning, the evaluated view-dependent color, the
+/// peak opacity, and the camera-space depth used for sorting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Splat {
+    /// Screen-space center in pixels.
+    pub center: Vec2,
+    /// Camera-space depth (positive, used as the sort key).
+    pub depth: f32,
+    /// Conic coefficients `(a, b, c)` of the inverse 2D covariance:
+    /// the fragment alpha is `opacity · exp(-½(a·dx² + 2b·dx·dy + c·dy²))`.
+    pub conic: (f32, f32, f32),
+    /// First semi-axis of the tight OBB (major), in pixels.
+    pub axis_major: Vec2,
+    /// Second semi-axis of the tight OBB (minor), in pixels.
+    pub axis_minor: Vec2,
+    /// Evaluated RGB color for the current viewpoint.
+    pub color: crate::math::Vec3,
+    /// Peak opacity.
+    pub opacity: f32,
+    /// Index of the source Gaussian in the scene (for tracing/stats).
+    pub source: u32,
+}
+
+impl Splat {
+    /// The four OBB corner positions as two triangles' shared vertices, in
+    /// the order the OpenGL implementation emits them (triangle strip:
+    /// `(-1,-1), (+1,-1), (-1,+1), (+1,+1)` in axis coordinates).
+    pub fn obb_corners(&self) -> [Vec2; 4] {
+        let c = self.center;
+        let u = self.axis_major;
+        let v = self.axis_minor;
+        [c - u - v, c + u - v, c - u + v, c + u + v]
+    }
+
+    /// Axis-aligned bounding box of the OBB as `(min, max)` in pixels.
+    pub fn aabb(&self) -> (Vec2, Vec2) {
+        let ext = Vec2::new(
+            self.axis_major.x.abs() + self.axis_minor.x.abs(),
+            self.axis_major.y.abs() + self.axis_minor.y.abs(),
+        );
+        (self.center - ext, self.center + ext)
+    }
+
+    /// Area of the OBB in square pixels (4·|u|·|v|), a proxy for the
+    /// fragment-shading workload this splat generates.
+    pub fn obb_area(&self) -> f32 {
+        4.0 * self.axis_major.length() * self.axis_minor.length()
+    }
+
+    /// Evaluates the Gaussian falloff alpha at pixel position `p`
+    /// (straight opacity × falloff, not yet pruned or clamped).
+    #[inline]
+    pub fn alpha_at(&self, p: Vec2) -> f32 {
+        let d = p - self.center;
+        self.opacity * crate::blend::gaussian_falloff(self.conic, d.x, d.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::Vec3;
+
+    fn circular_splat(radius_sigma: f32, opacity: f32) -> Splat {
+        // Conic for an isotropic Gaussian with std sigma: a = c = 1/σ².
+        let inv = 1.0 / (radius_sigma * radius_sigma);
+        Splat {
+            center: Vec2::new(10.0, 10.0),
+            depth: 5.0,
+            conic: (inv, 0.0, inv),
+            axis_major: Vec2::new(3.0 * radius_sigma, 0.0),
+            axis_minor: Vec2::new(0.0, 3.0 * radius_sigma),
+            color: Vec3::splat(1.0),
+            opacity,
+            source: 0,
+        }
+    }
+
+    #[test]
+    fn alpha_peaks_at_center() {
+        let s = circular_splat(2.0, 0.9);
+        assert!((s.alpha_at(s.center) - 0.9).abs() < 1e-6);
+        assert!(s.alpha_at(Vec2::new(14.0, 10.0)) < 0.9);
+    }
+
+    #[test]
+    fn aabb_contains_obb_corners() {
+        let mut s = circular_splat(2.0, 0.9);
+        // Rotate axes 45 degrees to exercise the non-axis-aligned path.
+        s.axis_major = Vec2::new(4.0, 4.0);
+        s.axis_minor = Vec2::new(-1.0, 1.0);
+        let (lo, hi) = s.aabb();
+        for corner in s.obb_corners() {
+            assert!(corner.x >= lo.x - 1e-4 && corner.x <= hi.x + 1e-4);
+            assert!(corner.y >= lo.y - 1e-4 && corner.y <= hi.y + 1e-4);
+        }
+    }
+
+    #[test]
+    fn obb_area_scales_quadratically() {
+        let s1 = circular_splat(1.0, 0.5);
+        let s2 = circular_splat(2.0, 0.5);
+        assert!((s2.obb_area() / s1.obb_area() - 4.0).abs() < 1e-5);
+    }
+}

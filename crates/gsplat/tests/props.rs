@@ -1,0 +1,132 @@
+//! Property-based tests for the gsplat substrate invariants.
+
+use gsplat::blend::{blend_over, fragment_alpha, PixelAccumulator};
+use gsplat::camera::Camera;
+use gsplat::color::Rgba;
+use gsplat::gaussian::Gaussian;
+use gsplat::math::{Mat2, Vec3};
+use gsplat::projection::project_gaussian;
+use gsplat::sh::ShColor;
+use gsplat::sort::{depth_key, radix_argsort};
+use proptest::prelude::*;
+
+fn rgba_strategy() -> impl Strategy<Value = Rgba> {
+    // Pre-multiplied colors: rgb <= alpha keeps the blend in range.
+    (0.0f32..=1.0, 0.0f32..=1.0, 0.0f32..=1.0, 0.0f32..=1.0)
+        .prop_map(|(r, g, b, a)| Rgba::new(r * a, g * a, b * a, a))
+}
+
+proptest! {
+    /// Front-to-back blending is associative — the algebraic foundation of
+    /// quad merging (paper Eq. 2).
+    #[test]
+    fn blend_over_is_associative(a in rgba_strategy(), b in rgba_strategy(), c in rgba_strategy()) {
+        let left = blend_over(blend_over(a, b), c);
+        let right = blend_over(a, blend_over(b, c));
+        prop_assert!(left.max_abs_diff(right) < 1e-5,
+            "associativity violated: {left:?} vs {right:?}");
+    }
+
+    /// Transparent black is a left identity for the blend.
+    #[test]
+    fn blend_over_identity(c in rgba_strategy()) {
+        prop_assert!(blend_over(Rgba::TRANSPARENT, c).max_abs_diff(c) < 1e-7);
+    }
+
+    /// Accumulated alpha never exceeds 1 and transmittance never goes
+    /// negative, for any fragment stream.
+    #[test]
+    fn accumulator_stays_in_range(alphas in proptest::collection::vec(0.0f32..=0.99, 0..200)) {
+        let mut acc = PixelAccumulator::new();
+        for a in alphas {
+            acc.blend(Vec3::splat(1.0), a);
+            prop_assert!(acc.alpha() <= 1.0 + 1e-5);
+            prop_assert!(acc.transmittance() >= -1e-6);
+        }
+    }
+
+    /// The order-preserving float key transform matches f32 ordering.
+    #[test]
+    fn depth_key_is_monotone(a in -1e6f32..1e6, b in -1e6f32..1e6) {
+        prop_assert_eq!(a < b, depth_key(a) < depth_key(b) || a == b && false);
+    }
+
+    /// Radix argsort agrees with a stable comparison sort.
+    #[test]
+    fn radix_matches_std_stable_sort(keys in proptest::collection::vec(0u32..1_000_000, 0..500)) {
+        let order = radix_argsort(&keys);
+        let mut expect: Vec<u32> = (0..keys.len() as u32).collect();
+        expect.sort_by_key(|&i| keys[i as usize]);
+        prop_assert_eq!(order, expect);
+    }
+
+    /// Σ = R S Sᵀ Rᵀ is always symmetric positive semi-definite.
+    #[test]
+    fn covariance_is_symmetric_psd(
+        sx in 0.01f32..2.0, sy in 0.01f32..2.0, sz in 0.01f32..2.0,
+        qw in -1.0f32..1.0, qx in -1.0f32..1.0, qy in -1.0f32..1.0, qz in -1.0f32..1.0,
+    ) {
+        prop_assume!(qw*qw + qx*qx + qy*qy + qz*qz > 1e-3);
+        let g = Gaussian::new(
+            Vec3::ZERO, Vec3::new(sx, sy, sz), [qw, qx, qy, qz], 0.5,
+            ShColor::from_base_color(Vec3::splat(0.5)),
+        );
+        let cov = g.covariance_3d();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((cov.at(i, j) - cov.at(j, i)).abs() < 1e-4);
+            }
+        }
+        // PSD: quadratic form is non-negative for a few probe vectors.
+        for v in [Vec3::new(1.0, 0.0, 0.0), Vec3::new(-0.3, 0.8, 0.5), Vec3::new(0.1, -0.9, 0.4)] {
+            prop_assert!(v.dot(cov * v) > -1e-4);
+        }
+    }
+
+    /// Symmetric eigenvalues bound the Rayleigh quotient.
+    #[test]
+    fn eigenvalues_bound_quadratic_form(a in 0.1f32..10.0, b in -3.0f32..3.0, c in 0.1f32..10.0) {
+        prop_assume!(a * c - b * b > 1e-3);
+        let m = Mat2::symmetric(a, b, c);
+        let (l1, l2) = m.symmetric_eigenvalues();
+        prop_assert!(l1 >= l2);
+        for v in [gsplat::math::Vec2::new(1.0, 0.0), gsplat::math::Vec2::new(0.6, -0.8)] {
+            let q = v.dot(m * v) / v.dot(v);
+            prop_assert!(q <= l1 + 1e-3 && q >= l2 - 1e-3, "rayleigh {q} outside [{l2}, {l1}]");
+        }
+    }
+
+    /// SH evaluation is finite and non-negative for any direction and
+    /// bounded coefficients.
+    #[test]
+    fn sh_evaluation_in_range(
+        coeffs in proptest::collection::vec((-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0), 16),
+        dx in -1.0f32..1.0, dy in -1.0f32..1.0, dz in -1.0f32..1.0,
+    ) {
+        prop_assume!(dx*dx + dy*dy + dz*dz > 1e-3);
+        let sh = ShColor::new(3, coeffs.into_iter().map(|(r, g, b)| Vec3::new(r, g, b)).collect());
+        let c = sh.evaluate(Vec3::new(dx, dy, dz));
+        prop_assert!(c.is_finite());
+        prop_assert!(c.x >= 0.0 && c.y >= 0.0 && c.z >= 0.0);
+    }
+
+    /// Every projected splat's OBB boundary is at (or below) the pruning
+    /// iso-contour: alpha at the axis endpoints ≈ 1/255.
+    #[test]
+    fn projected_obb_boundary_is_prune_contour(
+        x in -2.0f32..2.0, y in -2.0f32..2.0, z in -2.0f32..2.0,
+        radius in 0.05f32..0.5, opacity in 0.05f32..0.99,
+    ) {
+        let cam = Camera::look_at(Vec3::new(0.0, 0.0, 8.0), Vec3::ZERO, 640, 480, 1.0);
+        let g = Gaussian::isotropic(Vec3::new(x, y, z), radius, opacity, Vec3::splat(0.5));
+        if let Some(s) = project_gaussian(&g, &cam, 0) {
+            let edge = s.center + s.axis_major;
+            let a = s.alpha_at(edge);
+            prop_assert!(a <= 1.5 / 255.0, "edge alpha {a} too high");
+            // And the fragment shader would prune everything outside.
+            let outside = s.center + s.axis_major * 1.2;
+            let d = outside - s.center;
+            prop_assert!(fragment_alpha(s.opacity, s.conic, d.x, d.y).is_none());
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Software (CUDA-style) tile-based Gaussian rasterizer — the paper's
+//! "SW-based (CUDA)" comparison point (Figs. 5, 8, 9, 17).
+//!
+//! Mirrors the 3DGS reference renderer's structure:
+//!
+//! * **Per-tile duplication**: every splat is duplicated into a
+//!   `(tile, depth)` key pair for each 16×16 screen tile it overlaps, and
+//!   the duplicated key list is sorted — the preprocessing/sorting
+//!   inefficiency the paper contrasts with hardware tiling (§III-A).
+//! * **Warp-lockstep execution**: a tile is processed by a thread block of
+//!   256 threads (one per pixel, 8 warps of 32). All threads sweep the
+//!   tile's splat list front-to-back in lockstep; a warp only retires when
+//!   *all* its 32 pixels are done, so threads of terminated or uncovered
+//!   pixels burn issue slots — the under-utilisation of Fig. 9.
+
+use gsplat::blend::{fragment_alpha, PixelAccumulator, EARLY_TERMINATION_THRESHOLD};
+use gsplat::color::{PixelFormat, Rgba};
+use gsplat::framebuffer::ColorBuffer;
+use gsplat::splat::Splat;
+use serde::{Deserialize, Serialize};
+
+/// Cost-model constants for the software renderer, calibrated to the
+/// Jetson AGX Orin numbers underlying Fig. 5a.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwConfig {
+    /// Screen tile edge in pixels (the CUDA block footprint).
+    pub tile_px: u32,
+    /// Cycles one warp spends per splat iteration (alpha evaluation,
+    /// predicated blend, bookkeeping).
+    pub cycles_per_warp_iter: f64,
+    /// Concurrent warps retiring per cycle across the GPU (issue width of
+    /// all SMs divided by iteration latency is folded into
+    /// `cycles_per_warp_iter`; this is the SM count).
+    pub concurrent_warps: f64,
+    /// Core clock in MHz.
+    pub core_freq_mhz: f64,
+    /// Preprocess cost per Gaussian in nanoseconds (CUDA path: per-tile
+    /// buffer management and key duplication make this *higher* than the
+    /// hardware path's preprocessing).
+    pub preprocess_ns_per_gaussian: f64,
+    /// Sort cost per duplicated key in nanoseconds (device radix sort).
+    pub sort_ns_per_key: f64,
+}
+
+impl Default for SwConfig {
+    fn default() -> Self {
+        Self {
+            tile_px: 16,
+            cycles_per_warp_iter: 24.0,
+            concurrent_warps: 16.0,
+            core_freq_mhz: 612.0,
+            preprocess_ns_per_gaussian: 9.0,
+            sort_ns_per_key: 7.0,
+        }
+    }
+}
+
+/// Statistics of one software-rendered frame.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwStats {
+    /// Splat-tile pairs after duplication (the sorted key count).
+    pub duplicated_keys: u64,
+    /// Warp×splat iterations executed (the shader-core work).
+    pub warp_iterations: u64,
+    /// Thread-slots across all warp iterations (warp_iterations × 32).
+    pub thread_slots: u64,
+    /// Thread-slots that performed an effective blend (alive fragment on a
+    /// non-terminated pixel) — Fig. 9's numerator.
+    pub blending_threads: u64,
+    /// Fragments blended into pixels.
+    pub blended_fragments: u64,
+    /// Fragments skipped because their pixel had already terminated.
+    pub terminated_fragments: u64,
+    /// Warp iterations saved by whole-warp early exit.
+    pub warp_iterations_saved: u64,
+}
+
+impl SwStats {
+    /// Percentage of threads in a warp doing effective blending (Fig. 9).
+    pub fn blending_thread_pct(&self) -> f64 {
+        if self.thread_slots == 0 {
+            0.0
+        } else {
+            100.0 * self.blending_threads as f64 / self.thread_slots as f64
+        }
+    }
+}
+
+/// A software-rendered frame with its time breakdown.
+#[derive(Debug, Clone)]
+pub struct SwFrame {
+    /// Rendered pre-multiplied color buffer.
+    pub color: ColorBuffer,
+    /// Execution statistics.
+    pub stats: SwStats,
+    /// Preprocess time (ms) from the cost model.
+    pub preprocess_ms: f64,
+    /// Sort time (ms) from the cost model.
+    pub sort_ms: f64,
+    /// Rasterize/blend time (ms) from the cost model.
+    pub rasterize_ms: f64,
+}
+
+impl SwFrame {
+    /// Total frame time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.preprocess_ms + self.sort_ms + self.rasterize_ms
+    }
+}
+
+/// The software renderer.
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::{preprocess::preprocess, scene::EVALUATED_SCENES};
+/// use swrender::cuda_like::CudaLikeRenderer;
+///
+/// let scene = EVALUATED_SCENES[4].generate_scaled(0.04);
+/// let cam = scene.default_camera();
+/// let pre = preprocess(&scene, &cam);
+/// let sw = CudaLikeRenderer::new(Default::default(), true);
+/// let frame = sw.render(&pre.splats, cam.width(), cam.height());
+/// assert!(frame.stats.blended_fragments > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CudaLikeRenderer {
+    cfg: SwConfig,
+    early_termination: bool,
+}
+
+impl CudaLikeRenderer {
+    /// Creates a renderer; `early_termination` enables the per-pixel α
+    /// threshold exit (the software ET of Fig. 8).
+    pub fn new(cfg: SwConfig, early_termination: bool) -> Self {
+        Self {
+            cfg,
+            early_termination,
+        }
+    }
+
+    /// The cost-model configuration.
+    pub fn config(&self) -> &SwConfig {
+        &self.cfg
+    }
+
+    /// Renders depth-sorted splats at the given viewport.
+    pub fn render(&self, splats: &[Splat], width: u32, height: u32) -> SwFrame {
+        let tile = self.cfg.tile_px;
+        let tiles_x = width.div_ceil(tile);
+        let tiles_y = height.div_ceil(tile);
+        let mut stats = SwStats::default();
+
+        // --- Duplication: per-tile splat lists (depth order preserved
+        // because `splats` is already globally sorted). ---
+        let mut tile_lists: Vec<Vec<u32>> = vec![Vec::new(); (tiles_x * tiles_y) as usize];
+        for (i, s) in splats.iter().enumerate() {
+            let (lo, hi) = s.aabb();
+            if hi.x < 0.0 || hi.y < 0.0 || lo.x >= width as f32 || lo.y >= height as f32 {
+                continue;
+            }
+            let tx0 = (lo.x.max(0.0) as u32).min(width - 1) / tile;
+            let ty0 = (lo.y.max(0.0) as u32).min(height - 1) / tile;
+            let tx1 = (hi.x.max(0.0) as u32).min(width - 1) / tile;
+            let ty1 = (hi.y.max(0.0) as u32).min(height - 1) / tile;
+            for ty in ty0..=ty1 {
+                for tx in tx0..=tx1 {
+                    tile_lists[(ty * tiles_x + tx) as usize].push(i as u32);
+                    stats.duplicated_keys += 1;
+                }
+            }
+        }
+
+        // --- Per-tile lockstep sweep. ---
+        let mut color = ColorBuffer::new(width, height, PixelFormat::Rgba16F);
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                let list = &tile_lists[(ty * tiles_x + tx) as usize];
+                if list.is_empty() {
+                    continue;
+                }
+                self.sweep_tile(splats, list, tx, ty, width, height, &mut color, &mut stats);
+            }
+        }
+
+        let hz = self.cfg.core_freq_mhz * 1e3; // cycles per ms
+        let rasterize_ms = stats.warp_iterations as f64 * self.cfg.cycles_per_warp_iter
+            / self.cfg.concurrent_warps
+            / hz;
+        SwFrame {
+            color,
+            stats,
+            preprocess_ms: splats.len() as f64 * self.cfg.preprocess_ns_per_gaussian * 1e-6
+                + stats.duplicated_keys as f64 * 2.0e-6,
+            sort_ms: stats.duplicated_keys as f64 * self.cfg.sort_ns_per_key * 1e-6,
+            rasterize_ms,
+        }
+    }
+
+    /// One tile's thread block: 8 warps of 32 threads sweep the splat list.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_tile(
+        &self,
+        splats: &[Splat],
+        list: &[u32],
+        tx: u32,
+        ty: u32,
+        width: u32,
+        height: u32,
+        color: &mut ColorBuffer,
+        stats: &mut SwStats,
+    ) {
+        let tile = self.cfg.tile_px;
+        let x0 = tx * tile;
+        let y0 = ty * tile;
+        // Pixel accumulators for the whole tile (256 threads).
+        let n_px = (tile * tile) as usize;
+        let mut acc: Vec<PixelAccumulator> = vec![PixelAccumulator::new(); n_px];
+        let mut in_bounds = vec![false; n_px];
+        for (t, ib) in in_bounds.iter_mut().enumerate() {
+            let px = x0 + (t as u32 % tile);
+            let py = y0 + (t as u32 / tile);
+            *ib = px < width && py < height;
+        }
+
+        // A warp covers 32 consecutive thread IDs (two 16-pixel rows).
+        let warps = n_px / 32;
+        for w in 0..warps {
+            let base = w * 32;
+            for (iter, &si) in list.iter().enumerate() {
+                // Whole-warp early exit: all 32 pixels terminated.
+                if self.early_termination
+                    && acc[base..base + 32]
+                        .iter()
+                        .zip(&in_bounds[base..base + 32])
+                        .all(|(a, &ib)| !ib || a.alpha() >= EARLY_TERMINATION_THRESHOLD)
+                {
+                    stats.warp_iterations_saved += (list.len() - iter) as u64;
+                    break;
+                }
+                stats.warp_iterations += 1;
+                stats.thread_slots += 32;
+                let s = &splats[si as usize];
+                for lane in 0..32usize {
+                    let t = base + lane;
+                    if !in_bounds[t] {
+                        continue;
+                    }
+                    let px = x0 + (t as u32 % tile);
+                    let py = y0 + (t as u32 / tile);
+                    if self.early_termination
+                        && acc[t].alpha() >= EARLY_TERMINATION_THRESHOLD
+                    {
+                        stats.terminated_fragments += 1;
+                        continue;
+                    }
+                    let dx = px as f32 + 0.5 - s.center.x;
+                    let dy = py as f32 + 0.5 - s.center.y;
+                    if let Some(alpha) = fragment_alpha(s.opacity, s.conic, dx, dy) {
+                        acc[t].blend(s.color, alpha);
+                        stats.blending_threads += 1;
+                        stats.blended_fragments += 1;
+                    }
+                }
+            }
+        }
+
+        for (t, a) in acc.iter().enumerate() {
+            let px = x0 + (t as u32 % tile);
+            let py = y0 + (t as u32 / tile);
+            if in_bounds[t] {
+                let c = a.color();
+                color.set(px, py, Rgba::new(c.r, c.g, c.b, c.a));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsplat::math::{Vec2, Vec3};
+
+    fn stacked(n: usize, opacity: f32) -> Vec<Splat> {
+        (0..n)
+            .map(|i| Splat {
+                center: Vec2::new(16.0, 16.0),
+                depth: 1.0 + i as f32,
+                conic: (0.02, 0.0, 0.02),
+                axis_major: Vec2::new(14.0, 0.0),
+                axis_minor: Vec2::new(0.0, 14.0),
+                color: Vec3::new(0.4, 0.6, 0.2),
+                opacity,
+                source: i as u32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn renders_center_pixel() {
+        let sw = CudaLikeRenderer::new(SwConfig::default(), false);
+        let f = sw.render(&stacked(10, 0.5), 32, 32);
+        assert!(f.color.get(16, 16).a > 0.9);
+        assert!(f.stats.blended_fragments > 0);
+        assert!(f.rasterize_ms > 0.0);
+    }
+
+    /// Wide, nearly-flat splats so every pixel of the tile accumulates and
+    /// whole warps reach the termination threshold.
+    fn flat_stacked(n: usize) -> Vec<Splat> {
+        let mut v = stacked(n, 0.9);
+        for s in &mut v {
+            s.conic = (0.002, 0.0, 0.002);
+            s.axis_major = Vec2::new(80.0, 0.0);
+            s.axis_minor = Vec2::new(0.0, 80.0);
+        }
+        v
+    }
+
+    #[test]
+    fn early_termination_reduces_fragments_and_time() {
+        let splats = flat_stacked(60);
+        let base = CudaLikeRenderer::new(SwConfig::default(), false).render(&splats, 32, 32);
+        let et = CudaLikeRenderer::new(SwConfig::default(), true).render(&splats, 32, 32);
+        assert!(et.stats.blended_fragments < base.stats.blended_fragments);
+        assert!(et.rasterize_ms < base.rasterize_ms);
+        assert!(et.stats.warp_iterations_saved > 0);
+        // Images differ only in invisible contributions.
+        assert!(base.color.max_abs_diff(&et.color) < 3.0 / 255.0);
+    }
+
+    #[test]
+    fn lockstep_keeps_warp_alive_for_one_pixel() {
+        // With ET on, a warp with one never-terminating pixel still burns
+        // thread slots: blending percentage must fall below 100%.
+        let splats = stacked(40, 0.9);
+        let et = CudaLikeRenderer::new(SwConfig::default(), true).render(&splats, 32, 32);
+        assert!(et.stats.blending_thread_pct() < 100.0);
+        assert!(et.stats.terminated_fragments > 0 || et.stats.warp_iterations_saved > 0);
+    }
+
+    #[test]
+    fn duplication_counts_tiles() {
+        // A splat spanning 2x2 tiles duplicates 4 keys.
+        let mut s = stacked(1, 0.5);
+        s[0].center = Vec2::new(16.0, 16.0); // on the tile corner of 16px tiles
+        let sw = CudaLikeRenderer::new(SwConfig::default(), false);
+        let f = sw.render(&s, 32, 32);
+        assert_eq!(f.stats.duplicated_keys, 4);
+    }
+
+    #[test]
+    fn offscreen_splats_are_skipped() {
+        let mut s = stacked(1, 0.5);
+        s[0].center = Vec2::new(-100.0, -100.0);
+        let f = CudaLikeRenderer::new(SwConfig::default(), false).render(&s, 32, 32);
+        assert_eq!(f.stats.duplicated_keys, 0);
+        assert_eq!(f.stats.blended_fragments, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # swrender — software Gaussian-splatting renderers
+//!
+//! The software comparison points of the VR-Pipe paper:
+//!
+//! * [`cuda_like`] — a CUDA-style tile-based renderer with per-tile key
+//!   duplication/sorting and a warp-lockstep execution model
+//!   (Figs. 5, 8, 9, 17).
+//! * [`multipass`] — OpenGL multi-pass early termination via stencil
+//!   updates, Algorithm 1 (Fig. 11).
+//! * [`inshader`] — in-shader blending with/without the fragment-shader
+//!   interlock extension (Fig. 10).
+//!
+//! All three consume the same preprocessed splats as the hardware pipeline
+//! (`gsplat::preprocess`), so images are directly comparable.
+//!
+//! ```
+//! use gsplat::{preprocess::preprocess, scene::EVALUATED_SCENES};
+//! use swrender::cuda_like::CudaLikeRenderer;
+//!
+//! let scene = EVALUATED_SCENES[4].generate_scaled(0.04);
+//! let cam = scene.default_camera();
+//! let pre = preprocess(&scene, &cam);
+//! let frame = CudaLikeRenderer::new(Default::default(), true)
+//!     .render(&pre.splats, cam.width(), cam.height());
+//! assert!(frame.stats.blending_thread_pct() <= 100.0);
+//! ```
+
+pub mod cuda_like;
+pub mod inshader;
+pub mod multipass;
+
+pub use cuda_like::{CudaLikeRenderer, SwConfig, SwFrame, SwStats};
+pub use inshader::{BlendStrategy, InShaderConfig};
+pub use multipass::{render_multipass, MultiPassConfig, MultiPassFrame};

@@ -1,0 +1,238 @@
+//! Multi-pass software early termination via graphics APIs
+//! (paper §IV-B, Algorithm 1, Fig. 11).
+//!
+//! The depth-sorted splats are split into `N` batches. Each pass draws one
+//! batch with a stencil test that discards fragments of already-terminated
+//! pixels, then renders a screen-sized rectangle that sets the stencil for
+//! pixels whose accumulated alpha crossed the threshold. Early termination
+//! is therefore only checked at *batch* granularity, and each extra pass
+//! pays a stencil-update draw — the trade-off Fig. 11 sweeps.
+
+use gsplat::blend::{fragment_alpha, EARLY_TERMINATION_THRESHOLD};
+use gsplat::color::{PixelFormat, Rgba};
+use gsplat::framebuffer::ColorBuffer;
+use gsplat::splat::Splat;
+use serde::{Deserialize, Serialize};
+
+/// Cost model for the multi-pass OpenGL renderer, expressed in the same
+/// hardware-rate terms as the pipeline simulator (ROP-bound draw calls).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiPassConfig {
+    /// Blended quads per cycle (ROP throughput at RGBA16F).
+    pub blend_quads_per_cycle: f64,
+    /// Rasterised (stencil-tested) quads per cycle — fragments of
+    /// terminated pixels still consume raster/ZROP slots.
+    pub raster_quads_per_cycle: f64,
+    /// Stencil-update fullscreen pass: pixels per cycle.
+    pub stencil_update_px_per_cycle: f64,
+    /// Fixed overhead per draw call in cycles (validation, state roll,
+    /// pipeline drain between ordered passes).
+    pub draw_call_overhead_cycles: f64,
+    /// Core clock in MHz.
+    pub core_freq_mhz: f64,
+}
+
+impl Default for MultiPassConfig {
+    fn default() -> Self {
+        Self {
+            blend_quads_per_cycle: 2.0,
+            raster_quads_per_cycle: 12.0,
+            stencil_update_px_per_cycle: 16.0,
+            draw_call_overhead_cycles: 60_000.0,
+            core_freq_mhz: 612.0,
+        }
+    }
+}
+
+/// Result of a multi-pass render.
+#[derive(Debug, Clone)]
+pub struct MultiPassFrame {
+    /// Rendered pre-multiplied color buffer.
+    pub color: ColorBuffer,
+    /// Number of passes used.
+    pub passes: usize,
+    /// Fragments blended (stencil-surviving).
+    pub blended_fragments: u64,
+    /// Fragments discarded by the stencil test across passes.
+    pub stencil_discarded_fragments: u64,
+    /// Modelled render time in milliseconds.
+    pub time_ms: f64,
+}
+
+/// Renders with `passes`-way multi-pass early termination (Algorithm 1).
+///
+/// `passes == 1` is the plain single-pass OpenGL baseline.
+///
+/// # Panics
+///
+/// Panics when `passes == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::{preprocess::preprocess, scene::EVALUATED_SCENES};
+/// use swrender::multipass::{render_multipass, MultiPassConfig};
+///
+/// let scene = EVALUATED_SCENES[4].generate_scaled(0.04);
+/// let cam = scene.default_camera();
+/// let pre = preprocess(&scene, &cam);
+/// let one = render_multipass(&pre.splats, cam.width(), cam.height(), 1, &MultiPassConfig::default());
+/// let four = render_multipass(&pre.splats, cam.width(), cam.height(), 4, &MultiPassConfig::default());
+/// assert!(four.blended_fragments <= one.blended_fragments);
+/// ```
+pub fn render_multipass(
+    splats: &[Splat],
+    width: u32,
+    height: u32,
+    passes: usize,
+    cfg: &MultiPassConfig,
+) -> MultiPassFrame {
+    assert!(passes > 0, "at least one pass required");
+    let mut color = ColorBuffer::new(width, height, PixelFormat::Rgba16F);
+    // Stencil: true = terminated (stencil value 1 in Algorithm 1).
+    let mut stencil = vec![false; (width * height) as usize];
+    let mut blended = 0u64;
+    let mut discarded = 0u64;
+    let mut raster_frags = 0u64;
+
+    let batch_len = splats.len().div_ceil(passes);
+    let mut time_cycles = 0.0f64;
+
+    for (pass, batch) in splats.chunks(batch_len.max(1)).enumerate() {
+        // --- Draw call 1: blend the batch under the stencil test. ---
+        let mut pass_raster = 0u64;
+        let mut pass_blend = 0u64;
+        for s in batch {
+            let (lo, hi) = s.aabb();
+            let x0 = lo.x.max(0.0) as u32;
+            let y0 = lo.y.max(0.0) as u32;
+            let x1 = (hi.x.min(width as f32 - 1.0)).max(0.0) as u32;
+            let y1 = (hi.y.min(height as f32 - 1.0)).max(0.0) as u32;
+            if hi.x < 0.0 || hi.y < 0.0 || lo.x >= width as f32 || lo.y >= height as f32 {
+                continue;
+            }
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    pass_raster += 1;
+                    let idx = (y * width + x) as usize;
+                    if stencil[idx] {
+                        discarded += 1;
+                        continue;
+                    }
+                    let dx = x as f32 + 0.5 - s.center.x;
+                    let dy = y as f32 + 0.5 - s.center.y;
+                    if let Some(alpha) = fragment_alpha(s.opacity, s.conic, dx, dy) {
+                        let dest = color.get(x, y);
+                        let t = 1.0 - dest.a;
+                        color.set(
+                            x,
+                            y,
+                            Rgba::new(
+                                dest.r + t * s.color.x * alpha,
+                                dest.g + t * s.color.y * alpha,
+                                dest.b + t * s.color.z * alpha,
+                                dest.a + t * alpha,
+                            ),
+                        );
+                        pass_blend += 1;
+                    }
+                }
+            }
+        }
+        raster_frags += pass_raster;
+        blended += pass_blend;
+        time_cycles += cfg.draw_call_overhead_cycles
+            + (pass_raster as f64 / 4.0) / cfg.raster_quads_per_cycle
+            + (pass_blend as f64 / 4.0) / cfg.blend_quads_per_cycle;
+
+        // --- Draw call 2: stencil update (skipped after the last pass). ---
+        if pass + 1 < passes {
+            for (idx, st) in stencil.iter_mut().enumerate() {
+                if !*st {
+                    let x = idx as u32 % width;
+                    let y = idx as u32 / width;
+                    if color.get(x, y).a >= EARLY_TERMINATION_THRESHOLD {
+                        *st = true;
+                    }
+                }
+            }
+            time_cycles += cfg.draw_call_overhead_cycles
+                + (width * height) as f64 / cfg.stencil_update_px_per_cycle;
+        }
+    }
+    let _ = raster_frags;
+
+    MultiPassFrame {
+        color,
+        passes,
+        blended_fragments: blended,
+        stencil_discarded_fragments: discarded,
+        time_ms: time_cycles / (cfg.core_freq_mhz * 1e3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsplat::math::{Vec2, Vec3};
+
+    fn stacked(n: usize, opacity: f32) -> Vec<Splat> {
+        (0..n)
+            .map(|i| Splat {
+                center: Vec2::new(16.0, 16.0),
+                depth: 1.0 + i as f32,
+                conic: (0.02, 0.0, 0.02),
+                axis_major: Vec2::new(14.0, 0.0),
+                axis_minor: Vec2::new(0.0, 14.0),
+                color: Vec3::new(0.7, 0.3, 0.2),
+                opacity,
+                source: i as u32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_pass_blends_everything_visible() {
+        let f = render_multipass(&stacked(20, 0.5), 32, 32, 1, &MultiPassConfig::default());
+        assert_eq!(f.passes, 1);
+        assert_eq!(f.stencil_discarded_fragments, 0);
+        assert!(f.blended_fragments > 0);
+    }
+
+    #[test]
+    fn more_passes_discard_more() {
+        let splats = stacked(64, 0.8);
+        let cfg = MultiPassConfig::default();
+        let p1 = render_multipass(&splats, 32, 32, 1, &cfg);
+        let p4 = render_multipass(&splats, 32, 32, 4, &cfg);
+        let p16 = render_multipass(&splats, 32, 32, 16, &cfg);
+        assert!(p4.blended_fragments < p1.blended_fragments);
+        assert!(p16.blended_fragments <= p4.blended_fragments);
+        assert!(p16.stencil_discarded_fragments > p4.stencil_discarded_fragments);
+    }
+
+    #[test]
+    fn pass_overhead_eventually_dominates() {
+        // With a tiny scene, many passes must be slower than one pass.
+        let splats = stacked(8, 0.1);
+        let cfg = MultiPassConfig::default();
+        let p1 = render_multipass(&splats, 32, 32, 1, &cfg);
+        let p30 = render_multipass(&splats, 32, 32, 30, &cfg);
+        assert!(p30.time_ms > p1.time_ms);
+    }
+
+    #[test]
+    fn images_match_single_pass_within_termination_tolerance() {
+        let splats = stacked(64, 0.8);
+        let cfg = MultiPassConfig::default();
+        let p1 = render_multipass(&splats, 32, 32, 1, &cfg);
+        let p8 = render_multipass(&splats, 32, 32, 8, &cfg);
+        assert!(p1.color.max_abs_diff(&p8.color) < 3.0 / 255.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pass")]
+    fn zero_passes_panics() {
+        let _ = render_multipass(&[], 32, 32, 0, &MultiPassConfig::default());
+    }
+}

@@ -1,0 +1,70 @@
+//! Architecture ablation: sweep the VR-Pipe design parameters the paper's
+//! §VI-B discussion calls out — TGC bin count/size, tile-grid size and TC
+//! bin count — and watch the quad-merge rate and speedup respond.
+//!
+//! ```text
+//! cargo run --release --example pipeline_ablation [scale]
+//! ```
+
+use gpu_sim::config::GpuConfig;
+use gsplat::scene::EVALUATED_SCENES;
+use vrpipe::{PipelineVariant, Renderer};
+
+fn run(cfg: GpuConfig, label: &str, scene: &gsplat::Scene, base_cycles: u64) {
+    let cam = scene.default_camera();
+    let f = Renderer::new(cfg, PipelineVariant::HetQm).render(scene, &cam);
+    let merged_share =
+        2.0 * f.stats.merged_pairs as f64 / (f.stats.crop_quads + f.stats.merged_pairs) as f64;
+    println!(
+        "{:<28} {:>9.2}x {:>10.1}% {:>12} {:>10}",
+        label,
+        base_cycles as f64 / f.stats.total_cycles as f64,
+        100.0 * merged_share,
+        f.stats.tgc_evictions,
+        f.stats.tc_evictions,
+    );
+}
+
+fn main() {
+    let scale: f32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let spec = &EVALUATED_SCENES[0]; // Kitchen: the TGC-flush-sensitive scene
+    let scene = spec.generate_scaled(scale);
+    let cam = scene.default_camera();
+    let base = Renderer::new(GpuConfig::default(), PipelineVariant::Baseline)
+        .render(&scene, &cam);
+    println!(
+        "Ablation on '{}' (baseline {} cycles)\n",
+        spec.name, base.stats.total_cycles
+    );
+    println!(
+        "{:<28} {:>10} {:>11} {:>12} {:>10}",
+        "configuration", "speedup", "merged", "TGC-evict", "TC-evict"
+    );
+
+    run(GpuConfig::default(), "default (128x16 TGC, 4x4)", &scene, base.stats.total_cycles);
+
+    for bins in [32usize, 64, 256] {
+        let mut c = GpuConfig::default();
+        c.tgc_bins = bins;
+        run(c, &format!("TGC bins = {bins}"), &scene, base.stats.total_cycles);
+    }
+    for size in [4usize, 8, 32] {
+        let mut c = GpuConfig::default();
+        c.tgc_bin_size = size;
+        run(c, &format!("TGC bin size = {size}"), &scene, base.stats.total_cycles);
+    }
+    for grid in [2u32, 8] {
+        let mut c = GpuConfig::default();
+        c.tile_grid_tiles = grid;
+        run(c, &format!("tile grid = {grid}x{grid} tiles"), &scene, base.stats.total_cycles);
+    }
+    for tc in [16usize, 64] {
+        let mut c = GpuConfig::default();
+        c.tc_bins = tc;
+        run(c, &format!("TC bins = {tc}"), &scene, base.stats.total_cycles);
+    }
+    println!("\nPremature TGC/TC evictions depress the merge rate — the §VI-B sensitivity.");
+}

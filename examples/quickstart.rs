@@ -1,0 +1,60 @@
+//! Quickstart: render a Gaussian-splatting scene through the baseline
+//! graphics pipeline and through VR-Pipe, compare the images and the
+//! performance, and write the result as a PPM you can open in any viewer.
+//!
+//! ```text
+//! cargo run --release --example quickstart [scene] [scale]
+//! ```
+
+use gpu_sim::config::GpuConfig;
+use gsplat::scene::{scene_by_name, EVALUATED_SCENES};
+use vrpipe::{PipelineVariant, Renderer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let spec = args
+        .first()
+        .and_then(|n| scene_by_name(n))
+        .unwrap_or(&EVALUATED_SCENES[4]); // Lego by default
+    let scale: f32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.15);
+
+    println!("Generating '{}' at scale {scale} ...", spec.name);
+    let scene = spec.generate_scaled(scale);
+    let camera = scene.default_camera();
+    println!(
+        "  {} Gaussians, {}x{} viewport",
+        scene.len(),
+        camera.width(),
+        camera.height()
+    );
+
+    let baseline = Renderer::new(GpuConfig::default(), PipelineVariant::Baseline)
+        .render(&scene, &camera);
+    let vrpipe = Renderer::new(GpuConfig::default(), PipelineVariant::HetQm)
+        .render(&scene, &camera);
+
+    println!("\n              {:>14} {:>14}", "Baseline", "VR-Pipe");
+    println!(
+        "draw cycles   {:>14} {:>14}",
+        baseline.stats.total_cycles, vrpipe.stats.total_cycles
+    );
+    println!(
+        "ROP fragments {:>14} {:>14}",
+        baseline.stats.crop_fragments, vrpipe.stats.crop_fragments
+    );
+    println!(
+        "frame est.    {:>11.2} ms {:>11.2} ms   (full-scale extrapolation)",
+        baseline.time.total_ms(),
+        vrpipe.time.total_ms()
+    );
+    println!(
+        "\nSpeedup: {:.2}x  |  image difference: {:.5} (termination-only)",
+        baseline.stats.total_cycles as f64 / vrpipe.stats.total_cycles as f64,
+        baseline.color.max_abs_diff(&vrpipe.color)
+    );
+
+    let path = format!("{}_vrpipe.ppm", spec.name.to_lowercase());
+    vrpipe.color.write_ppm(std::fs::File::create(&path)?)?;
+    println!("Wrote {path}");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Smoke tests for the experiment harness pieces that feed each figure,
+//! at a tiny scale so the full suite stays fast.
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::microbench::{crop_cache_probe, rop_pixels_per_cycle, tile_binning_probe};
+use gsplat::color::PixelFormat;
+use gsplat::preprocess::preprocess;
+use gsplat::scene::{scene_by_name, EVALUATED_SCENES};
+use swrender::inshader::{fragment_workload, normalized_time, BlendStrategy, InShaderConfig};
+
+#[test]
+fn fig20a_crop_cache_capacity_edge() {
+    let cfg = GpuConfig::default();
+    assert_eq!(crop_cache_probe(&cfg, 8, 16, 16, 7).l2_accesses, 0);
+    assert!(crop_cache_probe(&cfg, 8, 16, 24, 7).l2_accesses > 0);
+}
+
+#[test]
+fn fig20b_format_throughput() {
+    let cfg = GpuConfig::default();
+    let rgba8 = rop_pixels_per_cycle(&cfg, PixelFormat::Rgba8);
+    let rgba16f = rop_pixels_per_cycle(&cfg, PixelFormat::Rgba16F);
+    assert_eq!(rgba8, 2 * rgba16f);
+}
+
+#[test]
+fn vii_a_tile_binning_cliff() {
+    let cfg = GpuConfig::default();
+    let coalesced = tile_binning_probe(&cfg, 32, 320);
+    let thrashed = tile_binning_probe(&cfg, 33, 330);
+    assert!(coalesced.warps < 80);
+    assert_eq!(thrashed.warps, 330);
+}
+
+#[test]
+fn fig10_ordering_rop_vs_inshader() {
+    let scene = EVALUATED_SCENES[5].generate_scaled(0.05);
+    let cam = scene.default_camera();
+    let pre = preprocess(&scene, &cam);
+    let (f, q, chain) = fragment_workload(&pre.splats, cam.width(), cam.height());
+    let cfg = InShaderConfig::default();
+    let rop = normalized_time(BlendStrategy::RopBased, f, q, chain, &cfg);
+    let lock = normalized_time(BlendStrategy::InShaderInterlock, f, q, chain, &cfg);
+    let free = normalized_time(BlendStrategy::InShaderUnordered, f, q, chain, &cfg);
+    assert_eq!(rop, 1.0);
+    assert!(lock > 2.0, "interlock slowdown {lock}");
+    assert!(free < 1.5, "unordered time {free}");
+}
+
+#[test]
+fn scene_registry_is_complete() {
+    for name in ["Kitchen", "Bonsai", "Train", "Truck", "Lego", "Palace", "Building", "Rubble"] {
+        assert!(scene_by_name(name).is_some(), "missing scene {name}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Workspace integration tests: the full stack from scene generation
+//! through preprocessing, the pipeline variants and the figure metrics.
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::stats::Unit;
+use gsplat::scene::{EVALUATED_SCENES, LARGE_SCALE_SCENES};
+use vrpipe::{EnergyModel, HardwareCost, PipelineVariant, Renderer};
+
+const TEST_SCALE: f32 = 0.06;
+
+/// Renders one scene with all variants; returns (variant, frame) pairs.
+fn render_all(idx: usize) -> Vec<(PipelineVariant, vrpipe::Frame)> {
+    let scene = EVALUATED_SCENES[idx].generate_scaled(TEST_SCALE);
+    let cam = scene.default_camera();
+    PipelineVariant::ALL
+        .iter()
+        .map(|&v| (v, Renderer::new(GpuConfig::default(), v).render(&scene, &cam)))
+        .collect()
+}
+
+#[test]
+fn fig16_speedup_ordering_holds_per_scene() {
+    // The paper's headline ordering: Baseline < QM < HET < HET+QM cycles
+    // (i.e. HET+QM fastest), for every evaluated scene.
+    for idx in 0..EVALUATED_SCENES.len() {
+        let frames = render_all(idx);
+        let cycles: Vec<u64> = frames.iter().map(|(_, f)| f.stats.total_cycles).collect();
+        let name = EVALUATED_SCENES[idx].name;
+        assert!(cycles[1] < cycles[0], "{name}: QM must beat baseline");
+        assert!(cycles[2] < cycles[1], "{name}: HET must beat QM");
+        assert!(cycles[3] < cycles[2], "{name}: HET+QM must beat HET");
+    }
+}
+
+#[test]
+fn images_equivalent_across_variants() {
+    for idx in [1, 4] {
+        let frames = render_all(idx);
+        let base = &frames[0].1.color;
+        for (v, f) in &frames[1..] {
+            let diff = base.max_abs_diff(&f.color);
+            assert!(
+                diff < 3.0 / 255.0,
+                "{}: variant {v} diverged by {diff}",
+                EVALUATED_SCENES[idx].name
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_bottleneck_is_rop_side() {
+    // Fig. 6: PROP/CROP dominate; the SMs are underutilised.
+    let frames = render_all(0);
+    let s = &frames[0].1.stats;
+    let rop_side = s.utilization(Unit::Prop).max(s.utilization(Unit::Crop));
+    assert!(rop_side > 0.7, "ROP-side utilisation too low: {rop_side}");
+    assert!(
+        s.utilization(Unit::Sm) < rop_side,
+        "SMs must be less utilised than the ROP side"
+    );
+}
+
+#[test]
+fn het_reduction_ratios_in_paper_band() {
+    // Fig. 18: fragment reductions land in the paper's 1.5-4.4 band.
+    for idx in 0..EVALUATED_SCENES.len() {
+        let frames = render_all(idx);
+        let red = frames[0].1.stats.crop_fragments as f64
+            / frames[2].1.stats.crop_fragments.max(1) as f64;
+        assert!(
+            (1.3..6.0).contains(&red),
+            "{}: HET fragment reduction {red:.2} outside plausible band",
+            EVALUATED_SCENES[idx].name
+        );
+    }
+}
+
+#[test]
+fn outdoor_scenes_terminate_more_than_indoor() {
+    // Fig. 21: outdoor (Train) averages a higher ET ratio than indoor
+    // (Bonsai), the paper's central scene-structure observation.
+    let bonsai = render_all(1);
+    let train = render_all(2);
+    let ratio = |frames: &[(PipelineVariant, vrpipe::Frame)]| {
+        frames[0].1.stats.crop_fragments as f64 / frames[2].1.stats.crop_fragments.max(1) as f64
+    };
+    assert!(
+        ratio(&train) > ratio(&bonsai),
+        "Train ET ratio must exceed Bonsai's"
+    );
+}
+
+#[test]
+fn energy_efficiency_above_one() {
+    let frames = render_all(2);
+    let model = EnergyModel::default();
+    let eff = model.efficiency(
+        &GpuConfig::default(),
+        &frames[0].1.stats,
+        &frames[3].1.stats,
+    );
+    assert!(eff > 1.0, "HET+QM must be more energy-efficient, got {eff}");
+    assert!(eff < 4.0, "efficiency implausibly high: {eff}");
+}
+
+#[test]
+fn hardware_cost_matches_table_iii() {
+    let cost = HardwareCost::for_config(&GpuConfig::default());
+    assert!((cost.total_kib() - 24.92).abs() < 0.05);
+}
+
+#[test]
+fn large_scale_scenes_still_benefit() {
+    // Fig. 23 at a very small scale.
+    let scene = LARGE_SCALE_SCENES[1].generate_scaled(0.025); // Rubble
+    let cam = scene.default_camera();
+    let base = Renderer::new(GpuConfig::default(), PipelineVariant::Baseline).render(&scene, &cam);
+    let vrp = Renderer::new(GpuConfig::default(), PipelineVariant::HetQm).render(&scene, &cam);
+    assert!(vrp.stats.total_cycles < base.stats.total_cycles);
+}
+
+#[test]
+fn qm_merge_rate_is_meaningful() {
+    // QM must merge a substantial share of quads (the paper reports an
+    // additional 1.32x quad reduction from merging).
+    let frames = render_all(0);
+    let qm = &frames[1].1.stats;
+    assert!(qm.merged_pairs > 0);
+    let merged_share = 2.0 * qm.merged_pairs as f64
+        / (qm.crop_quads + qm.merged_pairs) as f64;
+    assert!(
+        merged_share > 0.2,
+        "merge share {merged_share:.2} too low for the TGC+QRU path"
+    );
+}
+
+#[test]
+fn renderer_time_breakdown_is_positive_and_consistent() {
+    let scene = EVALUATED_SCENES[4].generate_scaled(TEST_SCALE);
+    let cam = scene.default_camera();
+    let f = Renderer::new(GpuConfig::default(), PipelineVariant::HetQm).render(&scene, &cam);
+    assert!(f.time.preprocess_ms > 0.0);
+    assert!(f.time.sort_ms > 0.0);
+    assert!(f.time.rasterize_ms > 0.0);
+    assert!((f.time.total_ms() - (f.time.preprocess_ms + f.time.sort_ms + f.time.rasterize_ms)).abs() < 1e-12);
+    assert!(f.time.fps() > 0.0);
+}
