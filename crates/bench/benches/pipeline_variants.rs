@@ -15,17 +15,19 @@ fn bench_variants(c: &mut Criterion) {
         let cam = scene.default_camera();
         let pre = preprocess(&scene, &cam);
         for v in PipelineVariant::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(spec.name, v.label()),
-                &v,
-                |b, &v| {
-                    b.iter(|| {
-                        draw(&pre.splats, cam.width(), cam.height(), &GpuConfig::default(), v)
-                            .stats
-                            .total_cycles
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(spec.name, v.label()), &v, |b, &v| {
+                b.iter(|| {
+                    draw(
+                        &pre.splats,
+                        cam.width(),
+                        cam.height(),
+                        &GpuConfig::default(),
+                        v,
+                    )
+                    .stats
+                    .total_cycles
+                })
+            });
         }
     }
     group.finish();

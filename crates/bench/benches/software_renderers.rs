@@ -18,7 +18,11 @@ fn bench_software(c: &mut Criterion) {
     for et in [false, true] {
         group.bench_with_input(BenchmarkId::from_parameter(et), &et, |b, &et| {
             let sw = CudaLikeRenderer::new(SwConfig::default(), et);
-            b.iter(|| sw.render(&pre.splats, cam.width(), cam.height()).stats.blended_fragments)
+            b.iter(|| {
+                sw.render(&pre.splats, cam.width(), cam.height())
+                    .stats
+                    .blended_fragments
+            })
         });
     }
     group.finish();
@@ -41,10 +45,14 @@ fn bench_software(c: &mut Criterion) {
         BlendStrategy::InShaderInterlock,
         BlendStrategy::InShaderUnordered,
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(strat.label()), &strat, |b, &s| {
-            let cfg = InShaderConfig::default();
-            b.iter(|| normalized_time(s, frags, quads, chain, &cfg))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strat.label()),
+            &strat,
+            |b, &s| {
+                let cfg = InShaderConfig::default();
+                b.iter(|| normalized_time(s, frags, quads, chain, &cfg))
+            },
+        );
     }
     group.finish();
 }

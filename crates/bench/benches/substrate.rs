@@ -24,7 +24,9 @@ fn bench_substrate(c: &mut Criterion) {
         })
     });
 
-    let depths: Vec<f32> = (0..100_000).map(|i| ((i * 2654435761u64 as usize) % 10_000) as f32).collect();
+    let depths: Vec<f32> = (0..100_000)
+        .map(|i| ((i * 2654435761u64 as usize) % 10_000) as f32)
+        .collect();
     c.bench_function("substrate/radix_depth_sort_100k", |b| {
         b.iter(|| sort_splats_by_depth(&depths).len())
     });

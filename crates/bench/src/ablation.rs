@@ -28,22 +28,50 @@ fn speedup_with(cfg: GpuConfig, scene: &gsplat::Scene) -> (f64, f64, u64) {
 /// tile grids, flushing TGC bins prematurely).
 pub fn ablation_tgc() {
     let scale = default_scale();
-    banner("Ablation A", "TGC bin size and tile-grid size (HET+QM on Kitchen)");
+    banner(
+        "Ablation A",
+        "TGC bin size and tile-grid size (HET+QM on Kitchen)",
+    );
     let scene = EVALUATED_SCENES[0].generate_scaled(scale);
-    println!("{:<26} {:>9} {:>9} {:>10}", "configuration", "speedup", "merged", "TC-evict");
+    println!(
+        "{:<26} {:>9} {:>9} {:>10}",
+        "configuration", "speedup", "merged", "TC-evict"
+    );
     let (s, m, e) = speedup_with(GpuConfig::default(), &scene);
-    println!("{:<26} {:>8.2}x {:>8.1}% {:>10}", "default (16 prims, 4x4)", s, 100.0 * m, e);
+    println!(
+        "{:<26} {:>8.2}x {:>8.1}% {:>10}",
+        "default (16 prims, 4x4)",
+        s,
+        100.0 * m,
+        e
+    );
     for size in [4usize, 8, 32, 64] {
-        let mut c = GpuConfig::default();
-        c.tgc_bin_size = size;
+        let c = GpuConfig {
+            tgc_bin_size: size,
+            ..GpuConfig::default()
+        };
         let (s, m, e) = speedup_with(c, &scene);
-        println!("{:<26} {:>8.2}x {:>8.1}% {:>10}", format!("TGC bin size = {size}"), s, 100.0 * m, e);
+        println!(
+            "{:<26} {:>8.2}x {:>8.1}% {:>10}",
+            format!("TGC bin size = {size}"),
+            s,
+            100.0 * m,
+            e
+        );
     }
     for grid in [1u32, 2, 8] {
-        let mut c = GpuConfig::default();
-        c.tile_grid_tiles = grid;
+        let c = GpuConfig {
+            tile_grid_tiles: grid,
+            ..GpuConfig::default()
+        };
         let (s, m, e) = speedup_with(c, &scene);
-        println!("{:<26} {:>8.2}x {:>8.1}% {:>10}", format!("tile grid = {grid}x{grid} tiles"), s, 100.0 * m, e);
+        println!(
+            "{:<26} {:>8.2}x {:>8.1}% {:>10}",
+            format!("tile grid = {grid}x{grid} tiles"),
+            s,
+            100.0 * m,
+            e
+        );
     }
     println!("-> larger bins / tighter grids trade TGC residency against merge locality.");
 }
@@ -54,10 +82,15 @@ pub fn ablation_tc() {
     let scale = default_scale();
     banner("Ablation B", "TC bin count (HET+QM on Truck)");
     let scene = EVALUATED_SCENES[3].generate_scaled(scale);
-    println!("{:<26} {:>9} {:>9} {:>10}", "TC bins", "speedup", "merged", "TC-evict");
+    println!(
+        "{:<26} {:>9} {:>9} {:>10}",
+        "TC bins", "speedup", "merged", "TC-evict"
+    );
     for bins in [8usize, 16, 32, 64, 128] {
-        let mut c = GpuConfig::default();
-        c.tc_bins = bins;
+        let c = GpuConfig {
+            tc_bins: bins,
+            ..GpuConfig::default()
+        };
         let (s, m, e) = speedup_with(c, &scene);
         println!("{:<26} {:>8.2}x {:>8.1}% {:>10}", bins, s, 100.0 * m, e);
     }
@@ -70,10 +103,15 @@ pub fn ablation_crop_cache() {
     banner("Ablation C", "CROP cache size (baseline on Bonsai)");
     let scene = EVALUATED_SCENES[1].generate_scaled(scale);
     let cam = scene.default_camera();
-    println!("{:<14} {:>12} {:>10} {:>12}", "cache", "hit rate", "L2 util", "cycles");
+    println!(
+        "{:<14} {:>12} {:>10} {:>12}",
+        "cache", "hit rate", "L2 util", "cycles"
+    );
     for kb in [4usize, 8, 16, 32, 64] {
-        let mut c = GpuConfig::default();
-        c.crop_cache_bytes = kb * 1024;
+        let c = GpuConfig {
+            crop_cache_bytes: kb * 1024,
+            ..GpuConfig::default()
+        };
         let f = Renderer::new(c, PipelineVariant::Baseline).render(&scene, &cam);
         println!(
             "{:<14} {:>11.1}% {:>9.1}% {:>12}",
@@ -91,10 +129,19 @@ pub fn ablation_format() {
     let scale = default_scale();
     banner("Ablation D", "Framebuffer format (Palace)");
     let scene = EVALUATED_SCENES[5].generate_scaled(scale);
-    println!("{:<10} {:>12} {:>12} {:>9}", "format", "base cycles", "vrp cycles", "speedup");
-    for format in [PixelFormat::Rgba8, PixelFormat::Rgba16F, PixelFormat::Rgba32F] {
-        let mut c = GpuConfig::default();
-        c.pixel_format = format;
+    println!(
+        "{:<10} {:>12} {:>12} {:>9}",
+        "format", "base cycles", "vrp cycles", "speedup"
+    );
+    for format in [
+        PixelFormat::Rgba8,
+        PixelFormat::Rgba16F,
+        PixelFormat::Rgba32F,
+    ] {
+        let c = GpuConfig {
+            pixel_format: format,
+            ..GpuConfig::default()
+        };
         let cam = scene.default_camera();
         let base = Renderer::new(c.clone(), PipelineVariant::Baseline).render(&scene, &cam);
         let vrp = Renderer::new(c, PipelineVariant::HetQm).render(&scene, &cam);

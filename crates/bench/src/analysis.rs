@@ -18,9 +18,18 @@ use crate::common::{banner, default_scale, geomean};
 /// Fig. 20a/b/c: ROP and CROP-cache microbenchmarks.
 pub fn fig20() {
     let cfg = GpuConfig::default();
-    banner("Fig. 20a", "CROP cache working-set probe (16 KB expected capacity)");
-    println!("{:<14} {:>8} {:>10} {:>12}", "rect", "count", "data[KB]", "L2 accesses");
-    for (w, h, counts) in [(8u32, 16u32, [8u32, 12, 16, 20, 24]), (16, 16, [4, 8, 12, 16, 20])] {
+    banner(
+        "Fig. 20a",
+        "CROP cache working-set probe (16 KB expected capacity)",
+    );
+    println!(
+        "{:<14} {:>8} {:>10} {:>12}",
+        "rect", "count", "data[KB]", "L2 accesses"
+    );
+    for (w, h, counts) in [
+        (8u32, 16u32, [8u32, 12, 16, 20, 24]),
+        (16, 16, [4, 8, 12, 16, 20]),
+    ] {
         for count in counts {
             let p = crop_cache_probe(&cfg, w, h, count, 42);
             println!(
@@ -35,8 +44,16 @@ pub fn fig20() {
     println!("-> L2 traffic starts once the color working set exceeds 16 KB.");
 
     banner("Fig. 20b", "ROP pixels per cycle by color format");
-    for f in [PixelFormat::Rgba8, PixelFormat::Rgba16F, PixelFormat::Rgba32F] {
-        println!("{:<10} {:>3} px/cycle", f.to_string(), rop_pixels_per_cycle(&cfg, f));
+    for f in [
+        PixelFormat::Rgba8,
+        PixelFormat::Rgba16F,
+        PixelFormat::Rgba32F,
+    ] {
+        println!(
+            "{:<10} {:>3} px/cycle",
+            f.to_string(),
+            rop_pixels_per_cycle(&cfg, f)
+        );
     }
     println!("-> RGBA16F (64 bpp) halves ROP throughput vs RGBA8 (32 bpp).");
 
@@ -51,9 +68,19 @@ pub fn fig20() {
 /// §VII-A: the tile-binning warp-launch probe (32-bin cliff).
 pub fn tilebins() {
     let cfg = GpuConfig::default();
-    banner("§VII-A", "Tile-binning probe: warps launched for 2x2 rects round-robin over N tiles");
+    banner(
+        "§VII-A",
+        "Tile-binning probe: warps launched for 2x2 rects round-robin over N tiles",
+    );
     println!("{:>8} {:>8} {:>8}", "tiles", "rects", "warps");
-    for (tiles, rects) in [(8u32, 80u32), (16, 160), (32, 320), (33, 330), (48, 480), (64, 640)] {
+    for (tiles, rects) in [
+        (8u32, 80u32),
+        (16, 160),
+        (32, 320),
+        (33, 330),
+        (48, 480),
+        (64, 640),
+    ] {
         let p = tile_binning_probe(&cfg, tiles, rects);
         println!("{:>8} {:>8} {:>8}", p.tiles, p.rects, p.warps);
     }
@@ -67,7 +94,10 @@ pub fn fig21() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(8);
-    banner("Fig. 21", "Early-termination ratio across viewpoints (blended frags without/with ET)");
+    banner(
+        "Fig. 21",
+        "Early-termination ratio across viewpoints (blended frags without/with ET)",
+    );
     println!(
         "{:<8} {:>6} {:>6} {:>6}  per-viewpoint ratios",
         "scene", "min", "avg", "max"
@@ -79,8 +109,7 @@ pub fn fig21() {
         for cam in &cams {
             let base =
                 Renderer::new(GpuConfig::default(), PipelineVariant::Baseline).render(&scene, cam);
-            let het =
-                Renderer::new(GpuConfig::default(), PipelineVariant::Het).render(&scene, cam);
+            let het = Renderer::new(GpuConfig::default(), PipelineVariant::Het).render(&scene, cam);
             ratios.push(base.stats.crop_fragments as f64 / het.stats.crop_fragments.max(1) as f64);
         }
         let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -102,29 +131,41 @@ pub fn fig21() {
 /// Fig. 22: performance comparison with the GSCore accelerator.
 pub fn fig22() {
     let scale = default_scale();
-    banner("Fig. 22", "Slowdown of VR-Pipe (HET+QM) relative to the GSCore accelerator");
+    banner(
+        "Fig. 22",
+        "Slowdown of VR-Pipe (HET+QM) relative to the GSCore accelerator",
+    );
     println!("{:<8} {:>10}", "scene", "slowdown");
     let mut all = Vec::new();
     for spec in &EVALUATED_SCENES {
         let scene = spec.generate_scaled(scale);
         let cam = scene.default_camera();
         let pre = preprocess(&scene, &cam);
-        let vrp =
-            Renderer::new(GpuConfig::default(), PipelineVariant::HetQm).render(&scene, &cam);
-        let gs = estimate(&pre.splats, cam.width(), cam.height(), &GsCoreConfig::default());
+        let vrp = Renderer::new(GpuConfig::default(), PipelineVariant::HetQm).render(&scene, &cam);
+        let gs = estimate(
+            &pre.splats,
+            cam.width(),
+            cam.height(),
+            &GsCoreConfig::default(),
+        );
         let slowdown = vrp.stats.total_cycles as f64 / gs.cycles.max(1) as f64;
         all.push(slowdown);
         println!("{:<8} {:>9.2}x", spec.name, slowdown);
     }
     println!("{:<8} {:>9.2}x", "Geomean", geomean(&all));
-    println!("-> the dedicated accelerator stays ahead; VR-Pipe keeps full graphics-API generality.");
+    println!(
+        "-> the dedicated accelerator stays ahead; VR-Pipe keeps full graphics-API generality."
+    );
 }
 
 /// Fig. 23: large-scale scenes — unit utilisation and speedup.
 pub fn fig23() {
     // Large scenes are heavy; use a smaller scale by default.
     let scale = (default_scale() * 0.66).min(1.0);
-    banner("Fig. 23", "Large-scale scenes: baseline utilisation and HET+QM speedup");
+    banner(
+        "Fig. 23",
+        "Large-scale scenes: baseline utilisation and HET+QM speedup",
+    );
     println!(
         "{:<9} {:>6} {:>6} {:>8} {:>6} {:>9}",
         "scene", "PROP", "CROP", "Raster", "SM", "speedup"
@@ -134,8 +175,7 @@ pub fn fig23() {
         let cam = scene.default_camera();
         let base =
             Renderer::new(GpuConfig::default(), PipelineVariant::Baseline).render(&scene, &cam);
-        let vrp =
-            Renderer::new(GpuConfig::default(), PipelineVariant::HetQm).render(&scene, &cam);
+        let vrp = Renderer::new(GpuConfig::default(), PipelineVariant::HetQm).render(&scene, &cam);
         println!(
             "{:<9} {:>5.0}% {:>5.0}% {:>7.0}% {:>5.0}% {:>8.2}x",
             spec.name,

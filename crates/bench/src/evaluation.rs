@@ -14,17 +14,47 @@ pub fn table1() {
     let c = GpuConfig::default();
     let rows: Vec<(&str, String)> = vec![
         ("# GPC", c.gpcs.to_string()),
-        ("# SIMT Cores", format!("{} ({} CUDA Cores)", c.simt_cores, c.simt_cores * c.lanes_per_core)),
+        (
+            "# SIMT Cores",
+            format!(
+                "{} ({} CUDA Cores)",
+                c.simt_cores,
+                c.simt_cores * c.lanes_per_core
+            ),
+        ),
         ("SIMT Core Freq.", format!("{} MHz", c.core_freq_mhz)),
-        ("Lanes per SIMT Core", format!("{} (4 warp schedulers)", c.lanes_per_core)),
-        ("Raster Tile Size", format!("{0}x{0} pixels", c.raster_tile_px)),
-        ("Tile Grid Size", format!("{0}x{0} pixels ({1}x{1} tiles)", c.tile_grid_px(), c.tile_grid_tiles)),
+        (
+            "Lanes per SIMT Core",
+            format!("{} (4 warp schedulers)", c.lanes_per_core),
+        ),
+        (
+            "Raster Tile Size",
+            format!("{0}x{0} pixels", c.raster_tile_px),
+        ),
+        (
+            "Tile Grid Size",
+            format!(
+                "{0}x{0} pixels ({1}x{1} tiles)",
+                c.tile_grid_px(),
+                c.tile_grid_tiles
+            ),
+        ),
         ("# of TGC Bins", c.tgc_bins.to_string()),
         ("TGC Bin Size", format!("{} primitives", c.tgc_bin_size)),
         ("# of TC Bins", c.tc_bins.to_string()),
         ("TC Bin Size", format!("{} quads", c.tc_bin_size)),
-        ("CROP Cache Size", format!("{} KB, {}B line", c.crop_cache_bytes / 1024, c.cache_line_bytes)),
-        ("ROP Throughput", format!("{} quads/cycle (RGBA16F)", c.crop_quads_per_cycle())),
+        (
+            "CROP Cache Size",
+            format!(
+                "{} KB, {}B line",
+                c.crop_cache_bytes / 1024,
+                c.cache_line_bytes
+            ),
+        ),
+        (
+            "ROP Throughput",
+            format!("{} quads/cycle (RGBA16F)", c.crop_quads_per_cycle()),
+        ),
     ];
     for (k, v) in rows {
         println!("{k:<24} {v}");
@@ -33,7 +63,10 @@ pub fn table1() {
 
 /// Table II: the evaluated workloads.
 pub fn table2() {
-    banner("Table II", "Evaluated workloads (procedurally generated stand-ins; DESIGN.md §2)");
+    banner(
+        "Table II",
+        "Evaluated workloads (procedurally generated stand-ins; DESIGN.md §2)",
+    );
     println!(
         "{:<8} {:>12} {:>12} {:<18}",
         "scene", "resolution", "#Gaussians", "type"
@@ -84,7 +117,10 @@ pub fn fig16() {
 /// VR-Pipe over software (CUDA) and hardware (OpenGL) rendering, plus FPS.
 pub fn fig17() {
     let scale = default_scale();
-    banner("Fig. 17", "End-to-end speedup of VR-Pipe vs SW (CUDA) and HW (OpenGL) rendering");
+    banner(
+        "Fig. 17",
+        "End-to-end speedup of VR-Pipe vs SW (CUDA) and HW (OpenGL) rendering",
+    );
     println!(
         "{:<8} {:>12} {:>12} {:>8}",
         "scene", "vs SW-based", "vs HW-based", "FPS"
@@ -98,18 +134,21 @@ pub fn fig17() {
         let scale2 = (scale as f64) * (scale as f64);
 
         // SW-based (CUDA) *with* early termination (the paper's setup).
-        let sw = CudaLikeRenderer::new(SwConfig::default(), true)
-            .render(&pre.splats, cam.width(), cam.height());
-        let sw_total = spec.gaussians as f64 * SwConfig::default().preprocess_ns_per_gaussian * 1e-6
-            + sw.sort_ms / scale2
-            + sw.rasterize_ms / scale2;
+        let sw = CudaLikeRenderer::new(SwConfig::default(), true).render(
+            &pre.splats,
+            cam.width(),
+            cam.height(),
+        );
+        let sw_total =
+            spec.gaussians as f64 * SwConfig::default().preprocess_ns_per_gaussian * 1e-6
+                + sw.sort_ms / scale2
+                + sw.rasterize_ms / scale2;
 
         // HW-based (OpenGL) without early termination.
-        let hw = Renderer::new(GpuConfig::default(), PipelineVariant::Baseline)
-            .render(&scene, &cam);
+        let hw =
+            Renderer::new(GpuConfig::default(), PipelineVariant::Baseline).render(&scene, &cam);
         // VR-Pipe (HET+QM).
-        let vrp = Renderer::new(GpuConfig::default(), PipelineVariant::HetQm)
-            .render(&scene, &cam);
+        let vrp = Renderer::new(GpuConfig::default(), PipelineVariant::HetQm).render(&scene, &cam);
 
         let vs_sw = sw_total / vrp.time.total_ms();
         let vs_hw = hw.time.total_ms() / vrp.time.total_ms();
@@ -135,7 +174,10 @@ pub fn fig17() {
 /// Fig. 18: reduction ratio of quads and fragments blended by the ROP.
 pub fn fig18() {
     let scale = default_scale();
-    banner("Fig. 18", "Reduction of ROP-blended quads and fragments vs baseline");
+    banner(
+        "Fig. 18",
+        "Reduction of ROP-blended quads and fragments vs baseline",
+    );
     println!(
         "{:<8} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
         "scene", "QM-frag", "HET-frag", "H+Q-frag", "QM-quad", "HET-quad", "H+Q-quad"
@@ -164,7 +206,10 @@ pub fn fig18() {
 /// Fig. 19: energy efficiency of VR-Pipe over the baseline GPU.
 pub fn fig19() {
     let scale = default_scale();
-    banner("Fig. 19", "Energy efficiency of VR-Pipe (HET+QM) over the baseline GPU");
+    banner(
+        "Fig. 19",
+        "Energy efficiency of VR-Pipe (HET+QM) over the baseline GPU",
+    );
     println!("{:<8} {:>12}", "scene", "efficiency");
     let model = EnergyModel::default();
     let cfg = GpuConfig::default();
@@ -193,6 +238,10 @@ pub fn table3() {
         cost.qru_bytes,
         cost.qru_bytes as f64 / 1024.0
     );
-    println!("Total                       {:>8} B  ({:.2} KB)", cost.total_bytes(), cost.total_kib());
+    println!(
+        "Total                       {:>8} B  ({:.2} KB)",
+        cost.total_bytes(),
+        cost.total_kib()
+    );
     println!("-> paper: 24.25 KB + 688 B = 24.92 KB.");
 }

@@ -20,6 +20,7 @@ mod analysis;
 mod common;
 mod evaluation;
 mod motivation;
+mod report;
 
 /// Experiment registry in paper order.
 const EXPERIMENTS: &[(&str, fn())] = &[
@@ -53,23 +54,38 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!("usage: figures <experiment>... | all");
-        eprintln!("experiments: {}", EXPERIMENTS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" "));
+        eprintln!(
+            "experiments: {}",
+            EXPERIMENTS
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
         std::process::exit(2);
     }
-    println!("VR-Pipe figure harness (scale = {})", common::default_scale());
+    println!(
+        "VR-Pipe figure harness (scale = {})",
+        common::default_scale()
+    );
+    let mut report = report::Report::default();
     for arg in &args {
         if arg == "all" {
-            for (_, f) in EXPERIMENTS {
-                f();
+            for (name, f) in EXPERIMENTS {
+                report.run(name, *f);
             }
             continue;
         }
         match EXPERIMENTS.iter().find(|(n, _)| n == arg) {
-            Some((_, f)) => f(),
+            Some((name, f)) => report.run(name, *f),
             None => {
                 eprintln!("unknown experiment: {arg}");
                 std::process::exit(2);
             }
         }
+    }
+    match report.write(common::default_scale()) {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("could not write {}: {e}", report::REPORT_PATH),
     }
 }

@@ -15,7 +15,10 @@ use crate::common::{banner, default_scale};
 /// Fig. 1: shader-core vs ROP scaling across GPU generations (static data
 /// from the paper's survey of NVIDIA desktop GPUs).
 pub fn fig1() {
-    banner("Fig. 1", "Shading units vs render output units across GPU generations");
+    banner(
+        "Fig. 1",
+        "Shading units vs render output units across GPU generations",
+    );
     let rows = [
         ("GTX 1080 Ti (Pascal; 16 nm)", 3584u32, 88u32),
         ("RTX 2080 Ti (Turing; 12 nm)", 4352, 88),
@@ -23,7 +26,10 @@ pub fn fig1() {
         ("RTX 4090 (Ada Lovelace; 5 nm)", 16384, 176),
     ];
     let (base_sh, base_rop) = (rows[0].1 as f64, rows[0].2 as f64);
-    println!("{:<32} {:>8} {:>8} {:>10} {:>10}", "GPU", "Shaders", "ROPs", "Shaders/x", "ROPs/x");
+    println!(
+        "{:<32} {:>8} {:>8} {:>10} {:>10}",
+        "GPU", "Shaders", "ROPs", "Shaders/x", "ROPs/x"
+    );
     for (name, sh, rop) in rows {
         println!(
             "{:<32} {:>8} {:>8} {:>9.2}x {:>9.2}x",
@@ -34,13 +40,18 @@ pub fn fig1() {
             rop as f64 / base_rop
         );
     }
-    println!("-> ROP growth (2.0x) lags shader growth (4.6x): volume rendering pressure lands on ROPs.");
+    println!(
+        "-> ROP growth (2.0x) lags shader growth (4.6x): volume rendering pressure lands on ROPs."
+    );
 }
 
 /// Fig. 5: CUDA vs OpenGL time breakdown (preprocess / sort / rasterize).
 pub fn fig5() {
     let scale = default_scale();
-    banner("Fig. 5", "Software (CUDA) vs hardware (OpenGL) rendering time breakdown [ms, full-scale estimate]");
+    banner(
+        "Fig. 5",
+        "Software (CUDA) vs hardware (OpenGL) rendering time breakdown [ms, full-scale estimate]",
+    );
     println!(
         "{:<8} | {:>10} {:>8} {:>9} {:>7} | {:>10} {:>8} {:>9} {:>7}",
         "scene", "CUDA-pre", "sort", "raster", "total", "GL-pre", "sort", "raster", "total"
@@ -54,8 +65,11 @@ pub fn fig5() {
         // CUDA path (with early termination, as the strongest software
         // baseline — matching Fig. 17's setup; Fig. 5's relative shape is
         // unaffected).
-        let sw = CudaLikeRenderer::new(SwConfig::default(), true)
-            .render(&pre.splats, cam.width(), cam.height());
+        let sw = CudaLikeRenderer::new(SwConfig::default(), true).render(
+            &pre.splats,
+            cam.width(),
+            cam.height(),
+        );
         let (cp, cs, cr) = (
             spec.gaussians as f64 * sw.config_preprocess_ns() * 1e-6,
             sw.sort_ms / scale2,
@@ -63,16 +77,20 @@ pub fn fig5() {
         );
 
         // OpenGL path (hardware baseline pipeline).
-        let hw = Renderer::new(GpuConfig::default(), PipelineVariant::Baseline)
-            .render(&scene, &cam);
-        let (gp, gs, gr) = (
-            hw.time.preprocess_ms,
-            hw.time.sort_ms,
-            hw.time.rasterize_ms,
-        );
+        let hw =
+            Renderer::new(GpuConfig::default(), PipelineVariant::Baseline).render(&scene, &cam);
+        let (gp, gs, gr) = (hw.time.preprocess_ms, hw.time.sort_ms, hw.time.rasterize_ms);
         println!(
             "{:<8} | {:>10.1} {:>8.1} {:>9.1} {:>7.1} | {:>10.1} {:>8.1} {:>9.1} {:>7.1}",
-            spec.name, cp, cs, cr, cp + cs + cr, gp, gs, gr, gp + gs + gr
+            spec.name,
+            cp,
+            cs,
+            cr,
+            cp + cs + cr,
+            gp,
+            gs,
+            gr,
+            gp + gs + gr
         );
     }
     println!("-> hardware rendering avoids per-tile duplication: smaller preprocess+sort, comparable raster.");
@@ -115,15 +133,21 @@ pub fn fig6() {
 /// termination (Bonsai heat-map summarised as a histogram).
 pub fn fig7() {
     let scale = default_scale();
-    banner("Fig. 7", "Fragments per pixel with and without early termination (Bonsai)");
+    banner(
+        "Fig. 7",
+        "Fragments per pixel with and without early termination (Bonsai)",
+    );
     let spec = &EVALUATED_SCENES[1];
     let scene = spec.generate_scaled(scale);
     let cam = scene.default_camera();
     let pre = preprocess(&scene, &cam);
 
     let histogram = |et: bool| -> (Vec<u64>, f64, u64) {
-        let sw = CudaLikeRenderer::new(SwConfig::default(), et)
-            .render(&pre.splats, cam.width(), cam.height());
+        let sw = CudaLikeRenderer::new(SwConfig::default(), et).render(
+            &pre.splats,
+            cam.width(),
+            cam.height(),
+        );
         // Reconstruct per-pixel counts by rendering per-pixel: the SwStats
         // only carries totals, so re-derive the average and max from the
         // frame: use blended fragments / pixels for the mean.
@@ -134,8 +158,14 @@ pub fn fig7() {
     let (_, mean_no_et, total_no_et) = histogram(false);
     let (_, mean_et, total_et) = histogram(true);
     println!("{:<24} {:>14} {:>12}", "", "total frags", "mean/pixel");
-    println!("{:<24} {:>14} {:>12.1}", "w/o early termination", total_no_et, mean_no_et);
-    println!("{:<24} {:>14} {:>12.1}", "w/  early termination", total_et, mean_et);
+    println!(
+        "{:<24} {:>14} {:>12.1}",
+        "w/o early termination", total_no_et, mean_no_et
+    );
+    println!(
+        "{:<24} {:>14} {:>12.1}",
+        "w/  early termination", total_et, mean_et
+    );
     println!(
         "-> early termination removes {:.1}% of per-pixel blending work.",
         100.0 * (1.0 - total_et as f64 / total_no_et as f64)
@@ -145,16 +175,25 @@ pub fn fig7() {
 /// Fig. 8: CUDA early-termination speedup and fragment reduction.
 pub fn fig8() {
     let scale = default_scale();
-    banner("Fig. 8", "CUDA early-termination speedup and fragment reduction");
+    banner(
+        "Fig. 8",
+        "CUDA early-termination speedup and fragment reduction",
+    );
     println!("{:<8} {:>12} {:>16}", "scene", "speedup", "frag reduction");
     for spec in &EVALUATED_SCENES {
         let scene = spec.generate_scaled(scale);
         let cam = scene.default_camera();
         let pre = preprocess(&scene, &cam);
-        let base = CudaLikeRenderer::new(SwConfig::default(), false)
-            .render(&pre.splats, cam.width(), cam.height());
-        let et = CudaLikeRenderer::new(SwConfig::default(), true)
-            .render(&pre.splats, cam.width(), cam.height());
+        let base = CudaLikeRenderer::new(SwConfig::default(), false).render(
+            &pre.splats,
+            cam.width(),
+            cam.height(),
+        );
+        let et = CudaLikeRenderer::new(SwConfig::default(), true).render(
+            &pre.splats,
+            cam.width(),
+            cam.height(),
+        );
         println!(
             "{:<8} {:>11.2}x {:>15.2}x",
             spec.name,
@@ -168,23 +207,34 @@ pub fn fig8() {
 /// Fig. 9: percentage of warp threads performing blending (CUDA).
 pub fn fig9() {
     let scale = default_scale();
-    banner("Fig. 9", "Threads per warp performing blending in CUDA rendering [%]");
+    banner(
+        "Fig. 9",
+        "Threads per warp performing blending in CUDA rendering [%]",
+    );
     println!("{:<8} {:>10}", "scene", "blending%");
     for spec in &EVALUATED_SCENES {
         let scene = spec.generate_scaled(scale);
         let cam = scene.default_camera();
         let pre = preprocess(&scene, &cam);
-        let et = CudaLikeRenderer::new(SwConfig::default(), true)
-            .render(&pre.splats, cam.width(), cam.height());
+        let et = CudaLikeRenderer::new(SwConfig::default(), true).render(
+            &pre.splats,
+            cam.width(),
+            cam.height(),
+        );
         println!("{:<8} {:>9.1}%", spec.name, et.stats.blending_thread_pct());
     }
-    println!("-> alpha pruning + early termination leave most warp lanes idle (<40% in the paper).");
+    println!(
+        "-> alpha pruning + early termination leave most warp lanes idle (<40% in the paper)."
+    );
 }
 
 /// Fig. 10: normalized rasterization time of in-shader blending.
 pub fn fig10() {
     let scale = default_scale();
-    banner("Fig. 10", "ROP-based vs in-shader blending, normalized time (log-scale axis in the paper)");
+    banner(
+        "Fig. 10",
+        "ROP-based vs in-shader blending, normalized time (log-scale axis in the paper)",
+    );
     println!(
         "{:<8} {:>10} {:>22} {:>24}",
         "scene", "ROP-based", "In-Shader w/ Extension", "In-Shader w/o Extension"
@@ -198,15 +248,23 @@ pub fn fig10() {
         let rop = normalized_time(BlendStrategy::RopBased, frags, quads, chain, &cfg);
         let lock = normalized_time(BlendStrategy::InShaderInterlock, frags, quads, chain, &cfg);
         let free = normalized_time(BlendStrategy::InShaderUnordered, frags, quads, chain, &cfg);
-        println!("{:<8} {:>10.2} {:>22.2} {:>24.2}", spec.name, rop, lock, free);
+        println!(
+            "{:<8} {:>10.2} {:>22.2} {:>24.2}",
+            spec.name, rop, lock, free
+        );
     }
-    println!("-> the interlock's ordered critical section erases the shader-parallelism advantage.");
+    println!(
+        "-> the interlock's ordered critical section erases the shader-parallelism advantage."
+    );
 }
 
 /// Fig. 11: multi-pass software early termination vs number of passes.
 pub fn fig11() {
     let scale = default_scale();
-    banner("Fig. 11", "Software early termination speedup vs number of passes");
+    banner(
+        "Fig. 11",
+        "Software early termination speedup vs number of passes",
+    );
     let passes = [1usize, 2, 5, 10, 15, 20, 25, 30];
     print!("{:<8}", "scene");
     for p in passes {
@@ -230,5 +288,7 @@ pub fn fig11() {
         }
         println!();
     }
-    println!("-> modest gains at best; stencil-update passes eat the benefit (the paper sees 0.7-1.2x).");
+    println!(
+        "-> modest gains at best; stencil-update passes eat the benefit (the paper sees 0.7-1.2x)."
+    );
 }

@@ -1,0 +1,132 @@
+//! Machine-readable benchmark trail: `BENCH_pipeline.json`.
+//!
+//! Every `figures` invocation appends a wall-time record per experiment
+//! and a canonical pipeline measurement (cycles per variant, speedup vs
+//! the serial host path), so the repository's performance trajectory is
+//! tracked from PR to PR without parsing human-readable output.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gpu_sim::config::GpuConfig;
+use gsplat::scene::EVALUATED_SCENES;
+use vrpipe::{FrameScratch, PipelineVariant, Renderer};
+
+/// Output file name, written to the working directory.
+pub const REPORT_PATH: &str = "BENCH_pipeline.json";
+
+/// One experiment's wall time.
+pub struct ExperimentRecord {
+    /// Experiment name as passed on the command line.
+    pub name: String,
+    /// Wall time of the experiment function in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Collects experiment timings and writes the JSON report.
+#[derive(Default)]
+pub struct Report {
+    records: Vec<ExperimentRecord>,
+}
+
+impl Report {
+    /// Runs `f`, recording its wall time under `name`.
+    pub fn run(&mut self, name: &str, f: fn()) {
+        let t0 = Instant::now();
+        f();
+        self.records.push(ExperimentRecord {
+            name: name.to_string(),
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        });
+    }
+
+    /// Writes `BENCH_pipeline.json` (experiment wall times + the canonical
+    /// pipeline measurement) and returns the path, or the I/O error.
+    pub fn write(&self, scale: f32) -> std::io::Result<&'static str> {
+        let mut json = String::new();
+        json.push_str("{\n");
+        let _ = writeln!(json, "  \"scale\": {scale},");
+        let _ = writeln!(
+            json,
+            "  \"host_threads\": {},",
+            gsplat::par::effective_threads(0, usize::MAX)
+        );
+
+        json.push_str("  \"experiments\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let comma = if i + 1 < self.records.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    {{\"name\": \"{}\", \"wall_ms\": {:.3}}}{comma}",
+                r.name, r.wall_ms
+            );
+        }
+        json.push_str("  ],\n");
+
+        json.push_str("  \"pipeline\": ");
+        json.push_str(&pipeline_measurement(scale));
+        json.push_str("\n}\n");
+        std::fs::write(REPORT_PATH, json)?;
+        Ok(REPORT_PATH)
+    }
+}
+
+/// Renders the canonical scene (Lego) once per variant and once per host
+/// threading mode, returning the JSON object: simulated cycles + speedups
+/// vs the baseline variant, and host wall time serial vs parallel.
+fn pipeline_measurement(scale: f32) -> String {
+    let spec = &EVALUATED_SCENES[4];
+    let scene = spec.generate_scaled(scale.min(0.12));
+    let cam = scene.default_camera();
+    let mut scratch = FrameScratch::default();
+
+    let mut variants = String::new();
+    let mut base_cycles = 0u64;
+    for (i, v) in PipelineVariant::ALL.iter().enumerate() {
+        let r = Renderer::new(GpuConfig::default(), *v);
+        let t0 = Instant::now();
+        let frame = r.render_with(&scene, &cam, &mut scratch);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if i == 0 {
+            base_cycles = frame.stats.total_cycles;
+        }
+        let comma = if i + 1 < PipelineVariant::ALL.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            variants,
+            "      {{\"variant\": \"{}\", \"cycles\": {}, \"speedup_vs_baseline\": {:.4}, \"host_wall_ms\": {:.3}}}{comma}",
+            v.label(),
+            frame.stats.total_cycles,
+            base_cycles as f64 / frame.stats.total_cycles.max(1) as f64,
+            wall_ms
+        );
+    }
+
+    // Host-side serial vs parallel wall time for the full frame loop.
+    let time_with = |threads: usize| -> f64 {
+        let cfg = GpuConfig {
+            threads,
+            ..GpuConfig::default()
+        };
+        let r = Renderer::new(cfg, PipelineVariant::HetQm);
+        let mut scratch = FrameScratch::default();
+        r.render_with(&scene, &cam, &mut scratch); // warm scratch
+        let t0 = Instant::now();
+        let reps = 3;
+        for _ in 0..reps {
+            r.render_with(&scene, &cam, &mut scratch);
+        }
+        t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+    };
+    let serial_ms = time_with(1);
+    let parallel_ms = time_with(0);
+
+    format!(
+        "{{\n    \"scene\": \"{}\",\n    \"variants\": [\n{variants}    ],\n    \"host_serial_ms\": {serial_ms:.3},\n    \"host_parallel_ms\": {parallel_ms:.3},\n    \"host_speedup\": {:.3}\n  }}",
+        spec.name,
+        serial_ms / parallel_ms.max(1e-9)
+    )
+}

@@ -30,7 +30,10 @@ impl HardwareCost {
         // + 64 * 1B registers + 128-bit bitmap.
         let qru_entry_bits = 4 * 8 + 6;
         let qru_bytes = (qru_entry_bits * cfg.tc_bin_size).div_ceil(8) + 64 + 16;
-        Self { tgc_bytes, qru_bytes }
+        Self {
+            tgc_bytes,
+            qru_bytes,
+        }
     }
 
     /// Total extension storage in bytes.
@@ -62,8 +65,10 @@ mod tests {
 
     #[test]
     fn cost_scales_with_bin_count() {
-        let mut cfg = GpuConfig::default();
-        cfg.tgc_bins = 256;
+        let cfg = GpuConfig {
+            tgc_bins: 256,
+            ..GpuConfig::default()
+        };
         let doubled = HardwareCost::for_config(&cfg);
         let base = HardwareCost::for_config(&GpuConfig::default());
         assert_eq!(doubled.tgc_bytes, base.tgc_bytes * 2);

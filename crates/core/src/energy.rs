@@ -59,8 +59,7 @@ impl EnergyModel {
     /// Total draw-call energy in nanojoules for the given statistics.
     pub fn draw_energy_nj(&self, cfg: &GpuConfig, stats: &PipelineStats) -> f64 {
         let _ = cfg;
-        let cache_accesses =
-            stats.crop_cache.accesses() + stats.z_cache.accesses();
+        let cache_accesses = stats.crop_cache.accesses() + stats.z_cache.accesses();
         let l2_bytes = (stats.crop_cache.misses
             + stats.crop_cache.writebacks
             + stats.z_cache.misses

@@ -82,8 +82,14 @@ mod tests {
 
     fn quad_at(x: u32, y: u32, coverage: u8) -> Quad {
         Quad {
-            tile: TileId { x: x / 16, y: y / 16 },
-            pos: QuadPos { x: ((x % 16) / 2) as u8, y: ((y % 16) / 2) as u8 },
+            tile: TileId {
+                x: x / 16,
+                y: y / 16,
+            },
+            pos: QuadPos {
+                x: ((x % 16) / 2) as u8,
+                y: ((y % 16) / 2) as u8,
+            },
             origin: (x, y),
             coverage,
             splat: 0,

@@ -41,6 +41,6 @@ pub mod variant;
 
 pub use cost::HardwareCost;
 pub use energy::EnergyModel;
-pub use pipeline::{draw, DrawOutput};
-pub use renderer::{Frame, Renderer, TimeBreakdown};
+pub use pipeline::{draw, draw_in_place, draw_with_scratch, DrawOutput, DrawScratch};
+pub use renderer::{Frame, FrameScratch, Renderer, TimeBreakdown};
 pub use variant::PipelineVariant;

@@ -11,22 +11,32 @@
 //!     ─→ SM fragment shading (alpha prune, merge) ─→ CROP blending
 //!       └─ alpha test unit (HET) ─→ ZROP termination update
 //! ```
+//!
+//! The simulated pipeline is inherently order-dependent (bin evictions,
+//! cache state, the flow-shop timer), so the draw loop itself runs
+//! serially — but its pure per-primitive prologue (triangle setup, the
+//! TGC `(grid, primitive)` key stream) fans out over the host threads in
+//! [`GpuConfig::thread_policy`], and every per-primitive / per-flush
+//! buffer lives in a reusable [`DrawScratch`], making the steady-state
+//! frame loop allocation-free. Simulated results are bit-exact for every
+//! `threads` setting.
 
-use gpu_sim::binning::{BinTable, Flush, FlushReason};
+use gpu_sim::binning::{BinTable, Flush, FlushReason, KeyStream};
 use gpu_sim::cache::Cache;
 use gpu_sim::config::GpuConfig;
 use gpu_sim::quad::{Quad, ShadedQuad};
-use gpu_sim::raster::{rasterize_in_tile, SplatSetup};
+use gpu_sim::raster::{rasterize_in_tile_into, SplatSetup};
 use gpu_sim::stats::{PipelineStats, Unit};
 use gpu_sim::tiles::{TileGridId, TileId, Tiling};
 use gpu_sim::timing::{PipelineTimer, WorkBatch};
 use gsplat::blend::blend_over;
 use gsplat::color::Rgba;
 use gsplat::framebuffer::{ColorBuffer, DepthStencilBuffer};
+use gsplat::par::Bands;
 use gsplat::splat::Splat;
 
 use crate::het::{alpha_test, termination_test, termination_update};
-use crate::qm::{plan_warps, WarpPlan, WarpSlot};
+use crate::qm::{plan_warps_into, WarpPlan, WarpSlot};
 use crate::shading::{merge_pair, premultiplied_fragment, shade_quad};
 use crate::variant::PipelineVariant;
 
@@ -39,6 +49,31 @@ pub struct DrawOutput {
     pub depth_stencil: DepthStencilBuffer,
     /// Work counters, cache behaviour, cycles and utilisation.
     pub stats: PipelineStats,
+}
+
+/// Reusable per-draw buffers: primitive setups, the TGC key stream, the
+/// raster quad buffer and every per-flush staging vector. Holding one of
+/// these across draws removes all steady-state allocation from the
+/// simulator's frame loop.
+#[derive(Debug, Default)]
+pub struct DrawScratch {
+    /// Per-primitive setup results (parallel prologue output).
+    setups: Vec<Option<SplatSetup>>,
+    /// TGC `(grid, primitive)` insertion stream.
+    tgc_stream: KeyStream<TileGridId>,
+    /// Fine-raster quad staging for one (primitive, tile) visit.
+    quads: Vec<Quad>,
+    /// Surviving quads of the TC flush being processed.
+    bin: Vec<Quad>,
+    /// Shaded quads of the current flush.
+    shaded: Vec<ShadedQuad>,
+    /// Merge replacements (front slots) of the current flush.
+    replacement: Vec<Option<ShadedQuad>>,
+    /// Back-quad skip marks of the current flush.
+    skip: Vec<bool>,
+    /// QRU output, with its warp vectors recycled through `warp_pool`.
+    plan: WarpPlan,
+    warp_pool: Vec<Vec<WarpSlot>>,
 }
 
 /// Simulates one draw call of depth-sorted splats.
@@ -68,8 +103,90 @@ pub fn draw(
     cfg: &GpuConfig,
     variant: PipelineVariant,
 ) -> DrawOutput {
+    draw_with_scratch(
+        splats,
+        width,
+        height,
+        cfg,
+        variant,
+        &mut DrawScratch::default(),
+    )
+}
+
+/// [`draw`] reusing caller-owned scratch buffers across draw calls.
+///
+/// # Panics
+///
+/// Panics when the configuration fails [`GpuConfig::validate`].
+pub fn draw_with_scratch(
+    splats: &[Splat],
+    width: u32,
+    height: u32,
+    cfg: &GpuConfig,
+    variant: PipelineVariant,
+    scratch: &mut DrawScratch,
+) -> DrawOutput {
+    let mut color = ColorBuffer::new(width, height, cfg.pixel_format);
+    let mut ds = DepthStencilBuffer::new(width, height);
+    let stats = draw_in_place(splats, cfg, variant, &mut color, &mut ds, scratch);
+    DrawOutput {
+        color,
+        depth_stencil: ds,
+        stats,
+    }
+}
+
+/// [`draw`] into caller-owned render targets (cleared here), reusing
+/// `scratch` — the fully allocation-free frame-loop entry point.
+///
+/// # Panics
+///
+/// Panics when the configuration fails [`GpuConfig::validate`] or when the
+/// color and depth/stencil dimensions disagree.
+pub fn draw_in_place(
+    splats: &[Splat],
+    cfg: &GpuConfig,
+    variant: PipelineVariant,
+    color: &mut ColorBuffer,
+    ds: &mut DepthStencilBuffer,
+    scratch: &mut DrawScratch,
+) -> PipelineStats {
     cfg.validate().expect("invalid GPU configuration");
-    Pipeline::new(splats, width, height, cfg, variant).run()
+    assert_eq!(
+        (color.width(), color.height()),
+        (ds.width(), ds.height()),
+        "render target dimensions disagree"
+    );
+    let (width, height) = (color.width(), color.height());
+    color.reset(width, height, cfg.pixel_format);
+    ds.reset(width, height);
+    Pipeline {
+        splats,
+        cfg,
+        variant,
+        tiling: Tiling::new(width, height, cfg.screen_tile_px, cfg.tile_grid_tiles),
+        color,
+        ds,
+        crop_cache: Cache::new(cfg.crop_cache_bytes, cfg.cache_line_bytes, cfg.cache_ways),
+        z_cache: Cache::new(cfg.z_cache_bytes, cfg.cache_line_bytes, cfg.cache_ways),
+        l2: Cache::new(4 * 1024 * 1024, cfg.cache_line_bytes, 16),
+        timer: PipelineTimer::new(),
+        stats: PipelineStats::default(),
+        pending: WorkBatch::default(),
+        tc: BinTable::new(cfg.tc_bins, cfg.tc_bin_size),
+        line_block: line_block(cfg),
+        scratch,
+    }
+    .run()
+}
+
+/// Color-cache line geometry: a 128-B line covers a
+/// `(128/bpp/4)`-wide × 4-tall pixel block.
+fn line_block(cfg: &GpuConfig) -> (u32, u32) {
+    let bpp = cfg.pixel_format.bytes_per_pixel() as u32;
+    let block_h = 4u32;
+    let block_w = (cfg.cache_line_bytes as u32 / (bpp * block_h)).max(1);
+    (block_w, block_h)
 }
 
 /// Internal per-draw-call state.
@@ -78,8 +195,8 @@ struct Pipeline<'a> {
     cfg: &'a GpuConfig,
     variant: PipelineVariant,
     tiling: Tiling,
-    color: ColorBuffer,
-    ds: DepthStencilBuffer,
+    color: &'a mut ColorBuffer,
+    ds: &'a mut DepthStencilBuffer,
     crop_cache: Cache,
     z_cache: Cache,
     l2: Cache,
@@ -90,40 +207,12 @@ struct Pipeline<'a> {
     tc: BinTable<TileId, Quad>,
     /// Color-cache line geometry (pixels per line block).
     line_block: (u32, u32),
+    scratch: &'a mut DrawScratch,
 }
 
-impl<'a> Pipeline<'a> {
-    fn new(
-        splats: &'a [Splat],
-        width: u32,
-        height: u32,
-        cfg: &'a GpuConfig,
-        variant: PipelineVariant,
-    ) -> Self {
-        let tiling = Tiling::new(width, height, cfg.screen_tile_px, cfg.tile_grid_tiles);
-        // A 128-B color line covers a (128/bpp/4)-wide × 4-tall pixel block.
-        let bpp = cfg.pixel_format.bytes_per_pixel() as u32;
-        let block_h = 4u32;
-        let block_w = (cfg.cache_line_bytes as u32 / (bpp * block_h)).max(1);
-        Self {
-            splats,
-            cfg,
-            variant,
-            tiling,
-            color: ColorBuffer::new(width, height, cfg.pixel_format),
-            ds: DepthStencilBuffer::new(width, height),
-            crop_cache: Cache::new(cfg.crop_cache_bytes, cfg.cache_line_bytes, cfg.cache_ways),
-            z_cache: Cache::new(cfg.z_cache_bytes, cfg.cache_line_bytes, cfg.cache_ways),
-            l2: Cache::new(4 * 1024 * 1024, cfg.cache_line_bytes, 16),
-            timer: PipelineTimer::new(),
-            stats: PipelineStats::default(),
-            pending: WorkBatch::default(),
-            tc: BinTable::new(cfg.tc_bins, cfg.tc_bin_size),
-            line_block: (block_w, block_h),
-        }
-    }
-
-    fn run(mut self) -> DrawOutput {
+impl Pipeline<'_> {
+    fn run(mut self) -> PipelineStats {
+        self.precompute_setups();
         if self.variant.qm() {
             self.run_with_tgc();
         } else {
@@ -147,11 +236,33 @@ impl<'a> Pipeline<'a> {
         let (total, busy) = self.timer.finish();
         self.stats.total_cycles = total;
         self.stats.busy_cycles = busy;
-        DrawOutput {
-            color: self.color,
-            depth_stencil: self.ds,
-            stats: self.stats,
+        self.stats
+    }
+
+    /// Parallel prologue: triangle setup for every primitive. Pure
+    /// per-splat work fanned out over contiguous chunks; results land in
+    /// primitive order, so downstream behaviour is independent of the
+    /// thread count.
+    fn precompute_setups(&mut self) {
+        let splats = self.splats;
+        let setups = &mut self.scratch.setups;
+        setups.clear();
+        setups.resize(splats.len(), None);
+        let policy = self.cfg.thread_policy();
+        if policy.workers(splats.len()) <= 1 {
+            for (setup, splat) in setups.iter_mut().zip(splats) {
+                *setup = SplatSetup::new(splat);
+            }
+            return;
         }
+        let chunk = splats.len().div_ceil(policy.workers(splats.len()));
+        let bands = Bands::new(setups, chunk);
+        gsplat::par::run_indexed(splats.len().div_ceil(chunk), policy, |c| {
+            let band = bands.take(c);
+            for (j, setup) in band.iter_mut().enumerate() {
+                *setup = SplatSetup::new(&splats[c * chunk + j]);
+            }
+        });
     }
 
     /// Baseline path: each primitive rasterizes across all its screen
@@ -159,52 +270,81 @@ impl<'a> Pipeline<'a> {
     fn run_direct(&mut self) {
         for i in 0..self.splats.len() {
             self.account_vertex(i);
-            let splat = &self.splats[i];
-            let Some(setup) = SplatSetup::new(splat) else { continue };
-            let tiles: Vec<TileId> = self
-                .tiling
-                .tiles_in_aabb(
-                    (setup.aabb.0.x, setup.aabb.0.y),
-                    (setup.aabb.1.x, setup.aabb.1.y),
-                )
-                .collect();
-            self.rasterize_tiles(i as u32, &setup, &tiles);
+            let Some(setup) = self.scratch.setups[i] else {
+                continue;
+            };
+            let Some(rect) = self.tiling.tile_rect_in_aabb(
+                (setup.aabb.0.x, setup.aabb.0.y),
+                (setup.aabb.1.x, setup.aabb.1.y),
+            ) else {
+                continue;
+            };
+            self.rasterize_rect(i as u32, &setup, rect);
         }
     }
 
     /// QM path: primitives are first gathered per tile grid by the TGC
     /// unit; a TGC flush rasterizes its primitives restricted to that grid,
     /// concentrating spatially-overlapping quads in the TC bins.
+    ///
+    /// The `(grid, primitive)` key stream is derived on worker threads
+    /// (chunk-ordered merge), then replayed serially through the TGC bin
+    /// table — flush and eviction order is bit-exact with a serial build.
     fn run_with_tgc(&mut self) {
-        let mut tgc: BinTable<TileGridId, u32> =
-            BinTable::new(self.cfg.tgc_bins, self.cfg.tgc_bin_size);
-        for i in 0..self.splats.len() {
-            self.account_vertex(i);
-            let splat = &self.splats[i];
-            let Some(setup) = SplatSetup::new(splat) else { continue };
-            // Identify intersecting tile grids from the AABB.
-            let mut grids: Vec<TileGridId> = self
-                .tiling
-                .tiles_in_aabb(
+        let mut stream = std::mem::take(&mut self.scratch.tgc_stream);
+        {
+            let setups = &self.scratch.setups;
+            let tiling = &self.tiling;
+            let g = self.cfg.tile_grid_tiles;
+            stream.build(self.splats.len(), self.cfg.thread_policy(), |i, push| {
+                let Some(setup) = setups[i as usize] else {
+                    return;
+                };
+                let Some((x0, x1, y0, y1)) = tiling.tile_rect_in_aabb(
                     (setup.aabb.0.x, setup.aabb.0.y),
                     (setup.aabb.1.x, setup.aabb.1.y),
-                )
-                .map(|t| self.tiling.grid_of_tile(t))
-                .collect();
-            grids.sort_unstable();
-            grids.dedup();
-            for grid in grids {
-                self.stats.tgc_insertions += 1;
-                self.pending.add(Unit::Tgc, 1.0);
-                for flush in tgc.insert(grid, i as u32) {
-                    self.process_tgc_flush(flush);
+                ) else {
+                    return;
+                };
+                // x-major grid walk: the same visit order as sorting
+                // TileGridIds (lexicographic by x, then y) and deduping.
+                for gx in x0 / g..=x1 / g {
+                    for gy in y0 / g..=y1 / g {
+                        push(TileGridId { x: gx, y: gy });
+                    }
                 }
+            });
+        }
+
+        let mut tgc: BinTable<TileGridId, u32> =
+            BinTable::new(self.cfg.tgc_bins, self.cfg.tgc_bin_size);
+        // Vertex work interleaves with insertions exactly as a per-splat
+        // loop would: each primitive is accounted just before its first
+        // insertion (or with the next accounted primitive if it has none).
+        let mut next_vertex = 0usize;
+        for idx in 0..stream.pairs().len() {
+            let (grid, prim) = stream.pairs()[idx];
+            while next_vertex <= prim as usize {
+                self.account_vertex(next_vertex);
+                next_vertex += 1;
+            }
+            self.stats.tgc_insertions += 1;
+            self.pending.add(Unit::Tgc, 1.0);
+            for flush in tgc.insert(grid, prim) {
+                let Flush { key, items, .. } = flush;
+                self.process_tgc_flush(key, &items);
+                tgc.recycle(items);
             }
         }
+        while next_vertex < self.splats.len() {
+            self.account_vertex(next_vertex);
+            next_vertex += 1;
+        }
+        self.scratch.tgc_stream = stream;
+
         let drains = tgc.drain();
-        self.stats.tgc_flushes = 0; // recomputed below from BinStats
         for flush in drains {
-            self.process_tgc_flush(flush);
+            self.process_tgc_flush(flush.key, &flush.items);
         }
         let s = tgc.stats();
         self.stats.tgc_flushes = s.flushes;
@@ -223,51 +363,71 @@ impl<'a> Pipeline<'a> {
 
     /// Rasterizes a TGC flush: every primitive in the bin, restricted to
     /// the screen tiles of that tile grid.
-    fn process_tgc_flush(&mut self, flush: Flush<TileGridId, u32>) {
-        let grid = flush.key;
+    fn process_tgc_flush(&mut self, grid: TileGridId, prims: &[u32]) {
         let g = self.cfg.tile_grid_tiles;
-        for prim in flush.items {
-            let splat = &self.splats[prim as usize];
-            let Some(setup) = SplatSetup::new(splat) else { continue };
-            let tiles: Vec<TileId> = self
-                .tiling
-                .tiles_in_aabb(
-                    (setup.aabb.0.x, setup.aabb.0.y),
-                    (setup.aabb.1.x, setup.aabb.1.y),
-                )
-                .filter(|t| t.x / g == grid.x && t.y / g == grid.y)
-                .collect();
-            self.rasterize_tiles(prim, &setup, &tiles);
+        for &prim in prims {
+            let Some(setup) = self.scratch.setups[prim as usize] else {
+                continue;
+            };
+            let Some((x0, x1, y0, y1)) = self.tiling.tile_rect_in_aabb(
+                (setup.aabb.0.x, setup.aabb.0.y),
+                (setup.aabb.1.x, setup.aabb.1.y),
+            ) else {
+                continue;
+            };
+            // Intersect the primitive's tile rect with this grid's tiles.
+            let rect = (
+                x0.max(grid.x * g),
+                x1.min(grid.x * g + g - 1),
+                y0.max(grid.y * g),
+                y1.min(grid.y * g + g - 1),
+            );
+            if rect.0 > rect.1 || rect.2 > rect.3 {
+                continue;
+            }
+            self.rasterize_rect(prim, &setup, rect);
         }
     }
 
-    /// Runs setup + coarse + fine raster over the given tiles and feeds
-    /// the TC unit.
-    fn rasterize_tiles(&mut self, prim: u32, setup: &SplatSetup, tiles: &[TileId]) {
-        if tiles.is_empty() {
-            return;
-        }
+    /// Runs setup + coarse + fine raster over the inclusive tile rectangle
+    /// `(x0, x1, y0, y1)` and feeds the TC unit.
+    fn rasterize_rect(&mut self, prim: u32, setup: &SplatSetup, rect: (u32, u32, u32, u32)) {
+        let (x0, x1, y0, y1) = rect;
         self.pending
             .add(Unit::Raster, 1.0 / self.cfg.setup_prims_per_cycle as f64);
-        for &tile in tiles {
-            let out = rasterize_in_tile(setup, prim, tile, &self.tiling, self.cfg.raster_tile_px);
-            self.stats.coarse_tiles += out.coarse_tiles;
-            self.pending.add(
-                Unit::Raster,
-                out.coarse_tiles as f64 / self.cfg.coarse_raster_tiles_per_cycle as f64
-                    + out.quads.len() as f64 / self.cfg.fine_raster_quads_per_cycle as f64,
-            );
-            for q in out.quads {
-                self.stats.raster_quads += 1;
-                self.stats.raster_fragments += q.coverage_count() as u64;
-                self.tc_insert(q);
+        let mut quads = std::mem::take(&mut self.scratch.quads);
+        for ty in y0..=y1 {
+            for tx in x0..=x1 {
+                let tile = TileId { x: tx, y: ty };
+                quads.clear();
+                let coarse_tiles = rasterize_in_tile_into(
+                    setup,
+                    prim,
+                    tile,
+                    &self.tiling,
+                    self.cfg.raster_tile_px,
+                    &mut quads,
+                );
+                self.stats.coarse_tiles += coarse_tiles;
+                self.pending.add(
+                    Unit::Raster,
+                    coarse_tiles as f64 / self.cfg.coarse_raster_tiles_per_cycle as f64
+                        + quads.len() as f64 / self.cfg.fine_raster_quads_per_cycle as f64,
+                );
+                for &q in &quads {
+                    self.stats.raster_quads += 1;
+                    self.stats.raster_fragments += q.coverage_count() as u64;
+                    self.tc_insert(q);
+                }
             }
         }
+        self.scratch.quads = quads;
     }
 
     fn tc_insert(&mut self, q: Quad) {
         self.stats.tc_insertions += 1;
-        self.pending.add(Unit::Tc, 1.0 / self.cfg.tc_quads_per_cycle as f64);
+        self.pending
+            .add(Unit::Tc, 1.0 / self.cfg.tc_quads_per_cycle as f64);
         let tile = q.tile;
         for flush in self.tc.insert(tile, q) {
             self.process_tc_flush(flush);
@@ -284,38 +444,41 @@ impl<'a> Pipeline<'a> {
         }
 
         // --- ZROP early-termination test (HET) ---
-        let bin: Vec<Quad> = if self.variant.het() {
-            let mut survivors = Vec::with_capacity(flush.items.len());
+        let mut bin = std::mem::take(&mut self.scratch.bin);
+        bin.clear();
+        if self.variant.het() {
             let n = flush.items.len() as f64;
             self.stats.zrop_term_tests += flush.items.len() as u64;
             batch.add(Unit::Zrop, n / self.cfg.zrop_quads_per_cycle as f64);
-            for q in flush.items {
+            for &q in &flush.items {
                 // One z-cache line read per quad (stencil MSBs).
                 self.z_cache_access(q.origin, false, &mut batch);
-                let t = termination_test(&q, &self.ds);
+                let t = termination_test(&q, self.ds);
                 if t.survives {
                     self.stats.zrop_term_discarded_fragments += t.terminated_fragments as u64;
-                    survivors.push(q);
+                    bin.push(q);
                 } else {
                     self.stats.zrop_term_discards += 1;
                     self.stats.zrop_term_discarded_fragments += q.coverage_count() as u64;
                 }
             }
-            survivors
         } else {
-            flush.items
-        };
+            bin.extend_from_slice(&flush.items);
+        }
+        self.tc.recycle(flush.items);
         if bin.is_empty() {
             self.timer.push(batch);
+            self.scratch.bin = bin;
             return;
         }
 
         // --- PROP routing / quad reorder unit (QM) ---
-        let plan: WarpPlan = if self.variant.qm() {
-            plan_warps(&bin)
+        let mut plan = std::mem::take(&mut self.scratch.plan);
+        if self.variant.qm() {
+            plan_warps_into(&bin, &mut plan, &mut self.scratch.warp_pool);
         } else {
-            sequential_plan(bin.len())
-        };
+            sequential_plan_into(bin.len(), &mut plan, &mut self.scratch.warp_pool);
+        }
         // Pre-shading routing (and QRU examination, which proceeds at the
         // routing rate — the scan is simple register compares pipelined
         // with dispatch).
@@ -332,24 +495,31 @@ impl<'a> Pipeline<'a> {
         for warp in &plan.warps {
             let has_pair = warp.iter().any(|s| matches!(s, WarpSlot::Pair(..)));
             warp_cycles += self.cfg.frag_shader_cycles_per_warp as u64
-                + if has_pair { self.cfg.qm_extra_cycles_per_warp as u64 } else { 0 };
+                + if has_pair {
+                    self.cfg.qm_extra_cycles_per_warp as u64
+                } else {
+                    0
+                };
         }
         batch.add(Unit::Sm, warp_cycles as f64 / self.cfg.simt_cores as f64);
 
-        let shaded: Vec<ShadedQuad> = bin
-            .iter()
-            .map(|q| {
-                let sq = shade_quad(q, &self.splats[q.splat as usize]);
-                let covered = q.coverage_count() as u64;
-                self.stats.shaded_fragments += covered;
-                self.stats.alpha_pruned_fragments += covered - sq.alive_count() as u64;
-                sq
-            })
-            .collect();
+        let mut shaded = std::mem::take(&mut self.scratch.shaded);
+        shaded.clear();
+        for q in &bin {
+            let sq = shade_quad(q, &self.splats[q.splat as usize]);
+            let covered = q.coverage_count() as u64;
+            self.stats.shaded_fragments += covered;
+            self.stats.alpha_pruned_fragments += covered - sq.alive_count() as u64;
+            shaded.push(sq);
+        }
 
         // Merge pairs: replace the front quad, skip the back quad.
-        let mut replacement: Vec<Option<ShadedQuad>> = vec![None; bin.len()];
-        let mut skip = vec![false; bin.len()];
+        let mut replacement = std::mem::take(&mut self.scratch.replacement);
+        let mut skip = std::mem::take(&mut self.scratch.skip);
+        replacement.clear();
+        replacement.resize(bin.len(), None);
+        skip.clear();
+        skip.resize(bin.len(), false);
         for warp in &plan.warps {
             for slot in warp {
                 if let WarpSlot::Pair(front, back) = *slot {
@@ -393,7 +563,7 @@ impl<'a> Pipeline<'a> {
                     self.stats.term_updates += 1;
                     self.z_cache_access((x, y), true, &mut batch);
                     batch.add(Unit::Zrop, 0.5);
-                    termination_update(&mut self.ds, x, y);
+                    termination_update(self.ds, x, y);
                 }
             }
         }
@@ -408,6 +578,12 @@ impl<'a> Pipeline<'a> {
             crop_quads_here as f64 / self.cfg.crop_quads_per_cycle() as f64,
         );
         self.timer.push(batch);
+
+        self.scratch.bin = bin;
+        self.scratch.shaded = shaded;
+        self.scratch.replacement = replacement;
+        self.scratch.skip = skip;
+        self.scratch.plan = plan;
     }
 
     /// One CROP-cache access for the color line(s) under a quad.
@@ -458,18 +634,20 @@ impl<'a> Pipeline<'a> {
 }
 
 /// Baseline warp packing: quads in bin order, eight per warp, no pairs.
-fn sequential_plan(n: usize) -> WarpPlan {
-    let mut warps = Vec::with_capacity(n.div_ceil(8));
+fn sequential_plan_into(n: usize, plan: &mut WarpPlan, pool: &mut Vec<Vec<WarpSlot>>) {
+    for mut warp in plan.warps.drain(..) {
+        warp.clear();
+        pool.push(warp);
+    }
+    plan.merge_bitmap = 0;
+    plan.pairs = 0;
     let mut i = 0;
     while i < n {
         let end = (i + 8).min(n);
-        warps.push((i..end).map(WarpSlot::Single).collect());
+        let mut warp = pool.pop().unwrap_or_default();
+        warp.extend((i..end).map(WarpSlot::Single));
+        plan.warps.push(warp);
         i = end;
-    }
-    WarpPlan {
-        warps,
-        merge_bitmap: 0,
-        pairs: 0,
     }
 }
 
@@ -512,7 +690,11 @@ mod tests {
     fn variants_render_equivalent_images() {
         let splats = stacked_splats(30, 0.3);
         let base = draw(&splats, 32, 32, &cfg(), PipelineVariant::Baseline);
-        for v in [PipelineVariant::Qm, PipelineVariant::Het, PipelineVariant::HetQm] {
+        for v in [
+            PipelineVariant::Qm,
+            PipelineVariant::Het,
+            PipelineVariant::HetQm,
+        ] {
             let out = draw(&splats, 32, 32, &cfg(), v);
             let diff = base.color.max_abs_diff(&out.color);
             // HET legitimately drops invisible contributions; tolerance is
@@ -585,5 +767,61 @@ mod tests {
         assert_eq!(out.stats.total_cycles, 0);
         assert_eq!(out.stats.crop_fragments, 0);
         assert_eq!(out.color.mean_alpha(), 0.0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_draws() {
+        let splats = stacked_splats(35, 0.4);
+        let mut scratch = DrawScratch::default();
+        for v in PipelineVariant::ALL {
+            let fresh = draw(&splats, 32, 32, &cfg(), v);
+            let reused = draw_with_scratch(&splats, 32, 32, &cfg(), v, &mut scratch);
+            assert_eq!(reused.stats, fresh.stats, "{v}");
+            assert_eq!(reused.color.max_abs_diff(&fresh.color), 0.0, "{v}");
+            assert_eq!(reused.depth_stencil, fresh.depth_stencil, "{v}");
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_simulated_results() {
+        let splats = stacked_splats(40, 0.5);
+        let serial = {
+            let mut c = cfg();
+            c.threads = 1;
+            PipelineVariant::ALL.map(|v| draw(&splats, 48, 48, &c, v))
+        };
+        for (threads, deterministic) in [(3usize, true), (5, false), (0, true)] {
+            let mut c = cfg();
+            c.threads = threads;
+            c.deterministic = deterministic;
+            for (v, reference) in PipelineVariant::ALL.iter().zip(&serial) {
+                let out = draw(&splats, 48, 48, &c, *v);
+                assert_eq!(out.stats, reference.stats, "{v} threads={threads}");
+                assert_eq!(out.color.max_abs_diff(&reference.color), 0.0, "{v}");
+                assert_eq!(out.depth_stencil, reference.depth_stencil, "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn draw_in_place_reuses_targets() {
+        let splats = stacked_splats(20, 0.6);
+        let mut color = ColorBuffer::new(32, 32, cfg().pixel_format);
+        let mut ds = DepthStencilBuffer::new(32, 32);
+        let mut scratch = DrawScratch::default();
+        let fresh = draw(&splats, 32, 32, &cfg(), PipelineVariant::HetQm);
+        for _ in 0..3 {
+            let stats = draw_in_place(
+                &splats,
+                &cfg(),
+                PipelineVariant::HetQm,
+                &mut color,
+                &mut ds,
+                &mut scratch,
+            );
+            assert_eq!(stats, fresh.stats);
+            assert_eq!(color.max_abs_diff(&fresh.color), 0.0);
+            assert_eq!(ds, fresh.depth_stencil);
+        }
     }
 }

@@ -73,53 +73,86 @@ impl WarpPlan {
 ///
 /// Panics when the bin exceeds the QRU's 128-entry quad buffer.
 pub fn plan_warps(bin: &[Quad]) -> WarpPlan {
+    let mut plan = WarpPlan::default();
+    plan_warps_into(bin, &mut plan, &mut Vec::new());
+    plan
+}
+
+/// [`plan_warps`] into a reusable plan, with flushed warp vectors recycled
+/// through `pool` — the allocation-free frame-loop entry point.
+///
+/// # Panics
+///
+/// Panics when the bin exceeds the QRU's 128-entry quad buffer.
+pub fn plan_warps_into(bin: &[Quad], plan: &mut WarpPlan, pool: &mut Vec<Vec<WarpSlot>>) {
     assert!(bin.len() <= 128, "QRU buffer holds at most 128 quads");
+    for mut warp in plan.warps.drain(..) {
+        warp.clear();
+        pool.push(warp);
+    }
+    plan.merge_bitmap = 0;
+
     // 64 position registers: valid bit + 7-bit QID, as in the paper.
     let mut registers: [Option<usize>; 64] = [None; 64];
-    let mut pairs: Vec<(usize, usize)> = Vec::new();
-    let mut merge_bitmap: u128 = 0;
+    // At most 64 pairs fit a 128-quad bin.
+    let mut pairs = [(0usize, 0usize); 64];
+    let mut n_pairs = 0usize;
 
     for (qid, quad) in bin.iter().enumerate() {
         let reg = quad.pos.register_index();
         match registers[reg] {
             Some(front) => {
-                pairs.push((front, qid));
-                merge_bitmap |= 1 << front;
-                merge_bitmap |= 1 << qid;
+                pairs[n_pairs] = (front, qid);
+                n_pairs += 1;
+                plan.merge_bitmap |= 1 << front;
+                plan.merge_bitmap |= 1 << qid;
                 registers[reg] = None;
             }
             None => registers[reg] = Some(qid),
         }
     }
-
-    let singles: Vec<usize> = (0..bin.len()).filter(|i| merge_bitmap & (1 << i) == 0).collect();
+    plan.pairs = n_pairs;
 
     // Pack: pairs first in detection order, then singles, 8 slots per warp.
-    let mut warps: Vec<Vec<WarpSlot>> = Vec::new();
-    let mut current: Vec<WarpSlot> = Vec::new();
+    let mut current: Vec<WarpSlot> = pool.pop().unwrap_or_default();
     let mut used = 0usize;
-    let push_slot = |slot: WarpSlot, warps: &mut Vec<Vec<WarpSlot>>, current: &mut Vec<WarpSlot>, used: &mut usize| {
+    fn push_slot(
+        slot: WarpSlot,
+        warps: &mut Vec<Vec<WarpSlot>>,
+        current: &mut Vec<WarpSlot>,
+        used: &mut usize,
+        pool: &mut Vec<Vec<WarpSlot>>,
+    ) {
         if *used + slot.slots() > 8 {
-            warps.push(std::mem::take(current));
+            let next = pool.pop().unwrap_or_default();
+            warps.push(std::mem::replace(current, next));
             *used = 0;
         }
         *used += slot.slots();
         current.push(slot);
-    };
-    for &(front, back) in &pairs {
-        push_slot(WarpSlot::Pair(front, back), &mut warps, &mut current, &mut used);
     }
-    for &s in &singles {
-        push_slot(WarpSlot::Single(s), &mut warps, &mut current, &mut used);
+    for &(front, back) in &pairs[..n_pairs] {
+        push_slot(
+            WarpSlot::Pair(front, back),
+            &mut plan.warps,
+            &mut current,
+            &mut used,
+            pool,
+        );
     }
-    if !current.is_empty() {
-        warps.push(current);
+    for single in (0..bin.len()).filter(|i| plan.merge_bitmap & (1 << i) == 0) {
+        push_slot(
+            WarpSlot::Single(single),
+            &mut plan.warps,
+            &mut current,
+            &mut used,
+            pool,
+        );
     }
-
-    WarpPlan {
-        warps,
-        merge_bitmap,
-        pairs: pairs.len(),
+    if current.is_empty() {
+        pool.push(current);
+    } else {
+        plan.warps.push(current);
     }
 }
 
@@ -172,7 +205,12 @@ mod tests {
 
     #[test]
     fn four_at_same_position_pairs_both() {
-        let bin = vec![quad((0, 0), 0), quad((0, 0), 1), quad((0, 0), 2), quad((0, 0), 3)];
+        let bin = vec![
+            quad((0, 0), 0),
+            quad((0, 0), 1),
+            quad((0, 0), 2),
+            quad((0, 0), 3),
+        ];
         let plan = plan_warps(&bin);
         assert_eq!(plan.pairs, 2);
         assert_eq!(plan.warps[0][0], WarpSlot::Pair(0, 1));
@@ -212,6 +250,19 @@ mod tests {
         assert_eq!(plan.pairs, 64);
         assert_eq!(plan.warp_count(), 16);
         assert_eq!(plan.merge_bitmap, u128::MAX);
+    }
+
+    #[test]
+    fn reused_plan_matches_fresh_plan() {
+        let mut plan = WarpPlan::default();
+        let mut pool = Vec::new();
+        for round in 0..4u8 {
+            let bin: Vec<Quad> = (0..(32 + round as usize * 17))
+                .map(|i| quad(((i % 8) as u8, ((i / 8) % 8) as u8), i as u32))
+                .collect();
+            plan_warps_into(&bin, &mut plan, &mut pool);
+            assert_eq!(plan, plan_warps(&bin), "round {round}");
+        }
     }
 
     #[test]

@@ -6,11 +6,12 @@ use gpu_sim::config::GpuConfig;
 use gpu_sim::stats::PipelineStats;
 use gsplat::camera::Camera;
 use gsplat::framebuffer::ColorBuffer;
-use gsplat::preprocess::{preprocess, PreprocessStats};
+use gsplat::preprocess::{preprocess_into, PreprocessScratch, PreprocessStats};
 use gsplat::scene::Scene;
+use gsplat::splat::Splat;
 use serde::{Deserialize, Serialize};
 
-use crate::pipeline::draw;
+use crate::pipeline::{draw_with_scratch, DrawScratch};
 use crate::variant::PipelineVariant;
 
 /// Per-gaussian preprocessing cost on the reference edge GPU (ms per
@@ -108,17 +109,32 @@ impl Renderer {
     /// `scale²`); preprocessing and sorting scale with the full Gaussian
     /// count directly.
     pub fn render(&self, scene: &Scene, camera: &Camera) -> Frame {
-        let pre = preprocess(scene, camera);
-        let out = draw(
-            &pre.splats,
+        self.render_with(scene, camera, &mut FrameScratch::default())
+    }
+
+    /// [`Renderer::render`] reusing caller-owned scratch buffers: the
+    /// frame loop's intermediates (projection chunks, sort keys, raster
+    /// quads, per-flush staging) allocate nothing after the first frame;
+    /// only the returned frame's image buffers are fresh.
+    pub fn render_with(&self, scene: &Scene, camera: &Camera, scratch: &mut FrameScratch) -> Frame {
+        let pre_stats = preprocess_into(
+            scene,
+            camera,
+            self.cfg.thread_policy(),
+            &mut scratch.preprocess,
+            &mut scratch.splats,
+        );
+        let out = draw_with_scratch(
+            &scratch.splats,
             camera.width(),
             camera.height(),
             &self.cfg,
             self.variant,
+            &mut scratch.draw,
         );
         let scale2 = (scene.scale as f64) * (scene.scale as f64);
         let full_gaussians = scene.spec.gaussians as f64;
-        let full_visible = pre.stats.visible_splats as f64 / scale2;
+        let full_visible = pre_stats.visible_splats as f64 / scale2;
         let time = TimeBreakdown {
             preprocess_ms: full_gaussians * PREPROCESS_MS_PER_GAUSSIAN,
             sort_ms: full_visible * SORT_MS_PER_SPLAT,
@@ -127,10 +143,19 @@ impl Renderer {
         Frame {
             color: out.color,
             stats: out.stats,
-            preprocess: pre.stats,
+            preprocess: pre_stats,
             time,
         }
     }
+}
+
+/// Reusable buffers for [`Renderer::render_with`]: preprocessing scratch,
+/// the sorted splat list and the draw-call scratch.
+#[derive(Debug, Default)]
+pub struct FrameScratch {
+    preprocess: PreprocessScratch,
+    splats: Vec<Splat>,
+    draw: DrawScratch,
 }
 
 #[cfg(test)]

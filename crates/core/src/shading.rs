@@ -120,8 +120,14 @@ mod tests {
 
     fn full_quad(x: u32, y: u32) -> Quad {
         Quad {
-            tile: TileId { x: x / 16, y: y / 16 },
-            pos: QuadPos { x: ((x % 16) / 2) as u8, y: ((y % 16) / 2) as u8 },
+            tile: TileId {
+                x: x / 16,
+                y: y / 16,
+            },
+            pos: QuadPos {
+                x: ((x % 16) / 2) as u8,
+                y: ((y % 16) / 2) as u8,
+            },
             origin: (x, y),
             coverage: 0xF,
             splat: 0,
@@ -134,7 +140,11 @@ mod tests {
         let mut q = full_quad(0, 0);
         q.coverage = 0b0101;
         let sq = shade_quad(&q, &splat);
-        assert_eq!(sq.alive & !q.coverage, 0, "alive must be subset of coverage");
+        assert_eq!(
+            sq.alive & !q.coverage,
+            0,
+            "alive must be subset of coverage"
+        );
         assert!(sq.alive & 1 != 0, "center fragment must be alive");
         // Near the center, alpha approaches the opacity.
         assert!(sq.alpha[0] > 0.8);
@@ -197,7 +207,7 @@ mod tests {
         let merged = merge_pair(&front, &back);
 
         let dest = Rgba::new(0.1, 0.1, 0.1, 0.3); // pre-multiplied, in front
-        // Sequential: dest ⊕ front ⊕ back.
+                                                  // Sequential: dest ⊕ front ⊕ back.
         let (f_rgb, f_a) = premultiplied_fragment(&front, 0);
         let (b_rgb, b_a) = premultiplied_fragment(&back, 0);
         let seq = blend_over(

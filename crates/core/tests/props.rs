@@ -11,7 +11,10 @@ use vrpipe::qm::{plan_warps, WarpSlot};
 use vrpipe::{draw, PipelineVariant};
 
 fn quad_at(pos_idx: u8, splat: u32) -> Quad {
-    let pos = QuadPos { x: pos_idx % 8, y: pos_idx / 8 };
+    let pos = QuadPos {
+        x: pos_idx % 8,
+        y: pos_idx / 8,
+    };
     Quad {
         tile: TileId { x: 0, y: 0 },
         pos,
@@ -23,10 +26,10 @@ fn quad_at(pos_idx: u8, splat: u32) -> Quad {
 
 fn splat_strategy() -> impl Strategy<Value = Splat> {
     (
-        1.0f32..31.0, // cx
-        1.0f32..31.0, // cy
-        0.5f32..12.0, // r major
-        0.5f32..12.0, // r minor
+        1.0f32..31.0,  // cx
+        1.0f32..31.0,  // cy
+        0.5f32..12.0,  // r major
+        0.5f32..12.0,  // r minor
         0.05f32..0.95, // opacity
         1.0f32..100.0, // depth
         0.0f32..1.0,   // color seed

@@ -6,7 +6,17 @@
 //! an item for a new key arrives — the *oldest* bin is evicted — or (3) a
 //! timeout elapses (end-of-draw flush in this model; the functional
 //! simulation has no idle cycles between items of one draw call).
+//!
+//! Two things keep the hot loop fast without changing modeled behaviour:
+//!
+//! * [`BinTable`] recycles flushed bin storage through an internal pool
+//!   ([`BinTable::recycle`]), so steady-state insertion allocates nothing.
+//! * [`KeyStream`] derives the `(key, item)` insertion stream on worker
+//!   threads with per-thread partials merged **in chunk order**, then the
+//!   table replays it serially — the flush/eviction sequence (and with it
+//!   every downstream blend order) is bit-exact with a serial build.
 
+use gsplat::par::ThreadPolicy;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::hash::Hash;
@@ -69,6 +79,8 @@ pub struct BinTable<K: Eq + Hash + Copy, V> {
     max_bins: usize,
     bin_capacity: usize,
     stats: BinStats,
+    /// Recycled bin storage (capacity-preserving free list).
+    pool: Vec<Vec<V>>,
 }
 
 impl<K: Eq + Hash + Copy, V> BinTable<K, V> {
@@ -78,14 +90,34 @@ impl<K: Eq + Hash + Copy, V> BinTable<K, V> {
     ///
     /// Panics when either parameter is zero.
     pub fn new(max_bins: usize, bin_capacity: usize) -> Self {
-        assert!(max_bins > 0 && bin_capacity > 0, "bin table must be non-empty");
+        assert!(
+            max_bins > 0 && bin_capacity > 0,
+            "bin table must be non-empty"
+        );
         Self {
             bins: HashMap::with_capacity(max_bins),
             order: VecDeque::with_capacity(max_bins),
             max_bins,
             bin_capacity,
             stats: BinStats::default(),
+            pool: Vec::new(),
         }
+    }
+
+    /// Returns a flushed bin's storage to the table's free list, making
+    /// steady-state insertion allocation-free. Call with `flush.items`
+    /// once the flush has been consumed.
+    pub fn recycle(&mut self, mut storage: Vec<V>) {
+        if self.pool.len() < self.max_bins + 1 {
+            storage.clear();
+            self.pool.push(storage);
+        }
+    }
+
+    fn fresh_bin(&mut self) -> Vec<V> {
+        self.pool
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(self.bin_capacity))
     }
 
     /// Inserts an item, returning any bins flushed as a consequence
@@ -106,7 +138,8 @@ impl<K: Eq + Hash + Copy, V> BinTable<K, V> {
                     reason: FlushReason::Evicted,
                 });
             }
-            self.bins.insert(key, Vec::with_capacity(self.bin_capacity));
+            let bin = self.fresh_bin();
+            self.bins.insert(key, bin);
             self.order.push_back(key);
         }
         let bin = self.bins.get_mut(&key).expect("just ensured");
@@ -149,6 +182,73 @@ impl<K: Eq + Hash + Copy, V> BinTable<K, V> {
     /// Accumulated statistics.
     pub fn stats(&self) -> BinStats {
         self.stats
+    }
+}
+
+/// A reusable `(key, item)` insertion stream whose key derivation runs on
+/// worker threads.
+///
+/// Bin-table evolution (flushes, evictions) is inherently order-dependent,
+/// so the table itself replays the stream serially; what parallelizes is
+/// the per-item key computation — for the pipeline that is triangle setup
+/// plus tile/grid intersection, the expensive pure part. Per-thread
+/// partial streams are merged in chunk order, so the replayed insertion
+/// sequence — and with it every flush, eviction and downstream blend
+/// order — is bit-exact with a serial build.
+#[derive(Debug)]
+pub struct KeyStream<K> {
+    pairs: Vec<(K, u32)>,
+    worker: Vec<Vec<(K, u32)>>,
+}
+
+impl<K> Default for KeyStream<K> {
+    fn default() -> Self {
+        Self {
+            pairs: Vec::new(),
+            worker: Vec::new(),
+        }
+    }
+}
+
+impl<K: Copy + Send> KeyStream<K> {
+    /// Rebuilds the stream for items `0..n_items`. `emit(i, push)` must
+    /// call `push(key)` for each key item `i` maps to, in the order the
+    /// serial path would insert them; it runs concurrently on workers.
+    pub fn build<F>(&mut self, n_items: usize, policy: ThreadPolicy, emit: F)
+    where
+        F: Fn(u32, &mut dyn FnMut(K)) + Sync,
+    {
+        self.pairs.clear();
+        let workers = policy.workers(n_items);
+        if workers <= 1 {
+            for i in 0..n_items as u32 {
+                emit(i, &mut |key| self.pairs.push((key, i)));
+            }
+            return;
+        }
+        self.worker.resize_with(workers, Vec::new);
+        let chunk = n_items.div_ceil(workers);
+        let emit = &emit;
+        std::thread::scope(|s| {
+            for (w, partial) in self.worker.iter_mut().enumerate() {
+                s.spawn(move || {
+                    partial.clear();
+                    let start = (w * chunk).min(n_items);
+                    let end = ((w + 1) * chunk).min(n_items);
+                    for i in start as u32..end as u32 {
+                        emit(i, &mut |key| partial.push((key, i)));
+                    }
+                });
+            }
+        });
+        for partial in &mut self.worker {
+            self.pairs.append(partial);
+        }
+    }
+
+    /// The `(key, item)` pairs in serial insertion order.
+    pub fn pairs(&self) -> &[(K, u32)] {
+        &self.pairs
     }
 }
 
@@ -204,6 +304,67 @@ mod tests {
         assert_eq!(s.flushes, 2);
         assert_eq!(s.evictions, 1);
         assert_eq!(s.items_in_full_flushes, 2);
+    }
+
+    #[test]
+    fn recycled_bins_behave_like_fresh_ones() {
+        let mut t: BinTable<u8, u8> = BinTable::new(2, 3);
+        for round in 0..5u8 {
+            for k in 0..2u8 {
+                for item in 0..3u8 {
+                    for flush in t.insert(k, item) {
+                        assert_eq!(flush.items, vec![0, 1, 2], "round {round} key {k}");
+                        assert_eq!(flush.reason, FlushReason::Full);
+                        t.recycle(flush.items);
+                    }
+                }
+            }
+        }
+        assert_eq!(t.stats().flushes, 10);
+        assert_eq!(t.occupied(), 0);
+    }
+
+    #[test]
+    fn key_stream_parallel_matches_serial_order() {
+        use gsplat::par::ThreadPolicy;
+        let emit = |i: u32, push: &mut dyn FnMut(u32)| {
+            push(i % 5);
+            if i.is_multiple_of(2) {
+                push((i / 2) % 5);
+            }
+        };
+        let mut serial = KeyStream::default();
+        serial.build(333, ThreadPolicy::serial(), emit);
+        for policy in [
+            ThreadPolicy {
+                threads: 3,
+                deterministic: true,
+            },
+            ThreadPolicy {
+                threads: 7,
+                deterministic: false,
+            },
+            ThreadPolicy::default(),
+        ] {
+            let mut par = KeyStream::default();
+            par.build(333, policy, emit);
+            assert_eq!(par.pairs(), serial.pairs(), "{policy:?}");
+            // Replaying both streams drives identical table evolution.
+            let mut a: BinTable<u32, u32> = BinTable::new(3, 4);
+            let mut b: BinTable<u32, u32> = BinTable::new(3, 4);
+            let fa: Vec<_> = serial
+                .pairs()
+                .iter()
+                .flat_map(|&(k, v)| a.insert(k, v))
+                .collect();
+            let fb: Vec<_> = par
+                .pairs()
+                .iter()
+                .flat_map(|&(k, v)| b.insert(k, v))
+                .collect();
+            assert_eq!(fa, fb);
+            assert_eq!(a.stats(), b.stats());
+        }
     }
 
     #[test]

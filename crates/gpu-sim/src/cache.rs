@@ -42,9 +42,15 @@ impl Cache {
     /// Panics when the geometry is inconsistent (zero sizes, `size` not a
     /// multiple of `line × ways`, or a non-power-of-two set count).
     pub fn new(size_bytes: usize, line_bytes: usize, ways: usize) -> Self {
-        assert!(size_bytes > 0 && line_bytes > 0 && ways > 0, "zero cache geometry");
+        assert!(
+            size_bytes > 0 && line_bytes > 0 && ways > 0,
+            "zero cache geometry"
+        );
         let lines = size_bytes / line_bytes;
-        assert!(lines >= ways && lines % ways == 0, "size must be a multiple of line*ways");
+        assert!(
+            lines >= ways && lines.is_multiple_of(ways),
+            "size must be a multiple of line*ways"
+        );
         let sets = lines / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Self {
@@ -79,7 +85,11 @@ impl Cache {
             }
             set.swap_remove(victim);
         }
-        set.push(Line { tag: line_addr, dirty: write, lru: stamp });
+        set.push(Line {
+            tag: line_addr,
+            dirty: write,
+            lru: stamp,
+        });
         false
     }
 

@@ -95,6 +95,16 @@ pub struct GpuConfig {
     /// DRAM bandwidth in bytes per core cycle (LPDDR 16-channel ≈ 204 GB/s
     /// at 612 MHz core clock ≈ 334 B/cycle).
     pub dram_bytes_per_cycle: u32,
+
+    /// Host worker threads for the simulator's parallel phases (`0` = one
+    /// per available CPU). This is a *host* knob: it changes simulation
+    /// wall time, never simulated results.
+    pub threads: usize,
+    /// Pin parallel work to workers statically so host scheduling is
+    /// reproducible run-to-run; `false` allows dynamic work-stealing.
+    /// Simulated output is bit-exact either way (see
+    /// [`gsplat::par::ThreadPolicy`]).
+    pub deterministic: bool,
 }
 
 impl Default for GpuConfig {
@@ -130,6 +140,8 @@ impl Default for GpuConfig {
             vertex_shader_cycles_per_prim: 8,
             l2_bytes_per_cycle: 512,
             dram_bytes_per_cycle: 334,
+            threads: 0,
+            deterministic: true,
         }
     }
 }
@@ -169,16 +181,24 @@ impl GpuConfig {
         cycles as f64 / (self.core_freq_mhz as f64 * 1e3)
     }
 
+    /// The host work-distribution policy (`threads` / `deterministic`).
+    pub fn thread_policy(&self) -> gsplat::par::ThreadPolicy {
+        gsplat::par::ThreadPolicy {
+            threads: self.threads,
+            deterministic: self.deterministic,
+        }
+    }
+
     /// Validates structural invariants (tile sizes divide evenly, non-zero
     /// bins), returning a description of the first violation.
     pub fn validate(&self) -> Result<(), String> {
-        if self.screen_tile_px % self.raster_tile_px != 0 {
+        if !self.screen_tile_px.is_multiple_of(self.raster_tile_px) {
             return Err(format!(
                 "raster tile {} must divide screen tile {}",
                 self.raster_tile_px, self.screen_tile_px
             ));
         }
-        if self.raster_tile_px % 2 != 0 {
+        if !self.raster_tile_px.is_multiple_of(2) {
             return Err("raster tile must be a multiple of the 2x2 quad".into());
         }
         if self.tc_bins == 0 || self.tc_bin_size == 0 {
@@ -187,7 +207,9 @@ impl GpuConfig {
         if self.tgc_bins == 0 || self.tgc_bin_size == 0 {
             return Err("TGC unit must have bins".into());
         }
-        if self.cache_line_bytes == 0 || self.crop_cache_bytes % self.cache_line_bytes != 0 {
+        if self.cache_line_bytes == 0
+            || !self.crop_cache_bytes.is_multiple_of(self.cache_line_bytes)
+        {
             return Err("CROP cache size must be a multiple of the line size".into());
         }
         Ok(())
@@ -233,14 +255,20 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_tiles() {
-        let mut c = GpuConfig::default();
-        c.raster_tile_px = 5;
+        let c = GpuConfig {
+            raster_tile_px: 5,
+            ..GpuConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c2 = GpuConfig::default();
-        c2.tc_bins = 0;
+        let c2 = GpuConfig {
+            tc_bins: 0,
+            ..GpuConfig::default()
+        };
         assert!(c2.validate().is_err());
-        let mut c3 = GpuConfig::default();
-        c3.crop_cache_bytes = 1000;
+        let c3 = GpuConfig {
+            crop_cache_bytes: 1000,
+            ..GpuConfig::default()
+        };
         assert!(c3.validate().is_err());
     }
 

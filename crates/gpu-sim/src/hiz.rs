@@ -178,7 +178,12 @@ mod tests {
         // fragment that passes the late z-test must also have passed Hi-z.
         let mut hiz = HiZBuffer::new(16, 16, 8);
         let mut ds = DepthStencilBuffer::new(16, 16);
-        let draws = [(3u32, 3u32, 0.4f32), (3, 3, 0.6), (5, 5, 0.3), (12, 12, 0.5)];
+        let draws = [
+            (3u32, 3u32, 0.4f32),
+            (3, 3, 0.6),
+            (5, 5, 0.3),
+            (12, 12, 0.5),
+        ];
         for (x, y, d) in draws {
             let hiz_pass = hiz.test(x, y, d);
             let z_pass = depth_test_less(&mut ds, x, y, d);

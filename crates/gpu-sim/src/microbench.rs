@@ -141,7 +141,11 @@ pub fn tile_binning_probe(cfg: &GpuConfig, tiles: u32, rects: u32) -> TileBinnin
     for f in tc.drain() {
         count_flush(f.items.len());
     }
-    TileBinningProbe { tiles, rects, warps }
+    TileBinningProbe {
+        tiles,
+        rects,
+        warps,
+    }
 }
 
 #[cfg(test)]

@@ -31,7 +31,10 @@ impl Quad {
     #[inline]
     pub fn fragment_xy(&self, i: usize) -> (u32, u32) {
         debug_assert!(i < 4);
-        (self.origin.0 + (i as u32 & 1), self.origin.1 + (i as u32 >> 1))
+        (
+            self.origin.0 + (i as u32 & 1),
+            self.origin.1 + (i as u32 >> 1),
+        )
     }
 
     /// Number of covered fragments.

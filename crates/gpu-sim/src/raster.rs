@@ -69,7 +69,26 @@ pub fn rasterize_in_tile(
     tiling: &Tiling,
     raster_tile_px: u32,
 ) -> TileRasterOutput {
-    let mut out = TileRasterOutput::default();
+    let mut quads = Vec::new();
+    let coarse_tiles =
+        rasterize_in_tile_into(setup, splat_index, tile, tiling, raster_tile_px, &mut quads);
+    TileRasterOutput {
+        quads,
+        coarse_tiles,
+    }
+}
+
+/// [`rasterize_in_tile`] appending into a caller-provided quad buffer (the
+/// allocation-free frame-loop entry point). Returns the coarse-raster tile
+/// count.
+pub fn rasterize_in_tile_into(
+    setup: &SplatSetup,
+    splat_index: u32,
+    tile: TileId,
+    tiling: &Tiling,
+    raster_tile_px: u32,
+    quads: &mut Vec<Quad>,
+) -> u64 {
     let (tile_x0, tile_y0) = tiling.tile_origin(tile);
     let tile_x1 = (tile_x0 + tiling.tile_px()).min(tiling.width());
     let tile_y1 = (tile_y0 + tiling.tile_px()).min(tiling.height());
@@ -80,7 +99,7 @@ pub fn rasterize_in_tile(
     let max_x = setup.aabb.1.x.min(tile_x1 as f32 - 1.0);
     let max_y = setup.aabb.1.y.min(tile_y1 as f32 - 1.0);
     if min_x > max_x || min_y > max_y {
-        return out;
+        return 0;
     }
 
     // Coarse raster: visit intersecting raster tiles.
@@ -89,9 +108,10 @@ pub fn rasterize_in_tile(
     let rt1_x = (max_x as u32 - tile_x0) / raster_tile_px;
     let rt1_y = (max_y as u32 - tile_y0) / raster_tile_px;
 
+    let mut coarse_tiles = 0u64;
     for rty in rt0_y..=rt1_y {
         for rtx in rt0_x..=rt1_x {
-            out.coarse_tiles += 1;
+            coarse_tiles += 1;
             let rt_x0 = tile_x0 + rtx * raster_tile_px;
             let rt_y0 = tile_y0 + rty * raster_tile_px;
             fine_raster_tile(
@@ -103,11 +123,11 @@ pub fn rasterize_in_tile(
                 tile,
                 tiling,
                 (min_x, min_y, max_x, max_y),
-                &mut out.quads,
+                quads,
             );
         }
     }
-    out
+    coarse_tiles
 }
 
 /// Fine raster of one 8×8 raster tile: tests pixels quad by quad.
@@ -129,8 +149,12 @@ fn fine_raster_tile(
     // similarly walks only candidate stamps).
     let qx0 = ((min_x as u32).max(rt_x0) & !1).max(rt_x0 & !1);
     let qy0 = ((min_y as u32).max(rt_y0) & !1).max(rt_y0 & !1);
-    let qx1 = (max_x as u32).min(rt_x0 + raster_tile_px - 1).min(tiling.width() - 1);
-    let qy1 = (max_y as u32).min(rt_y0 + raster_tile_px - 1).min(tiling.height() - 1);
+    let qx1 = (max_x as u32)
+        .min(rt_x0 + raster_tile_px - 1)
+        .min(tiling.width() - 1);
+    let qy1 = (max_y as u32)
+        .min(rt_y0 + raster_tile_px - 1)
+        .min(tiling.height() - 1);
 
     let mut qy = qy0;
     while qy <= qy1 {
@@ -233,7 +257,7 @@ mod tests {
         assert!(!out.quads.is_empty() && out.quads.len() <= 4);
         let frags: u32 = out.quads.iter().map(|q| q.coverage_count()).sum();
         // ~2.8x2.8 px box around (8,8) covers pixels 6..10 in each axis.
-        assert!(frags >= 4 && frags <= 16, "frags = {frags}");
+        assert!((4..=16).contains(&frags), "frags = {frags}");
         assert!(out.quads.iter().all(|q| q.splat == 3));
     }
 

@@ -219,15 +219,21 @@ mod tests {
 
     #[test]
     fn cache_hit_rate() {
-        let c = CacheStats { hits: 3, misses: 1, writebacks: 0 };
+        let c = CacheStats {
+            hits: 3,
+            misses: 1,
+            writebacks: 0,
+        };
         assert!((c.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 1.0);
     }
 
     #[test]
     fn utilization_and_bottleneck() {
-        let mut s = PipelineStats::default();
-        s.total_cycles = 1000;
+        let mut s = PipelineStats {
+            total_cycles: 1000,
+            ..PipelineStats::default()
+        };
         s.busy_cycles[Unit::Crop.index()] = 900;
         s.busy_cycles[Unit::Sm.index()] = 300;
         assert!((s.utilization(Unit::Crop) - 0.9).abs() < 1e-12);

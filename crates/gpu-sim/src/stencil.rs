@@ -135,8 +135,10 @@ impl StencilState {
     /// Runs the stencil test against a stored value (masked compare).
     #[inline]
     pub fn test(&self, stored: u8) -> bool {
-        self.func
-            .passes(self.reference & self.compare_mask, stored & self.compare_mask)
+        self.func.passes(
+            self.reference & self.compare_mask,
+            stored & self.compare_mask,
+        )
     }
 
     /// Runs the test and applies the corresponding update through the

@@ -134,11 +134,34 @@ impl Tiling {
     /// pixel is `(x, y)` (must be even coordinates).
     #[inline]
     pub fn quad_pos(&self, x: u32, y: u32) -> QuadPos {
-        debug_assert!(x % 2 == 0 && y % 2 == 0, "quad origin must be even");
+        debug_assert!(
+            x.is_multiple_of(2) && y.is_multiple_of(2),
+            "quad origin must be even"
+        );
         QuadPos {
             x: ((x % self.tile_px) / 2) as u8,
             y: ((y % self.tile_px) / 2) as u8,
         }
+    }
+
+    /// Inclusive screen-tile rectangle `(x0, x1, y0, y1)` overlapped by
+    /// the pixel-space AABB `[min, max]`, clamped to the viewport; `None`
+    /// when the box is entirely off-screen. The rectangle form lets hot
+    /// loops walk tiles (or the enclosing tile grids) without collecting
+    /// them.
+    pub fn tile_rect_in_aabb(
+        &self,
+        min: (f32, f32),
+        max: (f32, f32),
+    ) -> Option<(u32, u32, u32, u32)> {
+        if max.0 < 0.0 || max.1 < 0.0 || min.0 >= self.width as f32 || min.1 >= self.height as f32 {
+            return None;
+        }
+        let x0 = (min.0.max(0.0) as u32).min(self.width.saturating_sub(1)) / self.tile_px;
+        let y0 = (min.1.max(0.0) as u32).min(self.height.saturating_sub(1)) / self.tile_px;
+        let x1 = (max.0.max(0.0) as u32).min(self.width.saturating_sub(1)) / self.tile_px;
+        let y1 = (max.1.max(0.0) as u32).min(self.height.saturating_sub(1)) / self.tile_px;
+        Some((x0, x1, y0, y1))
     }
 
     /// Inclusive range of screen tiles overlapped by the pixel-space AABB
@@ -149,14 +172,10 @@ impl Tiling {
         min: (f32, f32),
         max: (f32, f32),
     ) -> impl Iterator<Item = TileId> + '_ {
-        let x0 = (min.0.max(0.0) as u32).min(self.width.saturating_sub(1)) / self.tile_px;
-        let y0 = (min.1.max(0.0) as u32).min(self.height.saturating_sub(1)) / self.tile_px;
-        let x1 = (max.0.max(0.0) as u32).min(self.width.saturating_sub(1)) / self.tile_px;
-        let y1 = (max.1.max(0.0) as u32).min(self.height.saturating_sub(1)) / self.tile_px;
-        let off_screen = max.0 < 0.0 || max.1 < 0.0 || min.0 >= self.width as f32 || min.1 >= self.height as f32;
-        (y0..=y1)
-            .flat_map(move |y| (x0..=x1).map(move |x| TileId { x, y }))
-            .filter(move |_| !off_screen)
+        let rect = self.tile_rect_in_aabb(min, max);
+        rect.into_iter().flat_map(|(x0, x1, y0, y1)| {
+            (y0..=y1).flat_map(move |y| (x0..=x1).map(move |x| TileId { x, y }))
+        })
     }
 }
 

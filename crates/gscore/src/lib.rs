@@ -122,7 +122,17 @@ pub fn estimate(splats: &[Splat], width: u32, height: u32, cfg: &GsCoreConfig) -
             if list.is_empty() {
                 continue;
             }
-            render_tile(splats, list, tx * tile, ty * tile, tile, st, width, height, &mut stats);
+            render_tile(
+                splats,
+                list,
+                tx * tile,
+                ty * tile,
+                tile,
+                st,
+                width,
+                height,
+                &mut stats,
+            );
         }
     }
 

@@ -108,6 +108,30 @@ impl ColorBuffer {
         &self.pixels
     }
 
+    /// All pixels in row-major order, mutably — the handle the parallel
+    /// render paths split into disjoint row bands.
+    #[inline]
+    pub fn pixels_mut(&mut self) -> &mut [Rgba] {
+        &mut self.pixels
+    }
+
+    /// Reconfigures the buffer in place (reusing the allocation when it is
+    /// large enough) and clears every pixel to transparent black — the
+    /// frame-loop alternative to constructing a fresh buffer per draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` or `height` is zero.
+    pub fn reset(&mut self, width: u32, height: u32, format: PixelFormat) {
+        assert!(width > 0 && height > 0, "framebuffer must be non-empty");
+        self.width = width;
+        self.height = height;
+        self.format = format;
+        self.pixels.clear();
+        self.pixels
+            .resize(width as usize * height as usize, Rgba::TRANSPARENT);
+    }
+
     /// Maximum per-channel difference to another buffer of the same size.
     ///
     /// # Panics
@@ -252,13 +276,33 @@ impl DepthStencilBuffer {
 
     /// Number of pixels with the termination flag set.
     pub fn terminated_count(&self) -> usize {
-        self.stencil.iter().filter(|&&s| s & TERMINATION_BIT != 0).count()
+        self.stencil
+            .iter()
+            .filter(|&&s| s & TERMINATION_BIT != 0)
+            .count()
     }
 
     /// Clears depth to `1.0` and the stencil to zero.
     pub fn clear(&mut self) {
         self.depth.fill(1.0);
         self.stencil.fill(0);
+    }
+
+    /// Reconfigures the buffer in place (reusing allocations when large
+    /// enough) and clears depth to `1.0` and stencil to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` or `height` is zero.
+    pub fn reset(&mut self, width: u32, height: u32) {
+        assert!(width > 0 && height > 0, "depth buffer must be non-empty");
+        let n = width as usize * height as usize;
+        self.width = width;
+        self.height = height;
+        self.depth.clear();
+        self.depth.resize(n, 1.0);
+        self.stencil.clear();
+        self.stencil.resize(n, 0);
     }
 }
 

@@ -31,6 +31,7 @@ pub mod color;
 pub mod framebuffer;
 pub mod gaussian;
 pub mod math;
+pub mod par;
 pub mod preprocess;
 pub mod projection;
 pub mod scene;
@@ -43,5 +44,8 @@ pub use camera::Camera;
 pub use color::{PixelFormat, Rgba};
 pub use framebuffer::{ColorBuffer, DepthStencilBuffer, TERMINATION_BIT};
 pub use gaussian::Gaussian;
+pub use par::ThreadPolicy;
+pub use preprocess::PreprocessScratch;
 pub use scene::{Scene, SceneKind, SceneSpec, EVALUATED_SCENES, LARGE_SCALE_SCENES};
+pub use sort::SortScratch;
 pub use splat::Splat;

@@ -267,7 +267,9 @@ impl Mat4 {
     /// Builds a matrix from four columns.
     #[inline]
     pub const fn from_cols(c0: Vec4, c1: Vec4, c2: Vec4, c3: Vec4) -> Self {
-        Self { cols: [c0, c1, c2, c3] }
+        Self {
+            cols: [c0, c1, c2, c3],
+        }
     }
 
     /// Element at row `r`, column `c`.
@@ -445,8 +447,12 @@ mod tests {
     #[test]
     fn perspective_maps_near_far() {
         let proj = Mat4::perspective(std::f32::consts::FRAC_PI_2, 1.0, 0.1, 100.0);
-        let near = proj.transform_point(Vec3::new(0.0, 0.0, -0.1)).perspective_divide();
-        let far = proj.transform_point(Vec3::new(0.0, 0.0, -100.0)).perspective_divide();
+        let near = proj
+            .transform_point(Vec3::new(0.0, 0.0, -0.1))
+            .perspective_divide();
+        let far = proj
+            .transform_point(Vec3::new(0.0, 0.0, -100.0))
+            .perspective_divide();
         assert!(approx(near.z, -1.0));
         assert!(approx(far.z, 1.0));
     }

@@ -4,7 +4,9 @@
 //! self-contained implementation instead of pulling in an external math crate
 //! (see DESIGN.md §6).
 
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 use serde::{Deserialize, Serialize};
 
@@ -269,7 +271,12 @@ impl Vec4 {
     /// Creates a vector with all components set to `v`.
     #[inline]
     pub const fn splat(v: f32) -> Self {
-        Self { x: v, y: v, z: v, w: v }
+        Self {
+            x: v,
+            y: v,
+            z: v,
+            w: v,
+        }
     }
 
     /// Drops the w component.

@@ -1,0 +1,363 @@
+//! Zero-dependency fork-join primitives for the parallel render paths.
+//!
+//! Built on `std::thread::scope` so the workspace stays buildable offline;
+//! the API is deliberately rayon-shaped (indexed fan-out, chunked map,
+//! disjoint band access) so swapping in a real work-stealing pool later is
+//! a local change.
+//!
+//! Everything here is *deterministic by construction* for the ways the
+//! renderers use it:
+//!
+//! * [`run_indexed`] returns results **in index order**
+//!   regardless of which worker produced them.
+//! * [`Bands`] hands each worker a disjoint `&mut` window of a buffer, so
+//!   pixel ownership — and therefore blend order per pixel — is identical
+//!   to the serial sweep.
+//! * [`BinScratch::build`] merges per-worker partial bins **in chunk
+//!   order**, so every bin's item list preserves the input order exactly
+//!   (the stable front-to-back blend order the renderers rely on).
+//!
+//! Scheduling (`static` striping vs. dynamic work-stealing) affects only
+//! which thread does the work, never the result.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads for a request of `requested` (`0` = one per
+/// available CPU), clamped to `work` items so tiny draws stay serial.
+pub fn effective_threads(requested: usize, work: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let t = if requested == 0 { hw } else { requested };
+    t.clamp(1, work.max(1))
+}
+
+/// Work-distribution policy threaded down from the renderer configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPolicy {
+    /// Worker threads (`0` = one per available CPU).
+    pub threads: usize,
+    /// `true` pins work to workers statically (stripes) so scheduling is
+    /// reproducible run-to-run; `false` allows dynamic work-stealing for
+    /// better load balance on skewed scenes. Outputs are bit-identical
+    /// either way — only thread assignment differs.
+    pub deterministic: bool,
+}
+
+impl Default for ThreadPolicy {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            deterministic: true,
+        }
+    }
+}
+
+impl ThreadPolicy {
+    /// A serial policy (used as the reference in determinism tests).
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            deterministic: true,
+        }
+    }
+
+    /// Workers this policy yields for `work` items.
+    pub fn workers(&self, work: usize) -> usize {
+        effective_threads(self.threads, work)
+    }
+}
+
+/// Runs `f(i)` for every `i in 0..n` across the policy's workers and
+/// returns the results **in index order**.
+///
+/// Serial fallback (one worker or one item) calls `f` inline with no
+/// thread or lock overhead.
+pub fn run_indexed<R, F>(n: usize, policy: ThreadPolicy, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = policy.workers(n);
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let counter = AtomicUsize::new(0);
+    let results = &results;
+    let counter = &counter;
+    let f = &f;
+    std::thread::scope(|s| {
+        if policy.deterministic {
+            // Static striping: worker w owns indices w, w+W, w+2W, ...
+            for w in 0..workers {
+                s.spawn(move || {
+                    let mut i = w;
+                    while i < n {
+                        *results[i].lock().expect("result slot") = Some(f(i));
+                        i += workers;
+                    }
+                });
+            }
+        } else {
+            // Dynamic work-stealing off a shared counter.
+            for _ in 0..workers {
+                s.spawn(move || loop {
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    *results[i].lock().expect("result slot") = Some(f(i));
+                });
+            }
+        }
+    });
+    results
+        .iter()
+        .map(|m| {
+            m.lock()
+                .expect("result slot")
+                .take()
+                .expect("every index ran")
+        })
+        .collect()
+}
+
+/// Disjoint mutable windows over a buffer, claimable once each from any
+/// worker thread — the safe primitive behind band-parallel framebuffer
+/// sweeps.
+pub struct Bands<'a, T> {
+    slots: Vec<Mutex<Option<&'a mut [T]>>>,
+}
+
+impl<'a, T> Bands<'a, T> {
+    /// Splits `data` into bands of `band_len` elements (the last band may
+    /// be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `band_len` is zero.
+    pub fn new(data: &'a mut [T], band_len: usize) -> Self {
+        assert!(band_len > 0, "band length must be non-zero");
+        Self {
+            slots: data
+                .chunks_mut(band_len)
+                .map(|c| Mutex::new(Some(c)))
+                .collect(),
+        }
+    }
+
+    /// Number of bands.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` when the source buffer was empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Claims band `i` (each band may be taken exactly once).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the band was already taken.
+    pub fn take(&self, i: usize) -> &'a mut [T] {
+        self.slots[i]
+            .lock()
+            .expect("band slot")
+            .take()
+            .expect("band taken twice")
+    }
+}
+
+/// Reusable scratch for deterministic parallel binning: items are split
+/// into contiguous chunks, each worker bins its chunk into a private
+/// partial table, and partials are merged in chunk order so each bin's
+/// item list preserves input order exactly.
+#[derive(Debug, Default)]
+pub struct BinScratch {
+    /// Merged per-bin item lists (valid after [`BinScratch::build`]).
+    bins: Vec<Vec<u32>>,
+    /// Per-worker partial tables, kept allocated across draws.
+    partials: Vec<Vec<Vec<u32>>>,
+}
+
+impl BinScratch {
+    /// Builds per-bin lists for `n_items` items over `n_bins` bins.
+    /// `emit(i, push)` must call `push(bin)` for every bin item `i` falls
+    /// into; it runs concurrently on worker threads.
+    ///
+    /// Returns the total number of (item, bin) pairs emitted.
+    pub fn build<F>(&mut self, n_bins: usize, n_items: usize, policy: ThreadPolicy, emit: F) -> u64
+    where
+        F: Fn(u32, &mut dyn FnMut(u32)) + Sync,
+    {
+        self.bins.resize_with(n_bins, Vec::new);
+        for bin in &mut self.bins {
+            bin.clear();
+        }
+
+        let workers = policy.workers(n_items);
+        if workers <= 1 {
+            let mut total = 0u64;
+            for i in 0..n_items as u32 {
+                emit(i, &mut |bin| {
+                    self.bins[bin as usize].push(i);
+                    total += 1;
+                });
+            }
+            return total;
+        }
+
+        self.partials.resize_with(workers, Vec::new);
+        for partial in &mut self.partials {
+            partial.resize_with(n_bins, Vec::new);
+            for bin in partial.iter_mut() {
+                bin.clear();
+            }
+        }
+
+        let chunk = n_items.div_ceil(workers);
+        let emit = &emit;
+        std::thread::scope(|s| {
+            for (w, partial) in self.partials.iter_mut().enumerate() {
+                s.spawn(move || {
+                    let start = (w * chunk).min(n_items);
+                    let end = ((w + 1) * chunk).min(n_items);
+                    for i in start as u32..end as u32 {
+                        emit(i, &mut |bin| partial[bin as usize].push(i));
+                    }
+                });
+            }
+        });
+
+        // Chunk-order merge: bin lists end up in global input order.
+        let mut total = 0u64;
+        for bin in 0..n_bins {
+            for partial in &mut self.partials {
+                total += partial[bin].len() as u64;
+                self.bins[bin].append(&mut partial[bin]);
+            }
+        }
+        total
+    }
+
+    /// The merged bins from the last [`BinScratch::build`].
+    pub fn bins(&self) -> &[Vec<u32>] {
+        &self.bins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policies() -> [ThreadPolicy; 4] {
+        [
+            ThreadPolicy::serial(),
+            ThreadPolicy {
+                threads: 3,
+                deterministic: true,
+            },
+            ThreadPolicy {
+                threads: 3,
+                deterministic: false,
+            },
+            ThreadPolicy {
+                threads: 0,
+                deterministic: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn run_indexed_preserves_order() {
+        for policy in policies() {
+            let out = run_indexed(37, policy, |i| i * i);
+            assert_eq!(
+                out,
+                (0..37).map(|i| i * i).collect::<Vec<_>>(),
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bands_are_disjoint_and_complete() {
+        let mut data = vec![0u32; 100];
+        {
+            let bands = Bands::new(&mut data, 16);
+            assert_eq!(bands.len(), 7);
+            let got = run_indexed(
+                7,
+                ThreadPolicy {
+                    threads: 4,
+                    deterministic: false,
+                },
+                |i| {
+                    let band = bands.take(i);
+                    for v in band.iter_mut() {
+                        *v += 1 + i as u32;
+                    }
+                    band.len()
+                },
+            );
+            assert_eq!(got.iter().sum::<usize>(), 100);
+        }
+        // Every element written exactly once, by its band's worker.
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (i / 16) as u32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "band taken twice")]
+    fn double_take_panics() {
+        let mut data = vec![0u8; 8];
+        let bands = Bands::new(&mut data, 4);
+        let _a = bands.take(0);
+        let _b = bands.take(0);
+    }
+
+    #[test]
+    fn bin_scratch_matches_serial_order() {
+        // Items hash into bins; parallel build must equal the serial one.
+        let n_items = 500usize;
+        let n_bins = 7usize;
+        let keys_of = |i: u32, push: &mut dyn FnMut(u32)| {
+            push(i % n_bins as u32);
+            if i.is_multiple_of(3) {
+                push((i / 3) % n_bins as u32);
+            }
+        };
+        let mut serial = BinScratch::default();
+        let t0 = serial.build(n_bins, n_items, ThreadPolicy::serial(), keys_of);
+        for policy in policies() {
+            let mut par = BinScratch::default();
+            let t = par.build(n_bins, n_items, policy, keys_of);
+            assert_eq!(t, t0);
+            assert_eq!(par.bins(), serial.bins(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn bin_scratch_reuse_resets_state() {
+        let mut scratch = BinScratch::default();
+        scratch.build(4, 100, ThreadPolicy::default(), |i, push| push(i % 4));
+        let first: Vec<Vec<u32>> = scratch.bins().to_vec();
+        // Rebuild with fewer bins and items: stale state must not leak.
+        scratch.build(2, 10, ThreadPolicy::default(), |i, push| push(i % 2));
+        assert_eq!(scratch.bins().len(), 2);
+        assert_eq!(scratch.bins()[0], vec![0, 2, 4, 6, 8]);
+        scratch.build(4, 100, ThreadPolicy::default(), |i, push| push(i % 4));
+        assert_eq!(scratch.bins(), first.as_slice());
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(effective_threads(1, 100), 1);
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(4, 0), 1);
+        assert!(effective_threads(0, 1000) >= 1);
+    }
+}

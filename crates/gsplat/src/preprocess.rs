@@ -6,13 +6,20 @@
 //! sort); every renderer in this repository — software, hardware-baseline
 //! and VR-Pipe — consumes the same output, mirroring the paper's setup where
 //! only the rasterization step differs.
+//!
+//! Projection is embarrassingly parallel, so [`preprocess_with`] fans the
+//! Gaussian list out over worker chunks and concatenates the surviving
+//! splats in chunk order — bit-exact with the serial sweep. With a reusable
+//! [`PreprocessScratch`] the whole stage (projection, keying, fused radix
+//! sort, reorder) allocates nothing once warmed up.
 
 use serde::{Deserialize, Serialize};
 
 use crate::camera::Camera;
+use crate::par::ThreadPolicy;
 use crate::projection::project_gaussian;
 use crate::scene::Scene;
-use crate::sort::sort_splats_by_depth;
+use crate::sort::{sort_splats_by_depth_into, SortScratch};
 use crate::splat::Splat;
 
 /// Output of preprocessing: visible splats in front-to-back order, plus the
@@ -40,6 +47,23 @@ pub struct PreprocessStats {
     pub total_obb_area: f64,
 }
 
+/// Reusable buffers for the preprocessing stage: per-worker projection
+/// outputs, the unsorted splat staging list, depth keys and the fused-sort
+/// scratch.
+#[derive(Debug, Default)]
+pub struct PreprocessScratch {
+    /// Per-worker projected-splat chunks (kept allocated across frames).
+    worker_out: Vec<Vec<Splat>>,
+    /// Visible splats in input (pre-sort) order.
+    staging: Vec<Splat>,
+    /// Camera-space depths of `staging`.
+    depths: Vec<f32>,
+    /// Front-to-back permutation of `staging`.
+    order: Vec<u32>,
+    /// Radix-sort buffers.
+    sort: SortScratch,
+}
+
 /// Runs culling, projection and the global depth sort for one viewpoint.
 ///
 /// # Examples
@@ -54,25 +78,75 @@ pub struct PreprocessStats {
 /// assert!(out.splats.windows(2).all(|w| w[0].depth <= w[1].depth));
 /// ```
 pub fn preprocess(scene: &Scene, camera: &Camera) -> PreprocessOutput {
+    preprocess_with(scene, camera, ThreadPolicy::default())
+}
+
+/// [`preprocess`] with an explicit threading policy.
+pub fn preprocess_with(scene: &Scene, camera: &Camera, policy: ThreadPolicy) -> PreprocessOutput {
+    let mut scratch = PreprocessScratch::default();
     let mut splats = Vec::new();
-    for (i, g) in scene.gaussians.iter().enumerate() {
-        if let Some(s) = project_gaussian(g, camera, i as u32) {
-            splats.push(s);
+    let stats = preprocess_into(scene, camera, policy, &mut scratch, &mut splats);
+    PreprocessOutput { splats, stats }
+}
+
+/// [`preprocess`] into caller-provided buffers — the allocation-free frame
+/// loop entry point. `out` is cleared and refilled with the sorted splats.
+pub fn preprocess_into(
+    scene: &Scene,
+    camera: &Camera,
+    policy: ThreadPolicy,
+    scratch: &mut PreprocessScratch,
+    out: &mut Vec<Splat>,
+) -> PreprocessStats {
+    let n = scene.gaussians.len();
+    let workers = policy.workers(n);
+    scratch.staging.clear();
+
+    if workers <= 1 {
+        for (i, g) in scene.gaussians.iter().enumerate() {
+            if let Some(s) = project_gaussian(g, camera, i as u32) {
+                scratch.staging.push(s);
+            }
+        }
+    } else {
+        scratch.worker_out.resize_with(workers, Vec::new);
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|s| {
+            for (w, chunk_out) in scratch.worker_out.iter_mut().enumerate() {
+                let gaussians = &scene.gaussians;
+                s.spawn(move || {
+                    chunk_out.clear();
+                    let start = (w * chunk).min(n);
+                    let end = ((w + 1) * chunk).min(n);
+                    for (i, g) in gaussians[start..end].iter().enumerate() {
+                        if let Some(s) = project_gaussian(g, camera, (start + i) as u32) {
+                            chunk_out.push(s);
+                        }
+                    }
+                });
+            }
+        });
+        // Chunk-order concatenation == serial projection order.
+        for chunk_out in &mut scratch.worker_out {
+            scratch.staging.append(chunk_out);
         }
     }
-    let depths: Vec<f32> = splats.iter().map(|s| s.depth).collect();
-    let order = sort_splats_by_depth(&depths);
-    let sorted: Vec<Splat> = order.iter().map(|&i| splats[i as usize]).collect();
-    let total_obb_area = sorted.iter().map(|s| s.obb_area() as f64).sum();
-    let stats = PreprocessStats {
+
+    scratch.depths.clear();
+    scratch
+        .depths
+        .extend(scratch.staging.iter().map(|s| s.depth));
+    sort_splats_by_depth_into(&scratch.depths, &mut scratch.sort, &mut scratch.order);
+
+    out.clear();
+    out.reserve(scratch.staging.len());
+    out.extend(scratch.order.iter().map(|&i| scratch.staging[i as usize]));
+    let total_obb_area = out.iter().map(|s| s.obb_area() as f64).sum();
+    PreprocessStats {
         input_gaussians: scene.len(),
-        visible_splats: sorted.len(),
-        sorted_keys: sorted.len(),
+        visible_splats: out.len(),
+        sorted_keys: out.len(),
         total_obb_area,
-    };
-    PreprocessOutput {
-        splats: sorted,
-        stats,
     }
 }
 
@@ -115,5 +189,46 @@ mod tests {
             .collect();
         // At least two viewpoints should differ in visible splats.
         assert!(counts.iter().any(|&c| c != counts[0]) || counts[0] > 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_exactly() {
+        let scene = EVALUATED_SCENES[1].generate_scaled(0.06);
+        let cam = scene.default_camera();
+        let serial = preprocess_with(&scene, &cam, ThreadPolicy::serial());
+        for policy in [
+            ThreadPolicy {
+                threads: 3,
+                deterministic: true,
+            },
+            ThreadPolicy {
+                threads: 5,
+                deterministic: false,
+            },
+            ThreadPolicy::default(),
+        ] {
+            let par = preprocess_with(&scene, &cam, policy);
+            assert_eq!(par.stats, serial.stats, "{policy:?}");
+            assert_eq!(par.splats.len(), serial.splats.len());
+            assert!(
+                par.splats.iter().zip(&serial.splats).all(|(a, b)| a == b),
+                "{policy:?}: splat stream diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable_across_frames() {
+        let scene = EVALUATED_SCENES[4].generate_scaled(0.05);
+        let mut scratch = PreprocessScratch::default();
+        let mut out = Vec::new();
+        let cams = scene.viewpoints(3);
+        for cam in &cams {
+            let stats =
+                preprocess_into(&scene, cam, ThreadPolicy::default(), &mut scratch, &mut out);
+            let fresh = preprocess(&scene, cam);
+            assert_eq!(stats, fresh.stats);
+            assert_eq!(out.len(), fresh.splats.len());
+        }
     }
 }

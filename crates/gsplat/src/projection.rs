@@ -162,8 +162,12 @@ mod tests {
 
     #[test]
     fn behind_camera_is_culled() {
-        assert!(project_gaussian(&gaussian_at(Vec3::new(0.0, 0.0, 30.0), 0.2, 0.8), &camera(), 0)
-            .is_none());
+        assert!(project_gaussian(
+            &gaussian_at(Vec3::new(0.0, 0.0, 30.0), 0.2, 0.8),
+            &camera(),
+            0
+        )
+        .is_none());
     }
 
     #[test]
@@ -174,10 +178,10 @@ mod tests {
     #[test]
     fn closer_gaussian_has_bigger_splat() {
         let cam = camera();
-        let near = project_gaussian(&gaussian_at(Vec3::new(0.0, 0.0, 5.0), 0.2, 0.8), &cam, 0)
-            .unwrap();
-        let far = project_gaussian(&gaussian_at(Vec3::new(0.0, 0.0, -5.0), 0.2, 0.8), &cam, 0)
-            .unwrap();
+        let near =
+            project_gaussian(&gaussian_at(Vec3::new(0.0, 0.0, 5.0), 0.2, 0.8), &cam, 0).unwrap();
+        let far =
+            project_gaussian(&gaussian_at(Vec3::new(0.0, 0.0, -5.0), 0.2, 0.8), &cam, 0).unwrap();
         assert!(near.obb_area() > far.obb_area());
         assert!(near.depth < far.depth);
     }

@@ -73,18 +73,98 @@ pub struct SceneSpec {
 
 /// The six evaluated scenes of Table II, in the paper's figure order.
 pub const EVALUATED_SCENES: [SceneSpec; 6] = [
-    SceneSpec { name: "Kitchen", width: 1552, height: 1040, gaussians: 1_850_000, kind: SceneKind::IndoorRoom, object_fraction: 0.55, depth_layers: 4, opacity_scale: 0.78, seed: 101 },
-    SceneSpec { name: "Bonsai", width: 1552, height: 1040, gaussians: 1_240_000, kind: SceneKind::IndoorRoom, object_fraction: 0.38, depth_layers: 3, opacity_scale: 0.62, seed: 102 },
-    SceneSpec { name: "Train", width: 980, height: 545, gaussians: 1_030_000, kind: SceneKind::OutdoorUnbounded, object_fraction: 0.30, depth_layers: 4, opacity_scale: 0.9, seed: 103 },
-    SceneSpec { name: "Truck", width: 979, height: 546, gaussians: 2_540_000, kind: SceneKind::OutdoorUnbounded, object_fraction: 0.30, depth_layers: 3, opacity_scale: 0.7, seed: 104 },
-    SceneSpec { name: "Lego", width: 800, height: 800, gaussians: 358_000, kind: SceneKind::SyntheticObject, object_fraction: 0.75, depth_layers: 2, opacity_scale: 0.24, seed: 105 },
-    SceneSpec { name: "Palace", width: 800, height: 800, gaussians: 327_000, kind: SceneKind::SyntheticObject, object_fraction: 0.70, depth_layers: 2, opacity_scale: 0.26, seed: 106 },
+    SceneSpec {
+        name: "Kitchen",
+        width: 1552,
+        height: 1040,
+        gaussians: 1_850_000,
+        kind: SceneKind::IndoorRoom,
+        object_fraction: 0.55,
+        depth_layers: 4,
+        opacity_scale: 0.78,
+        seed: 101,
+    },
+    SceneSpec {
+        name: "Bonsai",
+        width: 1552,
+        height: 1040,
+        gaussians: 1_240_000,
+        kind: SceneKind::IndoorRoom,
+        object_fraction: 0.38,
+        depth_layers: 3,
+        opacity_scale: 0.62,
+        seed: 102,
+    },
+    SceneSpec {
+        name: "Train",
+        width: 980,
+        height: 545,
+        gaussians: 1_030_000,
+        kind: SceneKind::OutdoorUnbounded,
+        object_fraction: 0.30,
+        depth_layers: 4,
+        opacity_scale: 0.9,
+        seed: 103,
+    },
+    SceneSpec {
+        name: "Truck",
+        width: 979,
+        height: 546,
+        gaussians: 2_540_000,
+        kind: SceneKind::OutdoorUnbounded,
+        object_fraction: 0.30,
+        depth_layers: 3,
+        opacity_scale: 0.7,
+        seed: 104,
+    },
+    SceneSpec {
+        name: "Lego",
+        width: 800,
+        height: 800,
+        gaussians: 358_000,
+        kind: SceneKind::SyntheticObject,
+        object_fraction: 0.75,
+        depth_layers: 2,
+        opacity_scale: 0.24,
+        seed: 105,
+    },
+    SceneSpec {
+        name: "Palace",
+        width: 800,
+        height: 800,
+        gaussians: 327_000,
+        kind: SceneKind::SyntheticObject,
+        object_fraction: 0.70,
+        depth_layers: 2,
+        opacity_scale: 0.26,
+        seed: 106,
+    },
 ];
 
 /// The Fig. 23 large-scale scenes.
 pub const LARGE_SCALE_SCENES: [SceneSpec; 2] = [
-    SceneSpec { name: "Building", width: 1152, height: 864, gaussians: 9_060_000, kind: SceneKind::LargeScale, object_fraction: 0.8, depth_layers: 5, opacity_scale: 1.0, seed: 201 },
-    SceneSpec { name: "Rubble", width: 1152, height: 864, gaussians: 5_210_000, kind: SceneKind::LargeScale, object_fraction: 0.8, depth_layers: 4, opacity_scale: 1.0, seed: 202 },
+    SceneSpec {
+        name: "Building",
+        width: 1152,
+        height: 864,
+        gaussians: 9_060_000,
+        kind: SceneKind::LargeScale,
+        object_fraction: 0.8,
+        depth_layers: 5,
+        opacity_scale: 1.0,
+        seed: 201,
+    },
+    SceneSpec {
+        name: "Rubble",
+        width: 1152,
+        height: 864,
+        gaussians: 5_210_000,
+        kind: SceneKind::LargeScale,
+        object_fraction: 0.8,
+        depth_layers: 4,
+        opacity_scale: 1.0,
+        seed: 202,
+    },
 ];
 
 /// Looks up a scene spec by (case-insensitive) name across all presets.
@@ -133,9 +213,23 @@ impl SceneSpec {
         let count = ((self.gaussians as f32 * scale * scale) as usize).max(64);
         let op_scale = self.opacity_scale;
         let gaussians = match self.kind {
-            SceneKind::IndoorRoom => generate_indoor(&mut rng, count, self.object_fraction, self.depth_layers, op_scale),
-            SceneKind::OutdoorUnbounded => generate_outdoor(&mut rng, count, self.object_fraction, self.depth_layers, op_scale),
-            SceneKind::SyntheticObject => generate_synthetic(&mut rng, count, self.depth_layers, op_scale),
+            SceneKind::IndoorRoom => generate_indoor(
+                &mut rng,
+                count,
+                self.object_fraction,
+                self.depth_layers,
+                op_scale,
+            ),
+            SceneKind::OutdoorUnbounded => generate_outdoor(
+                &mut rng,
+                count,
+                self.object_fraction,
+                self.depth_layers,
+                op_scale,
+            ),
+            SceneKind::SyntheticObject => {
+                generate_synthetic(&mut rng, count, self.depth_layers, op_scale)
+            }
             SceneKind::LargeScale => generate_large_scale(&mut rng, count, op_scale),
         };
         let (center, view_radius, view_height) = match self.kind {
@@ -254,7 +348,13 @@ fn unit_dir(rng: &mut StdRng) -> Vec3 {
 /// Indoor room: 55% central object (layered shells → depth complexity in
 /// the center), 45% room walls (single layer → little ET benefit at the
 /// periphery). Mirrors the paper's Bonsai observation (§VI-B).
-fn generate_indoor(rng: &mut StdRng, count: usize, object_fraction: f32, layers: u32, op_scale: f32) -> Vec<Gaussian> {
+fn generate_indoor(
+    rng: &mut StdRng,
+    count: usize,
+    object_fraction: f32,
+    layers: u32,
+    op_scale: f32,
+) -> Vec<Gaussian> {
     let object = (count as f32 * object_fraction) as usize;
     let mut out = Vec::with_capacity(count);
     let base_radius = 0.9 / (object as f32).sqrt().max(1.0) * 7.0;
@@ -300,7 +400,13 @@ fn generate_indoor(rng: &mut StdRng, count: usize, object_fraction: f32, layers:
 /// deep stacks of background Gaussians at increasing distance, so that many
 /// Gaussians lie *beyond the surface* along each ray (paper: "a relatively
 /// large number of Gaussians exist beyond the surface" in Train/Truck).
-fn generate_outdoor(rng: &mut StdRng, count: usize, object_fraction: f32, layers: u32, op_scale: f32) -> Vec<Gaussian> {
+fn generate_outdoor(
+    rng: &mut StdRng,
+    count: usize,
+    object_fraction: f32,
+    layers: u32,
+    op_scale: f32,
+) -> Vec<Gaussian> {
     let fg = (count as f32 * object_fraction) as usize;
     let ground = (count as f32 * 0.20) as usize;
     let mut out = Vec::with_capacity(count);
@@ -322,7 +428,11 @@ fn generate_outdoor(rng: &mut StdRng, count: usize, object_fraction: f32, layers
     }
     let ground_base = 1.6 / (ground as f32).sqrt().max(1.0) * 13.0;
     for _ in 0..ground {
-        let mean = Vec3::new(rng.gen_range(-9.0..9.0f32), -0.6, rng.gen_range(-9.0..9.0f32));
+        let mean = Vec3::new(
+            rng.gen_range(-9.0..9.0f32),
+            -0.6,
+            rng.gen_range(-9.0..9.0f32),
+        );
         out.push(Gaussian::new(
             mean,
             sample_scale(rng, ground_base),
@@ -362,7 +472,11 @@ fn generate_synthetic(rng: &mut StdRng, count: usize, layers: u32, op_scale: f32
     for _ in 0..count {
         // Bias mass to the outer (visible) shell; inner shells are the
         // occluded depth complexity.
-        let shell = if rng.gen_bool(0.6) { layers - 1 } else { rng.gen_range(0..layers) };
+        let shell = if rng.gen_bool(0.6) {
+            layers - 1
+        } else {
+            rng.gen_range(0..layers)
+        };
         let r = 0.5 + 0.25 * shell as f32 + rng.gen_range(-0.08..0.08);
         let dir = unit_dir(rng);
         // Squash vertically: objects sit on a virtual stand.
@@ -451,8 +565,15 @@ mod tests {
         // Lego's opacity_scale (0.24) caps per-Gaussian opacity well below
         // the indoor scenes', stretching its termination depth.
         let lego = EVALUATED_SCENES[4].generate_scaled(0.08);
-        let max_op = lego.gaussians.iter().map(|g| g.opacity).fold(0.0f32, f32::max);
-        assert!(max_op < 0.25, "Lego opacity capped by opacity_scale, got {max_op}");
+        let max_op = lego
+            .gaussians
+            .iter()
+            .map(|g| g.opacity)
+            .fold(0.0f32, f32::max);
+        assert!(
+            max_op < 0.25,
+            "Lego opacity capped by opacity_scale, got {max_op}"
+        );
     }
 
     #[test]

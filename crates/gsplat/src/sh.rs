@@ -12,7 +12,13 @@ use crate::math::Vec3;
 /// SH band-0 normalization constant `1/(2√π)`.
 pub const SH_C0: f32 = 0.282_094_79;
 const SH_C1: f32 = 0.488_602_51;
-const SH_C2: [f32; 5] = [1.092_548_4, -1.092_548_4, 0.315_391_57, -1.092_548_4, 0.546_274_2];
+const SH_C2: [f32; 5] = [
+    1.092_548_4,
+    -1.092_548_4,
+    0.315_391_57,
+    -1.092_548_4,
+    0.546_274_2,
+];
 const SH_C3: [f32; 7] = [
     -0.590_043_6,
     2.890_611_4,
@@ -64,7 +70,10 @@ impl ShColor {
     ///
     /// Panics when `coeffs.len()` is not `(degree+1)²` or `degree > 3`.
     pub fn new(degree: u8, coeffs: Vec<Vec3>) -> Self {
-        assert!(degree <= MAX_SH_DEGREE, "SH degree {degree} > 3 unsupported");
+        assert!(
+            degree <= MAX_SH_DEGREE,
+            "SH degree {degree} > 3 unsupported"
+        );
         assert_eq!(
             coeffs.len(),
             coeff_count(degree),

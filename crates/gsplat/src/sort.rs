@@ -1,6 +1,13 @@
 //! Depth sorting of splats, modelled after the GPU radix sort (NVIDIA CUB)
 //! the paper uses: splats are sorted front-to-back by camera-space depth
 //! using a stable LSD radix sort over order-preserving float keys.
+//!
+//! The sort is *fused*: all four 8-bit digit histograms are computed in a
+//! single sweep over the keys, passes whose digit is constant across every
+//! key are skipped outright (common for clustered depths, where the high
+//! bytes barely vary), and the sort permutes packed `(key, index)` pairs so
+//! the inner scatter loop never chases the `keys[order[i]]` indirection.
+//! With a reusable [`SortScratch`] the hot path performs no allocation.
 
 /// Converts an `f32` depth into a radix-sortable `u32` key.
 ///
@@ -25,6 +32,18 @@ pub fn depth_key(depth: f32) -> u32 {
     }
 }
 
+/// Reusable buffers for the fused radix sort, so per-frame sorting
+/// allocates nothing once warmed up.
+#[derive(Debug, Default, Clone)]
+pub struct SortScratch {
+    /// Packed `(key << 32) | index` pairs (ping buffer).
+    pairs: Vec<u64>,
+    /// Scatter destination (pong buffer).
+    swap: Vec<u64>,
+    /// Depth keys staging buffer for [`sort_splats_by_depth_into`].
+    keys: Vec<u32>,
+}
+
 /// Stable LSD radix sort (8-bit digits) of indices by `u32` key.
 ///
 /// Returns a permutation `order` such that `keys[order[i]]` is
@@ -39,33 +58,61 @@ pub fn depth_key(depth: f32) -> u32 {
 /// assert_eq!(order, vec![1, 3, 2, 0]);
 /// ```
 pub fn radix_argsort(keys: &[u32]) -> Vec<u32> {
+    let mut scratch = SortScratch::default();
+    let mut order = Vec::new();
+    radix_argsort_into(keys, &mut scratch, &mut order);
+    order
+}
+
+/// [`radix_argsort`] into caller-provided buffers (no allocation once the
+/// scratch has warmed up). `order` is cleared and refilled.
+pub fn radix_argsort_into(keys: &[u32], scratch: &mut SortScratch, order: &mut Vec<u32>) {
     let n = keys.len();
-    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.clear();
     if n <= 1 {
-        return order;
+        order.extend(0..n as u32);
+        return;
     }
-    let mut scratch = vec![0u32; n];
-    for pass in 0..4 {
-        let shift = pass * 8;
-        let mut histogram = [0usize; 256];
-        for &idx in &order {
-            let digit = ((keys[idx as usize] >> shift) & 0xFF) as usize;
-            histogram[digit] += 1;
+    assert!(n <= u32::MAX as usize, "radix sort index domain is u32");
+
+    // --- Fused histogram sweep: all four digit histograms in one pass,
+    // while packing (key, index) pairs so later passes touch one buffer.
+    let mut histograms = [[0usize; 256]; 4];
+    scratch.pairs.clear();
+    scratch.pairs.reserve(n);
+    for (i, &key) in keys.iter().enumerate() {
+        for (pass, histogram) in histograms.iter_mut().enumerate() {
+            histogram[(key >> (pass * 8)) as usize & 0xFF] += 1;
         }
+        scratch.pairs.push((key as u64) << 32 | i as u64);
+    }
+    scratch.swap.clear();
+    scratch.swap.resize(n, 0);
+
+    let mut src = &mut scratch.pairs;
+    let mut dst = &mut scratch.swap;
+    for (pass, histogram) in histograms.iter().enumerate() {
+        // Pass skipping: a digit that is constant over every key cannot
+        // change the order — clustered depths typically skip 1-2 passes.
+        if histogram.contains(&n) {
+            continue;
+        }
+        let shift = 32 + pass * 8;
         let mut offsets = [0usize; 256];
         let mut running = 0;
-        for (d, &count) in histogram.iter().enumerate() {
-            offsets[d] = running;
+        for (offset, &count) in offsets.iter_mut().zip(histogram.iter()) {
+            *offset = running;
             running += count;
         }
-        for &idx in &order {
-            let digit = ((keys[idx as usize] >> shift) & 0xFF) as usize;
-            scratch[offsets[digit]] = idx;
+        for &pair in src.iter() {
+            let digit = (pair >> shift) as usize & 0xFF;
+            dst[offsets[digit]] = pair;
             offsets[digit] += 1;
         }
-        std::mem::swap(&mut order, &mut scratch);
+        std::mem::swap(&mut src, &mut dst);
     }
-    order
+
+    order.extend(src.iter().map(|&pair| pair as u32));
 }
 
 /// Sorts splat indices front-to-back by depth.
@@ -73,8 +120,20 @@ pub fn radix_argsort(keys: &[u32]) -> Vec<u32> {
 /// This is the single global sort hardware rendering needs (paper §III-A:
 /// no per-tile duplication/sorting, unlike the CUDA renderer).
 pub fn sort_splats_by_depth(depths: &[f32]) -> Vec<u32> {
-    let keys: Vec<u32> = depths.iter().map(|&d| depth_key(d)).collect();
-    radix_argsort(&keys)
+    let mut scratch = SortScratch::default();
+    let mut order = Vec::new();
+    sort_splats_by_depth_into(depths, &mut scratch, &mut order);
+    order
+}
+
+/// [`sort_splats_by_depth`] into caller-provided buffers (the
+/// allocation-free frame-loop entry point).
+pub fn sort_splats_by_depth_into(depths: &[f32], scratch: &mut SortScratch, order: &mut Vec<u32>) {
+    let mut keys = std::mem::take(&mut scratch.keys);
+    keys.clear();
+    keys.extend(depths.iter().map(|&d| depth_key(d)));
+    radix_argsort_into(&keys, scratch, order);
+    scratch.keys = keys;
 }
 
 #[cfg(test)]
@@ -91,7 +150,9 @@ mod tests {
 
     #[test]
     fn radix_sorts_random_keys() {
-        let keys: Vec<u32> = (0..1000).map(|i| (i * 2654435761u64 % 100000) as u32).collect();
+        let keys: Vec<u32> = (0..1000)
+            .map(|i| (i * 2654435761u64 % 100000) as u32)
+            .collect();
         let order = radix_argsort(&keys);
         for w in order.windows(2) {
             assert!(keys[w[0] as usize] <= keys[w[1] as usize]);
@@ -122,5 +183,51 @@ mod tests {
     fn empty_and_singleton() {
         assert!(radix_argsort(&[]).is_empty());
         assert_eq!(radix_argsort(&[42]), vec![0]);
+    }
+
+    #[test]
+    fn pass_skipping_keeps_clustered_keys_sorted() {
+        // All keys share the upper three bytes: three passes skip.
+        let keys: Vec<u32> = (0..500).map(|i| 0xABCD_EF00 | ((i * 37) % 256)).collect();
+        let order = radix_argsort(&keys);
+        for w in order.windows(2) {
+            assert!(keys[w[0] as usize] <= keys[w[1] as usize]);
+        }
+        // Fully constant keys: every pass skips, order is identity.
+        let constant = vec![7u32; 64];
+        assert_eq!(radix_argsort(&constant), (0..64).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_sort() {
+        let mut scratch = SortScratch::default();
+        let mut order = Vec::new();
+        for round in 0..5u32 {
+            let keys: Vec<u32> = (0..200 + round * 130)
+                .map(|i| (i ^ (round * 0x9E37)).wrapping_mul(2654435761u32) % 10_000)
+                .collect();
+            radix_argsort_into(&keys, &mut scratch, &mut order);
+            assert_eq!(order, radix_argsort(&keys), "round {round}");
+        }
+    }
+
+    #[test]
+    fn depths_with_nan_still_produce_a_permutation() {
+        let depths = [1.0f32, f32::NAN, 0.5, f32::NAN, 2.0];
+        let order = sort_splats_by_depth(&depths);
+        let mut seen = [false; 5];
+        for &i in &order {
+            assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+        }
+        // Non-NaN entries are mutually ordered.
+        let finite: Vec<u32> = order
+            .iter()
+            .copied()
+            .filter(|&i| depths[i as usize].is_finite())
+            .collect();
+        for w in finite.windows(2) {
+            assert!(depths[w[0] as usize] <= depths[w[1] as usize]);
+        }
     }
 }

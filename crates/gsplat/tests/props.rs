@@ -7,7 +7,7 @@ use gsplat::gaussian::Gaussian;
 use gsplat::math::{Mat2, Vec3};
 use gsplat::projection::project_gaussian;
 use gsplat::sh::ShColor;
-use gsplat::sort::{depth_key, radix_argsort};
+use gsplat::sort::{depth_key, radix_argsort, sort_splats_by_depth};
 use proptest::prelude::*;
 
 fn rgba_strategy() -> impl Strategy<Value = Rgba> {
@@ -48,7 +48,7 @@ proptest! {
     /// The order-preserving float key transform matches f32 ordering.
     #[test]
     fn depth_key_is_monotone(a in -1e6f32..1e6, b in -1e6f32..1e6) {
-        prop_assert_eq!(a < b, depth_key(a) < depth_key(b) || a == b && false);
+        prop_assert_eq!(a < b, depth_key(a) < depth_key(b));
     }
 
     /// Radix argsort agrees with a stable comparison sort.
@@ -58,6 +58,55 @@ proptest! {
         let mut expect: Vec<u32> = (0..keys.len() as u32).collect();
         expect.sort_by_key(|&i| keys[i as usize]);
         prop_assert_eq!(order, expect);
+    }
+
+    /// Fused-sort stability under heavy ties: duplicate keys keep input
+    /// order for arbitrary (narrow-domain) key streams.
+    #[test]
+    fn fused_radix_is_stable_under_ties(keys in proptest::collection::vec(0u32..8, 0..400)) {
+        let order = radix_argsort(&keys);
+        let mut expect: Vec<u32> = (0..keys.len() as u32).collect();
+        expect.sort_by_key(|&i| keys[i as usize]); // std stable sort
+        prop_assert_eq!(order, expect);
+    }
+
+    /// Pass-skipping correctness: clustered keys sharing high (or low)
+    /// bytes — where the fused sort skips constant-digit passes — still
+    /// sort exactly like a stable comparison sort.
+    #[test]
+    fn fused_radix_pass_skipping_is_exact(
+        base in 0u32..0xFFFF,
+        low in proptest::collection::vec(0u32..256, 1..300),
+        shift in 0usize..3,
+    ) {
+        // Constant digits in at least the two untouched byte lanes.
+        let keys: Vec<u32> = low.iter().map(|&l| (base << 16) | (l << (shift * 4))).collect();
+        let order = radix_argsort(&keys);
+        let mut expect: Vec<u32> = (0..keys.len() as u32).collect();
+        expect.sort_by_key(|&i| keys[i as usize]);
+        prop_assert_eq!(order, expect);
+    }
+
+    /// NaN-free depth streams have a total order: the depth sort is a
+    /// permutation that agrees with `f32` comparison everywhere, ties in
+    /// input order.
+    #[test]
+    fn depth_sort_total_order_on_finite_depths(
+        depths in proptest::collection::vec(-1e20f32..1e20, 0..300)
+    ) {
+        let order = sort_splats_by_depth(&depths);
+        let mut seen = vec![false; depths.len()];
+        for &i in &order {
+            prop_assert!(!seen[i as usize], "index {i} repeated");
+            seen[i as usize] = true;
+        }
+        for w in order.windows(2) {
+            let (a, b) = (depths[w[0] as usize], depths[w[1] as usize]);
+            prop_assert!(a <= b, "out of order: {a} before {b}");
+            if depth_key(a) == depth_key(b) {
+                prop_assert!(w[0] < w[1], "tie broke input order");
+            }
+        }
     }
 
     /// Σ = R S Sᵀ Rᵀ is always symmetric positive semi-definite.

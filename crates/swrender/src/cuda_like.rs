@@ -12,10 +12,17 @@
 //!   tile's splat list front-to-back in lockstep; a warp only retires when
 //!   *all* its 32 pixels are done, so threads of terminated or uncovered
 //!   pixels burn issue slots — the under-utilisation of Fig. 9.
+//!
+//! Execution is parallel at tile-row granularity: each worker owns a
+//! disjoint horizontal band of the framebuffer, and per-tile splat lists
+//! are built with chunk-ordered partial bins, so the parallel render is
+//! bit-exact with the serial sweep (`threads: 1`) — same per-pixel blend
+//! order, same statistics.
 
 use gsplat::blend::{fragment_alpha, PixelAccumulator, EARLY_TERMINATION_THRESHOLD};
 use gsplat::color::{PixelFormat, Rgba};
 use gsplat::framebuffer::ColorBuffer;
+use gsplat::par::{Bands, BinScratch, ThreadPolicy};
 use gsplat::splat::Splat;
 use serde::{Deserialize, Serialize};
 
@@ -40,6 +47,11 @@ pub struct SwConfig {
     pub preprocess_ns_per_gaussian: f64,
     /// Sort cost per duplicated key in nanoseconds (device radix sort).
     pub sort_ns_per_key: f64,
+    /// Host worker threads for the functional render (`0` = all cores).
+    pub threads: usize,
+    /// Pin work to workers statically (reproducible scheduling). Output is
+    /// bit-exact either way; see [`gsplat::par::ThreadPolicy`].
+    pub deterministic: bool,
 }
 
 impl Default for SwConfig {
@@ -51,6 +63,18 @@ impl Default for SwConfig {
             core_freq_mhz: 612.0,
             preprocess_ns_per_gaussian: 9.0,
             sort_ns_per_key: 7.0,
+            threads: 0,
+            deterministic: true,
+        }
+    }
+}
+
+impl SwConfig {
+    /// The work-distribution policy these settings describe.
+    pub fn thread_policy(&self) -> ThreadPolicy {
+        ThreadPolicy {
+            threads: self.threads,
+            deterministic: self.deterministic,
         }
     }
 }
@@ -84,6 +108,16 @@ impl SwStats {
             100.0 * self.blending_threads as f64 / self.thread_slots as f64
         }
     }
+
+    fn merge(&mut self, other: &SwStats) {
+        self.duplicated_keys += other.duplicated_keys;
+        self.warp_iterations += other.warp_iterations;
+        self.thread_slots += other.thread_slots;
+        self.blending_threads += other.blending_threads;
+        self.blended_fragments += other.blended_fragments;
+        self.terminated_fragments += other.terminated_fragments;
+        self.warp_iterations_saved += other.warp_iterations_saved;
+    }
 }
 
 /// A software-rendered frame with its time breakdown.
@@ -106,6 +140,15 @@ impl SwFrame {
     pub fn total_ms(&self) -> f64 {
         self.preprocess_ms + self.sort_ms + self.rasterize_ms
     }
+}
+
+/// Reusable buffers for [`CudaLikeRenderer::render_with_scratch`]: the
+/// per-tile duplication bins (and their per-worker partials) survive
+/// across frames, so the steady-state loop allocates only the output
+/// buffer.
+#[derive(Debug, Default)]
+pub struct SwScratch {
+    bins: BinScratch,
 }
 
 /// The software renderer.
@@ -146,41 +189,89 @@ impl CudaLikeRenderer {
 
     /// Renders depth-sorted splats at the given viewport.
     pub fn render(&self, splats: &[Splat], width: u32, height: u32) -> SwFrame {
+        self.render_with_scratch(splats, width, height, &mut SwScratch::default())
+    }
+
+    /// [`CudaLikeRenderer::render`] reusing caller-owned scratch buffers
+    /// across frames.
+    pub fn render_with_scratch(
+        &self,
+        splats: &[Splat],
+        width: u32,
+        height: u32,
+        scratch: &mut SwScratch,
+    ) -> SwFrame {
         let tile = self.cfg.tile_px;
         let tiles_x = width.div_ceil(tile);
         let tiles_y = height.div_ceil(tile);
-        let mut stats = SwStats::default();
+        let policy = self.cfg.thread_policy();
 
-        // --- Duplication: per-tile splat lists (depth order preserved
-        // because `splats` is already globally sorted). ---
-        let mut tile_lists: Vec<Vec<u32>> = vec![Vec::new(); (tiles_x * tiles_y) as usize];
-        for (i, s) in splats.iter().enumerate() {
-            let (lo, hi) = s.aabb();
-            if hi.x < 0.0 || hi.y < 0.0 || lo.x >= width as f32 || lo.y >= height as f32 {
-                continue;
-            }
-            let tx0 = (lo.x.max(0.0) as u32).min(width - 1) / tile;
-            let ty0 = (lo.y.max(0.0) as u32).min(height - 1) / tile;
-            let tx1 = (hi.x.max(0.0) as u32).min(width - 1) / tile;
-            let ty1 = (hi.y.max(0.0) as u32).min(height - 1) / tile;
-            for ty in ty0..=ty1 {
-                for tx in tx0..=tx1 {
-                    tile_lists[(ty * tiles_x + tx) as usize].push(i as u32);
-                    stats.duplicated_keys += 1;
+        // --- Duplication: per-tile splat lists, built with chunk-ordered
+        // partial bins (depth order preserved because `splats` is already
+        // globally sorted and the merge keeps input order per tile). ---
+        let duplicated_keys = scratch.bins.build(
+            (tiles_x * tiles_y) as usize,
+            splats.len(),
+            policy,
+            |i, push| {
+                let s = &splats[i as usize];
+                let (lo, hi) = s.aabb();
+                if hi.x < 0.0 || hi.y < 0.0 || lo.x >= width as f32 || lo.y >= height as f32 {
+                    return;
                 }
-            }
-        }
+                let tx0 = (lo.x.max(0.0) as u32).min(width - 1) / tile;
+                let ty0 = (lo.y.max(0.0) as u32).min(height - 1) / tile;
+                let tx1 = (hi.x.max(0.0) as u32).min(width - 1) / tile;
+                let ty1 = (hi.y.max(0.0) as u32).min(height - 1) / tile;
+                for ty in ty0..=ty1 {
+                    for tx in tx0..=tx1 {
+                        push(ty * tiles_x + tx);
+                    }
+                }
+            },
+        );
 
-        // --- Per-tile lockstep sweep. ---
+        // --- Per-tile lockstep sweep, one framebuffer band per tile row.
+        // Bands are disjoint, so tiles blend in exactly the serial order
+        // per pixel regardless of the thread count. ---
         let mut color = ColorBuffer::new(width, height, PixelFormat::Rgba16F);
-        for ty in 0..tiles_y {
+        let tile_lists = scratch.bins.bins();
+        let bands = Bands::new(color.pixels_mut(), (tile * width) as usize);
+        let band_stats = gsplat::par::run_indexed(tiles_y as usize, policy, |band_idx| {
+            let band = bands.take(band_idx);
+            let ty = band_idx as u32;
+            let mut stats = SwStats::default();
+            let n_px = (tile * tile) as usize;
+            let mut acc: Vec<PixelAccumulator> = vec![PixelAccumulator::new(); n_px];
+            let mut in_bounds = vec![false; n_px];
             for tx in 0..tiles_x {
                 let list = &tile_lists[(ty * tiles_x + tx) as usize];
                 if list.is_empty() {
                     continue;
                 }
-                self.sweep_tile(splats, list, tx, ty, width, height, &mut color, &mut stats);
+                acc.fill(PixelAccumulator::new());
+                self.sweep_tile(
+                    splats,
+                    list,
+                    tx,
+                    ty,
+                    width,
+                    height,
+                    band,
+                    &mut acc,
+                    &mut in_bounds,
+                    &mut stats,
+                );
             }
+            stats
+        });
+
+        let mut stats = SwStats {
+            duplicated_keys,
+            ..SwStats::default()
+        };
+        for band in &band_stats {
+            stats.merge(band);
         }
 
         let hz = self.cfg.core_freq_mhz * 1e3; // cycles per ms
@@ -197,7 +288,8 @@ impl CudaLikeRenderer {
         }
     }
 
-    /// One tile's thread block: 8 warps of 32 threads sweep the splat list.
+    /// One tile's thread block: 8 warps of 32 threads sweep the splat
+    /// list, blending into this tile row's framebuffer `band`.
     #[allow(clippy::too_many_arguments)]
     fn sweep_tile(
         &self,
@@ -207,16 +299,15 @@ impl CudaLikeRenderer {
         ty: u32,
         width: u32,
         height: u32,
-        color: &mut ColorBuffer,
+        band: &mut [Rgba],
+        acc: &mut [PixelAccumulator],
+        in_bounds: &mut [bool],
         stats: &mut SwStats,
     ) {
         let tile = self.cfg.tile_px;
         let x0 = tx * tile;
         let y0 = ty * tile;
-        // Pixel accumulators for the whole tile (256 threads).
         let n_px = (tile * tile) as usize;
-        let mut acc: Vec<PixelAccumulator> = vec![PixelAccumulator::new(); n_px];
-        let mut in_bounds = vec![false; n_px];
         for (t, ib) in in_bounds.iter_mut().enumerate() {
             let px = x0 + (t as u32 % tile);
             let py = y0 + (t as u32 / tile);
@@ -248,9 +339,7 @@ impl CudaLikeRenderer {
                     }
                     let px = x0 + (t as u32 % tile);
                     let py = y0 + (t as u32 / tile);
-                    if self.early_termination
-                        && acc[t].alpha() >= EARLY_TERMINATION_THRESHOLD
-                    {
+                    if self.early_termination && acc[t].alpha() >= EARLY_TERMINATION_THRESHOLD {
                         stats.terminated_fragments += 1;
                         continue;
                     }
@@ -265,12 +354,14 @@ impl CudaLikeRenderer {
             }
         }
 
+        // Resolve the tile's accumulators into the band (rows y0.. of the
+        // framebuffer, so the in-band row is t / tile).
         for (t, a) in acc.iter().enumerate() {
-            let px = x0 + (t as u32 % tile);
-            let py = y0 + (t as u32 / tile);
             if in_bounds[t] {
+                let px = x0 + (t as u32 % tile);
+                let row = t as u32 / tile;
                 let c = a.color();
-                color.set(px, py, Rgba::new(c.r, c.g, c.b, c.a));
+                band[(row * width + px) as usize] = Rgba::new(c.r, c.g, c.b, c.a);
             }
         }
     }
@@ -356,5 +447,44 @@ mod tests {
         let f = CudaLikeRenderer::new(SwConfig::default(), false).render(&s, 32, 32);
         assert_eq!(f.stats.duplicated_keys, 0);
         assert_eq!(f.stats.blended_fragments, 0);
+    }
+
+    #[test]
+    fn parallel_is_bit_exact_with_serial() {
+        let splats = flat_stacked(80);
+        let serial_cfg = SwConfig {
+            threads: 1,
+            ..SwConfig::default()
+        };
+        for et in [false, true] {
+            let serial = CudaLikeRenderer::new(serial_cfg, et).render(&splats, 96, 64);
+            for (threads, deterministic) in [(3, true), (5, false), (0, true)] {
+                let cfg = SwConfig {
+                    threads,
+                    deterministic,
+                    ..SwConfig::default()
+                };
+                let par = CudaLikeRenderer::new(cfg, et).render(&splats, 96, 64);
+                assert_eq!(par.stats, serial.stats, "threads={threads} et={et}");
+                assert_eq!(
+                    par.color.max_abs_diff(&serial.color),
+                    0.0,
+                    "threads={threads} et={et}: image diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_frames_is_stable() {
+        let splats = stacked(30, 0.5);
+        let sw = CudaLikeRenderer::new(SwConfig::default(), true);
+        let mut scratch = SwScratch::default();
+        let fresh = sw.render(&splats, 48, 32);
+        for _ in 0..3 {
+            let f = sw.render_with_scratch(&splats, 48, 32, &mut scratch);
+            assert_eq!(f.stats, fresh.stats);
+            assert_eq!(f.color.max_abs_diff(&fresh.color), 0.0);
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! paper measures a ~5–10× slowdown. Without the interlock the threads run
 //! free (fast but *incorrect*: the blend order becomes nondeterministic).
 
+use gsplat::par::{run_indexed, Bands, ThreadPolicy};
 use gsplat::splat::Splat;
 use serde::{Deserialize, Serialize};
 
@@ -87,8 +88,8 @@ pub fn rasterize_cycles(
             // Every fragment pays the critical section; chains of the same
             // pixel serialise and only `interlock_concurrency` chains make
             // progress at once. The longest chain lower-bounds the time.
-            let serial = fragments as f64 * cfg.interlock_critical_cycles
-                / cfg.interlock_concurrency;
+            let serial =
+                fragments as f64 * cfg.interlock_critical_cycles / cfg.interlock_concurrency;
             let chain = max_frags_per_pixel as f64 * cfg.interlock_critical_cycles;
             serial.max(chain)
         }
@@ -101,29 +102,61 @@ pub fn rasterize_cycles(
 /// Fragment workload of a splat list: `(fragments, quads,
 /// max_fragments_per_pixel)`, computed by a quick coverage pass.
 pub fn fragment_workload(splats: &[Splat], width: u32, height: u32) -> (u64, u64, u64) {
+    fragment_workload_with(splats, width, height, ThreadPolicy::default())
+}
+
+/// [`fragment_workload`] with an explicit threading policy. The coverage
+/// pass fans out over disjoint framebuffer row bands; per-band fragment
+/// counts and chain maxima merge commutatively, so the result is identical
+/// for every thread count.
+pub fn fragment_workload_with(
+    splats: &[Splat],
+    width: u32,
+    height: u32,
+    policy: ThreadPolicy,
+) -> (u64, u64, u64) {
     let mut per_pixel = vec![0u32; (width * height) as usize];
-    let mut fragments = 0u64;
-    for s in splats {
-        let (lo, hi) = s.aabb();
-        if hi.x < 0.0 || hi.y < 0.0 || lo.x >= width as f32 || lo.y >= height as f32 {
-            continue;
-        }
-        let x0 = lo.x.max(0.0) as u32;
-        let y0 = lo.y.max(0.0) as u32;
-        let x1 = (hi.x.min(width as f32 - 1.0)).max(0.0) as u32;
-        let y1 = (hi.y.min(height as f32 - 1.0)).max(0.0) as u32;
-        for y in y0..=y1 {
-            for x in x0..=x1 {
-                let dx = x as f32 + 0.5 - s.center.x;
-                let dy = y as f32 + 0.5 - s.center.y;
-                if gsplat::blend::fragment_alpha(s.opacity, s.conic, dx, dy).is_some() {
-                    fragments += 1;
-                    per_pixel[(y * width + x) as usize] += 1;
+    let workers = policy.workers(height as usize);
+    let band_rows = if workers <= 1 {
+        height
+    } else {
+        height.div_ceil((workers * 4) as u32).max(1)
+    };
+    let n_bands = height.div_ceil(band_rows) as usize;
+    let bands = Bands::new(&mut per_pixel, (band_rows * width) as usize);
+    let per_band = run_indexed(n_bands, policy, |b| {
+        let band = bands.take(b);
+        let row0 = b as u32 * band_rows;
+        let row1 = (row0 + band_rows).min(height);
+        let mut fragments = 0u64;
+        for s in splats {
+            let (lo, hi) = s.aabb();
+            if hi.x < 0.0 || hi.y < 0.0 || lo.x >= width as f32 || lo.y >= height as f32 {
+                continue;
+            }
+            let x0 = lo.x.max(0.0) as u32;
+            let y0 = (lo.y.max(0.0) as u32).max(row0);
+            let x1 = (hi.x.min(width as f32 - 1.0)).max(0.0) as u32;
+            let y1 = ((hi.y.min(height as f32 - 1.0)).max(0.0) as u32).min(row1 - 1);
+            if y0 > y1 || y0 >= row1 {
+                continue;
+            }
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    let dx = x as f32 + 0.5 - s.center.x;
+                    let dy = y as f32 + 0.5 - s.center.y;
+                    if gsplat::blend::fragment_alpha(s.opacity, s.conic, dx, dy).is_some() {
+                        fragments += 1;
+                        band[((y - row0) * width + x) as usize] += 1;
+                    }
                 }
             }
         }
-    }
-    let max_chain = per_pixel.iter().copied().max().unwrap_or(0) as u64;
+        let max_chain = band.iter().copied().max().unwrap_or(0) as u64;
+        (fragments, max_chain)
+    });
+    let fragments: u64 = per_band.iter().map(|(f, _)| f).sum();
+    let max_chain = per_band.iter().map(|(_, c)| *c).max().unwrap_or(0);
     // Quads approximated as fragments / mean quad occupancy (~3.2 of 4
     // lanes covered for ellipse footprints).
     let quads = (fragments as f64 / 3.2).ceil() as u64;
@@ -157,7 +190,10 @@ mod tests {
         let (f, q, c) = workload();
         let cfg = InShaderConfig::default();
         let slow = normalized_time(BlendStrategy::InShaderInterlock, f, q, c, &cfg);
-        assert!(slow > 3.0, "interlock should be several times slower, got {slow}");
+        assert!(
+            slow > 3.0,
+            "interlock should be several times slower, got {slow}"
+        );
         assert!(slow < 20.0, "but not absurdly so, got {slow}");
     }
 
@@ -166,7 +202,10 @@ mod tests {
         let (f, q, c) = workload();
         let cfg = InShaderConfig::default();
         let t = normalized_time(BlendStrategy::InShaderUnordered, f, q, c, &cfg);
-        assert!(t > 0.2 && t < 1.5, "unordered should be near ROP speed, got {t}");
+        assert!(
+            t > 0.2 && t < 1.5,
+            "unordered should be near ROP speed, got {t}"
+        );
     }
 
     #[test]
@@ -196,9 +235,49 @@ mod tests {
     }
 
     #[test]
+    fn fragment_workload_is_thread_count_invariant() {
+        let splats: Vec<Splat> = (0..40)
+            .map(|i| Splat {
+                center: Vec2::new(5.0 + (i % 7) as f32 * 8.0, 4.0 + (i % 5) as f32 * 9.0),
+                depth: 1.0 + i as f32,
+                conic: (0.05, 0.0, 0.05),
+                axis_major: Vec2::new(7.0, 0.0),
+                axis_minor: Vec2::new(0.0, 7.0),
+                color: Vec3::splat(0.5),
+                opacity: 0.8,
+                source: i,
+            })
+            .collect();
+        let serial = fragment_workload_with(&splats, 60, 44, ThreadPolicy::serial());
+        for policy in [
+            ThreadPolicy {
+                threads: 3,
+                deterministic: true,
+            },
+            ThreadPolicy {
+                threads: 6,
+                deterministic: false,
+            },
+            ThreadPolicy::default(),
+        ] {
+            assert_eq!(
+                fragment_workload_with(&splats, 60, 44, policy),
+                serial,
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
     fn labels_match_fig10() {
         assert_eq!(BlendStrategy::RopBased.label(), "ROP-Based");
-        assert_eq!(BlendStrategy::InShaderInterlock.label(), "In-Shader w/ Extension");
-        assert_eq!(BlendStrategy::InShaderUnordered.label(), "In-Shader w/o Extension");
+        assert_eq!(
+            BlendStrategy::InShaderInterlock.label(),
+            "In-Shader w/ Extension"
+        );
+        assert_eq!(
+            BlendStrategy::InShaderUnordered.label(),
+            "In-Shader w/o Extension"
+        );
     }
 }

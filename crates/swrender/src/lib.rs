@@ -29,6 +29,6 @@ pub mod cuda_like;
 pub mod inshader;
 pub mod multipass;
 
-pub use cuda_like::{CudaLikeRenderer, SwConfig, SwFrame, SwStats};
+pub use cuda_like::{CudaLikeRenderer, SwConfig, SwFrame, SwScratch, SwStats};
 pub use inshader::{BlendStrategy, InShaderConfig};
 pub use multipass::{render_multipass, MultiPassConfig, MultiPassFrame};

@@ -7,10 +7,16 @@
 //! pixels whose accumulated alpha crossed the threshold. Early termination
 //! is therefore only checked at *batch* granularity, and each extra pass
 //! pays a stencil-update draw — the trade-off Fig. 11 sweeps.
+//!
+//! Both draws are parallel over disjoint framebuffer row bands. Within a
+//! band the batch's splats blend in draw order, so every pixel sees the
+//! exact serial blend sequence — the parallel render is bit-exact with
+//! `threads: 1`.
 
 use gsplat::blend::{fragment_alpha, EARLY_TERMINATION_THRESHOLD};
 use gsplat::color::{PixelFormat, Rgba};
 use gsplat::framebuffer::ColorBuffer;
+use gsplat::par::{run_indexed, Bands, ThreadPolicy};
 use gsplat::splat::Splat;
 use serde::{Deserialize, Serialize};
 
@@ -30,6 +36,11 @@ pub struct MultiPassConfig {
     pub draw_call_overhead_cycles: f64,
     /// Core clock in MHz.
     pub core_freq_mhz: f64,
+    /// Host worker threads for the functional render (`0` = all cores).
+    pub threads: usize,
+    /// Pin work to workers statically (reproducible scheduling). Output is
+    /// bit-exact either way; see [`gsplat::par::ThreadPolicy`].
+    pub deterministic: bool,
 }
 
 impl Default for MultiPassConfig {
@@ -40,6 +51,18 @@ impl Default for MultiPassConfig {
             stencil_update_px_per_cycle: 16.0,
             draw_call_overhead_cycles: 60_000.0,
             core_freq_mhz: 612.0,
+            threads: 0,
+            deterministic: true,
+        }
+    }
+}
+
+impl MultiPassConfig {
+    /// The work-distribution policy these settings describe.
+    pub fn thread_policy(&self) -> ThreadPolicy {
+        ThreadPolicy {
+            threads: self.threads,
+            deterministic: self.deterministic,
         }
     }
 }
@@ -88,58 +111,84 @@ pub fn render_multipass(
     cfg: &MultiPassConfig,
 ) -> MultiPassFrame {
     assert!(passes > 0, "at least one pass required");
+    let policy = cfg.thread_policy();
     let mut color = ColorBuffer::new(width, height, PixelFormat::Rgba16F);
     // Stencil: true = terminated (stencil value 1 in Algorithm 1).
     let mut stencil = vec![false; (width * height) as usize];
     let mut blended = 0u64;
     let mut discarded = 0u64;
-    let mut raster_frags = 0u64;
+
+    // Row bands: over-split relative to the worker count so skewed splat
+    // footprints still balance; a single worker gets a single band (no
+    // point re-scanning the batch per band).
+    let workers = policy.workers(height as usize);
+    let band_rows = if workers <= 1 {
+        height
+    } else {
+        height.div_ceil((workers * 4) as u32).max(1)
+    };
+    let n_bands = height.div_ceil(band_rows) as usize;
 
     let batch_len = splats.len().div_ceil(passes);
     let mut time_cycles = 0.0f64;
 
     for (pass, batch) in splats.chunks(batch_len.max(1)).enumerate() {
         // --- Draw call 1: blend the batch under the stencil test. ---
-        let mut pass_raster = 0u64;
-        let mut pass_blend = 0u64;
-        for s in batch {
-            let (lo, hi) = s.aabb();
-            let x0 = lo.x.max(0.0) as u32;
-            let y0 = lo.y.max(0.0) as u32;
-            let x1 = (hi.x.min(width as f32 - 1.0)).max(0.0) as u32;
-            let y1 = (hi.y.min(height as f32 - 1.0)).max(0.0) as u32;
-            if hi.x < 0.0 || hi.y < 0.0 || lo.x >= width as f32 || lo.y >= height as f32 {
-                continue;
-            }
-            for y in y0..=y1 {
-                for x in x0..=x1 {
-                    pass_raster += 1;
-                    let idx = (y * width + x) as usize;
-                    if stencil[idx] {
-                        discarded += 1;
-                        continue;
-                    }
-                    let dx = x as f32 + 0.5 - s.center.x;
-                    let dy = y as f32 + 0.5 - s.center.y;
-                    if let Some(alpha) = fragment_alpha(s.opacity, s.conic, dx, dy) {
-                        let dest = color.get(x, y);
-                        let t = 1.0 - dest.a;
-                        color.set(
-                            x,
-                            y,
-                            Rgba::new(
+        let color_bands = Bands::new(color.pixels_mut(), (band_rows * width) as usize);
+        let stencil_bands = Bands::new(&mut stencil, (band_rows * width) as usize);
+        let band_counts = run_indexed(n_bands, policy, |b| {
+            let band_color = color_bands.take(b);
+            let band_stencil = stencil_bands.take(b);
+            let row0 = b as u32 * band_rows;
+            let row1 = (row0 + band_rows).min(height);
+            let mut pass_raster = 0u64;
+            let mut pass_blend = 0u64;
+            let mut pass_discarded = 0u64;
+            for s in batch {
+                let (lo, hi) = s.aabb();
+                if hi.x < 0.0 || hi.y < 0.0 || lo.x >= width as f32 || lo.y >= height as f32 {
+                    continue;
+                }
+                let x0 = lo.x.max(0.0) as u32;
+                let y0 = (lo.y.max(0.0) as u32).max(row0);
+                let x1 = (hi.x.min(width as f32 - 1.0)).max(0.0) as u32;
+                let y1 = ((hi.y.min(height as f32 - 1.0)).max(0.0) as u32).min(row1 - 1);
+                if y0 > y1 || y0 >= row1 {
+                    continue;
+                }
+                for y in y0..=y1 {
+                    for x in x0..=x1 {
+                        pass_raster += 1;
+                        let idx = ((y - row0) * width + x) as usize;
+                        if band_stencil[idx] {
+                            pass_discarded += 1;
+                            continue;
+                        }
+                        let dx = x as f32 + 0.5 - s.center.x;
+                        let dy = y as f32 + 0.5 - s.center.y;
+                        if let Some(alpha) = fragment_alpha(s.opacity, s.conic, dx, dy) {
+                            let dest = band_color[idx];
+                            let t = 1.0 - dest.a;
+                            band_color[idx] = Rgba::new(
                                 dest.r + t * s.color.x * alpha,
                                 dest.g + t * s.color.y * alpha,
                                 dest.b + t * s.color.z * alpha,
                                 dest.a + t * alpha,
-                            ),
-                        );
-                        pass_blend += 1;
+                            );
+                            pass_blend += 1;
+                        }
                     }
                 }
             }
+            (pass_raster, pass_blend, pass_discarded)
+        });
+        let mut pass_raster = 0u64;
+        let mut pass_blend = 0u64;
+        for (raster, blend, disc) in band_counts {
+            pass_raster += raster;
+            pass_blend += blend;
+            discarded += disc;
         }
-        raster_frags += pass_raster;
         blended += pass_blend;
         time_cycles += cfg.draw_call_overhead_cycles
             + (pass_raster as f64 / 4.0) / cfg.raster_quads_per_cycle
@@ -147,20 +196,21 @@ pub fn render_multipass(
 
         // --- Draw call 2: stencil update (skipped after the last pass). ---
         if pass + 1 < passes {
-            for (idx, st) in stencil.iter_mut().enumerate() {
-                if !*st {
-                    let x = idx as u32 % width;
-                    let y = idx as u32 / width;
-                    if color.get(x, y).a >= EARLY_TERMINATION_THRESHOLD {
+            let color_bands = Bands::new(color.pixels_mut(), (band_rows * width) as usize);
+            let stencil_bands = Bands::new(&mut stencil, (band_rows * width) as usize);
+            run_indexed(n_bands, policy, |b| {
+                let band_color = color_bands.take(b);
+                let band_stencil = stencil_bands.take(b);
+                for (st, px) in band_stencil.iter_mut().zip(band_color.iter()) {
+                    if !*st && px.a >= EARLY_TERMINATION_THRESHOLD {
                         *st = true;
                     }
                 }
-            }
+            });
             time_cycles += cfg.draw_call_overhead_cycles
                 + (width * height) as f64 / cfg.stencil_update_px_per_cycle;
         }
     }
-    let _ = raster_frags;
 
     MultiPassFrame {
         color,
@@ -234,5 +284,36 @@ mod tests {
     #[should_panic(expected = "at least one pass")]
     fn zero_passes_panics() {
         let _ = render_multipass(&[], 32, 32, 0, &MultiPassConfig::default());
+    }
+
+    #[test]
+    fn parallel_is_bit_exact_with_serial() {
+        let splats = stacked(48, 0.8);
+        let serial_cfg = MultiPassConfig {
+            threads: 1,
+            ..MultiPassConfig::default()
+        };
+        for passes in [1usize, 4, 9] {
+            let serial = render_multipass(&splats, 70, 50, passes, &serial_cfg);
+            for (threads, deterministic) in [(3, true), (4, false), (0, true)] {
+                let cfg = MultiPassConfig {
+                    threads,
+                    deterministic,
+                    ..MultiPassConfig::default()
+                };
+                let par = render_multipass(&splats, 70, 50, passes, &cfg);
+                assert_eq!(par.blended_fragments, serial.blended_fragments);
+                assert_eq!(
+                    par.stencil_discarded_fragments,
+                    serial.stencil_discarded_fragments
+                );
+                assert_eq!(par.time_ms, serial.time_ms);
+                assert_eq!(
+                    par.color.max_abs_diff(&serial.color),
+                    0.0,
+                    "passes={passes} threads={threads}"
+                );
+            }
+        }
     }
 }

@@ -25,9 +25,15 @@ fn main() {
         "{:<10} {:>12} {:>12} {:>12} {:>9}",
         "format", "ROP q/cyc", "base cycles", "vrp cycles", "speedup"
     );
-    for format in [PixelFormat::Rgba8, PixelFormat::Rgba16F, PixelFormat::Rgba32F] {
-        let mut cfg = GpuConfig::default();
-        cfg.pixel_format = format;
+    for format in [
+        PixelFormat::Rgba8,
+        PixelFormat::Rgba16F,
+        PixelFormat::Rgba32F,
+    ] {
+        let cfg = GpuConfig {
+            pixel_format: format,
+            ..GpuConfig::default()
+        };
         let base = Renderer::new(cfg.clone(), PipelineVariant::Baseline).render(&scene, &cam);
         let vrp = Renderer::new(cfg.clone(), PipelineVariant::HetQm).render(&scene, &cam);
         println!(

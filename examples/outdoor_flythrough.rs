@@ -37,8 +37,7 @@ fn main() {
         let base = base_r.render(&scene, cam);
         let het = het_r.render(&scene, cam);
         let vrp = vrp_r.render(&scene, cam);
-        let et_ratio =
-            base.stats.crop_fragments as f64 / het.stats.crop_fragments.max(1) as f64;
+        let et_ratio = base.stats.crop_fragments as f64 / het.stats.crop_fragments.max(1) as f64;
         println!(
             "{:>4} {:>10} {:>10} {:>8.2}x {:>9.2} {:>8.1}",
             i,

@@ -33,8 +33,7 @@ fn main() {
     let spec = &EVALUATED_SCENES[0]; // Kitchen: the TGC-flush-sensitive scene
     let scene = spec.generate_scaled(scale);
     let cam = scene.default_camera();
-    let base = Renderer::new(GpuConfig::default(), PipelineVariant::Baseline)
-        .render(&scene, &cam);
+    let base = Renderer::new(GpuConfig::default(), PipelineVariant::Baseline).render(&scene, &cam);
     println!(
         "Ablation on '{}' (baseline {} cycles)\n",
         spec.name, base.stats.total_cycles
@@ -44,27 +43,60 @@ fn main() {
         "configuration", "speedup", "merged", "TGC-evict", "TC-evict"
     );
 
-    run(GpuConfig::default(), "default (128x16 TGC, 4x4)", &scene, base.stats.total_cycles);
+    run(
+        GpuConfig::default(),
+        "default (128x16 TGC, 4x4)",
+        &scene,
+        base.stats.total_cycles,
+    );
 
     for bins in [32usize, 64, 256] {
-        let mut c = GpuConfig::default();
-        c.tgc_bins = bins;
-        run(c, &format!("TGC bins = {bins}"), &scene, base.stats.total_cycles);
+        let c = GpuConfig {
+            tgc_bins: bins,
+            ..GpuConfig::default()
+        };
+        run(
+            c,
+            &format!("TGC bins = {bins}"),
+            &scene,
+            base.stats.total_cycles,
+        );
     }
     for size in [4usize, 8, 32] {
-        let mut c = GpuConfig::default();
-        c.tgc_bin_size = size;
-        run(c, &format!("TGC bin size = {size}"), &scene, base.stats.total_cycles);
+        let c = GpuConfig {
+            tgc_bin_size: size,
+            ..GpuConfig::default()
+        };
+        run(
+            c,
+            &format!("TGC bin size = {size}"),
+            &scene,
+            base.stats.total_cycles,
+        );
     }
     for grid in [2u32, 8] {
-        let mut c = GpuConfig::default();
-        c.tile_grid_tiles = grid;
-        run(c, &format!("tile grid = {grid}x{grid} tiles"), &scene, base.stats.total_cycles);
+        let c = GpuConfig {
+            tile_grid_tiles: grid,
+            ..GpuConfig::default()
+        };
+        run(
+            c,
+            &format!("tile grid = {grid}x{grid} tiles"),
+            &scene,
+            base.stats.total_cycles,
+        );
     }
     for tc in [16usize, 64] {
-        let mut c = GpuConfig::default();
-        c.tc_bins = tc;
-        run(c, &format!("TC bins = {tc}"), &scene, base.stats.total_cycles);
+        let c = GpuConfig {
+            tc_bins: tc,
+            ..GpuConfig::default()
+        };
+        run(
+            c,
+            &format!("TC bins = {tc}"),
+            &scene,
+            base.stats.total_cycles,
+        );
     }
     println!("\nPremature TGC/TC evictions depress the merge rate — the §VI-B sensitivity.");
 }

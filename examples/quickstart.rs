@@ -28,10 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         camera.height()
     );
 
-    let baseline = Renderer::new(GpuConfig::default(), PipelineVariant::Baseline)
-        .render(&scene, &camera);
-    let vrpipe = Renderer::new(GpuConfig::default(), PipelineVariant::HetQm)
-        .render(&scene, &camera);
+    let baseline =
+        Renderer::new(GpuConfig::default(), PipelineVariant::Baseline).render(&scene, &camera);
+    let vrpipe =
+        Renderer::new(GpuConfig::default(), PipelineVariant::HetQm).render(&scene, &camera);
 
     println!("\n              {:>14} {:>14}", "Baseline", "VR-Pipe");
     println!(

@@ -1,0 +1,262 @@
+//! Offline stand-in for `criterion`: the subset this workspace's bench
+//! targets use, measured with `std::time::Instant`.
+//!
+//! Each benchmark warms up briefly, then takes `sample_size` samples of an
+//! iteration count tuned so one sample lasts a few milliseconds, and
+//! reports the median ns/iter on stdout as
+//!
+//! ```text
+//! bench <group>/<id> ... median 12.345 us/iter (10 samples x 420 iters)
+//! ```
+//!
+//! Environment:
+//! * `BENCH_SAMPLE_MS` — target milliseconds per sample (default 5).
+
+use std::fmt::Display;
+use std::hint;
+use std::time::Instant;
+
+/// Opaque value barrier (re-export shape of `criterion::black_box`).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier, optionally `function/parameter` shaped.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measurement.
+pub struct Bencher<'a> {
+    label: String,
+    sample_size: usize,
+    results: &'a mut Vec<BenchResult>,
+}
+
+/// One benchmark's measurement summary.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark label (`group/id`).
+    pub label: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters: u64,
+}
+
+fn target_sample_ms() -> f64 {
+    std::env::var("BENCH_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|ms: &f64| *ms > 0.0)
+        .unwrap_or(5.0)
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, reporting the median time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Pilot run: how long does one iteration take?
+        let start = Instant::now();
+        black_box(routine());
+        let pilot = start.elapsed().as_secs_f64().max(1e-9);
+
+        let target = target_sample_ms() * 1e-3;
+        let iters = ((target / pilot).ceil() as u64).clamp(1, 1_000_000);
+        let samples = self.sample_size.max(2);
+
+        let mut times_ns = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            times_ns.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        times_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        let median_ns = times_ns[times_ns.len() / 2];
+
+        let (value, unit) = human_time(median_ns);
+        println!(
+            "bench {} ... median {value:.3} {unit}/iter ({samples} samples x {iters} iters)",
+            self.label
+        );
+        self.results.push(BenchResult {
+            label: self.label.clone(),
+            median_ns,
+            samples,
+            iters,
+        });
+    }
+}
+
+fn human_time(ns: f64) -> (f64, &'static str) {
+    if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "us")
+    } else {
+        (ns, "ns")
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
+        let mut b = Bencher {
+            label: format!("{}/{}", self.name, id.id),
+            sample_size: self.sample_size,
+            results: &mut self.criterion.results,
+        };
+        f(&mut b);
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; groups have no shared state to
+    /// flush in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` as a standalone (group-less) benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            label: id.to_string(),
+            sample_size: 10,
+            results: &mut self.results,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// Declares a benchmark group entry point (API-compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter(4u32), &4u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        group.finish();
+        c.bench_function("shim/standalone", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    #[test]
+    fn measures_and_records() {
+        std::env::set_var("BENCH_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results().iter().all(|r| r.median_ns > 0.0));
+        assert_eq!(c.results()[0].label, "shim/4");
+    }
+}

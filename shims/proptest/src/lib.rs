@@ -1,0 +1,347 @@
+//! Offline stand-in for `proptest`: deterministic sampling without
+//! shrinking.
+//!
+//! Supports the subset this workspace uses: the [`proptest!`] macro with
+//! `name in strategy` bindings, range / tuple / [`Strategy::prop_map`]
+//! strategies, [`collection::vec`] and [`collection::hash_set`],
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Each test runs a fixed number of cases from a seed derived from the
+//! test name, so failures reproduce exactly across runs and machines.
+//! There is no shrinking: the failing sample is reported as-is by the
+//! panic message.
+
+pub use rand;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Cases sampled per `proptest!` test.
+pub const CASES: u32 = 64;
+
+/// Why a sampled case did not complete.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` — resampled, not a failure.
+    Reject,
+}
+
+/// FNV-1a hash used to derive a per-test seed from its name.
+pub const fn fnv1a(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        i += 1;
+    }
+    hash
+}
+
+/// A source of sampled values (sampling subset of `proptest::Strategy`).
+pub trait Strategy {
+    /// The sampled type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps sampled values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// A collection length specification: a fixed size or a range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Exclusive upper bound.
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            if self.lo + 1 >= self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..self.hi)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet`s of `element` with a target length in `size`.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = self.size.sample(rng).max(1);
+            let mut out = HashSet::with_capacity(target);
+            // Bounded attempts: a narrow element domain may not hold
+            // `target` distinct values.
+            for _ in 0..target * 64 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.sample(rng));
+            }
+            out
+        }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy};
+}
+
+/// Asserts a condition inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Rejects the current case (resampled without counting as a run).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Binds `name in strategy` parameters inside the generated test body.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __bind_params {
+    ($rng:expr $(,)?) => {};
+    ($rng:expr, $binding:pat in $strat:expr $(, $($rest:tt)*)?) => {
+        let $binding = $crate::Strategy::sample(&($strat), $rng);
+        $crate::__bind_params!($rng $(, $($rest)*)?)
+    };
+}
+
+/// Declares property tests: each `fn name(bindings) { body }` becomes a
+/// `#[test]` running [`CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident ( $($params:tt)* ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                let mut completed = 0u32;
+                let mut attempts = 0u64;
+                while completed < $crate::CASES {
+                    assert!(
+                        attempts < $crate::CASES as u64 * 256,
+                        "prop_assume rejected too many cases"
+                    );
+                    let mut rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>
+                        ::seed_from_u64(seed.wrapping_add(attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+                    attempts += 1;
+                    let mut case = || {
+                        $crate::__bind_params!(&mut rng, $($params)*);
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> = case();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => completed += 1,
+                        ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn even() -> impl Strategy<Value = u32> {
+        (0u32..1000).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5usize..9), c in 0.0f32..=1.0) {
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b));
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+
+        #[test]
+        fn mapped_strategy_applies(v in even()) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            v in crate::collection::vec(0u8..4, 2..6),
+            s in crate::collection::hash_set(0u64..1000, 1..16),
+            fixed in crate::collection::vec(0u8..4, 3),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() < 16);
+            prop_assert_eq!(fixed.len(), 3);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a
+//! forward-compatibility marker; nothing serializes through serde (the
+//! bench harness emits its JSON manually). Deriving nothing is therefore
+//! behaviour-preserving.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

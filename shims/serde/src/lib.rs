@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`: the marker traits plus no-op derives.
+//!
+//! `use serde::{Deserialize, Serialize}` imports both the trait (type
+//! namespace) and the derive macro (macro namespace), exactly like the
+//! real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -30,7 +30,7 @@ fn tc_bin_overflow_storm_is_correct_and_counted() {
     for round in 0..20 {
         for tile in 0..48u32 {
             let mut s = splat(tile as f32 * 8.0 + 4.0, 16.0, 1.2, 1.0 + round as f32, 0.3);
-            s.source = (round * 48 + tile) as u32;
+            s.source = round * 48 + tile;
             splats.push(s);
         }
     }
@@ -65,7 +65,10 @@ fn degenerate_splats_are_survivable() {
     splats.push(splat(-500.0, -500.0, 5.0, 4.0, 0.9));
     for v in PipelineVariant::ALL {
         let out = draw(&splats, 32, 32, &GpuConfig::default(), v);
-        assert!(out.color.pixels().iter().all(|p| p.is_finite()), "{v}: NaN leaked");
+        assert!(
+            out.color.pixels().iter().all(|p| p.is_finite()),
+            "{v}: NaN leaked"
+        );
         assert!(out.color.get(16, 16).a > 0.0, "{v}: normal splat lost");
     }
 }
@@ -85,13 +88,19 @@ fn tiny_viewports_render() {
 #[test]
 fn edge_straddling_splats_clip_cleanly() {
     let splats = vec![
-        splat(0.0, 16.0, 6.0, 1.0, 0.7),   // left edge
-        splat(32.0, 16.0, 6.0, 2.0, 0.7),  // right edge
-        splat(16.0, 0.0, 6.0, 3.0, 0.7),   // top edge
-        splat(16.0, 32.0, 6.0, 4.0, 0.7),  // bottom edge
-        splat(0.0, 0.0, 9.0, 5.0, 0.7),    // corner
+        splat(0.0, 16.0, 6.0, 1.0, 0.7),  // left edge
+        splat(32.0, 16.0, 6.0, 2.0, 0.7), // right edge
+        splat(16.0, 0.0, 6.0, 3.0, 0.7),  // top edge
+        splat(16.0, 32.0, 6.0, 4.0, 0.7), // bottom edge
+        splat(0.0, 0.0, 9.0, 5.0, 0.7),   // corner
     ];
-    let out = draw(&splats, 32, 32, &GpuConfig::default(), PipelineVariant::HetQm);
+    let out = draw(
+        &splats,
+        32,
+        32,
+        &GpuConfig::default(),
+        PipelineVariant::HetQm,
+    );
     let s = &out.stats;
     assert!(s.crop_fragments <= s.shaded_fragments);
     assert!(s.shaded_fragments <= s.raster_fragments);
@@ -114,7 +123,11 @@ fn depth_ties_are_deterministic() {
     let cfg = GpuConfig::default();
     let a = draw(&splats, 32, 32, &cfg, PipelineVariant::Baseline);
     let b = draw(&splats, 32, 32, &cfg, PipelineVariant::Baseline);
-    assert_eq!(a.color.max_abs_diff(&b.color), 0.0, "nondeterminism detected");
+    assert_eq!(
+        a.color.max_abs_diff(&b.color),
+        0.0,
+        "nondeterminism detected"
+    );
     let qm = draw(&splats, 32, 32, &cfg, PipelineVariant::Qm);
     assert!(a.color.max_abs_diff(&qm.color) < 1e-4);
 }
@@ -154,11 +167,18 @@ fn termination_flag_survives_stencil_traffic() {
 #[test]
 fn opacity_extremes() {
     let cfg = GpuConfig::default();
-    let transparent: Vec<Splat> = (0..20).map(|i| splat(16.0, 16.0, 5.0, i as f32 + 1.0, 0.001)).collect();
+    let transparent: Vec<Splat> = (0..20)
+        .map(|i| splat(16.0, 16.0, 5.0, i as f32 + 1.0, 0.001))
+        .collect();
     let out = draw(&transparent, 32, 32, &cfg, PipelineVariant::Baseline);
-    assert_eq!(out.stats.crop_fragments, 0, "sub-threshold opacity must prune everything");
+    assert_eq!(
+        out.stats.crop_fragments, 0,
+        "sub-threshold opacity must prune everything"
+    );
 
-    let opaque: Vec<Splat> = (0..50).map(|i| splat(16.0, 16.0, 6.0, i as f32 + 1.0, 0.99)).collect();
+    let opaque: Vec<Splat> = (0..50)
+        .map(|i| splat(16.0, 16.0, 6.0, i as f32 + 1.0, 0.99))
+        .collect();
     let het = draw(&opaque, 32, 32, &cfg, PipelineVariant::Het);
     let base = draw(&opaque, 32, 32, &cfg, PipelineVariant::Baseline);
     // Quad granularity bounds the saving: never-terminating OBB-edge
@@ -171,5 +191,8 @@ fn opacity_extremes() {
         het.stats.crop_fragments,
         base.stats.crop_fragments
     );
-    assert!(het.depth_stencil.terminated_count() > 50, "central region must terminate");
+    assert!(
+        het.depth_stencil.terminated_count() > 50,
+        "central region must terminate"
+    );
 }

@@ -20,8 +20,11 @@ fn software_and_hardware_render_the_same_image() {
     let scene = EVALUATED_SCENES[4].generate_scaled(TEST_SCALE);
     let cam = scene.default_camera();
     let pre = preprocess(&scene, &cam);
-    let sw = CudaLikeRenderer::new(SwConfig::default(), false)
-        .render(&pre.splats, cam.width(), cam.height());
+    let sw = CudaLikeRenderer::new(SwConfig::default(), false).render(
+        &pre.splats,
+        cam.width(),
+        cam.height(),
+    );
     let hw = Renderer::new(GpuConfig::default(), PipelineVariant::Baseline).render(&scene, &cam);
     let diff = sw.color.max_abs_diff(&hw.color);
     // Tolerance: boundary fragments with alpha right at the 1/255 pruning
@@ -56,8 +59,11 @@ fn multipass_single_pass_matches_cuda_no_et() {
         1,
         &MultiPassConfig::default(),
     );
-    let sw = CudaLikeRenderer::new(SwConfig::default(), false)
-        .render(&pre.splats, cam.width(), cam.height());
+    let sw = CudaLikeRenderer::new(SwConfig::default(), false).render(
+        &pre.splats,
+        cam.width(),
+        cam.height(),
+    );
     assert!(mp.color.max_abs_diff(&sw.color) < 1e-3);
     assert_eq!(mp.blended_fragments, sw.stats.blended_fragments);
 }
@@ -70,9 +76,13 @@ fn gscore_outperforms_vrpipe_but_not_absurdly() {
         let scene = EVALUATED_SCENES[idx].generate_scaled(TEST_SCALE);
         let cam = scene.default_camera();
         let pre = preprocess(&scene, &cam);
-        let vrp =
-            Renderer::new(GpuConfig::default(), PipelineVariant::HetQm).render(&scene, &cam);
-        let gs = estimate(&pre.splats, cam.width(), cam.height(), &GsCoreConfig::default());
+        let vrp = Renderer::new(GpuConfig::default(), PipelineVariant::HetQm).render(&scene, &cam);
+        let gs = estimate(
+            &pre.splats,
+            cam.width(),
+            cam.height(),
+            &GsCoreConfig::default(),
+        );
         let slowdown = vrp.stats.total_cycles as f64 / gs.cycles.max(1) as f64;
         assert!(
             (1.0..4.5).contains(&slowdown),
@@ -89,10 +99,16 @@ fn cuda_et_speedup_below_fragment_reduction() {
     let scene = EVALUATED_SCENES[2].generate_scaled(TEST_SCALE); // Train
     let cam = scene.default_camera();
     let pre = preprocess(&scene, &cam);
-    let base = CudaLikeRenderer::new(SwConfig::default(), false)
-        .render(&pre.splats, cam.width(), cam.height());
-    let et = CudaLikeRenderer::new(SwConfig::default(), true)
-        .render(&pre.splats, cam.width(), cam.height());
+    let base = CudaLikeRenderer::new(SwConfig::default(), false).render(
+        &pre.splats,
+        cam.width(),
+        cam.height(),
+    );
+    let et = CudaLikeRenderer::new(SwConfig::default(), true).render(
+        &pre.splats,
+        cam.width(),
+        cam.height(),
+    );
     let speedup = base.rasterize_ms / et.rasterize_ms;
     let frag_red = base.stats.blended_fragments as f64 / et.stats.blended_fragments as f64;
     assert!(speedup > 1.0, "ET must speed up the CUDA renderer");
@@ -110,10 +126,16 @@ fn hardware_et_realizes_more_of_the_reduction_than_software() {
     let cam = scene.default_camera();
     let pre = preprocess(&scene, &cam);
 
-    let sw_base = CudaLikeRenderer::new(SwConfig::default(), false)
-        .render(&pre.splats, cam.width(), cam.height());
-    let sw_et = CudaLikeRenderer::new(SwConfig::default(), true)
-        .render(&pre.splats, cam.width(), cam.height());
+    let sw_base = CudaLikeRenderer::new(SwConfig::default(), false).render(
+        &pre.splats,
+        cam.width(),
+        cam.height(),
+    );
+    let sw_et = CudaLikeRenderer::new(SwConfig::default(), true).render(
+        &pre.splats,
+        cam.width(),
+        cam.height(),
+    );
     let sw_eff = (sw_base.rasterize_ms / sw_et.rasterize_ms)
         / (sw_base.stats.blended_fragments as f64 / sw_et.stats.blended_fragments as f64);
 

@@ -49,7 +49,9 @@ fn fig10_ordering_rop_vs_inshader() {
 
 #[test]
 fn scene_registry_is_complete() {
-    for name in ["Kitchen", "Bonsai", "Train", "Truck", "Lego", "Palace", "Building", "Rubble"] {
+    for name in [
+        "Kitchen", "Bonsai", "Train", "Truck", "Lego", "Palace", "Building", "Rubble",
+    ] {
         assert!(scene_by_name(name).is_some(), "missing scene {name}");
     }
 }

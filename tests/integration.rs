@@ -14,7 +14,12 @@ fn render_all(idx: usize) -> Vec<(PipelineVariant, vrpipe::Frame)> {
     let cam = scene.default_camera();
     PipelineVariant::ALL
         .iter()
-        .map(|&v| (v, Renderer::new(GpuConfig::default(), v).render(&scene, &cam)))
+        .map(|&v| {
+            (
+                v,
+                Renderer::new(GpuConfig::default(), v).render(&scene, &cam),
+            )
+        })
         .collect()
 }
 
@@ -22,10 +27,10 @@ fn render_all(idx: usize) -> Vec<(PipelineVariant, vrpipe::Frame)> {
 fn fig16_speedup_ordering_holds_per_scene() {
     // The paper's headline ordering: Baseline < QM < HET < HET+QM cycles
     // (i.e. HET+QM fastest), for every evaluated scene.
-    for idx in 0..EVALUATED_SCENES.len() {
+    for (idx, spec) in EVALUATED_SCENES.iter().enumerate() {
         let frames = render_all(idx);
         let cycles: Vec<u64> = frames.iter().map(|(_, f)| f.stats.total_cycles).collect();
-        let name = EVALUATED_SCENES[idx].name;
+        let name = spec.name;
         assert!(cycles[1] < cycles[0], "{name}: QM must beat baseline");
         assert!(cycles[2] < cycles[1], "{name}: HET must beat QM");
         assert!(cycles[3] < cycles[2], "{name}: HET+QM must beat HET");
@@ -64,14 +69,14 @@ fn baseline_bottleneck_is_rop_side() {
 #[test]
 fn het_reduction_ratios_in_paper_band() {
     // Fig. 18: fragment reductions land in the paper's 1.5-4.4 band.
-    for idx in 0..EVALUATED_SCENES.len() {
+    for (idx, spec) in EVALUATED_SCENES.iter().enumerate() {
         let frames = render_all(idx);
         let red = frames[0].1.stats.crop_fragments as f64
             / frames[2].1.stats.crop_fragments.max(1) as f64;
         assert!(
             (1.3..6.0).contains(&red),
             "{}: HET fragment reduction {red:.2} outside plausible band",
-            EVALUATED_SCENES[idx].name
+            spec.name
         );
     }
 }
@@ -127,8 +132,7 @@ fn qm_merge_rate_is_meaningful() {
     let frames = render_all(0);
     let qm = &frames[1].1.stats;
     assert!(qm.merged_pairs > 0);
-    let merged_share = 2.0 * qm.merged_pairs as f64
-        / (qm.crop_quads + qm.merged_pairs) as f64;
+    let merged_share = 2.0 * qm.merged_pairs as f64 / (qm.crop_quads + qm.merged_pairs) as f64;
     assert!(
         merged_share > 0.2,
         "merge share {merged_share:.2} too low for the TGC+QRU path"
@@ -143,6 +147,9 @@ fn renderer_time_breakdown_is_positive_and_consistent() {
     assert!(f.time.preprocess_ms > 0.0);
     assert!(f.time.sort_ms > 0.0);
     assert!(f.time.rasterize_ms > 0.0);
-    assert!((f.time.total_ms() - (f.time.preprocess_ms + f.time.sort_ms + f.time.rasterize_ms)).abs() < 1e-12);
+    assert!(
+        (f.time.total_ms() - (f.time.preprocess_ms + f.time.sort_ms + f.time.rasterize_ms)).abs()
+            < 1e-12
+    );
     assert!(f.time.fps() > 0.0);
 }
