@@ -77,7 +77,8 @@ fn bench_parallel_speedup(c: &mut Criterion) {
     let serial = CudaLikeRenderer::new(serial_cfg, true);
     let parallel = CudaLikeRenderer::new(parallel_cfg, true);
 
-    // Bit-exact parity gate before timing anything.
+    // Bit-exact parity gates before timing anything: parallel-vs-serial
+    // and SoA-vs-scalar (both kernels, both threading modes).
     let a = serial.render(&pre.splats, cam.width(), cam.height());
     let b = parallel.render(&pre.splats, cam.width(), cam.height());
     assert_eq!(
@@ -86,6 +87,30 @@ fn bench_parallel_speedup(c: &mut Criterion) {
         "parallel render must be bit-exact with serial"
     );
     assert_eq!(a.stats, b.stats, "parallel stats must match serial");
+    let soa = CudaLikeRenderer::new(
+        SwConfig {
+            kernel: gsplat::stream::FragmentKernel::Soa,
+            ..SwConfig::default()
+        },
+        true,
+    );
+    let soa_serial = CudaLikeRenderer::new(
+        SwConfig {
+            threads: 1,
+            kernel: gsplat::stream::FragmentKernel::Soa,
+            ..SwConfig::default()
+        },
+        true,
+    );
+    let s = soa.render(&pre.splats, cam.width(), cam.height());
+    assert_eq!(
+        a.color.max_abs_diff(&s.color),
+        0.0,
+        "SoA kernel must be bit-exact with the scalar oracle"
+    );
+    let mut masked = s.stats;
+    masked.bound_skipped_iterations = 0;
+    assert_eq!(masked, a.stats, "SoA kernel stats must match the oracle");
 
     let mut group = c.benchmark_group("parallel_speedup");
     group.sample_size(10);
@@ -102,6 +127,34 @@ fn bench_parallel_speedup(c: &mut Criterion) {
         bench.iter(|| {
             parallel
                 .render_with_scratch(&pre.splats, cam.width(), cam.height(), &mut scratch)
+                .stats
+                .blended_fragments
+        })
+    });
+    group.finish();
+
+    // Fragment-kernel speedup at fixed threading (serial and parallel).
+    let mut group = c.benchmark_group("fragment_kernel");
+    group.sample_size(10);
+    group.bench_function("scalar_serial", |bench| {
+        bench.iter(|| {
+            serial
+                .render_with_scratch(&pre.splats, cam.width(), cam.height(), &mut scratch)
+                .stats
+                .blended_fragments
+        })
+    });
+    group.bench_function("soa_serial", |bench| {
+        bench.iter(|| {
+            soa_serial
+                .render_with_scratch(&pre.splats, cam.width(), cam.height(), &mut scratch)
+                .stats
+                .blended_fragments
+        })
+    });
+    group.bench_function("soa_parallel", |bench| {
+        bench.iter(|| {
+            soa.render_with_scratch(&pre.splats, cam.width(), cam.height(), &mut scratch)
                 .stats
                 .blended_fragments
         })
@@ -135,6 +188,27 @@ fn bench_parallel_speedup(c: &mut Criterion) {
         t_serial * 1e3,
         t_parallel * 1e3,
         gsplat::par::effective_threads(0, usize::MAX)
+    );
+
+    // Kernel speedup at serial threading (pure fragment-kernel effect,
+    // no fan-out in the quotient).
+    let t_scalar_kernel = time_median(
+        || {
+            serial.render_with_scratch(&pre.splats, cam.width(), cam.height(), &mut sw_scratch);
+        },
+        7,
+    );
+    let t_soa_kernel = time_median(
+        || {
+            soa_serial.render_with_scratch(&pre.splats, cam.width(), cam.height(), &mut sw_scratch);
+        },
+        7,
+    );
+    println!(
+        "SPEEDUP fragment_kernel soa/scalar: {:.2}x ({:.1} ms -> {:.1} ms, serial)",
+        t_scalar_kernel / t_soa_kernel,
+        t_scalar_kernel * 1e3,
+        t_soa_kernel * 1e3,
     );
 }
 

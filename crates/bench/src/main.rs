@@ -7,6 +7,7 @@
 //!                           # table1 table2 table3
 //!                           # fig16 fig17 fig18 fig19
 //!                           # fig20 tilebins fig21 fig22 fig23
+//!                           # kernel (SoA fragment-kernel throughput)
 //! figures all               # everything, in paper order
 //! ```
 //!
@@ -19,6 +20,7 @@ mod ablation;
 mod analysis;
 mod common;
 mod evaluation;
+mod kernel;
 mod motivation;
 mod report;
 
@@ -44,6 +46,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("fig21", analysis::fig21),
     ("fig22", analysis::fig22),
     ("fig23", analysis::fig23),
+    ("kernel", kernel::kernel),
     ("ablation-tgc", ablation::ablation_tgc),
     ("ablation-tc", ablation::ablation_tc),
     ("ablation-cache", ablation::ablation_crop_cache),

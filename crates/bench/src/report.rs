@@ -65,10 +65,28 @@ impl Report {
 
         json.push_str("  \"pipeline\": ");
         json.push_str(&pipeline_measurement(scale));
+        json.push_str(",\n  \"kernel\": ");
+        json.push_str(&kernel_measurement(scale));
         json.push_str("\n}\n");
         std::fs::write(REPORT_PATH, json)?;
         Ok(REPORT_PATH)
     }
+}
+
+/// Fragment-kernel measurement for the JSON trail: SoA vs scalar
+/// throughput and the retired-tile ratio on the indoor archetype
+/// (parity-gated inside [`crate::kernel::measure_sw_kernels`]).
+fn kernel_measurement(scale: f32) -> String {
+    let m = crate::kernel::measure_sw_kernels(1, scale.min(0.12));
+    format!(
+        "{{\"scene\": \"{}\", \"scalar_mfrag_s\": {:.2}, \"soa_mfrag_s\": {:.2}, \"soa_speedup\": {:.3}, \"retired_tile_ratio\": {:.4}, \"bound_skipped_iterations\": {}}}",
+        m.scene,
+        m.scalar_mfrag_s,
+        m.soa_mfrag_s,
+        m.soa_mfrag_s / m.scalar_mfrag_s.max(1e-12),
+        m.retired_tile_ratio,
+        m.bound_skipped_iterations
+    )
 }
 
 /// Renders the canonical scene (Lego) once per variant and once per host

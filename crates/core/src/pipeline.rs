@@ -34,10 +34,11 @@ use gsplat::color::Rgba;
 use gsplat::framebuffer::{ColorBuffer, DepthStencilBuffer};
 use gsplat::par::Bands;
 use gsplat::splat::Splat;
+use gsplat::stream::{FragmentKernel, SplatStream, TileBitset};
 
 use crate::het::{alpha_test, termination_test, termination_update};
 use crate::qm::{plan_warps_into, WarpPlan, WarpSlot};
-use crate::shading::{merge_pair, premultiplied_fragment, shade_quad};
+use crate::shading::{merge_pair, premultiplied_fragment, shade_quad, shade_quad_stream};
 use crate::variant::PipelineVariant;
 
 /// Result of one simulated draw call.
@@ -74,6 +75,13 @@ pub struct DrawScratch {
     /// QRU output, with its warp vectors recycled through `warp_pool`.
     plan: WarpPlan,
     warp_pool: Vec<Vec<WarpSlot>>,
+    /// SoA view of the splat list (rebuilt per draw, `Soa` kernel only).
+    stream: SplatStream,
+    /// Retired-tile bitset (HET variants): set once every pixel of a
+    /// screen tile has crossed the termination threshold.
+    retired: TileBitset,
+    /// Per-tile count of terminated pixels, feeding `retired`.
+    tile_term: Vec<u32>,
 }
 
 /// Simulates one draw call of depth-sorted splats.
@@ -160,11 +168,23 @@ pub fn draw_in_place(
     let (width, height) = (color.width(), color.height());
     color.reset(width, height, cfg.pixel_format);
     ds.reset(width, height);
+    let tiling = Tiling::new(width, height, cfg.screen_tile_px, cfg.tile_grid_tiles);
+    if cfg.kernel == FragmentKernel::Soa {
+        scratch.stream.rebuild_from(splats);
+    }
+    let track_tiles = if variant.het() {
+        tiling.tile_count()
+    } else {
+        0
+    };
+    scratch.retired.reset(track_tiles);
+    scratch.tile_term.clear();
+    scratch.tile_term.resize(track_tiles, 0);
     Pipeline {
         splats,
         cfg,
         variant,
-        tiling: Tiling::new(width, height, cfg.screen_tile_px, cfg.tile_grid_tiles),
+        tiling,
         color,
         ds,
         crop_cache: Cache::new(cfg.crop_cache_bytes, cfg.cache_line_bytes, cfg.cache_ways),
@@ -242,16 +262,26 @@ impl Pipeline<'_> {
     /// Parallel prologue: triangle setup for every primitive. Pure
     /// per-splat work fanned out over contiguous chunks; results land in
     /// primitive order, so downstream behaviour is independent of the
-    /// thread count.
+    /// thread count. The `Soa` kernel reads the [`SplatStream`] (identical
+    /// field values → identical setups).
     fn precompute_setups(&mut self) {
         let splats = self.splats;
-        let setups = &mut self.scratch.setups;
+        let soa = self.cfg.kernel == FragmentKernel::Soa;
+        let DrawScratch { setups, stream, .. } = &mut *self.scratch;
+        let stream = &*stream;
+        let make = |i: usize| {
+            if soa {
+                SplatSetup::from_stream(stream, i)
+            } else {
+                SplatSetup::new(&splats[i])
+            }
+        };
         setups.clear();
         setups.resize(splats.len(), None);
         let policy = self.cfg.thread_policy();
         if policy.workers(splats.len()) <= 1 {
-            for (setup, splat) in setups.iter_mut().zip(splats) {
-                *setup = SplatSetup::new(splat);
+            for (i, setup) in setups.iter_mut().enumerate() {
+                *setup = make(i);
             }
             return;
         }
@@ -260,7 +290,7 @@ impl Pipeline<'_> {
         gsplat::par::run_indexed(splats.len().div_ceil(chunk), policy, |c| {
             let band = bands.take(c);
             for (j, setup) in band.iter_mut().enumerate() {
-                *setup = SplatSetup::new(&splats[c * chunk + j]);
+                *setup = make(c * chunk + j);
             }
         });
     }
@@ -391,6 +421,13 @@ impl Pipeline<'_> {
 
     /// Runs setup + coarse + fine raster over the inclusive tile rectangle
     /// `(x0, x1, y0, y1)` and feeds the TC unit.
+    ///
+    /// Retired tiles are deliberately *not* skipped here: their quads must
+    /// keep flowing into the TC bins so bin-pressure evictions — and with
+    /// them every other tile's flush boundaries, ZROP test timing and
+    /// blend rounding — stay identical between kernels. The fast path
+    /// instead discards a retired tile's quads wholesale at flush time
+    /// (see [`Pipeline::process_tc_flush`]), which is exact.
     fn rasterize_rect(&mut self, prim: u32, setup: &SplatSetup, rect: (u32, u32, u32, u32)) {
         let (x0, x1, y0, y1) = rect;
         self.pending
@@ -447,19 +484,40 @@ impl Pipeline<'_> {
         let mut bin = std::mem::take(&mut self.scratch.bin);
         bin.clear();
         if self.variant.het() {
-            let n = flush.items.len() as f64;
-            self.stats.zrop_term_tests += flush.items.len() as u64;
-            batch.add(Unit::Zrop, n / self.cfg.zrop_quads_per_cycle as f64);
-            for &q in &flush.items {
-                // One z-cache line read per quad (stencil MSBs).
-                self.z_cache_access(q.origin, false, &mut batch);
-                let t = termination_test(&q, self.ds);
-                if t.survives {
-                    self.stats.zrop_term_discarded_fragments += t.terminated_fragments as u64;
-                    bin.push(q);
-                } else {
-                    self.stats.zrop_term_discards += 1;
-                    self.stats.zrop_term_discarded_fragments += q.coverage_count() as u64;
+            let retired_fast_discard = self.cfg.kernel == FragmentKernel::Soa && {
+                let idx = (flush.key.y * self.tiling.tiles_x() + flush.key.x) as usize;
+                self.scratch.retired.get(idx)
+            };
+            if retired_fast_discard {
+                // Tile-granularity transmittance check: every pixel of the
+                // tile is terminated, so the whole flush is discarded on
+                // one tile-flag read instead of per-quad stencil-line
+                // tests. The surviving set (empty) is what the per-quad
+                // loop would produce, so images and downstream state are
+                // bit-identical; only ZROP/z-cache work disappears.
+                self.stats.retired_tile_skips += 1;
+                self.stats.zrop_term_discards += flush.items.len() as u64;
+                self.stats.zrop_term_discarded_fragments += flush
+                    .items
+                    .iter()
+                    .map(|q| q.coverage_count() as u64)
+                    .sum::<u64>();
+                batch.add(Unit::Zrop, 1.0 / self.cfg.zrop_quads_per_cycle as f64);
+            } else {
+                let n = flush.items.len() as f64;
+                self.stats.zrop_term_tests += flush.items.len() as u64;
+                batch.add(Unit::Zrop, n / self.cfg.zrop_quads_per_cycle as f64);
+                for &q in &flush.items {
+                    // One z-cache line read per quad (stencil MSBs).
+                    self.z_cache_access(q.origin, false, &mut batch);
+                    let t = termination_test(&q, self.ds);
+                    if t.survives {
+                        self.stats.zrop_term_discarded_fragments += t.terminated_fragments as u64;
+                        bin.push(q);
+                    } else {
+                        self.stats.zrop_term_discards += 1;
+                        self.stats.zrop_term_discarded_fragments += q.coverage_count() as u64;
+                    }
                 }
             }
         } else {
@@ -505,8 +563,13 @@ impl Pipeline<'_> {
 
         let mut shaded = std::mem::take(&mut self.scratch.shaded);
         shaded.clear();
+        let soa = self.cfg.kernel == FragmentKernel::Soa;
         for q in &bin {
-            let sq = shade_quad(q, &self.splats[q.splat as usize]);
+            let sq = if soa {
+                shade_quad_stream(q, &self.scratch.stream)
+            } else {
+                shade_quad(q, &self.splats[q.splat as usize])
+            };
             let covered = q.coverage_count() as u64;
             self.stats.shaded_fragments += covered;
             self.stats.alpha_pruned_fragments += covered - sq.alive_count() as u64;
@@ -564,6 +627,7 @@ impl Pipeline<'_> {
                     self.z_cache_access((x, y), true, &mut batch);
                     batch.add(Unit::Zrop, 0.5);
                     termination_update(self.ds, x, y);
+                    self.note_terminated_pixel(x, y);
                 }
             }
         }
@@ -584,6 +648,25 @@ impl Pipeline<'_> {
         self.scratch.replacement = replacement;
         self.scratch.skip = skip;
         self.scratch.plan = plan;
+    }
+
+    /// Records a newly terminated pixel in the per-tile counters and marks
+    /// the tile retired once every one of its pixels has terminated.
+    /// Alpha accumulation is monotone and [`alpha_test`] fires exactly at
+    /// the crossing, so each pixel is counted once; the counter state —
+    /// and therefore `retired_tiles` — is identical for both kernels
+    /// (only the *consumption* of the bitset is `Soa`-gated).
+    fn note_terminated_pixel(&mut self, x: u32, y: u32) {
+        let tid = self.tiling.tile_of_pixel(x, y);
+        let idx = (tid.y * self.tiling.tiles_x() + tid.x) as usize;
+        self.scratch.tile_term[idx] += 1;
+        let tile_px = self.tiling.tile_px();
+        let w = ((tid.x + 1) * tile_px).min(self.color.width()) - tid.x * tile_px;
+        let h = ((tid.y + 1) * tile_px).min(self.color.height()) - tid.y * tile_px;
+        if self.scratch.tile_term[idx] == w * h {
+            self.scratch.retired.set(idx);
+            self.stats.retired_tiles += 1;
+        }
     }
 
     /// One CROP-cache access for the color line(s) under a quad.
@@ -800,6 +883,98 @@ mod tests {
                 assert_eq!(out.color.max_abs_diff(&reference.color), 0.0, "{v}");
                 assert_eq!(out.depth_stencil, reference.depth_stencil, "{v}");
             }
+        }
+    }
+
+    /// Wide, nearly-flat splats that saturate whole tiles quickly.
+    fn flat_stacked(n: usize) -> Vec<Splat> {
+        let mut v = stacked_splats(n, 0.9);
+        for s in &mut v {
+            s.conic = (0.002, 0.0, 0.002);
+            s.axis_major = Vec2::new(80.0, 0.0);
+            s.axis_minor = Vec2::new(0.0, 80.0);
+        }
+        v
+    }
+
+    #[test]
+    fn soa_kernel_images_bit_exact_all_variants() {
+        let splats = flat_stacked(60);
+        for v in PipelineVariant::ALL {
+            let scalar = draw(&splats, 32, 32, &cfg(), v);
+            let soa_cfg = GpuConfig {
+                kernel: gsplat::stream::FragmentKernel::Soa,
+                ..cfg()
+            };
+            let soa = draw(&splats, 32, 32, &soa_cfg, v);
+            assert_eq!(
+                soa.color.max_abs_diff(&scalar.color),
+                0.0,
+                "{v}: image diverged between kernels"
+            );
+            assert_eq!(soa.depth_stencil, scalar.depth_stencil, "{v}");
+            if !v.het() {
+                // Without HET there is no retirement fast path: the SoA
+                // kernel is a pure re-layout and stats match exactly.
+                assert_eq!(soa.stats, scalar.stats, "{v}");
+            } else {
+                // With HET the fast path removes only ZROP test work and
+                // its z-cache traffic; everything else — including the
+                // per-surviving-quad CROP-cache behaviour — matches
+                // exactly.
+                let mut masked = soa.stats.clone();
+                masked.retired_tile_skips = 0;
+                masked.zrop_term_tests = scalar.stats.zrop_term_tests;
+                masked.z_cache = scalar.stats.z_cache;
+                masked.total_cycles = scalar.stats.total_cycles;
+                masked.busy_cycles = scalar.stats.busy_cycles;
+                assert_eq!(masked, scalar.stats, "{v}");
+                assert!(soa.stats.total_cycles <= scalar.stats.total_cycles, "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn soa_het_retires_tiles_and_discards_flushes_wholesale() {
+        let splats = flat_stacked(60);
+        let soa_cfg = GpuConfig {
+            kernel: gsplat::stream::FragmentKernel::Soa,
+            ..cfg()
+        };
+        let scalar = draw(&splats, 32, 32, &cfg(), PipelineVariant::Het);
+        let soa = draw(&splats, 32, 32, &soa_cfg, PipelineVariant::Het);
+        assert!(scalar.stats.retired_tiles > 0, "tiles must saturate");
+        assert_eq!(scalar.stats.retired_tile_skips, 0, "oracle never skips");
+        assert!(soa.stats.retired_tile_skips > 0, "fast path must engage");
+        // The quad flow is identical; only the ZROP testing work shrinks.
+        assert_eq!(soa.stats.raster_quads, scalar.stats.raster_quads);
+        assert_eq!(soa.stats.tc_flushes, scalar.stats.tc_flushes);
+        assert!(soa.stats.zrop_term_tests < scalar.stats.zrop_term_tests);
+        assert_eq!(
+            soa.stats.zrop_term_discards,
+            scalar.stats.zrop_term_discards
+        );
+        assert!(soa.stats.z_cache.accesses() < scalar.stats.z_cache.accesses());
+        assert!(soa.stats.total_cycles <= scalar.stats.total_cycles);
+        assert_eq!(soa.color.max_abs_diff(&scalar.color), 0.0);
+        assert_eq!(soa.depth_stencil, scalar.depth_stencil);
+    }
+
+    #[test]
+    fn soa_kernel_is_thread_count_invariant() {
+        let splats = flat_stacked(40);
+        let mut serial_cfg = cfg();
+        serial_cfg.threads = 1;
+        serial_cfg.kernel = gsplat::stream::FragmentKernel::Soa;
+        let reference = draw(&splats, 48, 48, &serial_cfg, PipelineVariant::HetQm);
+        for (threads, deterministic) in [(3usize, true), (5, false), (0, true)] {
+            let mut c = serial_cfg.clone();
+            c.threads = threads;
+            c.deterministic = deterministic;
+            let out = draw(&splats, 48, 48, &c, PipelineVariant::HetQm);
+            assert_eq!(out.stats, reference.stats, "threads={threads}");
+            assert_eq!(out.color.max_abs_diff(&reference.color), 0.0);
+            assert_eq!(out.depth_stencil, reference.depth_stencil);
         }
     }
 

@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use gsplat::color::PixelFormat;
+use gsplat::stream::FragmentKernel;
 
 /// Full simulator configuration. Defaults reproduce Table I (a single-GPC
 /// GPU configured like the Jetson AGX Orin in 30 W mode).
@@ -105,6 +106,16 @@ pub struct GpuConfig {
     /// Simulated output is bit-exact either way (see
     /// [`gsplat::par::ThreadPolicy`]).
     pub deterministic: bool,
+    /// Host fragment-kernel implementation: the AoS `Scalar` oracle, or
+    /// the SoA [`gsplat::stream::SplatStream`] kernel, which additionally
+    /// enables the tile-retirement fast path on HET variants: a retired
+    /// tile's TC flushes are discarded on a single ZROP tile-flag read
+    /// instead of per-quad stencil-line tests — the hardware's
+    /// tile-granularity transmittance check. Rendered images, depth/
+    /// stencil state and work counters are bit-exact between kernels
+    /// except `zrop_term_tests`, the z-cache traffic and the cycles they
+    /// cost, all of which shrink under `Soa`.
+    pub kernel: FragmentKernel,
 }
 
 impl Default for GpuConfig {
@@ -142,6 +153,7 @@ impl Default for GpuConfig {
             dram_bytes_per_cycle: 334,
             threads: 0,
             deterministic: true,
+            kernel: FragmentKernel::Scalar,
         }
     }
 }

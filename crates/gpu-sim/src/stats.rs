@@ -156,6 +156,14 @@ pub struct PipelineStats {
     pub crop_fragments: u64,
     /// Quads dropped before CROP because no fragment survived.
     pub dead_quads: u64,
+    /// Screen tiles whose every pixel crossed the termination threshold
+    /// during the draw (HET variants; the tile-granularity transmittance
+    /// saturation the fast path exploits).
+    pub retired_tiles: u64,
+    /// TC flushes of retired tiles discarded wholesale by the tile flag
+    /// (`Soa` kernel on HET variants only): one ZROP tile-flag read
+    /// replaces the flush's per-quad stencil-line tests.
+    pub retired_tile_skips: u64,
 
     // ---- caches ----
     /// CROP color-cache behaviour.

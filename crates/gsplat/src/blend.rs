@@ -95,8 +95,14 @@ impl PixelAccumulator {
 
     /// Blends one fragment (straight-alpha RGB `c`, opacity `alpha`) behind
     /// everything already accumulated.
+    ///
+    /// `alpha` is clamped to `[0, 1]` once on entry so the stored
+    /// transmittance can never leave `[0, 1]` whatever the caller feeds in
+    /// (the renderer paths always pass `α ≤ `[`ALPHA_MAX`], for which the
+    /// clamp is the identity).
     #[inline]
     pub fn blend(&mut self, c: crate::math::Vec3, alpha: f32) {
+        let alpha = alpha.clamp(0.0, 1.0);
         let w = self.transmittance * alpha;
         self.color.r += w * c.x;
         self.color.g += w * c.y;

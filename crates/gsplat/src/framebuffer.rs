@@ -162,17 +162,21 @@ impl ColorBuffer {
     /// Writes the buffer as a binary PPM image (tone-mapped straight RGB),
     /// for eyeballing rendered output from the examples.
     ///
+    /// Rows are converted straight from the pixel slice into one reused
+    /// byte buffer and emitted with a single write per row, so the output
+    /// stage does no per-pixel indexing or per-pixel I/O calls.
+    ///
     /// # Errors
     ///
     /// Propagates I/O errors from the underlying writer.
     pub fn write_ppm<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
         writeln!(w, "P6\n{} {}\n255", self.width, self.height)?;
-        let mut row = Vec::with_capacity(self.width as usize * 3);
-        for y in 0..self.height {
-            row.clear();
-            for x in 0..self.width {
-                let [r, g, b, _] = self.get(x, y).to_unorm8();
-                row.extend_from_slice(&[r, g, b]);
+        let width = self.width as usize;
+        let mut row = vec![0u8; width * 3];
+        for pixels in self.pixels.chunks_exact(width) {
+            for (dst, px) in row.chunks_exact_mut(3).zip(pixels) {
+                let [r, g, b, _] = px.to_unorm8();
+                dst.copy_from_slice(&[r, g, b]);
             }
             w.write_all(&row)?;
         }

@@ -38,6 +38,7 @@ pub mod scene;
 pub mod sh;
 pub mod sort;
 pub mod splat;
+pub mod stream;
 
 pub use blend::{ALPHA_PRUNE_THRESHOLD, EARLY_TERMINATION_THRESHOLD};
 pub use camera::Camera;
@@ -49,3 +50,4 @@ pub use preprocess::PreprocessScratch;
 pub use scene::{Scene, SceneKind, SceneSpec, EVALUATED_SCENES, LARGE_SCALE_SCENES};
 pub use sort::SortScratch;
 pub use splat::Splat;
+pub use stream::{FragmentKernel, SplatStream, TileBitset};

@@ -21,6 +21,7 @@ use crate::projection::project_gaussian;
 use crate::scene::Scene;
 use crate::sort::{sort_splats_by_depth_into, SortScratch};
 use crate::splat::Splat;
+use crate::stream::SplatStream;
 
 /// Output of preprocessing: visible splats in front-to-back order, plus the
 /// work counters the cost models consume.
@@ -150,6 +151,23 @@ pub fn preprocess_into(
     }
 }
 
+/// [`preprocess_into`] that additionally produces the SoA [`SplatStream`]
+/// consumed by the `Soa` fragment kernels. `stream` is rebuilt from the
+/// sorted AoS output, so `stream.get(i) == out[i]` bit-for-bit; with warm
+/// buffers the extra cost is one linear copy and no allocation.
+pub fn preprocess_into_stream(
+    scene: &Scene,
+    camera: &Camera,
+    policy: ThreadPolicy,
+    scratch: &mut PreprocessScratch,
+    out: &mut Vec<Splat>,
+    stream: &mut SplatStream,
+) -> PreprocessStats {
+    let stats = preprocess_into(scene, camera, policy, scratch, out);
+    stream.rebuild_from(out);
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +233,26 @@ mod tests {
                 "{policy:?}: splat stream diverged"
             );
         }
+    }
+
+    #[test]
+    fn stream_output_matches_aos_output() {
+        let scene = EVALUATED_SCENES[0].generate_scaled(0.05);
+        let cam = scene.default_camera();
+        let mut scratch = PreprocessScratch::default();
+        let mut out = Vec::new();
+        let mut stream = SplatStream::new();
+        let stats = preprocess_into_stream(
+            &scene,
+            &cam,
+            ThreadPolicy::default(),
+            &mut scratch,
+            &mut out,
+            &mut stream,
+        );
+        assert_eq!(stats.visible_splats, out.len());
+        assert_eq!(stream.len(), out.len());
+        assert!((0..out.len()).all(|i| stream.get(i) == out[i]));
     }
 
     #[test]

@@ -44,6 +44,7 @@ impl Splat {
     }
 
     /// Axis-aligned bounding box of the OBB as `(min, max)` in pixels.
+    #[inline]
     pub fn aabb(&self) -> (Vec2, Vec2) {
         let ext = Vec2::new(
             self.axis_major.x.abs() + self.axis_minor.x.abs(),

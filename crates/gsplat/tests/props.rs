@@ -1,13 +1,15 @@
 //! Property-based tests for the gsplat substrate invariants.
 
-use gsplat::blend::{blend_over, fragment_alpha, PixelAccumulator};
+use gsplat::blend::{blend_over, fragment_alpha, gaussian_falloff, PixelAccumulator};
 use gsplat::camera::Camera;
 use gsplat::color::Rgba;
 use gsplat::gaussian::Gaussian;
-use gsplat::math::{Mat2, Vec3};
+use gsplat::math::{Mat2, Vec2, Vec3};
 use gsplat::projection::project_gaussian;
 use gsplat::sh::ShColor;
 use gsplat::sort::{depth_key, radix_argsort, sort_splats_by_depth};
+use gsplat::splat::Splat;
+use gsplat::stream::{tile_alpha_bound, SplatStream};
 use proptest::prelude::*;
 
 fn rgba_strategy() -> impl Strategy<Value = Rgba> {
@@ -176,6 +178,67 @@ proptest! {
             let outside = s.center + s.axis_major * 1.2;
             let d = outside - s.center;
             prop_assert!(fragment_alpha(s.opacity, s.conic, d.x, d.y).is_none());
+        }
+    }
+
+    /// The SoA stream is a lossless re-layout: pushing arbitrary splats
+    /// (including non-finite field values) and reading them back is the
+    /// identity, field for field, bit for bit.
+    #[test]
+    fn splat_stream_round_trips_losslessly(
+        fields in proptest::collection::vec(
+            (-1e6f32..1e6, -1e6f32..1e6, 1e-3f32..1e6, -10.0f32..10.0,
+             -10.0f32..10.0, -10.0f32..10.0, 0.0f32..1.0, 0u32..1_000_000),
+            0..60,
+        )
+    ) {
+        let splats: Vec<Splat> = fields
+            .iter()
+            .map(|&(cx, cy, depth, a, b, c, opacity, source)| Splat {
+                center: Vec2::new(cx, cy),
+                depth,
+                conic: (a, b, c),
+                axis_major: Vec2::new(cy * 0.1, cx * 0.1),
+                axis_minor: Vec2::new(-cx * 0.05, cy * 0.05),
+                color: Vec3::new(a.abs().min(1.0), b.abs().min(1.0), c.abs().min(1.0)),
+                opacity,
+                source,
+            })
+            .collect();
+        let stream = SplatStream::from_splats(&splats);
+        prop_assert_eq!(stream.len(), splats.len());
+        for (i, s) in splats.iter().enumerate() {
+            let back = stream.get(i);
+            prop_assert!(back == *s, "splat {i} did not round-trip: {back:?} vs {s:?}");
+        }
+        // Bit-level equality of the hot-loop slices.
+        for (i, s) in splats.iter().enumerate() {
+            prop_assert_eq!(stream.center_x()[i].to_bits(), s.center.x.to_bits());
+            prop_assert_eq!(stream.conic_b()[i].to_bits(), s.conic.1.to_bits());
+            prop_assert_eq!(stream.opacity()[i].to_bits(), s.opacity.to_bits());
+        }
+    }
+
+    /// The conservative tile alpha bound dominates the true alpha at every
+    /// sampled point of the rectangle, for arbitrary PSD-ish conics and
+    /// rectangle placements.
+    #[test]
+    fn tile_alpha_bound_is_conservative(
+        a in 0.01f32..5.0, b in -1.0f32..1.0, c in 0.01f32..5.0,
+        opacity in 0.01f32..0.99,
+        cx in -50.0f32..50.0, cy in -50.0f32..50.0,
+        rx in -40.0f32..40.0, ry in -40.0f32..40.0,
+        w in 0.5f32..30.0, h in 0.5f32..30.0,
+    ) {
+        let bound = tile_alpha_bound((a, b, c), opacity, Vec2::new(cx, cy), (rx, ry), (rx + w, ry + h));
+        for i in 0..8 {
+            for j in 0..8 {
+                let px = rx + w * i as f32 / 7.0;
+                let py = ry + h * j as f32 / 7.0;
+                let alpha = opacity * gaussian_falloff((a, b, c), px - cx, py - cy);
+                prop_assert!(alpha <= bound + 1e-6,
+                    "bound {bound} violated by {alpha} at ({px},{py})");
+            }
         }
     }
 }
