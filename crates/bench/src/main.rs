@@ -8,6 +8,7 @@
 //!                           # fig16 fig17 fig18 fig19
 //!                           # fig20 tilebins fig21 fig22 fig23
 //!                           # kernel (SoA fragment-kernel throughput)
+//!                           # sequence (temporal-coherence frame sequences)
 //! figures all               # everything, in paper order
 //! ```
 //!
@@ -23,6 +24,7 @@ mod evaluation;
 mod kernel;
 mod motivation;
 mod report;
+mod sequence;
 
 /// Experiment registry in paper order.
 const EXPERIMENTS: &[(&str, fn())] = &[
@@ -47,6 +49,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("fig22", analysis::fig22),
     ("fig23", analysis::fig23),
     ("kernel", kernel::kernel),
+    ("sequence", sequence::sequence),
     ("ablation-tgc", ablation::ablation_tgc),
     ("ablation-tc", ablation::ablation_tc),
     ("ablation-cache", ablation::ablation_crop_cache),

@@ -67,10 +67,34 @@ impl Report {
         json.push_str(&pipeline_measurement(scale));
         json.push_str(",\n  \"kernel\": ");
         json.push_str(&kernel_measurement(scale));
+        json.push_str(",\n  \"sequence\": ");
+        json.push_str(&sequence_measurement(scale));
         json.push_str("\n}\n");
         std::fs::write(REPORT_PATH, json)?;
         Ok(REPORT_PATH)
     }
+}
+
+/// Frame-sequence measurement for the JSON trail: a 16-frame coherent
+/// flythrough on the outdoor archetype — per-frame parity is asserted
+/// inside [`crate::sequence::measure_sequence`] before timing, and the
+/// incremental-vs-full re-sort speedup plus the retired-ratio trajectory
+/// endpoints are recorded.
+fn sequence_measurement(scale: f32) -> String {
+    let m = crate::sequence::measure_sequence(2, scale.min(0.1), crate::sequence::SEQUENCE_FRAMES);
+    format!(
+        "{{\"scene\": \"{}\", \"frames\": {}, \"visible_splats\": {}, \"incremental_sort_ms\": {:.4}, \"full_sort_ms\": {:.4}, \"sort_speedup\": {:.3}, \"repaired_frames\": {}, \"radix_fallbacks\": {}, \"retired_ratio_first\": {:.4}, \"retired_ratio_last\": {:.4}}}",
+        m.scene,
+        m.frames,
+        m.visible_splats,
+        m.incremental_sort_ms,
+        m.full_sort_ms,
+        m.sort_speedup,
+        m.repaired_frames,
+        m.radix_fallbacks,
+        m.retired_ratio_first,
+        m.retired_ratio_last
+    )
 }
 
 /// Fragment-kernel measurement for the JSON trail: SoA vs scalar

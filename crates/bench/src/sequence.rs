@@ -1,0 +1,254 @@
+//! Frame-sequence experiment: temporal-coherence acceleration across a
+//! flythrough (per-frame time, incremental-vs-full re-sort speedup, and
+//! the retired-ratio trajectory).
+//!
+//! Parity-gated: before anything is timed, every sequence frame is
+//! asserted bit-exact against rendering the same frame in isolation, so a
+//! reported speedup can never hide a temporal-reuse bug.
+
+use std::time::Instant;
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::tiles::Tiling;
+use gsplat::camera::CameraPath;
+use gsplat::math::Vec3;
+use gsplat::scene::EVALUATED_SCENES;
+use gsplat::sort::{depth_key, radix_argsort_into, IncrementalSorter, SortScratch};
+use gsplat::stream::FragmentKernel;
+use vrpipe::{draw, PipelineVariant, SequenceConfig, Session};
+
+use crate::common::{banner, default_scale};
+
+/// Frames per measured sequence (the acceptance floor is 16).
+pub const SEQUENCE_FRAMES: usize = 16;
+
+/// One scene's sequence measurement.
+pub struct SequenceMeasurement {
+    /// Scene name.
+    pub scene: &'static str,
+    /// Frames rendered.
+    pub frames: usize,
+    /// Visible splats in the final frame (sequence workload size).
+    pub visible_splats: usize,
+    /// Total wall time of the incremental re-sort across the sequence, ms.
+    pub incremental_sort_ms: f64,
+    /// Total wall time of the from-scratch fused radix sort on the same
+    /// per-frame key streams, ms.
+    pub full_sort_ms: f64,
+    /// `full_sort_ms / incremental_sort_ms`.
+    pub sort_speedup: f64,
+    /// Frames resolved by the insertion-repair fast path.
+    pub repaired_frames: u64,
+    /// Frames that fell back to the radix sort (first frame included).
+    pub radix_fallbacks: u64,
+    /// Retired-tile ratio of the first frame (HET+QM, SoA kernel).
+    pub retired_ratio_first: f64,
+    /// Retired-tile ratio of the last frame.
+    pub retired_ratio_last: f64,
+}
+
+/// The flythrough used throughout: a gentle approach toward the scene
+/// center with hand shake, scaled to the scene's viewing radius so every
+/// archetype gets frame-coherent motion.
+fn flythrough_of(scene: &gsplat::Scene) -> CameraPath {
+    let start = scene.center + Vec3::new(0.0, scene.view_height, scene.view_radius);
+    CameraPath::flythrough(
+        start,
+        scene.center,
+        scene.view_radius * 0.0015,
+        scene.view_radius * 0.0008,
+    )
+}
+
+/// Measures one scene's sequence behaviour, gating on bit-exact parity
+/// between sequence frames and isolated re-renders.
+pub fn measure_sequence(spec_index: usize, scale: f32, frames: usize) -> SequenceMeasurement {
+    let spec = &EVALUATED_SCENES[spec_index];
+    let scene = spec.generate_scaled(scale);
+    let (w, h) = spec.scaled_viewport(scale);
+    let seq_cfg = SequenceConfig {
+        path: flythrough_of(&scene),
+        frames,
+        width: w,
+        height: h,
+        fov_y: 55f32.to_radians(),
+        temporal: true,
+    };
+    let gpu = GpuConfig {
+        kernel: FragmentKernel::Soa,
+        ..GpuConfig::default()
+    };
+
+    // --- Sequence render + per-frame (key, id) capture, persistent
+    // scratch. The ids (stable `source` identities) are what the temporal
+    // production path sorts by, so the timing below replays it exactly.
+    let mut session = Session::default();
+    let mut frame_keys: Vec<(Vec<u32>, Vec<u32>)> = Vec::with_capacity(frames);
+    let mut draw_scratch = vrpipe::DrawScratch::default();
+    let records = {
+        let keys = &mut frame_keys;
+        let scratch = &mut draw_scratch;
+        let gpu = &gpu;
+        session.run(&scene, &seq_cfg, |f| {
+            keys.push((
+                f.splats.iter().map(|s| depth_key(s.depth)).collect(),
+                f.splats.iter().map(|s| s.source).collect(),
+            ));
+            vrpipe::try_draw_with_scratch(f.splats, w, h, gpu, PipelineVariant::HetQm, scratch)
+                .expect("valid config")
+        })
+    };
+
+    // --- Parity gate: every frame bit-exact with an isolated render. ---
+    for (i, rec) in records.iter().enumerate() {
+        let cam = seq_cfg.path.camera(i, frames, w, h, seq_cfg.fov_y);
+        let pre = gsplat::preprocess::preprocess(&scene, &cam);
+        let fresh = draw(&pre.splats, w, h, &gpu, PipelineVariant::HetQm);
+        assert_eq!(
+            rec.stats, fresh.stats,
+            "{}: frame {i} diverged from isolated render",
+            spec.name
+        );
+        assert_eq!(
+            rec.color.max_abs_diff(&fresh.color),
+            0.0,
+            "{}: frame {i} image diverged",
+            spec.name
+        );
+    }
+
+    // --- Re-sort timing: replay the captured (key, id) streams through
+    // the id-keyed warm start (the production temporal path) vs the fused
+    // radix sort. The reported repair/fallback mix comes from the same
+    // replay that is timed.
+    let reps = 5;
+    let mut order = Vec::new();
+    let mut replay_stats = gsplat::sort::ResortStats::default();
+    let t_incremental = {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let mut sorter = IncrementalSorter::default();
+            for (keys, ids) in &frame_keys {
+                sorter.sort_keys_with_ids_into(keys, ids, &mut order);
+            }
+            replay_stats = sorter.stats();
+        }
+        t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+    };
+    let t_full = {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let mut scratch = SortScratch::default();
+            for (keys, _) in &frame_keys {
+                radix_argsort_into(keys, &mut scratch, &mut order);
+            }
+        }
+        t0.elapsed().as_secs_f64() * 1e3 / reps as f64
+    };
+    // The replay reproduces the session's sorter decisions exactly (same
+    // keys, same ids, same budgets).
+    assert_eq!(
+        (replay_stats.repaired, replay_stats.radix_fallbacks),
+        (
+            session.resort_stats().repaired,
+            session.resort_stats().radix_fallbacks
+        ),
+        "{}: timed replay diverged from the session's sorter",
+        spec.name
+    );
+
+    let tiles = Tiling::new(w, h, gpu.screen_tile_px, gpu.tile_grid_tiles).tile_count() as f64;
+    let ratio = |r: &vrpipe::DrawOutput| r.stats.retired_tiles as f64 / tiles.max(1.0);
+    SequenceMeasurement {
+        scene: spec.name,
+        frames,
+        visible_splats: frame_keys.last().map_or(0, |(k, _)| k.len()),
+        incremental_sort_ms: t_incremental,
+        full_sort_ms: t_full,
+        sort_speedup: t_full / t_incremental.max(1e-9),
+        repaired_frames: replay_stats.repaired,
+        radix_fallbacks: replay_stats.radix_fallbacks,
+        retired_ratio_first: records.first().map_or(0.0, &ratio),
+        retired_ratio_last: records.last().map_or(0.0, &ratio),
+    }
+}
+
+/// The `sequence` experiment: a 16-frame shaky flythrough per archetype,
+/// reporting per-frame pipeline behaviour and the temporal re-sort gain.
+pub fn sequence() {
+    banner(
+        "sequence",
+        "frame sequences with temporal coherence (flythrough, incremental re-sort)",
+    );
+    let scale = default_scale().min(0.1);
+
+    // Detailed per-frame trajectory on the outdoor archetype (Train).
+    let spec = &EVALUATED_SCENES[2];
+    let scene = spec.generate_scaled(scale);
+    let (w, h) = spec.scaled_viewport(scale);
+    let cfg = SequenceConfig {
+        path: flythrough_of(&scene),
+        frames: SEQUENCE_FRAMES,
+        width: w,
+        height: h,
+        fov_y: 55f32.to_radians(),
+        temporal: true,
+    };
+    let gpu = GpuConfig {
+        kernel: FragmentKernel::Soa,
+        ..GpuConfig::default()
+    };
+    let mut session = Session::default();
+    let records = session
+        .run_vrpipe(&scene, &cfg, &gpu, PipelineVariant::HetQm)
+        .expect("valid config");
+    println!(
+        "'{}' {}-frame flythrough at {}x{} (HET+QM, SoA kernel):",
+        spec.name, SEQUENCE_FRAMES, w, h
+    );
+    println!(
+        "  {:>5} {:>9} {:>12} {:>14} {:>12}",
+        "frame", "visible", "cycles", "retired-ratio", "tile-skips"
+    );
+    for r in &records {
+        println!(
+            "  {:>5} {:>9} {:>12} {:>14.3} {:>12}",
+            r.index,
+            r.preprocess.visible_splats,
+            r.stats.total_cycles,
+            r.retired_tile_ratio,
+            r.stats.retired_tile_skips,
+        );
+    }
+    let rs = session.resort_stats();
+    println!(
+        "  re-sort: {} repaired / {} radix fallbacks, {} repair shifts",
+        rs.repaired, rs.radix_fallbacks, rs.repair_shifts
+    );
+
+    // Parity-gated measurement + sort timing per archetype.
+    println!();
+    println!("incremental vs full re-sort (parity-gated, {SEQUENCE_FRAMES} frames):");
+    println!(
+        "  {:<12} {:>8} {:>16} {:>12} {:>9} {:>16}",
+        "scene", "splats", "incremental-ms", "full-ms", "speedup", "repaired/fallbk"
+    );
+    for spec_index in [2usize, 4] {
+        let m = measure_sequence(spec_index, scale, SEQUENCE_FRAMES);
+        println!(
+            "  {:<12} {:>8} {:>16.3} {:>12.3} {:>8.2}x {:>10}/{}",
+            m.scene,
+            m.visible_splats,
+            m.incremental_sort_ms,
+            m.full_sort_ms,
+            m.sort_speedup,
+            m.repaired_frames,
+            m.radix_fallbacks,
+        );
+        assert!(
+            m.repaired_frames > 0,
+            "{}: coherent flythrough must hit the repair fast path",
+            m.scene
+        );
+    }
+}

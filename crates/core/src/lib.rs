@@ -36,11 +36,16 @@ pub mod het;
 pub mod pipeline;
 pub mod qm;
 pub mod renderer;
+pub mod sequence;
 pub mod shading;
 pub mod variant;
 
 pub use cost::HardwareCost;
 pub use energy::EnergyModel;
-pub use pipeline::{draw, draw_in_place, draw_with_scratch, DrawOutput, DrawScratch};
+pub use pipeline::{
+    draw, draw_in_place, draw_with_scratch, try_draw, try_draw_in_place, try_draw_with_scratch,
+    DrawError, DrawOutput, DrawScratch,
+};
 pub use renderer::{Frame, FrameScratch, Renderer, TimeBreakdown};
+pub use sequence::{FrameInput, SequenceConfig, SequenceFrameRecord, Session};
 pub use variant::PipelineVariant;

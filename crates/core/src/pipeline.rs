@@ -52,6 +52,42 @@ pub struct DrawOutput {
     pub stats: PipelineStats,
 }
 
+/// Why a draw call was rejected before any work ran. Returned by the
+/// fallible [`try_draw`]/[`try_draw_with_scratch`]/[`try_draw_in_place`]
+/// entry points; the panicking [`draw`] family unwraps it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DrawError {
+    /// The [`GpuConfig`] failed [`GpuConfig::validate`]; the payload is
+    /// the validator's description of the first violation.
+    InvalidConfig(String),
+    /// The caller-owned color and depth/stencil targets disagree on their
+    /// dimensions (`(width, height)` of each).
+    TargetMismatch {
+        /// Color-buffer dimensions.
+        color: (u32, u32),
+        /// Depth/stencil-buffer dimensions.
+        depth_stencil: (u32, u32),
+    },
+}
+
+impl std::fmt::Display for DrawError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DrawError::InvalidConfig(why) => write!(f, "invalid GPU configuration: {why}"),
+            DrawError::TargetMismatch {
+                color,
+                depth_stencil,
+            } => write!(
+                f,
+                "render target dimensions disagree: color {}x{} vs depth/stencil {}x{}",
+                color.0, color.1, depth_stencil.0, depth_stencil.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DrawError {}
+
 /// Reusable per-draw buffers: primitive setups, the TGC key stream, the
 /// raster quad buffer and every per-flush staging vector. Holding one of
 /// these across draws removes all steady-state allocation from the
@@ -103,7 +139,8 @@ pub struct DrawScratch {
 ///
 /// # Panics
 ///
-/// Panics when the configuration fails [`GpuConfig::validate`].
+/// Panics when the configuration fails [`GpuConfig::validate`]; use
+/// [`try_draw`] to handle invalid configurations as values.
 pub fn draw(
     splats: &[Splat],
     width: u32,
@@ -111,7 +148,20 @@ pub fn draw(
     cfg: &GpuConfig,
     variant: PipelineVariant,
 ) -> DrawOutput {
-    draw_with_scratch(
+    try_draw(splats, width, height, cfg, variant).expect("draw rejected")
+}
+
+/// Fallible [`draw`]: returns [`DrawError::InvalidConfig`] instead of
+/// panicking, so long-running frame loops can surface bad configurations
+/// as errors.
+pub fn try_draw(
+    splats: &[Splat],
+    width: u32,
+    height: u32,
+    cfg: &GpuConfig,
+    variant: PipelineVariant,
+) -> Result<DrawOutput, DrawError> {
+    try_draw_with_scratch(
         splats,
         width,
         height,
@@ -125,7 +175,8 @@ pub fn draw(
 ///
 /// # Panics
 ///
-/// Panics when the configuration fails [`GpuConfig::validate`].
+/// Panics when the configuration fails [`GpuConfig::validate`]; use
+/// [`try_draw_with_scratch`] for the fallible form.
 pub fn draw_with_scratch(
     splats: &[Splat],
     width: u32,
@@ -134,14 +185,26 @@ pub fn draw_with_scratch(
     variant: PipelineVariant,
     scratch: &mut DrawScratch,
 ) -> DrawOutput {
+    try_draw_with_scratch(splats, width, height, cfg, variant, scratch).expect("draw rejected")
+}
+
+/// Fallible [`draw_with_scratch`].
+pub fn try_draw_with_scratch(
+    splats: &[Splat],
+    width: u32,
+    height: u32,
+    cfg: &GpuConfig,
+    variant: PipelineVariant,
+    scratch: &mut DrawScratch,
+) -> Result<DrawOutput, DrawError> {
     let mut color = ColorBuffer::new(width, height, cfg.pixel_format);
     let mut ds = DepthStencilBuffer::new(width, height);
-    let stats = draw_in_place(splats, cfg, variant, &mut color, &mut ds, scratch);
-    DrawOutput {
+    let stats = try_draw_in_place(splats, cfg, variant, &mut color, &mut ds, scratch)?;
+    Ok(DrawOutput {
         color,
         depth_stencil: ds,
         stats,
-    }
+    })
 }
 
 /// [`draw`] into caller-owned render targets (cleared here), reusing
@@ -150,7 +213,8 @@ pub fn draw_with_scratch(
 /// # Panics
 ///
 /// Panics when the configuration fails [`GpuConfig::validate`] or when the
-/// color and depth/stencil dimensions disagree.
+/// color and depth/stencil dimensions disagree; use [`try_draw_in_place`]
+/// for the fallible form.
 pub fn draw_in_place(
     splats: &[Splat],
     cfg: &GpuConfig,
@@ -159,12 +223,27 @@ pub fn draw_in_place(
     ds: &mut DepthStencilBuffer,
     scratch: &mut DrawScratch,
 ) -> PipelineStats {
-    cfg.validate().expect("invalid GPU configuration");
-    assert_eq!(
-        (color.width(), color.height()),
-        (ds.width(), ds.height()),
-        "render target dimensions disagree"
-    );
+    try_draw_in_place(splats, cfg, variant, color, ds, scratch).expect("draw rejected")
+}
+
+/// Fallible [`draw_in_place`]: rejects invalid configurations and
+/// mismatched render targets as a [`DrawError`] before any pipeline state
+/// is touched, instead of panicking mid-frame-loop.
+pub fn try_draw_in_place(
+    splats: &[Splat],
+    cfg: &GpuConfig,
+    variant: PipelineVariant,
+    color: &mut ColorBuffer,
+    ds: &mut DepthStencilBuffer,
+    scratch: &mut DrawScratch,
+) -> Result<PipelineStats, DrawError> {
+    cfg.validate().map_err(DrawError::InvalidConfig)?;
+    if (color.width(), color.height()) != (ds.width(), ds.height()) {
+        return Err(DrawError::TargetMismatch {
+            color: (color.width(), color.height()),
+            depth_stencil: (ds.width(), ds.height()),
+        });
+    }
     let (width, height) = (color.width(), color.height());
     color.reset(width, height, cfg.pixel_format);
     ds.reset(width, height);
@@ -180,7 +259,7 @@ pub fn draw_in_place(
     scratch.retired.reset(track_tiles);
     scratch.tile_term.clear();
     scratch.tile_term.resize(track_tiles, 0);
-    Pipeline {
+    Ok(Pipeline {
         splats,
         cfg,
         variant,
@@ -197,7 +276,7 @@ pub fn draw_in_place(
         line_block: line_block(cfg),
         scratch,
     }
-    .run()
+    .run())
 }
 
 /// Color-cache line geometry: a 128-B line covers a
@@ -233,6 +312,10 @@ struct Pipeline<'a> {
 impl Pipeline<'_> {
     fn run(mut self) -> PipelineStats {
         self.precompute_setups();
+        // Degenerate (singular-axes) primitives were culled at setup —
+        // count them so zero-area inputs are observable, never silent.
+        self.stats.degenerate_prims =
+            self.scratch.setups.iter().filter(|s| s.is_none()).count() as u64;
         if self.variant.qm() {
             self.run_with_tgc();
         } else {
@@ -975,6 +1058,74 @@ mod tests {
             assert_eq!(out.stats, reference.stats, "threads={threads}");
             assert_eq!(out.color.max_abs_diff(&reference.color), 0.0);
             assert_eq!(out.depth_stencil, reference.depth_stencil);
+        }
+    }
+
+    #[test]
+    fn try_draw_rejects_invalid_config_without_panicking() {
+        let splats = stacked_splats(5, 0.5);
+        let bad = GpuConfig {
+            tc_bins: 0,
+            ..cfg()
+        };
+        let err = try_draw(&splats, 32, 32, &bad, PipelineVariant::Baseline).unwrap_err();
+        assert!(matches!(err, DrawError::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("TC unit"), "{err}");
+        let err2 = try_draw_with_scratch(
+            &splats,
+            32,
+            32,
+            &bad,
+            PipelineVariant::Het,
+            &mut DrawScratch::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, err2);
+    }
+
+    #[test]
+    fn try_draw_in_place_rejects_mismatched_targets() {
+        let splats = stacked_splats(5, 0.5);
+        let mut color = ColorBuffer::new(32, 32, cfg().pixel_format);
+        let mut ds = DepthStencilBuffer::new(32, 16);
+        let err = try_draw_in_place(
+            &splats,
+            &cfg(),
+            PipelineVariant::Baseline,
+            &mut color,
+            &mut ds,
+            &mut DrawScratch::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            DrawError::TargetMismatch {
+                color: (32, 32),
+                depth_stencil: (32, 16)
+            }
+        );
+        assert!(err.to_string().contains("32x32"));
+    }
+
+    #[test]
+    fn try_draw_matches_draw_on_valid_input() {
+        let splats = stacked_splats(12, 0.5);
+        let a = draw(&splats, 32, 32, &cfg(), PipelineVariant::HetQm);
+        let b = try_draw(&splats, 32, 32, &cfg(), PipelineVariant::HetQm).unwrap();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.color.max_abs_diff(&b.color), 0.0);
+    }
+
+    #[test]
+    fn degenerate_primitives_are_counted_not_dropped_silently() {
+        let mut splats = stacked_splats(6, 0.5);
+        splats[2].axis_minor = gsplat::math::Vec2::ZERO; // singular OBB
+        splats[4].axis_major = gsplat::math::Vec2::ZERO;
+        for v in PipelineVariant::ALL {
+            let out = draw(&splats, 32, 32, &cfg(), v);
+            assert_eq!(out.stats.degenerate_prims, 2, "{v}");
+            assert_eq!(out.stats.primitives, 6, "{v}");
+            assert!(out.color.get(16, 16).a > 0.0, "{v}: healthy splats lost");
         }
     }
 

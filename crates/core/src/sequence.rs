@@ -1,0 +1,438 @@
+//! Frame-sequence workloads with temporal coherence — the paper's actual
+//! deployment scenario. VR-Pipe's per-frame early termination only pays
+//! off across a *stream* of temporally coherent frames, so this module
+//! turns the single-frame renderers into sequence renderers:
+//!
+//! * a [`SequenceConfig`] pairs a [`CameraPath`] (orbit, flythrough with
+//!   velocity/shake, stereo eye pairs) with a frame budget and viewport;
+//! * a [`Session`] preprocesses each frame into persistent scratch — the
+//!   depth sort warm-starts from the previous frame's near-sorted order
+//!   through [`gsplat::sort::IncrementalSorter`] (bit-exact with the
+//!   from-scratch sort), and projection chunks, sort buffers and the SoA
+//!   [`SplatStream`] all survive across frames;
+//! * any backend renders the frames: [`Session::run`] hands the
+//!   preprocessed splats to a caller closure (the three `swrender`
+//!   backends plug in here), while [`Session::run_vrpipe`] drives the
+//!   simulated hardware pipeline through [`try_draw_in_place`] with
+//!   persistent render targets and [`DrawScratch`] — zero steady-state
+//!   allocation, and an error (never a panic) on bad configurations.
+//!
+//! Every frame of a sequence is bit-exact with rendering that frame in
+//! isolation: the temporal machinery accelerates, it never approximates
+//! (DESIGN.md §6).
+
+use gpu_sim::config::GpuConfig;
+use gpu_sim::stats::PipelineStats;
+use gpu_sim::tiles::Tiling;
+use gsplat::camera::{Camera, CameraPath};
+use gsplat::framebuffer::{ColorBuffer, DepthStencilBuffer};
+use gsplat::preprocess::{
+    preprocess_into, preprocess_into_temporal, PreprocessScratch, PreprocessStats,
+};
+use gsplat::scene::Scene;
+use gsplat::sort::ResortStats;
+use gsplat::splat::Splat;
+use gsplat::stream::SplatStream;
+use gsplat::ThreadPolicy;
+
+use crate::pipeline::{try_draw_in_place, DrawError, DrawScratch};
+use crate::variant::PipelineVariant;
+
+/// One frame-sequence workload: a camera trajectory, a frame budget and a
+/// viewport.
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::camera::CameraPath;
+/// use gsplat::math::Vec3;
+/// use vrpipe::SequenceConfig;
+/// let cfg = SequenceConfig::new(
+///     CameraPath::orbit(Vec3::ZERO, 4.0, 1.5, 0.25),
+///     16,
+///     160,
+///     120,
+/// );
+/// assert_eq!(cfg.frames, 16);
+/// assert!(cfg.temporal);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceConfig {
+    /// The camera trajectory.
+    pub path: CameraPath,
+    /// Number of frames to render.
+    pub frames: usize,
+    /// Viewport width in pixels.
+    pub width: u32,
+    /// Viewport height in pixels.
+    pub height: u32,
+    /// Vertical field of view in radians.
+    pub fov_y: f32,
+    /// Warm-start the depth sort from the previous frame (`true`, the
+    /// point of a sequence) or re-sort every frame from scratch (`false`,
+    /// the A/B baseline). Results are bit-exact either way.
+    pub temporal: bool,
+}
+
+impl SequenceConfig {
+    /// A sequence over `path` with the default 55° field of view and the
+    /// temporal fast path enabled.
+    pub fn new(path: CameraPath, frames: usize, width: u32, height: u32) -> Self {
+        Self {
+            path,
+            frames,
+            width,
+            height,
+            fov_y: 55f32.to_radians(),
+            temporal: true,
+        }
+    }
+
+    /// The same sequence with the temporal warm start disabled.
+    pub fn full_sort(mut self) -> Self {
+        self.temporal = false;
+        self
+    }
+}
+
+/// Everything a backend needs to render one frame of a sequence: the
+/// camera, the front-to-back sorted splats, the SoA stream mirror (when
+/// the session was built [`Session::with_stream`]) and the preprocessing
+/// counters.
+pub struct FrameInput<'a> {
+    /// Frame index within the sequence.
+    pub index: usize,
+    /// This frame's camera.
+    pub camera: &'a Camera,
+    /// Visible splats, sorted front-to-back.
+    pub splats: &'a [Splat],
+    /// SoA mirror of `splats` (empty unless [`Session::with_stream`]).
+    pub stream: &'a SplatStream,
+    /// Preprocessing statistics of this frame.
+    pub preprocess: PreprocessStats,
+}
+
+/// Per-frame record of a [`Session::run_vrpipe`] sequence.
+#[derive(Debug, Clone)]
+pub struct SequenceFrameRecord {
+    /// Frame index within the sequence.
+    pub index: usize,
+    /// Preprocessing counters.
+    pub preprocess: PreprocessStats,
+    /// Draw-call statistics.
+    pub stats: PipelineStats,
+    /// Fraction of screen tiles fully retired by early termination in
+    /// `[0, 1]` (0 for non-HET variants) — the retired-ratio trajectory
+    /// across the sequence.
+    pub retired_tile_ratio: f64,
+}
+
+/// A frame-sequence rendering session: owns every cross-frame buffer so an
+/// N-frame sequence allocates like a single frame.
+///
+/// The session is backend-agnostic — [`Session::run`] preprocesses each
+/// frame (temporal warm-started sort, persistent scratch) and hands a
+/// [`FrameInput`] to the caller's render closure. [`Session::run_vrpipe`]
+/// is the built-in hardware-pipeline backend.
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::camera::CameraPath;
+/// use gsplat::scene::EVALUATED_SCENES;
+/// use vrpipe::{SequenceConfig, Session};
+///
+/// let scene = EVALUATED_SCENES[4].generate_scaled(0.04);
+/// let cfg = SequenceConfig::new(
+///     CameraPath::orbit(scene.center, scene.view_radius, 1.0, 0.02),
+///     4,
+///     96,
+///     72,
+/// );
+/// let mut session = Session::default();
+/// let counts = session.run(&scene, &cfg, |f| f.splats.len());
+/// assert_eq!(counts.len(), 4);
+/// assert!(session.resort_stats().repaired > 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Session {
+    policy: ThreadPolicy,
+    build_stream: bool,
+    pre: PreprocessScratch,
+    splats: Vec<Splat>,
+    stream: SplatStream,
+}
+
+impl Session {
+    /// A session with an explicit host threading policy.
+    pub fn new(policy: ThreadPolicy) -> Self {
+        Self {
+            policy,
+            ..Self::default()
+        }
+    }
+
+    /// Also maintain the SoA [`SplatStream`] mirror each frame, for
+    /// backends that consume streams directly (e.g.
+    /// `CudaLikeRenderer::render_prepared`).
+    pub fn with_stream(mut self) -> Self {
+        self.build_stream = true;
+        self
+    }
+
+    /// Counters of the incremental re-sort across the frames run so far.
+    pub fn resort_stats(&self) -> ResortStats {
+        self.pre.resort_stats()
+    }
+
+    /// Forgets the temporal warm start (call on a scene or camera cut).
+    pub fn invalidate_temporal(&mut self) {
+        self.pre.invalidate_temporal();
+    }
+
+    /// Renders `cfg.frames` frames of `scene` along the configured path,
+    /// calling `render` once per frame with the preprocessed
+    /// [`FrameInput`]. Preprocessing reuses all scratch across frames; the
+    /// backend owns whatever per-frame state it needs inside the closure.
+    pub fn run<R>(
+        &mut self,
+        scene: &Scene,
+        cfg: &SequenceConfig,
+        mut render: impl FnMut(FrameInput<'_>) -> R,
+    ) -> Vec<R> {
+        let mut out = Vec::with_capacity(cfg.frames);
+        for index in 0..cfg.frames {
+            let camera = cfg
+                .path
+                .camera(index, cfg.frames, cfg.width, cfg.height, cfg.fov_y);
+            let preprocess = if cfg.temporal {
+                preprocess_into_temporal(
+                    scene,
+                    &camera,
+                    self.policy,
+                    &mut self.pre,
+                    &mut self.splats,
+                )
+            } else {
+                preprocess_into(scene, &camera, self.policy, &mut self.pre, &mut self.splats)
+            };
+            if self.build_stream {
+                self.stream.rebuild_from(&self.splats);
+            } else {
+                self.stream.clear();
+            }
+            out.push(render(FrameInput {
+                index,
+                camera: &camera,
+                splats: &self.splats,
+                stream: &self.stream,
+                preprocess,
+            }));
+        }
+        out
+    }
+
+    /// Renders the sequence through the simulated hardware pipeline
+    /// (`gpu`/`variant`), reusing one [`DrawScratch`] and one pair of
+    /// render targets across all frames. Returns per-frame records, or a
+    /// [`DrawError`]: an invalid configuration is rejected here, before
+    /// any frame is preprocessed, instead of panicking mid-sequence.
+    pub fn run_vrpipe(
+        &mut self,
+        scene: &Scene,
+        cfg: &SequenceConfig,
+        gpu: &GpuConfig,
+        variant: PipelineVariant,
+    ) -> Result<Vec<SequenceFrameRecord>, DrawError> {
+        // Fail fast: validate once up front (also guards the `Tiling`
+        // construction below) rather than erroring on every frame.
+        gpu.validate().map_err(DrawError::InvalidConfig)?;
+        let mut scratch = DrawScratch::default();
+        let mut color = ColorBuffer::new(cfg.width, cfg.height, gpu.pixel_format);
+        let mut ds = DepthStencilBuffer::new(cfg.width, cfg.height);
+        let tiles = Tiling::new(
+            cfg.width.max(1),
+            cfg.height.max(1),
+            gpu.screen_tile_px,
+            gpu.tile_grid_tiles,
+        )
+        .tile_count() as f64;
+        let frames = self.run(scene, cfg, |f| {
+            let stats =
+                try_draw_in_place(f.splats, gpu, variant, &mut color, &mut ds, &mut scratch)?;
+            let retired_tile_ratio = if tiles > 0.0 {
+                stats.retired_tiles as f64 / tiles
+            } else {
+                0.0
+            };
+            Ok(SequenceFrameRecord {
+                index: f.index,
+                preprocess: f.preprocess,
+                stats,
+                retired_tile_ratio,
+            })
+        });
+        frames.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{draw, DrawScratch};
+    use gsplat::math::Vec3;
+    use gsplat::scene::EVALUATED_SCENES;
+
+    /// A frame-coherent orbit: ~0.7° of arc per frame, the granularity of
+    /// a real frame loop (a full turn would span ~500 frames; even this is
+    /// coarse next to 90 fps head motion).
+    fn orbit_cfg(scene: &Scene, frames: usize) -> SequenceConfig {
+        SequenceConfig::new(
+            CameraPath::orbit(scene.center, scene.view_radius, 1.2, 0.002 * frames as f32),
+            frames,
+            96,
+            72,
+        )
+    }
+
+    #[test]
+    fn sequence_frames_match_isolated_renders_bit_exactly() {
+        let scene = EVALUATED_SCENES[4].generate_scaled(0.04);
+        let cfg = orbit_cfg(&scene, 6);
+        let mut session = Session::default();
+        let records = session
+            .run_vrpipe(&scene, &cfg, &GpuConfig::default(), PipelineVariant::HetQm)
+            .unwrap();
+        assert_eq!(records.len(), 6);
+        // Re-render each frame in isolation: identical stats.
+        for (i, rec) in records.iter().enumerate() {
+            let cam = cfg
+                .path
+                .camera(i, cfg.frames, cfg.width, cfg.height, cfg.fov_y);
+            let pre = gsplat::preprocess::preprocess(&scene, &cam);
+            let fresh = draw(
+                &pre.splats,
+                cfg.width,
+                cfg.height,
+                &GpuConfig::default(),
+                PipelineVariant::HetQm,
+            );
+            assert_eq!(rec.stats, fresh.stats, "frame {i}");
+            assert_eq!(rec.preprocess.visible_splats, pre.stats.visible_splats);
+        }
+        // The coherent orbit must exercise the repair fast path.
+        assert!(session.resort_stats().repaired > 0);
+    }
+
+    #[test]
+    fn temporal_and_full_sort_sequences_are_identical() {
+        let scene = EVALUATED_SCENES[2].generate_scaled(0.04);
+        let cfg = orbit_cfg(&scene, 5);
+        let full = cfg.clone().full_sort();
+        let mut a = Session::default();
+        let mut b = Session::default();
+        let ra = a
+            .run_vrpipe(&scene, &cfg, &GpuConfig::default(), PipelineVariant::Het)
+            .unwrap();
+        let rb = b
+            .run_vrpipe(&scene, &full, &GpuConfig::default(), PipelineVariant::Het)
+            .unwrap();
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!(x.stats, y.stats, "frame {}", x.index);
+            assert_eq!(x.preprocess, y.preprocess);
+        }
+        assert!(a.resort_stats().repaired > 0);
+        assert_eq!(b.resort_stats().frames, 0, "full sort bypasses the sorter");
+    }
+
+    #[test]
+    fn run_vrpipe_surfaces_config_errors() {
+        let scene = EVALUATED_SCENES[4].generate_scaled(0.03);
+        let cfg = orbit_cfg(&scene, 3);
+        let bad = GpuConfig {
+            tgc_bins: 0,
+            ..GpuConfig::default()
+        };
+        let err = Session::default()
+            .run_vrpipe(&scene, &cfg, &bad, PipelineVariant::HetQm)
+            .unwrap_err();
+        assert!(matches!(err, DrawError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn stereo_sequence_produces_left_right_pairs() {
+        let scene = EVALUATED_SCENES[4].generate_scaled(0.03);
+        let path = CameraPath::orbit(scene.center, scene.view_radius, 1.2, 0.1).stereo(0.065);
+        let cfg = SequenceConfig::new(path, 8, 96, 72);
+        let mut session = Session::default();
+        let eyes = session.run(&scene, &cfg, |f| f.camera.eye());
+        assert_eq!(eyes.len(), 8);
+        for k in 0..4 {
+            let sep = (eyes[2 * k] - eyes[2 * k + 1]).length();
+            assert!((sep - 0.065).abs() < 1e-3, "pair {k}: separation {sep}");
+        }
+    }
+
+    #[test]
+    fn session_stream_mirrors_splats() {
+        let scene = EVALUATED_SCENES[4].generate_scaled(0.03);
+        let cfg = orbit_cfg(&scene, 3);
+        let mut session = Session::default().with_stream();
+        session.run(&scene, &cfg, |f| {
+            assert_eq!(f.stream.len(), f.splats.len());
+            assert!((0..f.splats.len()).all(|i| f.stream.get(i) == f.splats[i]));
+        });
+    }
+
+    #[test]
+    fn shaky_flythrough_still_repairs() {
+        let scene = EVALUATED_SCENES[2].generate_scaled(0.04); // Train
+        let start = scene.center + Vec3::new(0.0, 1.8, scene.view_radius);
+        let path = CameraPath::flythrough(start, scene.center, 0.02, 0.01);
+        let cfg = SequenceConfig::new(path, 8, 96, 72);
+        let mut session = Session::default();
+        let records = session
+            .run_vrpipe(&scene, &cfg, &GpuConfig::default(), PipelineVariant::HetQm)
+            .unwrap();
+        assert_eq!(records.len(), 8);
+        let rs = session.resort_stats();
+        assert!(
+            rs.repaired >= rs.radix_fallbacks,
+            "coherent flythrough should mostly repair: {rs:?}"
+        );
+        for rec in &records {
+            assert!(rec.retired_tile_ratio >= 0.0 && rec.retired_tile_ratio <= 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_sequence_is_empty() {
+        let scene = EVALUATED_SCENES[4].generate_scaled(0.03);
+        let cfg = orbit_cfg(&scene, 0);
+        let mut session = Session::default();
+        let records = session
+            .run_vrpipe(
+                &scene,
+                &cfg,
+                &GpuConfig::default(),
+                PipelineVariant::Baseline,
+            )
+            .unwrap();
+        assert!(records.is_empty());
+        // DrawScratch reuse across separate run_vrpipe calls is also fine.
+        let cfg2 = orbit_cfg(&scene, 2);
+        assert_eq!(
+            session
+                .run_vrpipe(
+                    &scene,
+                    &cfg2,
+                    &GpuConfig::default(),
+                    PipelineVariant::Baseline
+                )
+                .unwrap()
+                .len(),
+            2
+        );
+        let _ = DrawScratch::default();
+    }
+}

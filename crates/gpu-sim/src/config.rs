@@ -204,6 +204,14 @@ impl GpuConfig {
     /// Validates structural invariants (tile sizes divide evenly, non-zero
     /// bins), returning a description of the first violation.
     pub fn validate(&self) -> Result<(), String> {
+        // Zero tile geometry would pass the divisibility checks below
+        // (0 is a multiple of everything) and panic deep in `Tiling`.
+        if self.screen_tile_px == 0 || self.raster_tile_px == 0 {
+            return Err("tile sizes must be non-zero".into());
+        }
+        if self.tile_grid_tiles == 0 {
+            return Err("tile grid must span at least one screen tile".into());
+        }
         if !self.screen_tile_px.is_multiple_of(self.raster_tile_px) {
             return Err(format!(
                 "raster tile {} must divide screen tile {}",
@@ -272,6 +280,22 @@ mod tests {
             ..GpuConfig::default()
         };
         assert!(c.validate().is_err());
+        for zeroed in [
+            GpuConfig {
+                screen_tile_px: 0,
+                ..GpuConfig::default()
+            },
+            GpuConfig {
+                raster_tile_px: 0,
+                ..GpuConfig::default()
+            },
+            GpuConfig {
+                tile_grid_tiles: 0,
+                ..GpuConfig::default()
+            },
+        ] {
+            assert!(zeroed.validate().is_err(), "{zeroed:?}");
+        }
         let c2 = GpuConfig {
             tc_bins: 0,
             ..GpuConfig::default()

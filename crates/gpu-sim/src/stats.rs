@@ -112,6 +112,10 @@ pub struct PipelineStats {
     // ---- work counters ----
     /// Primitives submitted (visible splats).
     pub primitives: u64,
+    /// Primitives culled at triangle setup because their OBB axes are
+    /// singular (zero-area splats the hardware would reject); counted, not
+    /// silently dropped, so degenerate inputs stay observable.
+    pub degenerate_prims: u64,
     /// Primitive-to-tile-grid insertions performed by the TGC unit.
     pub tgc_insertions: u64,
     /// TGC bin flushes.

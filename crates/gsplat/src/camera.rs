@@ -179,6 +179,185 @@ pub fn orbit_viewpoints(
         .collect()
 }
 
+/// A deterministic camera trajectory for frame-sequence workloads: the
+/// temporally coherent viewpoint streams (VR head motion, orbit captures,
+/// stereo eye pairs) that make per-frame early termination and the
+/// incremental depth re-sort pay off across a sequence.
+///
+/// Frame `i` of an `n`-frame sequence maps to one camera; consecutive
+/// frames are spatially close by construction, so depth orders between
+/// them are nearly identical.
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::camera::CameraPath;
+/// use gsplat::math::Vec3;
+/// let path = CameraPath::orbit(Vec3::ZERO, 4.0, 1.0, 0.25);
+/// let cams = path.cameras(16, 320, 240, 1.0);
+/// assert_eq!(cams.len(), 16);
+/// // Coherent: consecutive eyes are close together.
+/// assert!((cams[0].eye() - cams[1].eye()).length() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum CameraPath {
+    /// Partial orbit around `center`: `revolutions` turns spread over the
+    /// whole sequence (use small fractions for coherent frames).
+    Orbit {
+        /// Orbit center (also the look-at target).
+        center: Vec3,
+        /// Orbit radius.
+        radius: f32,
+        /// Camera height above the center.
+        height: f32,
+        /// Turns completed over the full sequence (e.g. `0.25` = 90°).
+        revolutions: f32,
+    },
+    /// Straight flythrough from `start` toward `look_at` at `velocity`
+    /// world units per frame, looking along the travel direction, with a
+    /// deterministic sinusoidal hand-shake of amplitude `shake` applied to
+    /// the eye position.
+    Flythrough {
+        /// First frame's eye position.
+        start: Vec3,
+        /// Point defining the travel/look direction.
+        look_at: Vec3,
+        /// World units advanced per frame.
+        velocity: f32,
+        /// Hand-shake amplitude in world units (`0.0` = rail-smooth).
+        shake: f32,
+    },
+    /// Stereo left/right eye pairs over a base path: frame `2k` is the
+    /// left eye and `2k + 1` the right eye of base frame `k`, separated by
+    /// `eye_separation` along the view-plane horizontal.
+    Stereo {
+        /// The head trajectory both eyes follow.
+        base: Box<CameraPath>,
+        /// Interpupillary distance in world units.
+        eye_separation: f32,
+    },
+}
+
+impl CameraPath {
+    /// Convenience constructor for [`CameraPath::Orbit`].
+    pub fn orbit(center: Vec3, radius: f32, height: f32, revolutions: f32) -> Self {
+        CameraPath::Orbit {
+            center,
+            radius,
+            height,
+            revolutions,
+        }
+    }
+
+    /// Convenience constructor for [`CameraPath::Flythrough`].
+    pub fn flythrough(start: Vec3, look_at: Vec3, velocity: f32, shake: f32) -> Self {
+        CameraPath::Flythrough {
+            start,
+            look_at,
+            velocity,
+            shake,
+        }
+    }
+
+    /// Wraps this path into stereo left/right pairs.
+    pub fn stereo(self, eye_separation: f32) -> Self {
+        CameraPath::Stereo {
+            base: Box::new(self),
+            eye_separation,
+        }
+    }
+
+    /// The `(eye, target)` pose of frame `frame` in an `n_frames`-long
+    /// sequence.
+    pub fn pose(&self, frame: usize, n_frames: usize) -> (Vec3, Vec3) {
+        match self {
+            CameraPath::Orbit {
+                center,
+                radius,
+                height,
+                revolutions,
+            } => {
+                let t = frame as f32 / n_frames.max(1) as f32;
+                let theta = t * revolutions * std::f32::consts::TAU;
+                let eye = *center + Vec3::new(radius * theta.cos(), *height, radius * theta.sin());
+                (eye, *center)
+            }
+            CameraPath::Flythrough {
+                start,
+                look_at,
+                velocity,
+                shake,
+            } => {
+                let to = *look_at - *start;
+                let dist = to.length();
+                let dir = if dist > 1e-6 {
+                    to / dist
+                } else {
+                    Vec3::new(0.0, 0.0, -1.0)
+                };
+                let up = Vec3::new(0.0, 1.0, 0.0);
+                let right = normalized_or(dir.cross(up), Vec3::new(1.0, 0.0, 0.0));
+                // Deterministic two-frequency hand shake (no RNG: sequences
+                // must be reproducible bit-for-bit run to run).
+                let p = frame as f32;
+                let wobble =
+                    right * (shake * (p * 0.9).sin()) + up * (0.5 * shake * (p * 1.7).cos());
+                let eye = *start + dir * (*velocity * p) + wobble;
+                // The target carries the same wobble, so the shake
+                // translates the view but never spins it (the view
+                // direction stays `dir` on every frame).
+                (eye, eye + dir)
+            }
+            CameraPath::Stereo {
+                base,
+                eye_separation,
+            } => {
+                let (eye, target) = base.pose(frame / 2, n_frames.div_ceil(2));
+                let dir = normalized_or(target - eye, Vec3::new(0.0, 0.0, -1.0));
+                let right = normalized_or(
+                    dir.cross(Vec3::new(0.0, 1.0, 0.0)),
+                    Vec3::new(1.0, 0.0, 0.0),
+                );
+                let sign = if frame.is_multiple_of(2) { -0.5 } else { 0.5 };
+                let offset = right * (sign * *eye_separation);
+                // Parallel (non-converged) stereo: both eye and target
+                // shift, keeping the two view directions identical.
+                (eye + offset, target + offset)
+            }
+        }
+    }
+
+    /// The camera for frame `frame` of an `n_frames` sequence.
+    pub fn camera(
+        &self,
+        frame: usize,
+        n_frames: usize,
+        width: u32,
+        height: u32,
+        fov_y: f32,
+    ) -> Camera {
+        let (eye, target) = self.pose(frame, n_frames);
+        Camera::look_at(eye, target, width, height, fov_y)
+    }
+
+    /// All `n_frames` cameras of the sequence.
+    pub fn cameras(&self, n_frames: usize, width: u32, height: u32, fov_y: f32) -> Vec<Camera> {
+        (0..n_frames)
+            .map(|i| self.camera(i, n_frames, width, height, fov_y))
+            .collect()
+    }
+}
+
+/// `v.normalized()`, or `fallback` for (near-)zero vectors.
+fn normalized_or(v: Vec3, fallback: Vec3) -> Vec3 {
+    let len = v.length();
+    if len > 1e-6 {
+        v / len
+    } else {
+        fallback
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +422,84 @@ mod tests {
         // tan(45°) = 1 → focal = height/2.
         assert!((fx - 400.0).abs() < 1e-3);
         assert_eq!(fx, fy);
+    }
+
+    #[test]
+    fn orbit_path_is_coherent_and_circles_center() {
+        let path = CameraPath::orbit(Vec3::new(1.0, 0.0, 2.0), 5.0, 1.5, 0.5);
+        let cams = path.cameras(16, 320, 240, 1.0);
+        assert_eq!(cams.len(), 16);
+        for w in cams.windows(2) {
+            let step = (w[0].eye() - w[1].eye()).length();
+            assert!(step < 1.2, "orbit step too large for coherence: {step}");
+        }
+        for c in &cams {
+            let (p, _) = c.project(Vec3::new(1.0, 0.0, 2.0)).unwrap();
+            assert!((p - Vec2::new(160.0, 120.0)).length() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn flythrough_advances_at_velocity_and_shakes() {
+        let smooth = CameraPath::flythrough(
+            Vec3::new(0.0, 1.0, 8.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            0.25,
+            0.0,
+        );
+        let cams = smooth.cameras(8, 160, 120, 1.0);
+        // Rail-smooth: each frame advances exactly `velocity` along -z.
+        for (i, c) in cams.iter().enumerate() {
+            let expect = Vec3::new(0.0, 1.0, 8.0 - 0.25 * i as f32);
+            assert!((c.eye() - expect).length() < 1e-5, "frame {i}");
+        }
+        let shaky = CameraPath::flythrough(
+            Vec3::new(0.0, 1.0, 8.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            0.25,
+            0.1,
+        );
+        let shaky_cams = shaky.cameras(8, 160, 120, 1.0);
+        let displaced = cams
+            .iter()
+            .zip(&shaky_cams)
+            .filter(|(a, b)| (a.eye() - b.eye()).length() > 1e-4)
+            .count();
+        assert!(displaced >= 6, "shake must perturb most frames");
+        // Shake stays bounded by its amplitude and translates only: the
+        // view direction is identical to the rail-smooth camera's.
+        let fwd =
+            |c: &Camera| c.view_matrix().upper_left3().transpose() * Vec3::new(0.0, 0.0, -1.0);
+        for (a, b) in cams.iter().zip(&shaky_cams) {
+            assert!((a.eye() - b.eye()).length() <= 0.1 * 1.5 + 1e-5);
+            assert!((fwd(a) - fwd(b)).length() < 1e-5, "shake spun the view");
+        }
+    }
+
+    #[test]
+    fn stereo_pairs_are_separated_and_parallel() {
+        let base = CameraPath::orbit(Vec3::ZERO, 4.0, 1.0, 0.25);
+        let stereo = base.stereo(0.06);
+        let n = 8;
+        for k in 0..n / 2 {
+            let left = stereo.camera(2 * k, n, 160, 120, 1.0);
+            let right = stereo.camera(2 * k + 1, n, 160, 120, 1.0);
+            let sep = (left.eye() - right.eye()).length();
+            assert!((sep - 0.06).abs() < 1e-4, "pair {k}: separation {sep}");
+            // Parallel stereo: identical view directions.
+            let fwd =
+                |c: &Camera| c.view_matrix().upper_left3().transpose() * Vec3::new(0.0, 0.0, -1.0);
+            assert!((fwd(&left) - fwd(&right)).length() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn paths_are_deterministic() {
+        let path =
+            CameraPath::flythrough(Vec3::new(2.0, 0.5, 6.0), Vec3::ZERO, 0.2, 0.05).stereo(0.07);
+        let a = path.cameras(12, 128, 96, 1.0);
+        let b = path.cameras(12, 128, 96, 1.0);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -41,13 +41,13 @@ pub mod splat;
 pub mod stream;
 
 pub use blend::{ALPHA_PRUNE_THRESHOLD, EARLY_TERMINATION_THRESHOLD};
-pub use camera::Camera;
+pub use camera::{Camera, CameraPath};
 pub use color::{PixelFormat, Rgba};
 pub use framebuffer::{ColorBuffer, DepthStencilBuffer, TERMINATION_BIT};
 pub use gaussian::Gaussian;
 pub use par::ThreadPolicy;
 pub use preprocess::PreprocessScratch;
 pub use scene::{Scene, SceneKind, SceneSpec, EVALUATED_SCENES, LARGE_SCALE_SCENES};
-pub use sort::SortScratch;
+pub use sort::{IncrementalSorter, ResortStats, SortScratch};
 pub use splat::Splat;
 pub use stream::{FragmentKernel, SplatStream, TileBitset};

@@ -23,12 +23,35 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads for a request of `requested` (`0` = one per
-/// available CPU), clamped to `work` items so tiny draws stay serial.
+/// Number of worker threads for a request of `requested` (`0` = the host
+/// default), clamped to `work` items so tiny draws stay serial.
+///
+/// The host default is one worker per available CPU, overridable with the
+/// `VRPIPE_HOST_THREADS` environment variable (read once per process) —
+/// CI runs the test suite under `VRPIPE_HOST_THREADS=1` and `=4` to pin
+/// both sides of the determinism contract on any runner. Like the
+/// `threads` config knobs this is a *host* setting: it can never change
+/// rendered results, only wall time.
 pub fn effective_threads(requested: usize, work: usize) -> usize {
-    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let t = if requested == 0 { hw } else { requested };
+    let t = if requested == 0 {
+        default_host_threads()
+    } else {
+        requested
+    };
     t.clamp(1, work.max(1))
+}
+
+/// The process-wide default worker count (`VRPIPE_HOST_THREADS` override,
+/// else one per available CPU), cached after the first read.
+fn default_host_threads() -> usize {
+    static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("VRPIPE_HOST_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
 }
 
 /// Work-distribution policy threaded down from the renderer configs.

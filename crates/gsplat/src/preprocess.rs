@@ -19,7 +19,7 @@ use crate::camera::Camera;
 use crate::par::ThreadPolicy;
 use crate::projection::project_gaussian;
 use crate::scene::Scene;
-use crate::sort::{sort_splats_by_depth_into, SortScratch};
+use crate::sort::{sort_splats_by_depth_into, IncrementalSorter, ResortStats, SortScratch};
 use crate::splat::Splat;
 use crate::stream::SplatStream;
 
@@ -61,8 +61,28 @@ pub struct PreprocessScratch {
     depths: Vec<f32>,
     /// Front-to-back permutation of `staging`.
     order: Vec<u32>,
+    /// Stable splat identities (`source`) of `staging`, for the temporal
+    /// warm start.
+    ids: Vec<u32>,
     /// Radix-sort buffers.
     sort: SortScratch,
+    /// Warm-start sorter for [`preprocess_into_temporal`] frame loops.
+    sorter: IncrementalSorter,
+}
+
+impl PreprocessScratch {
+    /// Counters of the incremental re-sort (frames repaired vs radix
+    /// fallbacks), accumulated across [`preprocess_into_temporal`] calls.
+    pub fn resort_stats(&self) -> ResortStats {
+        self.sorter.stats()
+    }
+
+    /// Forgets the temporal warm-start order, e.g. on a scene or camera
+    /// cut where the next frame's depth order shares nothing with the
+    /// previous one.
+    pub fn invalidate_temporal(&mut self) {
+        self.sorter.invalidate();
+    }
 }
 
 /// Runs culling, projection and the global depth sort for one viewpoint.
@@ -98,6 +118,34 @@ pub fn preprocess_into(
     policy: ThreadPolicy,
     scratch: &mut PreprocessScratch,
     out: &mut Vec<Splat>,
+) -> PreprocessStats {
+    preprocess_into_impl(scene, camera, policy, scratch, out, false)
+}
+
+/// [`preprocess_into`] for temporally coherent frame sequences: the depth
+/// sort warm-starts from the previous call's near-sorted order through the
+/// scratch's [`IncrementalSorter`] (insertion-repair fast path, fused-radix
+/// fallback). The sorted output is **bit-exact** with [`preprocess_into`]
+/// for every frame — only the sorting cost changes. Use
+/// [`PreprocessScratch::resort_stats`] to observe the repair/fallback mix
+/// and [`PreprocessScratch::invalidate_temporal`] on scene cuts.
+pub fn preprocess_into_temporal(
+    scene: &Scene,
+    camera: &Camera,
+    policy: ThreadPolicy,
+    scratch: &mut PreprocessScratch,
+    out: &mut Vec<Splat>,
+) -> PreprocessStats {
+    preprocess_into_impl(scene, camera, policy, scratch, out, true)
+}
+
+fn preprocess_into_impl(
+    scene: &Scene,
+    camera: &Camera,
+    policy: ThreadPolicy,
+    scratch: &mut PreprocessScratch,
+    out: &mut Vec<Splat>,
+    temporal: bool,
 ) -> PreprocessStats {
     let n = scene.gaussians.len();
     let workers = policy.workers(n);
@@ -137,7 +185,17 @@ pub fn preprocess_into(
     scratch
         .depths
         .extend(scratch.staging.iter().map(|s| s.depth));
-    sort_splats_by_depth_into(&scratch.depths, &mut scratch.sort, &mut scratch.order);
+    if temporal {
+        // Warm-start by stable identity: `source` survives visibility
+        // churn at the frustum edges, unlike the staging index.
+        scratch.ids.clear();
+        scratch.ids.extend(scratch.staging.iter().map(|s| s.source));
+        scratch
+            .sorter
+            .sort_depths_with_ids_into(&scratch.depths, &scratch.ids, &mut scratch.order);
+    } else {
+        sort_splats_by_depth_into(&scratch.depths, &mut scratch.sort, &mut scratch.order);
+    }
 
     out.clear();
     out.reserve(scratch.staging.len());
@@ -253,6 +311,50 @@ mod tests {
         assert_eq!(stats.visible_splats, out.len());
         assert_eq!(stream.len(), out.len());
         assert!((0..out.len()).all(|i| stream.get(i) == out[i]));
+    }
+
+    #[test]
+    fn temporal_preprocess_is_bit_exact_with_full_sort() {
+        use crate::camera::CameraPath;
+        let scene = EVALUATED_SCENES[2].generate_scaled(0.05); // Train
+        let path = CameraPath::flythrough(
+            scene.center + crate::math::Vec3::new(0.0, 1.5, scene.view_radius),
+            scene.center,
+            0.05,
+            0.02,
+        );
+        let cams = path.cameras(8, 160, 120, 1.0);
+        let mut temporal_scratch = PreprocessScratch::default();
+        let mut full_scratch = PreprocessScratch::default();
+        let mut temporal_out = Vec::new();
+        let mut full_out = Vec::new();
+        for (i, cam) in cams.iter().enumerate() {
+            let ts = preprocess_into_temporal(
+                &scene,
+                cam,
+                ThreadPolicy::default(),
+                &mut temporal_scratch,
+                &mut temporal_out,
+            );
+            let fs = preprocess_into(
+                &scene,
+                cam,
+                ThreadPolicy::default(),
+                &mut full_scratch,
+                &mut full_out,
+            );
+            assert_eq!(ts, fs, "frame {i}: stats diverged");
+            assert_eq!(
+                temporal_out, full_out,
+                "frame {i}: splat order diverged from the full sort"
+            );
+        }
+        let rs = temporal_scratch.resort_stats();
+        assert_eq!(rs.frames, 8);
+        assert!(
+            rs.repaired >= 1,
+            "coherent path must hit the repair fast path: {rs:?}"
+        );
     }
 
     #[test]

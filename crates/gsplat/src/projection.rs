@@ -26,7 +26,11 @@ const JACOBIAN_CLAMP: f32 = 1.3;
 ///
 /// Returns `None` when the Gaussian does not produce a visible splat:
 /// behind the near plane, outside the (guard-banded) frustum, opacity below
-/// the alpha-pruning threshold, or a degenerate projected covariance.
+/// the alpha-pruning threshold, a degenerate projected covariance, or any
+/// non-finite intermediate (NaN/infinite mean, covariance, opacity or
+/// color). Every emitted splat therefore satisfies [`Splat::is_finite`] —
+/// the invariant that keeps NaN keys out of the depth sort and NaN alphas
+/// out of the blenders downstream.
 ///
 /// # Examples
 ///
@@ -38,13 +42,26 @@ const JACOBIAN_CLAMP: f32 = 1.3;
 /// assert!((splat.center.x - 320.0).abs() < 0.5);
 /// ```
 pub fn project_gaussian(g: &Gaussian, camera: &Camera, index: u32) -> Option<Splat> {
-    if g.opacity < ALPHA_PRUNE_THRESHOLD {
+    // NaN-aware prune: a NaN opacity fails every ordered comparison, so
+    // cull whenever the opacity is *not known to be* at/above threshold.
+    if g.opacity < ALPHA_PRUNE_THRESHOLD || g.opacity.is_nan() {
+        return None;
+    }
+    // Non-finite geometry is culled up front: a NaN rotation would
+    // otherwise be silently normalized to the identity fallback and render
+    // as a wrong-but-finite splat.
+    if !g.mean.is_finite() || !g.scale.is_finite() || !g.rotation.iter().all(|r| r.is_finite()) {
         return None;
     }
     if !camera.sphere_visible(g.mean, g.bounding_radius()) {
         return None;
     }
     let (center, depth) = camera.project(g.mean)?;
+    // A NaN mean slips through `project`'s near-plane test (NaN fails the
+    // `<=` cut); reject non-finite projections explicitly.
+    if !center.is_finite() || !depth.is_finite() {
+        return None;
+    }
 
     let cov2d = project_covariance(g, camera)?;
     let conic_mat = cov2d.inverse()?;
@@ -64,7 +81,7 @@ pub fn project_gaussian(g: &Gaussian, camera: &Camera, index: u32) -> Option<Spl
     let view_dir = g.mean - camera.eye();
     let color = g.sh.evaluate(view_dir);
 
-    Some(Splat {
+    let splat = Splat {
         center,
         depth,
         conic,
@@ -73,7 +90,14 @@ pub fn project_gaussian(g: &Gaussian, camera: &Camera, index: u32) -> Option<Spl
         color,
         opacity: g.opacity,
         source: index,
-    })
+    };
+    // Final gate for the "all emitted splats are finite" invariant: a NaN
+    // covariance or SH coefficient can survive the individual steps above
+    // (NaN fails every ordered comparison), so check the assembled splat.
+    if !splat.is_finite() {
+        return None;
+    }
+    Some(splat)
 }
 
 /// Number of standard deviations to the `α = 1/255` iso-contour for a given
@@ -173,6 +197,28 @@ mod tests {
     #[test]
     fn transparent_gaussian_is_pruned() {
         assert!(project_gaussian(&gaussian_at(Vec3::ZERO, 0.2, 0.001), &camera(), 0).is_none());
+    }
+
+    #[test]
+    fn non_finite_gaussians_are_culled() {
+        let cam = camera();
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let mut g = gaussian_at(Vec3::ZERO, 0.2, 0.8);
+            g.mean = Vec3::new(bad, 0.0, 0.0);
+            assert!(project_gaussian(&g, &cam, 0).is_none(), "mean {bad}");
+            let mut g = gaussian_at(Vec3::ZERO, 0.2, 0.8);
+            g.opacity = bad;
+            assert!(project_gaussian(&g, &cam, 0).is_none(), "opacity {bad}");
+            let mut g = gaussian_at(Vec3::ZERO, 0.2, 0.8);
+            g.scale = Vec3::new(bad, 0.1, 0.1);
+            assert!(project_gaussian(&g, &cam, 0).is_none(), "scale {bad}");
+            let mut g = gaussian_at(Vec3::ZERO, 0.2, 0.8);
+            g.rotation = [bad, 0.0, 0.0, 0.0];
+            assert!(project_gaussian(&g, &cam, 0).is_none(), "rotation {bad}");
+        }
+        // Every *emitted* splat honors the finiteness invariant.
+        let ok = project_gaussian(&gaussian_at(Vec3::ZERO, 0.2, 0.8), &cam, 0).unwrap();
+        assert!(ok.is_finite());
     }
 
     #[test]

@@ -11,6 +11,16 @@ use crate::math::Vec2;
 /// conic (inverse 2D covariance) for alpha evaluation, the tight OBB
 /// semi-axes for vertex positioning, the evaluated view-dependent color, the
 /// peak opacity, and the camera-space depth used for sorting.
+///
+/// # Invariant: emitted splats are finite
+///
+/// Every splat emitted by [`crate::projection::project_gaussian`] has
+/// finite fields and a strictly positive, finite `depth` (see
+/// [`Splat::is_finite`]). Non-finite Gaussians — NaN/infinite means,
+/// covariances, opacities or SH coefficients — are culled at projection
+/// time, so depth keys, the radix/incremental sorts and the blend
+/// pipeline never see NaN. Code constructing splats by hand (tests,
+/// adversarial harnesses) is outside this guarantee.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Splat {
     /// Screen-space center in pixels.
@@ -65,6 +75,22 @@ impl Splat {
     pub fn alpha_at(&self, p: Vec2) -> f32 {
         let d = p - self.center;
         self.opacity * crate::blend::gaussian_falloff(self.conic, d.x, d.y)
+    }
+
+    /// `true` when every field is finite and `depth` is strictly positive —
+    /// the invariant [`crate::projection::project_gaussian`] guarantees for
+    /// every splat it emits.
+    pub fn is_finite(&self) -> bool {
+        self.center.is_finite()
+            && self.depth.is_finite()
+            && self.depth > 0.0
+            && self.conic.0.is_finite()
+            && self.conic.1.is_finite()
+            && self.conic.2.is_finite()
+            && self.axis_major.is_finite()
+            && self.axis_minor.is_finite()
+            && self.color.is_finite()
+            && self.opacity.is_finite()
     }
 }
 

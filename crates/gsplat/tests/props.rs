@@ -7,7 +7,7 @@ use gsplat::gaussian::Gaussian;
 use gsplat::math::{Mat2, Vec2, Vec3};
 use gsplat::projection::project_gaussian;
 use gsplat::sh::ShColor;
-use gsplat::sort::{depth_key, radix_argsort, sort_splats_by_depth};
+use gsplat::sort::{depth_key, radix_argsort, sort_splats_by_depth, IncrementalSorter};
 use gsplat::splat::Splat;
 use gsplat::stream::{tile_alpha_bound, SplatStream};
 use proptest::prelude::*;
@@ -216,6 +216,46 @@ proptest! {
             prop_assert_eq!(stream.center_x()[i].to_bits(), s.center.x.to_bits());
             prop_assert_eq!(stream.conic_b()[i].to_bits(), s.conic.1.to_bits());
             prop_assert_eq!(stream.opacity()[i].to_bits(), s.opacity.to_bits());
+        }
+    }
+
+    /// The incremental re-sorter is bit-exact with the from-scratch radix
+    /// sort for *any* frame sequence of keys — arbitrary per-frame
+    /// membership and order churn, repaired or fallback path alike.
+    #[test]
+    fn incremental_sort_matches_radix_for_any_frame_sequence(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(0u32..5000, 0..150),
+            1..8,
+        ),
+    ) {
+        let mut sorter = IncrementalSorter::default();
+        let mut order = Vec::new();
+        for (i, keys) in frames.iter().enumerate() {
+            sorter.sort_keys_into(keys, &mut order);
+            prop_assert_eq!(&order, &radix_argsort(keys), "frame {}", i);
+        }
+        prop_assert_eq!(sorter.stats().frames as usize, frames.len());
+    }
+
+    /// Same bit-exactness under *coherent* drift (small per-frame key
+    /// deltas on a fixed population) — the profile that actually takes
+    /// the insertion-repair fast path.
+    #[test]
+    fn incremental_sort_matches_radix_under_coherent_drift(
+        base in proptest::collection::vec(0u32..100_000, 2..200),
+        seed in 0u32..1000,
+    ) {
+        let mut keys = base;
+        let mut sorter = IncrementalSorter::default();
+        let mut order = Vec::new();
+        for frame in 0..5u32 {
+            for (i, k) in keys.iter_mut().enumerate() {
+                let drift = (i as u32).wrapping_mul(seed + frame) % 17;
+                *k = k.wrapping_add(drift).min(1_000_000);
+            }
+            sorter.sort_keys_into(&keys, &mut order);
+            prop_assert_eq!(&order, &radix_argsort(&keys), "frame {}", frame);
         }
     }
 

@@ -3,10 +3,18 @@
 
 use gpu_sim::config::GpuConfig;
 use gpu_sim::stencil::{StencilFunc, StencilOp, StencilState};
+use gsplat::camera::Camera;
 use gsplat::framebuffer::{DepthStencilBuffer, TERMINATION_BIT};
+use gsplat::gaussian::Gaussian;
 use gsplat::math::{Vec2, Vec3};
+use gsplat::preprocess::preprocess;
+use gsplat::scene::EVALUATED_SCENES;
+use gsplat::sh::ShColor;
 use gsplat::splat::Splat;
-use vrpipe::{draw, PipelineVariant};
+use swrender::cuda_like::{CudaLikeRenderer, SwConfig};
+use swrender::inshader::fragment_workload;
+use swrender::multipass::{render_multipass, MultiPassConfig};
+use vrpipe::{draw, try_draw, DrawError, PipelineVariant};
 
 fn splat(cx: f32, cy: f32, r: f32, depth: f32, opacity: f32) -> Splat {
     Splat {
@@ -80,6 +88,170 @@ fn tiny_viewports_render() {
     for (w, h) in [(1u32, 1u32), (2, 2), (3, 5), (16, 1)] {
         let out = draw(&splats, w, h, &GpuConfig::default(), PipelineVariant::HetQm);
         assert!(out.color.get(0, 0).a > 0.0, "{w}x{h}: pixel (0,0) empty");
+    }
+}
+
+/// 1×1 and tile-misaligned framebuffers through *every* backend: the
+/// software renderers and the in-shader workload model must survive
+/// viewports that do not divide into 16-px tiles or 2×2 quads.
+#[test]
+fn odd_framebuffers_survive_every_backend() {
+    let splats = vec![
+        splat(0.5, 0.5, 2.0, 1.0, 0.8),
+        splat(8.0, 5.0, 3.0, 2.0, 0.6),
+    ];
+    for (w, h) in [(1u32, 1u32), (17, 9), (31, 33), (16, 1), (3, 47)] {
+        for kernel in gsplat::stream::FragmentKernel::ALL {
+            let sw_cfg = SwConfig {
+                kernel,
+                ..SwConfig::default()
+            };
+            let f = CudaLikeRenderer::new(sw_cfg, true).render(&splats, w, h);
+            assert!(
+                f.color.pixels().iter().all(|p| p.is_finite()),
+                "cuda_like {kernel:?} {w}x{h}"
+            );
+        }
+        let mp = render_multipass(&splats, w, h, 3, &MultiPassConfig::default());
+        assert!(
+            mp.color.pixels().iter().all(|p| p.is_finite()),
+            "multipass {w}x{h}"
+        );
+        let (frags, quads, chain) = fragment_workload(&splats, w, h);
+        assert!(
+            quads >= frags / 4 && chain <= frags.max(1),
+            "inshader {w}x{h}"
+        );
+        let hw = draw(&splats, w, h, &GpuConfig::default(), PipelineVariant::HetQm);
+        assert!(
+            hw.color.pixels().iter().all(|p| p.is_finite()),
+            "vrpipe {w}x{h}"
+        );
+    }
+}
+
+/// An empty scene (zero splats) through every backend: no panics, no
+/// work, fully transparent output.
+#[test]
+fn empty_scene_renders_through_every_backend() {
+    let splats: Vec<Splat> = Vec::new();
+    for kernel in gsplat::stream::FragmentKernel::ALL {
+        let sw_cfg = SwConfig {
+            kernel,
+            ..SwConfig::default()
+        };
+        let f = CudaLikeRenderer::new(sw_cfg, true).render(&splats, 32, 32);
+        assert_eq!(f.stats.blended_fragments, 0, "{kernel:?}");
+        assert_eq!(f.color.mean_alpha(), 0.0, "{kernel:?}");
+    }
+    let mp = render_multipass(&splats, 32, 32, 4, &MultiPassConfig::default());
+    assert_eq!(mp.blended_fragments, 0);
+    assert_eq!(fragment_workload(&splats, 32, 32), (0, 0, 0));
+    for v in PipelineVariant::ALL {
+        let out = draw(&splats, 32, 32, &GpuConfig::default(), v);
+        assert_eq!(out.stats.crop_fragments, 0, "{v}");
+        assert_eq!(out.color.mean_alpha(), 0.0, "{v}");
+    }
+}
+
+/// Non-finite Gaussians (NaN/∞ means, scales, rotations, opacities) are
+/// culled at projection — the preprocessing output upholds the "all
+/// emitted splats are finite" invariant and renders cleanly everywhere.
+#[test]
+fn non_finite_gaussians_are_culled_and_render_cleanly() {
+    let mut scene = EVALUATED_SCENES[4].generate_scaled(0.03);
+    let color = ShColor::from_base_color(Vec3::splat(0.5));
+    // Struct literals bypass `Gaussian::new`'s validation, exactly like a
+    // corrupt checkpoint deserialized straight into the public fields.
+    for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+        let healthy = Gaussian::new(
+            Vec3::ZERO,
+            Vec3::splat(0.1),
+            [1.0, 0.0, 0.0, 0.0],
+            0.9,
+            color.clone(),
+        );
+        scene.gaussians.push(Gaussian {
+            mean: Vec3::new(bad, 0.0, 0.0),
+            ..healthy.clone()
+        });
+        scene.gaussians.push(Gaussian {
+            scale: Vec3::new(bad, 0.1, 0.1),
+            ..healthy.clone()
+        });
+        scene.gaussians.push(Gaussian {
+            rotation: [bad, 0.0, 0.0, 0.0],
+            ..healthy.clone()
+        });
+        scene.gaussians.push(Gaussian {
+            opacity: bad,
+            ..healthy
+        });
+    }
+    let cam = Camera::look_at(Vec3::new(0.0, 0.5, 6.0), Vec3::ZERO, 64, 48, 1.0);
+    let pre = preprocess(&scene, &cam);
+    assert!(
+        pre.splats.iter().all(Splat::is_finite),
+        "projection leaked a non-finite splat"
+    );
+    // Depth keys are NaN-free, so the sorted order is truly front-to-back.
+    assert!(pre.splats.windows(2).all(|w| w[0].depth <= w[1].depth));
+    // And every backend blends finite pixels from it.
+    let sw = CudaLikeRenderer::new(SwConfig::default(), true).render(&pre.splats, 64, 48);
+    assert!(sw.color.pixels().iter().all(|p| p.is_finite()));
+    let hw = draw(
+        &pre.splats,
+        64,
+        48,
+        &GpuConfig::default(),
+        PipelineVariant::HetQm,
+    );
+    assert!(hw.color.pixels().iter().all(|p| p.is_finite()));
+}
+
+/// Invalid GPU configurations come back as `DrawError`s from the fallible
+/// entry points — a long-running frame loop can reject them without
+/// unwinding.
+#[test]
+fn invalid_configs_error_instead_of_panicking() {
+    let splats = vec![splat(16.0, 16.0, 4.0, 1.0, 0.5)];
+    let bads = [
+        GpuConfig {
+            raster_tile_px: 5,
+            ..GpuConfig::default()
+        },
+        GpuConfig {
+            tc_bins: 0,
+            ..GpuConfig::default()
+        },
+        GpuConfig {
+            crop_cache_bytes: 1000,
+            ..GpuConfig::default()
+        },
+    ];
+    for bad in bads {
+        let err = try_draw(&splats, 32, 32, &bad, PipelineVariant::HetQm).unwrap_err();
+        assert!(matches!(err, DrawError::InvalidConfig(_)), "{err}");
+    }
+}
+
+/// Zero-area splats (both axes singular) are skipped with the degenerate
+/// counter — never unwrapped, never mis-rastered.
+#[test]
+fn zero_area_splats_are_counted_and_skipped() {
+    let mut splats = vec![splat(16.0, 16.0, 4.0, 1.0, 0.5)];
+    let mut dead = splat(10.0, 10.0, 3.0, 2.0, 0.9);
+    dead.axis_major = Vec2::ZERO;
+    dead.axis_minor = Vec2::ZERO;
+    splats.push(dead);
+    let mut line = splat(20.0, 20.0, 3.0, 3.0, 0.9);
+    line.axis_minor = Vec2::ZERO; // collapses to a segment
+    splats.push(line);
+    for v in PipelineVariant::ALL {
+        let out = draw(&splats, 32, 32, &GpuConfig::default(), v);
+        assert_eq!(out.stats.degenerate_prims, 2, "{v}");
+        assert!(out.color.get(16, 16).a > 0.0, "{v}: live splat lost");
+        assert!(out.color.pixels().iter().all(|p| p.is_finite()), "{v}");
     }
 }
 
