@@ -82,8 +82,10 @@ impl Report {
 /// endpoints are recorded.
 fn sequence_measurement(scale: f32) -> String {
     let m = crate::sequence::measure_sequence(2, scale.min(0.1), crate::sequence::SEQUENCE_FRAMES);
+    let p =
+        crate::sequence::measure_preprocess(2, scale.min(0.1), crate::sequence::SEQUENCE_FRAMES);
     format!(
-        "{{\"scene\": \"{}\", \"frames\": {}, \"visible_splats\": {}, \"incremental_sort_ms\": {:.4}, \"full_sort_ms\": {:.4}, \"sort_speedup\": {:.3}, \"repaired_frames\": {}, \"radix_fallbacks\": {}, \"retired_ratio_first\": {:.4}, \"retired_ratio_last\": {:.4}}}",
+        "{{\"scene\": \"{}\", \"frames\": {}, \"visible_splats\": {}, \"incremental_sort_ms\": {:.4}, \"full_sort_ms\": {:.4}, \"sort_speedup\": {:.3}, \"repaired_frames\": {}, \"radix_fallbacks\": {}, \"retired_ratio_first\": {:.4}, \"retired_ratio_last\": {:.4}, \"preprocess\": {{\"frames\": {}, \"index_build_ms\": {:.4}, \"indexed_ms\": {:.4}, \"full_ms\": {:.4}, \"prior_full_ms\": {:.4}, \"speedup\": {:.3}, \"speedup_vs_full\": {:.3}, \"cells_skipped\": {}, \"cells_refreshed\": {}, \"cells_reprojected\": {}, \"gaussians_skipped\": {}, \"gaussians_refreshed\": {}, \"gaussians_reprojected\": {}}}}}",
         m.scene,
         m.frames,
         m.visible_splats,
@@ -93,7 +95,20 @@ fn sequence_measurement(scale: f32) -> String {
         m.repaired_frames,
         m.radix_fallbacks,
         m.retired_ratio_first,
-        m.retired_ratio_last
+        m.retired_ratio_last,
+        p.frames,
+        p.index_build_ms,
+        p.indexed_ms,
+        p.full_ms,
+        p.prior_full_ms,
+        p.speedup,
+        p.speedup_vs_full,
+        p.cull.cells_skipped,
+        p.cull.cells_refreshed,
+        p.cull.cells_reprojected,
+        p.cull.gaussians_skipped,
+        p.cull.gaussians_refreshed,
+        p.cull.gaussians_reprojected
     )
 }
 

@@ -26,8 +26,10 @@ use gpu_sim::stats::PipelineStats;
 use gpu_sim::tiles::Tiling;
 use gsplat::camera::{Camera, CameraPath};
 use gsplat::framebuffer::{ColorBuffer, DepthStencilBuffer};
+use gsplat::index::{cloud_fingerprint, CullState, CullStats, SceneIndex};
 use gsplat::preprocess::{
-    preprocess_into, preprocess_into_temporal, PreprocessScratch, PreprocessStats,
+    preprocess_into, preprocess_into_indexed, preprocess_into_temporal, PreprocessScratch,
+    PreprocessStats,
 };
 use gsplat::scene::Scene;
 use gsplat::sort::ResortStats;
@@ -72,6 +74,12 @@ pub struct SequenceConfig {
     /// point of a sequence) or re-sort every frame from scratch (`false`,
     /// the A/B baseline). Results are bit-exact either way.
     pub temporal: bool,
+    /// Preprocess through the spatial index ([`gsplat::index`]): per-cell
+    /// frustum classification skips provably-culled cells and replays
+    /// cached covariance work under the camera-delta bound. Implies the
+    /// temporal warm-started sort. Results are bit-exact with the full
+    /// path — only preprocessing cost changes.
+    pub indexed: bool,
 }
 
 impl SequenceConfig {
@@ -85,12 +93,20 @@ impl SequenceConfig {
             height,
             fov_y: 55f32.to_radians(),
             temporal: true,
+            indexed: false,
         }
     }
 
     /// The same sequence with the temporal warm start disabled.
     pub fn full_sort(mut self) -> Self {
         self.temporal = false;
+        self
+    }
+
+    /// The same sequence with incremental spatially indexed preprocessing
+    /// enabled.
+    pub fn with_index(mut self) -> Self {
+        self.indexed = true;
         self
     }
 }
@@ -110,6 +126,9 @@ pub struct FrameInput<'a> {
     pub stream: &'a SplatStream,
     /// Preprocessing statistics of this frame.
     pub preprocess: PreprocessStats,
+    /// This frame's incremental-culling counters (all zero unless
+    /// [`SequenceConfig::indexed`] is set).
+    pub cull: CullStats,
 }
 
 /// Per-frame record of a [`Session::run_vrpipe`] sequence.
@@ -125,6 +144,9 @@ pub struct SequenceFrameRecord {
     /// `[0, 1]` (0 for non-HET variants) — the retired-ratio trajectory
     /// across the sequence.
     pub retired_tile_ratio: f64,
+    /// Incremental-culling counters of this frame (all zero unless the
+    /// sequence ran with [`SequenceConfig::indexed`]).
+    pub cull: CullStats,
 }
 
 /// A frame-sequence rendering session: owns every cross-frame buffer so an
@@ -161,6 +183,11 @@ pub struct Session {
     pre: PreprocessScratch,
     splats: Vec<Splat>,
     stream: SplatStream,
+    /// Spatial index for [`SequenceConfig::indexed`] sequences, built
+    /// lazily per scene (fingerprint-guarded) and reused across runs.
+    index: Option<SceneIndex>,
+    /// Temporal culling state paired with `index`.
+    cull: CullState,
 }
 
 impl Session {
@@ -185,9 +212,24 @@ impl Session {
         self.pre.resort_stats()
     }
 
+    /// Counters of the incremental (indexed) preprocess across the frames
+    /// run so far — cells and Gaussians skipped, refreshed, re-projected.
+    pub fn cull_stats(&self) -> CullStats {
+        self.cull.stats()
+    }
+
     /// Forgets the temporal warm start (call on a scene or camera cut).
     pub fn invalidate_temporal(&mut self) {
         self.pre.invalidate_temporal();
+        self.cull.invalidate();
+    }
+
+    /// Drops the cached spatial index (call when the scene's Gaussians
+    /// changed in place; a different scene is detected automatically by
+    /// fingerprint).
+    pub fn invalidate_index(&mut self) {
+        self.index = None;
+        self.cull = CullState::default();
     }
 
     /// Renders `cfg.frames` frames of `scene` along the configured path,
@@ -200,12 +242,34 @@ impl Session {
         cfg: &SequenceConfig,
         mut render: impl FnMut(FrameInput<'_>) -> R,
     ) -> Vec<R> {
+        if cfg.indexed {
+            // Build (or rebuild) the spatial index when this session has
+            // not seen this scene before. The fingerprint guard catches a
+            // session being re-pointed at a different scene; an in-place
+            // mutation of the same cloud needs `invalidate_index`.
+            let fp = cloud_fingerprint(&scene.gaussians);
+            if self.index.as_ref().map(|i| i.fingerprint()) != Some(fp) {
+                self.index = Some(SceneIndex::build(&scene.gaussians));
+                self.cull = CullState::default();
+            }
+        }
         let mut out = Vec::with_capacity(cfg.frames);
         for index in 0..cfg.frames {
             let camera = cfg
                 .path
                 .camera(index, cfg.frames, cfg.width, cfg.height, cfg.fov_y);
-            let preprocess = if cfg.temporal {
+            let cull_before = self.cull.stats();
+            let preprocess = if cfg.indexed {
+                preprocess_into_indexed(
+                    scene,
+                    &camera,
+                    self.policy,
+                    self.index.as_ref().expect("index built above"),
+                    &mut self.cull,
+                    &mut self.pre,
+                    &mut self.splats,
+                )
+            } else if cfg.temporal {
                 preprocess_into_temporal(
                     scene,
                     &camera,
@@ -227,6 +291,7 @@ impl Session {
                 splats: &self.splats,
                 stream: &self.stream,
                 preprocess,
+                cull: self.cull.stats().delta_since(&cull_before),
             }));
         }
         out
@@ -270,6 +335,7 @@ impl Session {
                 preprocess: f.preprocess,
                 stats,
                 retired_tile_ratio,
+                cull: f.cull,
             })
         });
         frames.into_iter().collect()
@@ -403,6 +469,102 @@ mod tests {
         for rec in &records {
             assert!(rec.retired_tile_ratio >= 0.0 && rec.retired_tile_ratio <= 1.0);
         }
+    }
+
+    #[test]
+    fn indexed_sequence_matches_full_sequence_bit_exactly() {
+        let scene = EVALUATED_SCENES[2].generate_scaled(0.04);
+        let start = scene.center + Vec3::new(0.0, 1.8, scene.view_radius);
+        let path = CameraPath::flythrough(start, scene.center, 0.02, 0.01);
+        let cfg = SequenceConfig::new(path, 6, 96, 72);
+        let indexed_cfg = cfg.clone().with_index();
+        let mut full = Session::default();
+        let mut indexed = Session::default();
+        let rf = full
+            .run_vrpipe(&scene, &cfg, &GpuConfig::default(), PipelineVariant::HetQm)
+            .unwrap();
+        let ri = indexed
+            .run_vrpipe(
+                &scene,
+                &indexed_cfg,
+                &GpuConfig::default(),
+                PipelineVariant::HetQm,
+            )
+            .unwrap();
+        for (a, b) in rf.iter().zip(&ri) {
+            assert_eq!(a.stats, b.stats, "frame {}", a.index);
+            assert_eq!(a.preprocess, b.preprocess, "frame {}", a.index);
+        }
+        // The full sequence records zero cull activity; the indexed one
+        // must report per-frame decisions that add up to the session total.
+        assert!(rf.iter().all(|r| r.cull == gsplat::CullStats::default()));
+        let cs = indexed.cull_stats();
+        assert_eq!(cs.frames, 6);
+        assert_eq!(
+            ri.iter().map(|r| r.cull.gaussians_touched()).sum::<u64>(),
+            cs.gaussians_touched()
+        );
+        // Coherent flythrough: the translation bound must fire.
+        assert!(
+            cs.gaussians_refreshed > 0,
+            "no covariance cache hits on a flythrough: {cs:?}"
+        );
+    }
+
+    #[test]
+    fn indexed_session_reuses_and_rebuilds_the_index() {
+        let scene_a = EVALUATED_SCENES[4].generate_scaled(0.03);
+        let scene_b = EVALUATED_SCENES[5].generate_scaled(0.03);
+        let mut session = Session::default();
+        let run_on = |session: &mut Session, scene: &Scene| {
+            let cfg = orbit_cfg(scene, 2).with_index();
+            session.run(scene, &cfg, |f| f.splats.len());
+        };
+        run_on(&mut session, &scene_a);
+        let frames_a = session.cull_stats().frames;
+        // A different scene must rebuild (fingerprint mismatch) and reset
+        // the temporal culling state rather than reusing stale cells.
+        run_on(&mut session, &scene_b);
+        assert_eq!(session.cull_stats().frames, 2);
+        assert_eq!(frames_a, 2);
+        // Re-running the same scene keeps accumulating.
+        run_on(&mut session, &scene_b);
+        assert_eq!(session.cull_stats().frames, 4);
+        // Explicit invalidation drops everything.
+        session.invalidate_index();
+        assert_eq!(session.cull_stats().frames, 0);
+        // And the results still match a fresh full session.
+        let cfg = orbit_cfg(&scene_b, 2);
+        let counts_full = Session::default().run(&scene_b, &cfg, |f| f.splats.len());
+        let counts_indexed = session.run(&scene_b, &cfg.clone().with_index(), |f| f.splats.len());
+        assert_eq!(counts_full, counts_indexed);
+    }
+
+    #[test]
+    fn indexed_stereo_sequence_is_bit_exact() {
+        let scene = EVALUATED_SCENES[4].generate_scaled(0.03);
+        let path = CameraPath::orbit(scene.center, scene.view_radius, 1.2, 0.05).stereo(0.065);
+        let cfg = SequenceConfig::new(path, 8, 96, 72);
+        let mut full = Session::default();
+        let mut indexed = Session::default();
+        let rf = full
+            .run_vrpipe(&scene, &cfg, &GpuConfig::default(), PipelineVariant::Het)
+            .unwrap();
+        let ri = indexed
+            .run_vrpipe(
+                &scene,
+                &cfg.clone().with_index(),
+                &GpuConfig::default(),
+                PipelineVariant::Het,
+            )
+            .unwrap();
+        for (a, b) in rf.iter().zip(&ri) {
+            assert_eq!(a.stats, b.stats, "frame {}", a.index);
+        }
+        // Stereo eye pairs share their view direction, so the right eye of
+        // every pair is a pure translation of the left: cache hits happen
+        // even though the orbit rotates between pairs.
+        assert!(indexed.cull_stats().gaussians_refreshed > 0);
     }
 
     #[test]

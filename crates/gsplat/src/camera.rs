@@ -94,8 +94,81 @@ impl Camera {
         self.proj
     }
 
+    /// Vertical field of view in radians.
+    #[inline]
+    pub fn fov_y(&self) -> f32 {
+        self.fov_y
+    }
+
+    /// Near-plane distance.
+    #[inline]
+    pub fn near(&self) -> f32 {
+        self.near
+    }
+
+    /// Far-plane distance.
+    #[inline]
+    pub fn far(&self) -> f32 {
+        self.far
+    }
+
+    /// The camera-delta bound for incremental preprocessing: `true` when
+    /// this camera differs from `other` by a **pure translation** — same
+    /// viewport, same intrinsics, and a bit-identical view rotation `W`
+    /// (upper-left 3×3 of the view matrix) and projection matrix.
+    ///
+    /// Under a pure translation the covariance product `W Σ Wᵀ` of every
+    /// Gaussian is bit-identical between the two frames, so the expensive
+    /// covariance half of EWA projection can be replayed from a per-Gaussian
+    /// cache without changing a single output bit. The comparison is on raw
+    /// f32 **bits**, not `==`: `-0.0` and `0.0` compare equal numerically
+    /// but multiply into different signed zeros downstream.
+    ///
+    /// Frame-coherent trajectories hit this bound often: every frame of a
+    /// [`CameraPath::Flythrough`] translates without spinning, and the two
+    /// eyes of a [`CameraPath::Stereo`] pair share their view direction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gsplat::camera::Camera;
+    /// use gsplat::math::Vec3;
+    /// let a = Camera::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, 640, 480, 1.0);
+    /// let shift = Vec3::new(0.1, 0.0, 0.0);
+    /// let b = Camera::look_at(shift + Vec3::new(0.0, 0.0, 5.0), shift, 640, 480, 1.0);
+    /// assert!(b.is_translation_of(&a));
+    /// let spun = Camera::look_at(Vec3::new(0.0, 1.0, 5.0), Vec3::ZERO, 640, 480, 1.0);
+    /// assert!(!spun.is_translation_of(&a));
+    /// ```
+    pub fn is_translation_of(&self, other: &Camera) -> bool {
+        let bits_eq = |a: f32, b: f32| a.to_bits() == b.to_bits();
+        let mat3_bits_eq = |a: &crate::math::Mat3, b: &crate::math::Mat3| {
+            (0..3).all(|c| {
+                bits_eq(a.cols[c].x, b.cols[c].x)
+                    && bits_eq(a.cols[c].y, b.cols[c].y)
+                    && bits_eq(a.cols[c].z, b.cols[c].z)
+            })
+        };
+        let mat4_bits_eq = |a: &Mat4, b: &Mat4| {
+            (0..4).all(|c| {
+                bits_eq(a.cols[c].x, b.cols[c].x)
+                    && bits_eq(a.cols[c].y, b.cols[c].y)
+                    && bits_eq(a.cols[c].z, b.cols[c].z)
+                    && bits_eq(a.cols[c].w, b.cols[c].w)
+            })
+        };
+        self.width == other.width
+            && self.height == other.height
+            && bits_eq(self.fov_y, other.fov_y)
+            && bits_eq(self.near, other.near)
+            && bits_eq(self.far, other.far)
+            && mat3_bits_eq(&self.view.upper_left3(), &other.view.upper_left3())
+            && mat4_bits_eq(&self.proj, &other.proj)
+    }
+
     /// Focal length in pixels along x and y — the EWA projection Jacobian
     /// scale factors.
+    #[inline]
     pub fn focal(&self) -> (f32, f32) {
         let fy = self.height as f32 / (2.0 * (self.fov_y * 0.5).tan());
         // Square pixels: fx == fy; the aspect ratio only widens the frustum.

@@ -30,6 +30,7 @@ pub mod camera;
 pub mod color;
 pub mod framebuffer;
 pub mod gaussian;
+pub mod index;
 pub mod math;
 pub mod par;
 pub mod preprocess;
@@ -45,8 +46,10 @@ pub use camera::{Camera, CameraPath};
 pub use color::{PixelFormat, Rgba};
 pub use framebuffer::{ColorBuffer, DepthStencilBuffer, TERMINATION_BIT};
 pub use gaussian::Gaussian;
+pub use index::{CellClass, CullState, CullStats, SceneIndex};
 pub use par::ThreadPolicy;
 pub use preprocess::PreprocessScratch;
+pub use projection::FrameTransform;
 pub use scene::{Scene, SceneKind, SceneSpec, EVALUATED_SCENES, LARGE_SCALE_SCENES};
 pub use sort::{IncrementalSorter, ResortStats, SortScratch};
 pub use splat::Splat;

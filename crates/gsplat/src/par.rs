@@ -145,6 +145,62 @@ where
         .collect()
 }
 
+/// Splits `n` work items into contiguous per-worker chunks (the fan-out
+/// geometry of every projection sweep), pairing each `start..end` range
+/// with the matching disjoint `&mut` window of `state`.
+///
+/// `state` carries per-item mutable context through the fan-out — e.g. the
+/// per-Gaussian covariance cache of the indexed preprocess, where worker
+/// `w` owns exactly the cache entries of its Gaussian range. `state` must
+/// either have length `n` (windows align with the ranges) or be empty
+/// (every window is empty — for sweeps with no per-item state).
+///
+/// The chunk geometry is identical to the projection fan-out in
+/// `preprocess`: `ceil(n / workers)` items per chunk, in index order, so
+/// chunk-order concatenation of worker outputs reproduces the serial
+/// sweep's order exactly.
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::par::chunked_ranges_mut;
+/// let mut state = vec![0u32; 10];
+/// let parts = chunked_ranges_mut(10, 3, &mut state);
+/// assert_eq!(parts.len(), 3);
+/// assert_eq!(parts[0].0, 0..4);
+/// assert_eq!(parts[2].0, 8..10);
+/// assert_eq!(parts[2].1.len(), 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `state` is non-empty but shorter than `n`.
+pub fn chunked_ranges_mut<S>(
+    n: usize,
+    workers: usize,
+    state: &mut [S],
+) -> Vec<(std::ops::Range<usize>, &mut [S])> {
+    assert!(
+        state.is_empty() || state.len() >= n,
+        "state slice ({}) shorter than the work-item count ({n})",
+        state.len()
+    );
+    let workers = workers.max(1);
+    let chunk = n.div_ceil(workers).max(1);
+    let mut parts = Vec::with_capacity(workers);
+    let mut rest = state;
+    let mut pos = 0;
+    while pos < n {
+        let end = (pos + chunk).min(n);
+        let take = (end - pos).min(rest.len());
+        let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+        rest = tail;
+        parts.push((pos..end, head));
+        pos = end;
+    }
+    parts
+}
+
 /// Disjoint mutable windows over a buffer, claimable once each from any
 /// worker thread — the safe primitive behind band-parallel framebuffer
 /// sweeps.
@@ -374,6 +430,41 @@ mod tests {
         assert_eq!(scratch.bins()[0], vec![0, 2, 4, 6, 8]);
         scratch.build(4, 100, ThreadPolicy::default(), |i, push| push(i % 4));
         assert_eq!(scratch.bins(), first.as_slice());
+    }
+
+    #[test]
+    fn chunked_ranges_cover_exactly_once() {
+        for (n, workers) in [(10, 3), (7, 7), (7, 12), (100, 1), (0, 4), (5, 2)] {
+            let mut state: Vec<usize> = (0..n).collect();
+            let parts = chunked_ranges_mut(n, workers, &mut state);
+            let mut seen = 0;
+            for (range, window) in &parts {
+                assert_eq!(range.len(), window.len(), "n={n} workers={workers}");
+                assert_eq!(range.start, seen);
+                // The window really is the matching slice of `state`.
+                for (offset, v) in window.iter().enumerate() {
+                    assert_eq!(*v, range.start + offset);
+                }
+                seen = range.end;
+            }
+            assert_eq!(seen, n, "n={n} workers={workers}");
+            assert!(parts.len() <= workers.max(1));
+        }
+    }
+
+    #[test]
+    fn chunked_ranges_allow_empty_state() {
+        let parts = chunked_ranges_mut::<u8>(9, 4, &mut []);
+        assert_eq!(parts.len(), 3); // ceil(9/4) = 3 items per chunk
+        assert!(parts.iter().all(|(_, w)| w.is_empty()));
+        assert_eq!(parts.last().unwrap().0, 6..9);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the work-item count")]
+    fn chunked_ranges_reject_short_state() {
+        let mut state = [0u8; 3];
+        let _ = chunked_ranges_mut(5, 2, &mut state);
     }
 
     #[test]

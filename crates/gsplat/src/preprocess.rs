@@ -16,8 +16,12 @@
 use serde::{Deserialize, Serialize};
 
 use crate::camera::Camera;
-use crate::par::ThreadPolicy;
-use crate::projection::project_gaussian;
+use crate::gaussian::Gaussian;
+use crate::index::{CellClass, CovCacheEntry, CullState, SceneIndex};
+use crate::par::{chunked_ranges_mut, ThreadPolicy};
+use crate::projection::{
+    covariance_entries, project_gaussian_frame, splat_from_covariance, ColorSource, FrameTransform,
+};
 use crate::scene::Scene;
 use crate::sort::{sort_splats_by_depth_into, IncrementalSorter, ResortStats, SortScratch};
 use crate::splat::Splat;
@@ -55,6 +59,9 @@ pub struct PreprocessStats {
 pub struct PreprocessScratch {
     /// Per-worker projected-splat chunks (kept allocated across frames).
     worker_out: Vec<Vec<Splat>>,
+    /// Per-worker `(depth, source)` key chunks, filled at emission so the
+    /// sort keys never need a second pass over the 64-byte splats.
+    worker_keys: Vec<(Vec<f32>, Vec<u32>)>,
     /// Visible splats in input (pre-sort) order.
     staging: Vec<Splat>,
     /// Camera-space depths of `staging`.
@@ -75,6 +82,29 @@ impl PreprocessScratch {
     /// fallbacks), accumulated across [`preprocess_into_temporal`] calls.
     pub fn resort_stats(&self) -> ResortStats {
         self.sorter.stats()
+    }
+
+    /// Resets the per-frame staging buffers (splats + fused key streams).
+    fn clear_staging(&mut self) {
+        self.staging.clear();
+        self.depths.clear();
+        self.ids.clear();
+    }
+
+    /// Concatenates the per-worker splat and key chunks in chunk order —
+    /// identical to the serial emission order.
+    fn merge_worker_chunks(&mut self) {
+        for (chunk_out, chunk_keys) in self.worker_out.iter_mut().zip(&mut self.worker_keys) {
+            self.depths.append(&mut chunk_keys.0);
+            self.ids.append(&mut chunk_keys.1);
+            self.staging.append(chunk_out);
+        }
+    }
+
+    /// Disjoint borrows of the staging splat list and its fused key
+    /// streams, for emission loops that fill all three in lockstep.
+    fn staging_parts(&mut self) -> (&mut Vec<Splat>, &mut Vec<f32>, &mut Vec<u32>) {
+        (&mut self.staging, &mut self.depths, &mut self.ids)
     }
 
     /// Forgets the temporal warm-start order, e.g. on a scene or camera
@@ -149,47 +179,73 @@ fn preprocess_into_impl(
 ) -> PreprocessStats {
     let n = scene.gaussians.len();
     let workers = policy.workers(n);
-    scratch.staging.clear();
+    scratch.clear_staging();
+    // Hoist the camera constants out of the per-Gaussian loop; every
+    // worker shares the same precomputed frame transform.
+    let frame = FrameTransform::new(camera);
 
     if workers <= 1 {
+        // Both key streams are pushed unconditionally — the non-temporal
+        // sort never reads `ids`, but one u32 push per visible splat is
+        // cheaper than splitting the emission loop per sort mode.
         for (i, g) in scene.gaussians.iter().enumerate() {
-            if let Some(s) = project_gaussian(g, camera, i as u32) {
+            if let Some(s) = project_gaussian_frame(g, &frame, i as u32) {
+                scratch.depths.push(s.depth);
+                scratch.ids.push(s.source);
                 scratch.staging.push(s);
             }
         }
     } else {
-        scratch.worker_out.resize_with(workers, Vec::new);
-        let chunk = n.div_ceil(workers);
+        let parts = chunked_ranges_mut::<()>(n, workers, &mut []);
+        // Exactly one (splat, key) chunk pair per spawned part: a shorter
+        // part list must not leave stale chunks for the merge to pick up.
+        scratch.worker_out.resize_with(parts.len(), Vec::new);
+        scratch
+            .worker_keys
+            .resize_with(parts.len(), Default::default);
         std::thread::scope(|s| {
-            for (w, chunk_out) in scratch.worker_out.iter_mut().enumerate() {
+            for (((range, _), chunk_out), chunk_keys) in parts
+                .into_iter()
+                .zip(scratch.worker_out.iter_mut())
+                .zip(scratch.worker_keys.iter_mut())
+            {
                 let gaussians = &scene.gaussians;
+                let frame = &frame;
                 s.spawn(move || {
                     chunk_out.clear();
-                    let start = (w * chunk).min(n);
-                    let end = ((w + 1) * chunk).min(n);
-                    for (i, g) in gaussians[start..end].iter().enumerate() {
-                        if let Some(s) = project_gaussian(g, camera, (start + i) as u32) {
+                    chunk_keys.0.clear();
+                    chunk_keys.1.clear();
+                    let start = range.start;
+                    for (k, g) in gaussians[range].iter().enumerate() {
+                        if let Some(s) = project_gaussian_frame(g, frame, (start + k) as u32) {
+                            chunk_keys.0.push(s.depth);
+                            chunk_keys.1.push(s.source);
                             chunk_out.push(s);
                         }
                     }
                 });
             }
         });
-        // Chunk-order concatenation == serial projection order.
-        for chunk_out in &mut scratch.worker_out {
-            scratch.staging.append(chunk_out);
-        }
+        scratch.merge_worker_chunks();
     }
 
-    scratch.depths.clear();
-    scratch
-        .depths
-        .extend(scratch.staging.iter().map(|s| s.depth));
+    finish_preprocess(scene.len(), scratch, out, temporal)
+}
+
+/// The shared sort-and-emit tail of every preprocess path: the
+/// (optionally warm-started) front-to-back sort over the key streams the
+/// emission loops already extracted, the reorder into `out` and the stats.
+fn finish_preprocess(
+    input_gaussians: usize,
+    scratch: &mut PreprocessScratch,
+    out: &mut Vec<Splat>,
+    temporal: bool,
+) -> PreprocessStats {
+    debug_assert_eq!(scratch.depths.len(), scratch.staging.len());
+    debug_assert_eq!(scratch.ids.len(), scratch.staging.len());
     if temporal {
         // Warm-start by stable identity: `source` survives visibility
         // churn at the frustum edges, unlike the staging index.
-        scratch.ids.clear();
-        scratch.ids.extend(scratch.staging.iter().map(|s| s.source));
         scratch
             .sorter
             .sort_depths_with_ids_into(&scratch.depths, &scratch.ids, &mut scratch.order);
@@ -199,14 +255,241 @@ fn preprocess_into_impl(
 
     out.clear();
     out.reserve(scratch.staging.len());
-    out.extend(scratch.order.iter().map(|&i| scratch.staging[i as usize]));
-    let total_obb_area = out.iter().map(|s| s.obb_area() as f64).sum();
+    // One pass reorders and accumulates the workload proxy — the f64 adds
+    // run in sorted order, exactly as a separate sweep over `out` would.
+    let mut total_obb_area = 0.0f64;
+    out.extend(scratch.order.iter().map(|&i| {
+        let s = scratch.staging[i as usize];
+        total_obb_area += s.obb_area() as f64;
+        s
+    }));
     PreprocessStats {
-        input_gaussians: scene.len(),
+        input_gaussians,
         visible_splats: out.len(),
         sorted_keys: out.len(),
         total_obb_area,
     }
+}
+
+/// Incremental, spatially indexed preprocessing for coherent frame
+/// sequences — **bit-exact** with [`preprocess_into`] on every frame.
+///
+/// Per frame the scene's grid cells ([`SceneIndex`]) are classified
+/// against the frustum; fully-outside cells are skipped wholesale,
+/// fully-inside cells skip the per-Gaussian cull test, and the covariance
+/// product `W Σ Wᵀ` of every visible Gaussian is replayed from the
+/// [`CullState`] cache whenever the camera delta is a pure translation
+/// ([`Camera::is_translation_of`]). Splats are emitted in scene order —
+/// the same staging order as the full sweep — and the depth sort
+/// warm-starts through the scratch's [`IncrementalSorter`] exactly as
+/// [`preprocess_into_temporal`] does, so output order, splat bits and
+/// [`PreprocessStats`] are all identical to the full path; only the work
+/// to produce them shrinks. [`CullState::stats`] reports what was skipped.
+///
+/// # Panics
+///
+/// Panics when `index` was not built from this scene's Gaussian cloud:
+/// a length mismatch panics on every call, and a content (fingerprint)
+/// mismatch panics on the first frame after `cull` (re)pairs with the
+/// index — the full-content check is `O(scene)` and runs once per
+/// pairing, not per frame, so an **in-place** mutation of the cloud after
+/// pairing goes undetected (rebuild the index, or use
+/// [`CullState::invalidate`] plus a fresh [`SceneIndex`], after mutating).
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::index::{CullState, SceneIndex};
+/// use gsplat::preprocess::{preprocess_into, preprocess_into_indexed, PreprocessScratch};
+/// use gsplat::scene::EVALUATED_SCENES;
+/// use gsplat::ThreadPolicy;
+/// let scene = EVALUATED_SCENES[4].generate_scaled(0.04);
+/// let cam = scene.default_camera();
+/// let index = SceneIndex::build(&scene.gaussians);
+/// let mut cull = CullState::default();
+/// let (mut s1, mut s2) = (PreprocessScratch::default(), PreprocessScratch::default());
+/// let (mut indexed, mut full) = (Vec::new(), Vec::new());
+/// let a = preprocess_into_indexed(
+///     &scene, &cam, ThreadPolicy::default(), &index, &mut cull, &mut s1, &mut indexed,
+/// );
+/// let b = preprocess_into(&scene, &cam, ThreadPolicy::default(), &mut s2, &mut full);
+/// assert_eq!(a, b);
+/// assert_eq!(indexed, full);
+/// ```
+pub fn preprocess_into_indexed(
+    scene: &Scene,
+    camera: &Camera,
+    policy: ThreadPolicy,
+    index: &SceneIndex,
+    cull: &mut CullState,
+    scratch: &mut PreprocessScratch,
+    out: &mut Vec<Splat>,
+) -> PreprocessStats {
+    assert_eq!(
+        index.len(),
+        scene.len(),
+        "spatial index built for a different cloud size"
+    );
+    if cull.paired_with() != index.fingerprint() {
+        // One-off on (re)pairing: the O(scene) content check that the
+        // index really describes this cloud. Steady-state frames skip it.
+        assert_eq!(
+            index.fingerprint(),
+            crate::index::cloud_fingerprint(&scene.gaussians),
+            "spatial index built for a different scene"
+        );
+    }
+    let n = scene.len();
+    let workers = policy.workers(n);
+    let frame = FrameTransform::new(camera);
+    cull.begin_frame(index, &frame, camera);
+    scratch.clear_staging();
+
+    let (classes, mcache, epoch) = cull.projection_parts();
+    let (refreshed, reprojected) = if workers <= 1 {
+        let (staging, depths, ids) = scratch.staging_parts();
+        project_indexed_range(
+            &scene.gaussians,
+            index,
+            &frame,
+            classes,
+            epoch,
+            0..n,
+            mcache,
+            staging,
+            depths,
+            ids,
+        )
+    } else {
+        let parts = chunked_ranges_mut(n, workers, mcache);
+        scratch.worker_out.resize_with(parts.len(), Vec::new);
+        scratch
+            .worker_keys
+            .resize_with(parts.len(), Default::default);
+        let counters = std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .zip(scratch.worker_out.iter_mut())
+                .zip(scratch.worker_keys.iter_mut())
+                .map(|(((range, mstate), chunk_out), chunk_keys)| {
+                    let gaussians = &scene.gaussians;
+                    let frame = &frame;
+                    s.spawn(move || {
+                        chunk_out.clear();
+                        chunk_keys.0.clear();
+                        chunk_keys.1.clear();
+                        project_indexed_range(
+                            gaussians,
+                            index,
+                            frame,
+                            classes,
+                            epoch,
+                            range,
+                            mstate,
+                            chunk_out,
+                            &mut chunk_keys.0,
+                            &mut chunk_keys.1,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("indexed projection worker"))
+                .collect::<Vec<_>>()
+        });
+        // Chunk-order concatenation == serial projection order.
+        scratch.merge_worker_chunks();
+        counters
+            .iter()
+            .fold((0, 0), |(a, b), &(r, p)| (a + r, b + p))
+    };
+    cull.record_projection(refreshed, reprojected);
+
+    // The indexed path is inherently temporal: it exists for coherent
+    // frame streams, so it always feeds the id-keyed warm-started sort.
+    finish_preprocess(n, scratch, out, true)
+}
+
+/// Projects the Gaussians of `range` through the classification lattice
+/// into `out`, returning `(refreshed, reprojected)` covariance counters.
+/// `mstate` is the covariance-cache window covering exactly `range`.
+#[allow(clippy::too_many_arguments)]
+fn project_indexed_range(
+    gaussians: &[Gaussian],
+    index: &SceneIndex,
+    frame: &FrameTransform,
+    classes: &[CellClass],
+    epoch: u32,
+    range: std::ops::Range<usize>,
+    mstate: &mut [CovCacheEntry],
+    out: &mut Vec<Splat>,
+    out_depths: &mut Vec<f32>,
+    out_ids: &mut Vec<u32>,
+) -> (u64, u64) {
+    let base = range.start;
+    let (mut refreshed, mut reprojected) = (0u64, 0u64);
+    // Zipped SoA iteration: the hot loop streams only the values the
+    // camera-dependent tail consumes (mean, opacity, the caches) and never
+    // touches the ~80-byte Gaussian structs; no per-item bounds checks
+    // beyond the per-cell class lookup.
+    let cell_of = &index.cell_of()[range.clone()];
+    let cov3d = &index.cov3d()[range.clone()];
+    let cutoff = &index.cutoff()[range.clone()];
+    let base_color = &index.base_color()[range.clone()];
+    let means = &index.means()[range.clone()];
+    let opacities = &index.opacities()[range.clone()];
+    let radius = &index.radius()[range];
+    for (k, ((((&cell, &mean), &opacity), entry), cov3)) in cell_of
+        .iter()
+        .zip(means)
+        .zip(opacities)
+        .zip(mstate.iter_mut())
+        .zip(cov3d)
+        .enumerate()
+    {
+        match classes[cell as usize] {
+            // Every live resident provably fails the sphere cull — and
+            // dead Gaussians (camera-invariantly culled: the full path's
+            // opacity and finiteness gates return `None` for them under
+            // every camera) point at the always-`Outside` sentinel entry.
+            CellClass::Outside => continue,
+            // Every live resident provably passes it: skip the test.
+            CellClass::Inside => {}
+            CellClass::Boundary => {
+                if !frame.sphere_visible(mean, radius[k]) {
+                    continue;
+                }
+            }
+        }
+        if entry.epoch == epoch {
+            refreshed += 1;
+        } else {
+            entry.m = covariance_entries(frame, cov3);
+            entry.epoch = epoch;
+            reprojected += 1;
+        }
+        let m6 = entry.m;
+        let color = match base_color[k] {
+            Some(c) => ColorSource::Cached(c),
+            // View-dependent SH (degree > 0): fall back to the struct.
+            None => ColorSource::Sh(&gaussians[base + k].sh),
+        };
+        if let Some(s) = splat_from_covariance(
+            mean,
+            opacity,
+            frame,
+            (base + k) as u32,
+            move || m6,
+            cutoff[k],
+            color,
+        ) {
+            out_depths.push(s.depth);
+            out_ids.push(s.source);
+            out.push(s);
+        }
+    }
+    (refreshed, reprojected)
 }
 
 /// [`preprocess_into`] that additionally produces the SoA [`SplatStream`]
@@ -354,6 +637,328 @@ mod tests {
         assert!(
             rs.repaired >= 1,
             "coherent path must hit the repair fast path: {rs:?}"
+        );
+    }
+
+    /// Indexed preprocessing must be bit-exact with the full path on every
+    /// frame of a sequence, for both camera-delta regimes: a flythrough
+    /// (pure translation — the covariance cache is hot) and an orbit
+    /// (rotation every frame — every epoch misses).
+    #[test]
+    fn indexed_preprocess_is_bit_exact_with_full() {
+        use crate::camera::CameraPath;
+        use crate::index::{CullState, SceneIndex};
+        let scene = EVALUATED_SCENES[2].generate_scaled(0.05); // Train
+        let index = SceneIndex::build(&scene.gaussians);
+        let paths = [
+            CameraPath::flythrough(
+                scene.center + crate::math::Vec3::new(0.0, 1.5, scene.view_radius),
+                scene.center,
+                scene.view_radius * 0.01,
+                scene.view_radius * 0.005,
+            ),
+            CameraPath::orbit(scene.center, scene.view_radius, 1.2, 0.05),
+        ];
+        for path in paths {
+            let cams = path.cameras(6, 160, 120, 1.0);
+            let mut cull = CullState::default();
+            let mut s_idx = PreprocessScratch::default();
+            let mut s_full = PreprocessScratch::default();
+            let mut indexed = Vec::new();
+            let mut full = Vec::new();
+            for (i, cam) in cams.iter().enumerate() {
+                let a = preprocess_into_indexed(
+                    &scene,
+                    cam,
+                    ThreadPolicy::default(),
+                    &index,
+                    &mut cull,
+                    &mut s_idx,
+                    &mut indexed,
+                );
+                let b =
+                    preprocess_into(&scene, cam, ThreadPolicy::default(), &mut s_full, &mut full);
+                assert_eq!(a, b, "{path:?}: frame {i} stats diverged");
+                assert_eq!(
+                    indexed.len(),
+                    full.len(),
+                    "{path:?}: frame {i} visible count diverged"
+                );
+                for (k, (x, y)) in indexed.iter().zip(&full).enumerate() {
+                    assert_eq!(x, y, "{path:?}: frame {i} splat {k} diverged");
+                }
+            }
+            let cs = cull.stats();
+            assert_eq!(cs.frames, 6);
+            assert!(
+                cs.gaussians_skipped + cs.gaussians_refreshed + cs.gaussians_reprojected > 0,
+                "{path:?}: no per-Gaussian decisions recorded: {cs:?}"
+            );
+        }
+    }
+
+    /// The translation bound must actually fire on a flythrough: frames
+    /// after the first replay cached covariance products.
+    #[test]
+    fn indexed_preprocess_refreshes_under_translation() {
+        use crate::camera::CameraPath;
+        use crate::index::{CullState, SceneIndex};
+        let scene = EVALUATED_SCENES[4].generate_scaled(0.05); // Lego
+        let index = SceneIndex::build(&scene.gaussians);
+        let path = CameraPath::flythrough(
+            scene.center + crate::math::Vec3::new(0.0, 1.0, scene.view_radius),
+            scene.center,
+            scene.view_radius * 0.005,
+            scene.view_radius * 0.002,
+        );
+        let cams = path.cameras(5, 128, 96, 1.0);
+        let mut cull = CullState::default();
+        let mut scratch = PreprocessScratch::default();
+        let mut out = Vec::new();
+        for cam in &cams {
+            preprocess_into_indexed(
+                &scene,
+                cam,
+                ThreadPolicy::default(),
+                &index,
+                &mut cull,
+                &mut scratch,
+                &mut out,
+            );
+        }
+        let cs = cull.stats();
+        assert!(
+            cs.gaussians_refreshed > cs.gaussians_reprojected,
+            "flythrough frames 2..5 should be cache hits: {cs:?}"
+        );
+    }
+
+    /// The indexed path is bit-exact for every threading policy, like the
+    /// full path.
+    #[test]
+    fn indexed_parallel_matches_indexed_serial() {
+        use crate::index::{CullState, SceneIndex};
+        let scene = EVALUATED_SCENES[1].generate_scaled(0.05);
+        let cam = scene.default_camera();
+        let index = SceneIndex::build(&scene.gaussians);
+        let run = |policy: ThreadPolicy| {
+            let mut cull = CullState::default();
+            let mut scratch = PreprocessScratch::default();
+            let mut out = Vec::new();
+            let stats = preprocess_into_indexed(
+                &scene,
+                &cam,
+                policy,
+                &index,
+                &mut cull,
+                &mut scratch,
+                &mut out,
+            );
+            (stats, out)
+        };
+        let (ref_stats, ref_out) = run(ThreadPolicy::serial());
+        for policy in [
+            ThreadPolicy {
+                threads: 3,
+                deterministic: true,
+            },
+            ThreadPolicy {
+                threads: 5,
+                deterministic: false,
+            },
+            ThreadPolicy::default(),
+        ] {
+            let (stats, out) = run(policy);
+            assert_eq!(stats, ref_stats, "{policy:?}");
+            assert_eq!(out, ref_out, "{policy:?}: splat stream diverged");
+        }
+    }
+
+    /// A `CullState` reused across two different (same-length) scenes must
+    /// auto-invalidate when handed the second scene's index: replaying the
+    /// first scene's cached covariance products would be silently wrong.
+    #[test]
+    fn cull_state_invalidates_when_repaired_with_another_index() {
+        use crate::index::{CullState, SceneIndex};
+        let scene_a = EVALUATED_SCENES[4].generate_scaled(0.04);
+        let mut scene_b = scene_a.clone();
+        for g in &mut scene_b.gaussians {
+            g.mean.x += 0.35; // same length, different cloud
+        }
+        let cam = scene_a.default_camera();
+        let index_a = SceneIndex::build(&scene_a.gaussians);
+        let index_b = SceneIndex::build(&scene_b.gaussians);
+        let mut cull = CullState::default();
+        let mut scratch = PreprocessScratch::default();
+        let mut out = Vec::new();
+        // Warm the covariance cache on scene A (two frames, same camera —
+        // the second is a pure-translation delta, all cache hits).
+        for _ in 0..2 {
+            preprocess_into_indexed(
+                &scene_a,
+                &cam,
+                ThreadPolicy::default(),
+                &index_a,
+                &mut cull,
+                &mut scratch,
+                &mut out,
+            );
+        }
+        assert!(cull.stats().gaussians_refreshed > 0);
+        // Same camera, same cloud size, *different* scene: without the
+        // pairing guard the epoch would hold and scene A's products would
+        // be replayed for scene B's Gaussians.
+        let stats_b = preprocess_into_indexed(
+            &scene_b,
+            &cam,
+            ThreadPolicy::default(),
+            &index_b,
+            &mut cull,
+            &mut scratch,
+            &mut out,
+        );
+        let mut full_scratch = PreprocessScratch::default();
+        let mut full = Vec::new();
+        let full_stats = preprocess_into(
+            &scene_b,
+            &cam,
+            ThreadPolicy::default(),
+            &mut full_scratch,
+            &mut full,
+        );
+        assert_eq!(stats_b, full_stats);
+        assert_eq!(out, full, "stale covariance cache leaked across scenes");
+    }
+
+    #[test]
+    #[should_panic(expected = "different scene")]
+    fn indexed_preprocess_rejects_mismatched_index() {
+        use crate::index::{CullState, SceneIndex};
+        let scene = EVALUATED_SCENES[4].generate_scaled(0.04);
+        let mut other = scene.clone();
+        other.gaussians[0].mean.x += 10.0;
+        let index = SceneIndex::build(&other.gaussians);
+        let _ = preprocess_into_indexed(
+            &scene,
+            &scene.default_camera(),
+            ThreadPolicy::default(),
+            &index,
+            &mut CullState::default(),
+            &mut PreprocessScratch::default(),
+            &mut Vec::new(),
+        );
+    }
+
+    /// Phase-attribution probe for the preprocess paths (not a test of
+    /// behaviour): run on demand with
+    /// `cargo test --release -p gsplat perf_probe -- --ignored --nocapture`.
+    #[test]
+    #[ignore]
+    fn perf_probe() {
+        use crate::camera::CameraPath;
+        use crate::index::{CullState, SceneIndex};
+        use std::time::Instant;
+        let scene = EVALUATED_SCENES[2].generate_scaled(0.1);
+        let frames = 16;
+        let path = CameraPath::flythrough(
+            scene.center + crate::math::Vec3::new(0.0, scene.view_height, scene.view_radius),
+            scene.center,
+            scene.view_radius * 0.0015,
+            scene.view_radius * 0.0008,
+        );
+        let (w, h) = scene.spec.scaled_viewport(scene.scale);
+        let cams = path.cameras(frames, w, h, 55f32.to_radians());
+        let index = SceneIndex::build(&scene.gaussians);
+        let policy = ThreadPolicy::serial();
+        let reps = 20;
+
+        let mut best = [f64::INFINITY; 5];
+        let mut out = Vec::new();
+        for _ in 0..reps {
+            // 0: full temporal preprocess.
+            let t0 = Instant::now();
+            let mut scratch = PreprocessScratch::default();
+            for cam in &cams {
+                preprocess_into_temporal(&scene, cam, policy, &mut scratch, &mut out);
+            }
+            best[0] = best[0].min(t0.elapsed().as_secs_f64() * 1e3);
+
+            // 1: indexed preprocess.
+            let t0 = Instant::now();
+            let mut cull = CullState::default();
+            let mut scratch = PreprocessScratch::default();
+            for cam in &cams {
+                preprocess_into_indexed(
+                    &scene,
+                    cam,
+                    policy,
+                    &index,
+                    &mut cull,
+                    &mut scratch,
+                    &mut out,
+                );
+            }
+            best[1] = best[1].min(t0.elapsed().as_secs_f64() * 1e3);
+
+            // 2: indexed sweep only (classification + projection, no sort).
+            let t0 = Instant::now();
+            let mut cull = CullState::default();
+            let mut scratch = PreprocessScratch::default();
+            for cam in &cams {
+                let frame = FrameTransform::new(cam);
+                cull.begin_frame(&index, &frame, cam);
+                scratch.clear_staging();
+                let (classes, mcache, epoch) = cull.projection_parts();
+                let (staging, depths, ids) = scratch.staging_parts();
+                project_indexed_range(
+                    &scene.gaussians,
+                    &index,
+                    &frame,
+                    classes,
+                    epoch,
+                    0..scene.len(),
+                    mcache,
+                    staging,
+                    depths,
+                    ids,
+                );
+            }
+            best[2] = best[2].min(t0.elapsed().as_secs_f64() * 1e3);
+
+            // 3: full projection sweep only.
+            let t0 = Instant::now();
+            let mut scratch = PreprocessScratch::default();
+            for cam in &cams {
+                let frame = FrameTransform::new(cam);
+                scratch.clear_staging();
+                for (i, g) in scene.gaussians.iter().enumerate() {
+                    if let Some(s) = project_gaussian_frame(g, &frame, i as u32) {
+                        scratch.depths.push(s.depth);
+                        scratch.ids.push(s.source);
+                        scratch.staging.push(s);
+                    }
+                }
+            }
+            best[3] = best[3].min(t0.elapsed().as_secs_f64() * 1e3);
+
+            // 4: classification alone.
+            let t0 = Instant::now();
+            let mut cull = CullState::default();
+            for cam in &cams {
+                let frame = FrameTransform::new(cam);
+                cull.begin_frame(&index, &frame, cam);
+            }
+            best[4] = best[4].min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        println!("full preprocess      : {:.3} ms", best[0]);
+        println!("indexed preprocess   : {:.3} ms", best[1]);
+        println!("indexed sweep only   : {:.3} ms", best[2]);
+        println!("full sweep only      : {:.3} ms", best[3]);
+        println!("classification only  : {:.3} ms", best[4]);
+        println!(
+            "finish (full/indexed): {:.3} / {:.3} ms",
+            best[0] - best[3],
+            best[1] - best[2]
         );
     }
 

@@ -6,11 +6,21 @@
 //! and whose eigendecomposition gives the **tight OBB** the paper uses to
 //! bound each splat (the Gaussian's boundary is where `α = 1/255`,
 //! paper §III-A footnote 2).
+//!
+//! The per-frame camera constants (view/projection products, focal terms,
+//! Jacobian clamps) are hoisted into a [`FrameTransform`] built once per
+//! frame, so the per-Gaussian loop touches only precomputed scalars. The
+//! projection itself is split into the **camera-invariant head** (opacity /
+//! finiteness gates, `Σ = R S Sᵀ Rᵀ`, the tight-OBB cutoff) and the
+//! **camera-dependent tail** (`splat_from_covariance`, crate-private); the
+//! incremental path in [`crate::index`] caches the head per Gaussian and
+//! replays the tail with bit-identical inputs, which is what keeps indexed
+//! preprocessing bit-exact with the full sweep.
 
 use crate::blend::ALPHA_PRUNE_THRESHOLD;
 use crate::camera::Camera;
 use crate::gaussian::Gaussian;
-use crate::math::{Mat2, Mat3};
+use crate::math::{Mat2, Mat3, Mat4, Vec2, Vec3};
 use crate::splat::Splat;
 
 /// Low-pass dilation added to the 2D covariance diagonal, ensuring every
@@ -21,6 +31,159 @@ pub const COVARIANCE_DILATION: f32 = 0.3;
 /// Jacobian (the reference renderer clamps to 1.3 × tan(fov/2) ≈ guards
 /// against extreme distortion at the frustum edge).
 const JACOBIAN_CLAMP: f32 = 1.3;
+
+/// Per-frame camera constants hoisted out of the per-Gaussian projection
+/// loop: the view/projection matrices, the view rotation `W`, focal terms,
+/// Jacobian clamps and the frustum slopes.
+///
+/// Every value is computed by the **same expression** the per-Gaussian code
+/// previously evaluated inline, so projecting through a `FrameTransform` is
+/// bit-exact with the un-hoisted path — only the number of times each
+/// constant is computed changes.
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::{camera::Camera, gaussian::Gaussian, math::Vec3};
+/// use gsplat::projection::{project_gaussian, project_gaussian_frame, FrameTransform};
+/// let cam = Camera::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, 640, 480, 1.0);
+/// let frame = FrameTransform::new(&cam);
+/// let g = Gaussian::isotropic(Vec3::ZERO, 0.1, 0.9, Vec3::new(1.0, 0.0, 0.0));
+/// assert_eq!(project_gaussian_frame(&g, &frame, 3), project_gaussian(&g, &cam, 3));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrameTransform {
+    /// Truncated view columns for the 3-lane camera-space transform: the
+    /// `w` lane of `view · p` is computed and immediately discarded by
+    /// every consumer (`truncate()`), and the xyz lanes never read the
+    /// matrix's last row, so the 3-lane evaluation is bit-identical.
+    view_c: [Vec3; 4],
+    proj: Mat4,
+    rotation: Mat3,
+    eye: Vec3,
+    width_f: f32,
+    height_f: f32,
+    near: f32,
+    far: f32,
+    tan_half_fov: f32,
+    fx: f32,
+    fy: f32,
+    lim_x: f32,
+    lim_y: f32,
+    /// `true` when `proj` has the exact sparsity pattern of
+    /// [`Mat4::perspective`] (every off-pattern entry is bit-zero): the
+    /// clip transform then skips the zero lanes. For every point past the
+    /// near cut the result is bit-identical to the full product — the
+    /// dropped terms are `±0` addends that cannot change a screen
+    /// coordinate once `ndc·0.5 + 0.5` absorbs the zero sign.
+    proj_sparse: bool,
+}
+
+impl FrameTransform {
+    /// Precomputes the frame constants for `camera`.
+    pub fn new(camera: &Camera) -> Self {
+        let (fx, fy) = camera.focal();
+        let proj = camera.projection_matrix();
+        let zero = |v: f32| v.to_bits() == 0;
+        let proj_sparse = zero(proj.at(0, 1))
+            && zero(proj.at(0, 2))
+            && zero(proj.at(0, 3))
+            && zero(proj.at(1, 0))
+            && zero(proj.at(1, 2))
+            && zero(proj.at(1, 3))
+            && zero(proj.at(2, 0))
+            && zero(proj.at(2, 1))
+            && zero(proj.at(3, 0))
+            && zero(proj.at(3, 1))
+            && zero(proj.at(3, 3))
+            && proj.at(3, 2).to_bits() == (-1.0f32).to_bits();
+        let view = camera.view_matrix();
+        Self {
+            view_c: [
+                view.cols[0].truncate(),
+                view.cols[1].truncate(),
+                view.cols[2].truncate(),
+                view.cols[3].truncate(),
+            ],
+            proj,
+            rotation: camera.view_matrix().upper_left3(),
+            eye: camera.eye(),
+            width_f: camera.width() as f32,
+            height_f: camera.height() as f32,
+            near: camera.near(),
+            far: camera.far(),
+            tan_half_fov: (camera.fov_y() * 0.5).tan(),
+            fx,
+            fy,
+            lim_x: JACOBIAN_CLAMP * (camera.width() as f32 / camera.height() as f32),
+            lim_y: JACOBIAN_CLAMP,
+            proj_sparse,
+        }
+    }
+
+    /// Camera position in world space.
+    #[inline]
+    pub fn eye(&self) -> Vec3 {
+        self.eye
+    }
+
+    /// The world→camera rotation `W` (upper-left 3×3 of the view matrix) —
+    /// the only camera quantity the `W Σ Wᵀ` covariance product depends on.
+    #[inline]
+    pub fn rotation(&self) -> Mat3 {
+        self.rotation
+    }
+
+    /// Near-plane distance.
+    #[inline]
+    pub fn near(&self) -> f32 {
+        self.near
+    }
+
+    /// Far-plane distance.
+    #[inline]
+    pub fn far(&self) -> f32 {
+        self.far
+    }
+
+    /// Transforms a world point into camera space (bit-exact with
+    /// [`Camera::to_camera_space`]: same lane arithmetic, minus the
+    /// discarded `w` lane — `c3 · 1.0 ≡ c3` exactly, for any input).
+    #[inline]
+    pub fn to_camera_space(&self, p: Vec3) -> Vec3 {
+        self.view_c[0] * p.x + self.view_c[1] * p.y + self.view_c[2] * p.z + self.view_c[3]
+    }
+
+    /// Half-height of the guard-banded frustum cross-section at `depth` —
+    /// the same expression [`Camera::sphere_visible`] evaluates inline, and
+    /// monotone non-decreasing in `depth` (multiplication by positive
+    /// constants and `max` are monotone under IEEE rounding), which is what
+    /// the conservative cell classification in [`crate::index`] relies on.
+    #[inline]
+    pub fn half_height_at(&self, depth: f32) -> f32 {
+        self.tan_half_fov * depth.max(self.near) * 1.3
+    }
+
+    /// Half-width of the frustum cross-section given its half-height.
+    #[inline]
+    pub fn half_width_of(&self, half_h: f32) -> f32 {
+        half_h * self.width_f / self.height_f
+    }
+
+    /// Conservative sphere-vs-frustum test, bit-exact with
+    /// [`Camera::sphere_visible`].
+    #[inline]
+    pub fn sphere_visible(&self, center: Vec3, radius: f32) -> bool {
+        let cam = self.to_camera_space(center);
+        let depth = -cam.z;
+        if depth + radius < self.near || depth - radius > self.far {
+            return false;
+        }
+        let half_h = self.half_height_at(depth);
+        let half_w = self.half_width_of(half_h);
+        cam.x.abs() - radius <= half_w && cam.y.abs() - radius <= half_h
+    }
+}
 
 /// Projects one Gaussian to a screen-space [`Splat`].
 ///
@@ -42,28 +205,131 @@ const JACOBIAN_CLAMP: f32 = 1.3;
 /// assert!((splat.center.x - 320.0).abs() < 0.5);
 /// ```
 pub fn project_gaussian(g: &Gaussian, camera: &Camera, index: u32) -> Option<Splat> {
-    // NaN-aware prune: a NaN opacity fails every ordered comparison, so
-    // cull whenever the opacity is *not known to be* at/above threshold.
-    if g.opacity < ALPHA_PRUNE_THRESHOLD || g.opacity.is_nan() {
+    project_gaussian_frame(g, &FrameTransform::new(camera), index)
+}
+
+/// [`project_gaussian`] against a precomputed [`FrameTransform`] — the
+/// frame-loop entry point that amortizes the camera constants over the
+/// whole Gaussian sweep. Bit-exact with [`project_gaussian`].
+pub fn project_gaussian_frame(g: &Gaussian, frame: &FrameTransform, index: u32) -> Option<Splat> {
+    if culled_before_projection(g) {
         return None;
     }
+    if !frame.sphere_visible(g.mean, g.bounding_radius()) {
+        return None;
+    }
+    let cutoff = tight_cutoff_sigmas(g.opacity);
+    splat_from_covariance(
+        g.mean,
+        g.opacity,
+        frame,
+        index,
+        || covariance_entries(frame, &g.covariance_3d()),
+        cutoff,
+        ColorSource::Sh(&g.sh),
+    )
+}
+
+/// Where [`splat_from_covariance`] gets the splat color from: a cached
+/// view-independent value, or an SH evaluation along the view direction.
+/// For degree-0 SH the two are bit-identical.
+pub(crate) enum ColorSource<'a> {
+    /// Precomputed color (degree-0 SH, cached once per scene).
+    Cached(Vec3),
+    /// Evaluate these coefficients along `mean - eye`.
+    Sh(&'a crate::sh::ShColor),
+}
+
+/// The camera-invariant cull gates of [`project_gaussian`]: opacity below
+/// the pruning threshold (NaN-aware) or non-finite geometry. A Gaussian
+/// for which this returns `true` projects to `None` under **every**
+/// camera, which is what lets the spatial index precompute the decision
+/// once per scene.
+#[inline]
+pub fn culled_before_projection(g: &Gaussian) -> bool {
+    // NaN-aware prune: a NaN opacity fails every ordered comparison, so
+    // cull whenever the opacity is *not known to be* at/above threshold.
     // Non-finite geometry is culled up front: a NaN rotation would
     // otherwise be silently normalized to the identity fallback and render
     // as a wrong-but-finite splat.
-    if !g.mean.is_finite() || !g.scale.is_finite() || !g.rotation.iter().all(|r| r.is_finite()) {
+    g.opacity < ALPHA_PRUNE_THRESHOLD
+        || g.opacity.is_nan()
+        || !g.mean.is_finite()
+        || !g.scale.is_finite()
+        || !g.rotation.iter().all(|r| r.is_finite())
+}
+
+/// The six entries of `M = W Σ Wᵀ` the EWA expansion reads, in the order
+/// `(m00, m01, m02, m11, m12, m22)`.
+///
+/// `M` depends on the camera only through the view rotation `W`, so for a
+/// pure-translation camera delta (see [`Camera::is_translation_of`]) these
+/// entries are bit-identical across frames — the covariance half of the
+/// projection can be cached per Gaussian and replayed.
+pub fn covariance_entries(frame: &FrameTransform, cov3: &Mat3) -> [f32; 6] {
+    let w = frame.rotation();
+    let m: Mat3 = w * *cov3 * w.transpose();
+    [
+        m.at(0, 0),
+        m.at(0, 1),
+        m.at(0, 2),
+        m.at(1, 1),
+        m.at(1, 2),
+        m.at(2, 2),
+    ]
+}
+
+/// The camera-dependent tail of the projection: screen position, depth,
+/// conic, tight OBB and color, from a (possibly cached) covariance product.
+///
+/// Takes only the per-Gaussian values the tail actually consumes (`mean`,
+/// `opacity`, the color source), so the indexed path can stream them from
+/// SoA mirrors without touching the Gaussian structs. `m6` supplies the
+/// [`covariance_entries`] lazily (it is only evaluated once the Gaussian
+/// survives the near-plane cut) and `cutoff` is
+/// [`tight_cutoff_sigmas`]`(opacity)`. Passing freshly computed values or
+/// per-Gaussian cached copies produces the same bits — every f32 operation
+/// downstream is identical.
+pub(crate) fn splat_from_covariance(
+    mean: Vec3,
+    opacity: f32,
+    frame: &FrameTransform,
+    index: u32,
+    m6: impl FnOnce() -> [f32; 6],
+    cutoff: f32,
+    color: ColorSource<'_>,
+) -> Option<Splat> {
+    // One camera-space transform serves both the screen projection and the
+    // EWA Jacobian below — the two used to recompute it independently, and
+    // the shared value is bit-identical by construction (same expression,
+    // same input).
+    let t = frame.to_camera_space(mean);
+    let depth = -t.z;
+    if depth <= frame.near {
         return None;
     }
-    if !camera.sphere_visible(g.mean, g.bounding_radius()) {
-        return None;
-    }
-    let (center, depth) = camera.project(g.mean)?;
-    // A NaN mean slips through `project`'s near-plane test (NaN fails the
-    // `<=` cut); reject non-finite projections explicitly.
+    // Perspective matrices take the sparse lane (bit-identical: the full
+    // product's extra terms are `±0` addends and its `w` is `-1·z ≡ -z`).
+    let (ndc_x, ndc_y) = if frame.proj_sparse {
+        (
+            frame.proj.at(0, 0) * t.x / depth,
+            frame.proj.at(1, 1) * t.y / depth,
+        )
+    } else {
+        let ndc = (frame.proj * t.extend(1.0)).perspective_divide();
+        (ndc.x, ndc.y)
+    };
+    let center = Vec2::new(
+        (ndc_x * 0.5 + 0.5) * frame.width_f,
+        (0.5 - ndc_y * 0.5) * frame.height_f,
+    );
+    // A NaN mean slips through the near-plane test (NaN fails the `<=`
+    // cut); reject non-finite projections explicitly.
     if !center.is_finite() || !depth.is_finite() {
         return None;
     }
 
-    let cov2d = project_covariance(g, camera)?;
+    let cov2d = covariance_2d(frame, t, m6)?;
     let conic_mat = cov2d.inverse()?;
     let conic = (conic_mat.at(0, 0), conic_mat.at(0, 1), conic_mat.at(1, 1));
 
@@ -72,14 +338,15 @@ pub fn project_gaussian(g: &Gaussian, camera: &Camera, index: u32) -> Option<Spl
     if l_minor <= 0.0 {
         return None;
     }
-    let cutoff = tight_cutoff_sigmas(g.opacity);
     let dir_major = cov2d.symmetric_eigenvector(l_major);
     let dir_minor = dir_major.perp();
     let axis_major = dir_major * (cutoff * l_major.sqrt());
     let axis_minor = dir_minor * (cutoff * l_minor.sqrt());
 
-    let view_dir = g.mean - camera.eye();
-    let color = g.sh.evaluate(view_dir);
+    let color = match color {
+        ColorSource::Cached(c) => c,
+        ColorSource::Sh(sh) => sh.evaluate(mean - frame.eye()),
+    };
 
     let splat = Splat {
         center,
@@ -88,7 +355,7 @@ pub fn project_gaussian(g: &Gaussian, camera: &Camera, index: u32) -> Option<Spl
         axis_major,
         axis_minor,
         color,
-        opacity: g.opacity,
+        opacity,
         source: index,
     };
     // Final gate for the "all emitted splats are finite" invariant: a NaN
@@ -119,21 +386,18 @@ pub fn tight_cutoff_sigmas(opacity: f32) -> f32 {
 }
 
 /// Projects the 3D covariance through the EWA Jacobian:
-/// `Σ' = J W Σ Wᵀ Jᵀ + dilation·I`.
-fn project_covariance(g: &Gaussian, camera: &Camera) -> Option<Mat2> {
-    let t = camera.to_camera_space(g.mean);
+/// `Σ' = J W Σ Wᵀ Jᵀ + dilation·I`, with `W Σ Wᵀ` supplied as its six
+/// distinct entries (fresh or cached — the bits are the same either way)
+/// and `t` the Gaussian's camera-space position (already past the
+/// near-plane cut, so `depth > 0` holds).
+fn covariance_2d(frame: &FrameTransform, t: Vec3, m6: impl FnOnce() -> [f32; 6]) -> Option<Mat2> {
     let depth = -t.z;
-    if depth <= 0.0 {
-        return None;
-    }
-    let (fx, fy) = camera.focal();
+    let (fx, fy) = (frame.fx, frame.fy);
 
     // Clamp the camera-plane offsets like the reference implementation to
     // bound the linearization error at the frustum edges.
-    let lim_x = JACOBIAN_CLAMP * (camera.width() as f32 / camera.height() as f32);
-    let lim_y = JACOBIAN_CLAMP;
-    let tx = (t.x / depth).clamp(-lim_x, lim_x) * depth;
-    let ty = (t.y / depth).clamp(-lim_y, lim_y) * depth;
+    let tx = (t.x / depth).clamp(-frame.lim_x, frame.lim_x) * depth;
+    let ty = (t.y / depth).clamp(-frame.lim_y, frame.lim_y) * depth;
 
     // Jacobian of the perspective projection at t (2×3), rows:
     //   [fx/d, 0, fx·tx/d²]  (note: camera looks down -z; d = -t.z)
@@ -143,18 +407,13 @@ fn project_covariance(g: &Gaussian, camera: &Camera) -> Option<Mat2> {
     let j11 = fy / depth;
     let j12 = fy * ty / (depth * depth);
 
-    let w = camera.view_matrix().upper_left3();
-    let cov3 = g.covariance_3d();
-    let m: Mat3 = w * cov3 * w.transpose();
+    let [m00, m01, m02, m11, m12, m22] = m6();
 
     // T = J M Jᵀ expanded for the 2×3 Jacobian above. Camera space has
     // -z forward; the sign of the third column cancels in the quadratic form.
-    let a = j00 * j00 * m.at(0, 0) + 2.0 * j00 * j02 * m.at(0, 2) + j02 * j02 * m.at(2, 2);
-    let b = j00 * j11 * m.at(0, 1)
-        + j00 * j12 * m.at(0, 2)
-        + j02 * j11 * m.at(1, 2)
-        + j02 * j12 * m.at(2, 2);
-    let c = j11 * j11 * m.at(1, 1) + 2.0 * j11 * j12 * m.at(1, 2) + j12 * j12 * m.at(2, 2);
+    let a = j00 * j00 * m00 + 2.0 * j00 * j02 * m02 + j02 * j02 * m22;
+    let b = j00 * j11 * m01 + j00 * j12 * m02 + j02 * j11 * m12 + j02 * j12 * m22;
+    let c = j11 * j11 * m11 + 2.0 * j11 * j12 * m12 + j12 * j12 * m22;
 
     let cov = Mat2::symmetric(a + COVARIANCE_DILATION, b, c + COVARIANCE_DILATION);
     if !cov.cols[0].is_finite() || !cov.cols[1].is_finite() {

@@ -4,13 +4,36 @@ use gsplat::blend::{blend_over, fragment_alpha, gaussian_falloff, PixelAccumulat
 use gsplat::camera::Camera;
 use gsplat::color::Rgba;
 use gsplat::gaussian::Gaussian;
+use gsplat::index::{CellClass, SceneIndex};
 use gsplat::math::{Mat2, Vec2, Vec3};
-use gsplat::projection::project_gaussian;
+use gsplat::projection::{project_gaussian, FrameTransform};
 use gsplat::sh::ShColor;
 use gsplat::sort::{depth_key, radix_argsort, sort_splats_by_depth, IncrementalSorter};
 use gsplat::splat::Splat;
 use gsplat::stream::{tile_alpha_bound, SplatStream};
 use proptest::prelude::*;
+
+/// Arbitrary Gaussian clouds for the spatial-index properties: positions
+/// across a volume, a spread of radii, and opacities straddling the prune
+/// threshold (so dead Gaussians exercise the sentinel cell).
+fn cloud_strategy() -> impl Strategy<Value = Vec<Gaussian>> {
+    proptest::collection::vec(
+        (
+            (-10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0),
+            0.01f32..1.5,
+            0.0f32..1.0,
+        ),
+        1..120,
+    )
+    .prop_map(|items| {
+        items
+            .into_iter()
+            .map(|((x, y, z), r, o)| {
+                Gaussian::isotropic(Vec3::new(x, y, z), r, o, Vec3::splat(0.5))
+            })
+            .collect()
+    })
+}
 
 fn rgba_strategy() -> impl Strategy<Value = Rgba> {
     // Pre-multiplied colors: rgb <= alpha keeps the blend in range.
@@ -256,6 +279,74 @@ proptest! {
             }
             sorter.sort_keys_into(&keys, &mut order);
             prop_assert_eq!(&order, &radix_argsort(&keys), "frame {}", frame);
+        }
+    }
+
+    /// Cell-AABB conservativeness: no Gaussian whose 3σ splat survives
+    /// full projection may live in a cell classified fully-outside, and
+    /// every live resident of a fully-inside cell must pass the
+    /// sphere-vs-frustum cull — for arbitrary clouds and cameras.
+    #[test]
+    fn outside_cells_never_hide_a_visible_splat(
+        cloud in cloud_strategy(),
+        eye in ((-25.0f32..25.0), (-25.0f32..25.0), (-25.0f32..25.0)),
+        target in ((-5.0f32..5.0), (-5.0f32..5.0), (-5.0f32..5.0)),
+    ) {
+        let eye = Vec3::new(eye.0, eye.1, eye.2);
+        let target = Vec3::new(target.0, target.1, target.2);
+        prop_assume!((eye - target).length() > 0.5);
+        let cam = Camera::look_at(eye, target, 320, 240, 1.0);
+        let index = SceneIndex::build(&cloud);
+        let mut classes = Vec::new();
+        index.classify_into(&FrameTransform::new(&cam), &mut classes);
+        for (i, g) in cloud.iter().enumerate() {
+            match classes[index.cell_of()[i] as usize] {
+                CellClass::Outside => prop_assert!(
+                    project_gaussian(g, &cam, i as u32).is_none(),
+                    "gaussian {} projected out of an Outside cell", i
+                ),
+                CellClass::Inside => prop_assert!(
+                    cam.sphere_visible(g.mean, g.bounding_radius()),
+                    "gaussian {} culled inside an Inside cell", i
+                ),
+                CellClass::Boundary => {}
+            }
+        }
+    }
+
+    /// Classification-delta soundness: under the camera-delta bound (a
+    /// pure translation), a cell whose terminal classification is
+    /// unchanged yields identical per-Gaussian cull results across the
+    /// two frames.
+    #[test]
+    fn stable_cells_keep_cull_results_under_translation(
+        cloud in cloud_strategy(),
+        eye in ((-20.0f32..20.0), (-20.0f32..20.0), (2.0f32..25.0)),
+        delta in ((-0.8f32..0.8), (-0.8f32..0.8), (-0.8f32..0.8)),
+    ) {
+        let eye = Vec3::new(eye.0, eye.1, eye.2);
+        let delta = Vec3::new(delta.0, delta.1, delta.2);
+        let target = Vec3::ZERO;
+        prop_assume!(eye.length() > 0.5 && (eye + delta - target - delta).length() > 0.5);
+        let a = Camera::look_at(eye, target, 256, 192, 1.0);
+        // Same view direction, shifted eye and target: the delta bound.
+        let b = Camera::look_at(eye + delta, target + delta, 256, 192, 1.0);
+        prop_assume!(b.is_translation_of(&a));
+        let index = SceneIndex::build(&cloud);
+        let (mut ca, mut cb) = (Vec::new(), Vec::new());
+        index.classify_into(&FrameTransform::new(&a), &mut ca);
+        index.classify_into(&FrameTransform::new(&b), &mut cb);
+        for (i, g) in cloud.iter().enumerate() {
+            if index.dead()[i] {
+                continue;
+            }
+            let cell = index.cell_of()[i] as usize;
+            if ca[cell] == cb[cell] && ca[cell] != CellClass::Boundary {
+                let va = a.sphere_visible(g.mean, g.bounding_radius());
+                let vb = b.sphere_visible(g.mean, g.bounding_radius());
+                prop_assert_eq!(va, vb, "gaussian {} cull flipped in a stable cell", i);
+                prop_assert_eq!(va, ca[cell] == CellClass::Inside);
+            }
         }
     }
 

@@ -1,10 +1,11 @@
 //! Frame-sequence demo: a shaky VR-style flythrough of the "Train" scene
 //! rendered as one continuous session — persistent scratch, incremental
-//! depth re-sort warm-started from the previous frame, and the per-frame
+//! depth re-sort warm-started from the previous frame, incremental
+//! spatially indexed preprocessing (`--indexed`), and the per-frame
 //! early-termination behaviour the paper's whole premise rests on.
 //!
 //! ```text
-//! cargo run --release --example sequence_flythrough [frames] [scale] [--stereo]
+//! cargo run --release --example sequence_flythrough [frames] [scale] [--stereo] [--indexed]
 //! ```
 
 use gpu_sim::config::GpuConfig;
@@ -19,6 +20,7 @@ fn main() {
     let frames: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(24);
     let scale: f32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.1);
     let stereo = args.iter().any(|a| a == "--stereo");
+    let indexed = args.iter().any(|a| a == "--indexed");
 
     let spec = &EVALUATED_SCENES[2]; // Train
     let scene = spec.generate_scaled(scale);
@@ -41,6 +43,7 @@ fn main() {
         height: h,
         fov_y: 55f32.to_radians(),
         temporal: true,
+        indexed,
     };
     let gpu = GpuConfig {
         kernel: FragmentKernel::Soa,
@@ -91,5 +94,18 @@ fn main() {
         "\nincremental re-sort: {}/{} frames repaired in place ({} radix fallbacks), {} total shifts",
         rs.repaired, rs.frames, rs.radix_fallbacks, rs.repair_shifts
     );
-    println!("Every frame is bit-exact with rendering it in isolation (DESIGN.md §6).");
+    if indexed {
+        let cs = session.cull_stats();
+        println!(
+            "indexed preprocessing: {} cells skipped / {} refreshed / {} re-projected; \
+             {} gaussians skipped, {} covariance cache hits, {} rebuilds",
+            cs.cells_skipped,
+            cs.cells_refreshed,
+            cs.cells_reprojected,
+            cs.gaussians_skipped,
+            cs.gaussians_refreshed,
+            cs.gaussians_reprojected,
+        );
+    }
+    println!("Every frame is bit-exact with rendering it in isolation (DESIGN.md §6-7).");
 }

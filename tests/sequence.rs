@@ -1,7 +1,9 @@
 //! Frame-sequence coverage: a ≥16-frame shaky flythrough rendered as one
 //! temporal session must be bit-exact with rendering every frame from
 //! scratch in isolation, on every backend — the three software renderers,
-//! the in-shader workload model and the simulated hardware pipeline.
+//! the in-shader workload model and the simulated hardware pipeline — both
+//! with the plain temporal warm start and with incremental spatially
+//! indexed preprocessing (`SequenceConfig::with_index`).
 
 use gpu_sim::config::GpuConfig;
 use gsplat::camera::CameraPath;
@@ -22,9 +24,9 @@ fn train_scene() -> Scene {
     EVALUATED_SCENES[2].generate_scaled(TEST_SCALE)
 }
 
-fn flythrough_cfg(scene: &Scene) -> SequenceConfig {
+fn flythrough_cfg(scene: &Scene, indexed: bool) -> SequenceConfig {
     let start = scene.center + Vec3::new(0.0, scene.view_height, scene.view_radius);
-    SequenceConfig::new(
+    let cfg = SequenceConfig::new(
         CameraPath::flythrough(
             start,
             scene.center,
@@ -34,7 +36,12 @@ fn flythrough_cfg(scene: &Scene) -> SequenceConfig {
         FRAMES,
         96,
         64,
-    )
+    );
+    if indexed {
+        cfg.with_index()
+    } else {
+        cfg
+    }
 }
 
 /// The isolated-render reference for frame `i`: a fresh full preprocess.
@@ -45,10 +52,9 @@ fn isolated_splats(scene: &Scene, cfg: &SequenceConfig, i: usize) -> Vec<gsplat:
     preprocess(scene, &cam).splats
 }
 
-#[test]
-fn vrpipe_sequence_is_bit_exact_with_isolated_frames() {
+fn check_vrpipe_sequence(indexed: bool) {
     let scene = train_scene();
-    let cfg = flythrough_cfg(&scene);
+    let cfg = flythrough_cfg(&scene, indexed);
     for kernel in FragmentKernel::ALL {
         let gpu = GpuConfig {
             kernel,
@@ -62,19 +68,39 @@ fn vrpipe_sequence_is_bit_exact_with_isolated_frames() {
         for (i, rec) in records.iter().enumerate() {
             let splats = isolated_splats(&scene, &cfg, i);
             let fresh = draw(&splats, cfg.width, cfg.height, &gpu, PipelineVariant::HetQm);
-            assert_eq!(rec.stats, fresh.stats, "{kernel:?}: frame {i}");
+            assert_eq!(
+                rec.stats, fresh.stats,
+                "{kernel:?} indexed={indexed}: frame {i}"
+            );
         }
         assert!(
             session.resort_stats().repaired > 0,
             "{kernel:?}: coherent flythrough must exercise the repair path"
         );
+        if indexed {
+            let cs = session.cull_stats();
+            assert_eq!(cs.frames as usize, FRAMES);
+            assert!(
+                cs.gaussians_refreshed > 0,
+                "translation-coherent flythrough must hit the covariance cache: {cs:?}"
+            );
+        }
     }
 }
 
 #[test]
-fn cuda_like_sequence_is_bit_exact_with_isolated_frames() {
+fn vrpipe_sequence_is_bit_exact_with_isolated_frames() {
+    check_vrpipe_sequence(false);
+}
+
+#[test]
+fn indexed_vrpipe_sequence_is_bit_exact_with_isolated_frames() {
+    check_vrpipe_sequence(true);
+}
+
+fn check_cuda_like_sequence(indexed: bool) {
     let scene = train_scene();
-    let cfg = flythrough_cfg(&scene);
+    let cfg = flythrough_cfg(&scene, indexed);
     for kernel in FragmentKernel::ALL {
         let sw_cfg = SwConfig {
             kernel,
@@ -93,20 +119,32 @@ fn cuda_like_sequence_is_bit_exact_with_isolated_frames() {
         for (i, frame) in frames.iter().enumerate() {
             let splats = isolated_splats(&scene, &cfg, i);
             let fresh = sw.render(&splats, cfg.width, cfg.height);
-            assert_eq!(frame.stats, fresh.stats, "{kernel:?}: frame {i}");
+            assert_eq!(
+                frame.stats, fresh.stats,
+                "{kernel:?} indexed={indexed}: frame {i}"
+            );
             assert_eq!(
                 frame.color.max_abs_diff(&fresh.color),
                 0.0,
-                "{kernel:?}: frame {i} image diverged"
+                "{kernel:?} indexed={indexed}: frame {i} image diverged"
             );
         }
     }
 }
 
 #[test]
-fn multipass_sequence_is_bit_exact_with_isolated_frames() {
+fn cuda_like_sequence_is_bit_exact_with_isolated_frames() {
+    check_cuda_like_sequence(false);
+}
+
+#[test]
+fn indexed_cuda_like_sequence_is_bit_exact_with_isolated_frames() {
+    check_cuda_like_sequence(true);
+}
+
+fn check_multipass_sequence(indexed: bool) {
     let scene = train_scene();
-    let cfg = flythrough_cfg(&scene);
+    let cfg = flythrough_cfg(&scene, indexed);
     let mp_cfg = MultiPassConfig::default();
     let mut session = Session::default();
     let frames = session.run(&scene, &cfg, |f| {
@@ -117,7 +155,7 @@ fn multipass_sequence_is_bit_exact_with_isolated_frames() {
         let fresh = render_multipass(&splats, cfg.width, cfg.height, 4, &mp_cfg);
         assert_eq!(
             frame.blended_fragments, fresh.blended_fragments,
-            "frame {i}"
+            "indexed={indexed}: frame {i}"
         );
         assert_eq!(
             frame.stencil_discarded_fragments,
@@ -126,15 +164,24 @@ fn multipass_sequence_is_bit_exact_with_isolated_frames() {
         assert_eq!(
             frame.color.max_abs_diff(&fresh.color),
             0.0,
-            "frame {i} image diverged"
+            "indexed={indexed}: frame {i} image diverged"
         );
     }
 }
 
 #[test]
-fn inshader_workload_sequence_matches_isolated_frames() {
+fn multipass_sequence_is_bit_exact_with_isolated_frames() {
+    check_multipass_sequence(false);
+}
+
+#[test]
+fn indexed_multipass_sequence_is_bit_exact_with_isolated_frames() {
+    check_multipass_sequence(true);
+}
+
+fn check_inshader_sequence(indexed: bool) {
     let scene = train_scene();
-    let cfg = flythrough_cfg(&scene);
+    let cfg = flythrough_cfg(&scene, indexed);
     let mut session = Session::default();
     let workloads = session.run(&scene, &cfg, |f| {
         fragment_workload(f.splats, cfg.width, cfg.height)
@@ -144,15 +191,24 @@ fn inshader_workload_sequence_matches_isolated_frames() {
         assert_eq!(
             *w,
             fragment_workload(&splats, cfg.width, cfg.height),
-            "frame {i}"
+            "indexed={indexed}: frame {i}"
         );
     }
 }
 
 #[test]
-fn stereo_sequence_runs_through_the_pipeline() {
+fn inshader_workload_sequence_matches_isolated_frames() {
+    check_inshader_sequence(false);
+}
+
+#[test]
+fn indexed_inshader_workload_sequence_matches_isolated_frames() {
+    check_inshader_sequence(true);
+}
+
+fn check_stereo_sequence(indexed: bool) {
     let scene = train_scene();
-    let base = flythrough_cfg(&scene);
+    let base = flythrough_cfg(&scene, indexed);
     let cfg = SequenceConfig {
         path: base.path.clone().stereo(0.065),
         ..base
@@ -162,6 +218,18 @@ fn stereo_sequence_runs_through_the_pipeline() {
         .run_vrpipe(&scene, &cfg, &GpuConfig::default(), PipelineVariant::Het)
         .unwrap();
     assert_eq!(records.len(), FRAMES);
+    // Every stereo frame is bit-exact with its isolated render.
+    for (i, rec) in records.iter().enumerate() {
+        let splats = isolated_splats(&scene, &cfg, i);
+        let fresh = draw(
+            &splats,
+            cfg.width,
+            cfg.height,
+            &GpuConfig::default(),
+            PipelineVariant::Het,
+        );
+        assert_eq!(rec.stats, fresh.stats, "indexed={indexed}: frame {i}");
+    }
     // Left/right eyes of a pair see nearly identical workloads.
     for k in 0..FRAMES / 2 {
         let l = &records[2 * k].preprocess.visible_splats;
@@ -172,35 +240,56 @@ fn stereo_sequence_runs_through_the_pipeline() {
             "pair {k}: visible counts diverged ({l} vs {r})"
         );
     }
+    if indexed {
+        // The two eyes of a pair differ by a pure translation, so the
+        // covariance cache must land hits even on this stereo path.
+        assert!(session.cull_stats().gaussians_refreshed > 0);
+    }
+}
+
+#[test]
+fn stereo_sequence_runs_through_the_pipeline() {
+    check_stereo_sequence(false);
+}
+
+#[test]
+fn indexed_stereo_sequence_is_bit_exact_with_isolated_frames() {
+    check_stereo_sequence(true);
 }
 
 #[test]
 fn sequence_respects_thread_policy_bit_exactly() {
     let scene = train_scene();
-    let cfg = flythrough_cfg(&scene);
-    let short = SequenceConfig { frames: 4, ..cfg };
-    let reference = Session::new(ThreadPolicy::serial())
-        .run_vrpipe(
-            &scene,
-            &short,
-            &GpuConfig::default(),
-            PipelineVariant::HetQm,
-        )
-        .unwrap();
-    for threads in [3usize, 0] {
-        let policy = ThreadPolicy {
-            threads,
-            deterministic: true,
-        };
-        let gpu = GpuConfig {
-            threads,
-            ..GpuConfig::default()
-        };
-        let records = Session::new(policy)
-            .run_vrpipe(&scene, &short, &gpu, PipelineVariant::HetQm)
+    for indexed in [false, true] {
+        let cfg = flythrough_cfg(&scene, indexed);
+        let short = SequenceConfig { frames: 4, ..cfg };
+        let reference = Session::new(ThreadPolicy::serial())
+            .run_vrpipe(
+                &scene,
+                &short,
+                &GpuConfig::default(),
+                PipelineVariant::HetQm,
+            )
             .unwrap();
-        for (a, b) in reference.iter().zip(&records) {
-            assert_eq!(a.stats, b.stats, "threads={threads} frame {}", a.index);
+        for threads in [3usize, 0] {
+            let policy = ThreadPolicy {
+                threads,
+                deterministic: true,
+            };
+            let gpu = GpuConfig {
+                threads,
+                ..GpuConfig::default()
+            };
+            let records = Session::new(policy)
+                .run_vrpipe(&scene, &short, &gpu, PipelineVariant::HetQm)
+                .unwrap();
+            for (a, b) in reference.iter().zip(&records) {
+                assert_eq!(
+                    a.stats, b.stats,
+                    "indexed={indexed} threads={threads} frame {}",
+                    a.index
+                );
+            }
         }
     }
 }
