@@ -9,6 +9,7 @@
 //!                           # fig20 tilebins fig21 fig22 fig23
 //!                           # kernel (SoA fragment-kernel throughput)
 //!                           # sequence (temporal-coherence frame sequences)
+//!                           # serve (multi-stream serving over one shared scene)
 //! figures all               # everything, in paper order
 //! ```
 //!
@@ -25,6 +26,7 @@ mod kernel;
 mod motivation;
 mod report;
 mod sequence;
+mod serve;
 
 /// Experiment registry in paper order.
 const EXPERIMENTS: &[(&str, fn())] = &[
@@ -50,6 +52,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("fig23", analysis::fig23),
     ("kernel", kernel::kernel),
     ("sequence", sequence::sequence),
+    ("serve", serve::serve),
     ("ablation-tgc", ablation::ablation_tgc),
     ("ablation-tc", ablation::ablation_tc),
     ("ablation-cache", ablation::ablation_crop_cache),

@@ -69,6 +69,8 @@ impl Report {
         json.push_str(&kernel_measurement(scale));
         json.push_str(",\n  \"sequence\": ");
         json.push_str(&sequence_measurement(scale));
+        json.push_str(",\n  \"serve\": ");
+        json.push_str(&serve_measurement(scale));
         json.push_str("\n}\n");
         std::fs::write(REPORT_PATH, json)?;
         Ok(REPORT_PATH)
@@ -109,6 +111,37 @@ fn sequence_measurement(scale: f32) -> String {
         p.cull.gaussians_skipped,
         p.cull.gaussians_refreshed,
         p.cull.gaussians_reprojected
+    )
+}
+
+/// Multi-stream serving measurement for the JSON trail: aggregate
+/// throughput vs concurrent stream count over one shared scene and index
+/// (parity-gated inside [`crate::serve::measure_serve`] — every stream of
+/// a 4-stream server is asserted bit-exact against its solo session
+/// before timing).
+fn serve_measurement(scale: f32) -> String {
+    let points = crate::serve::measure_serve(2, scale.min(0.06), crate::serve::SERVE_FRAMES);
+    let mut body = String::new();
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        let _ = writeln!(
+            body,
+            "      {{\"streams\": {}, \"total_frames\": {}, \"wall_ms\": {:.3}, \"aggregate_fps\": {:.2}, \"index_share\": {:.3}, \"repaired_frames\": {}, \"radix_fallbacks\": {}, \"gaussians_skipped\": {}, \"gaussians_refreshed\": {}, \"gaussians_reprojected\": {}}}{comma}",
+            p.streams,
+            p.total_frames,
+            p.wall_ms,
+            p.aggregate_fps,
+            p.index_share,
+            p.resort.repaired,
+            p.resort.radix_fallbacks,
+            p.cull.gaussians_skipped,
+            p.cull.gaussians_refreshed,
+            p.cull.gaussians_reprojected,
+        );
+    }
+    format!(
+        "{{\"scene\": \"Train\", \"frames_per_stream\": {}, \"points\": [\n{body}    ]}}",
+        crate::serve::SERVE_FRAMES
     )
 }
 

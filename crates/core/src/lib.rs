@@ -14,7 +14,11 @@
 //!
 //! The [`pipeline`] module assembles the unit models from `gpu-sim` into
 //! the four evaluated variants ([`PipelineVariant`]); [`Renderer`] is the
-//! end-to-end entry point.
+//! end-to-end entry point. [`sequence`] turns the single-frame renderers
+//! into temporally coherent frame streams ([`Session`]), and [`serve`]
+//! schedules many such streams over one [`SharedScene`] — shared scene +
+//! spatial index, private per-stream state — across a persistent worker
+//! pool.
 //!
 //! ```
 //! use gpu_sim::config::GpuConfig;
@@ -37,6 +41,7 @@ pub mod pipeline;
 pub mod qm;
 pub mod renderer;
 pub mod sequence;
+pub mod serve;
 pub mod shading;
 pub mod variant;
 
@@ -47,5 +52,6 @@ pub use pipeline::{
     DrawError, DrawOutput, DrawScratch,
 };
 pub use renderer::{Frame, FrameScratch, Renderer, TimeBreakdown};
-pub use sequence::{FrameInput, SequenceConfig, SequenceFrameRecord, Session};
+pub use sequence::{FrameInput, SequenceConfig, SequenceFrameRecord, Session, SharedScene};
+pub use serve::{SchedulePolicy, ServeReport, Server, StreamReport, StreamSpec};
 pub use variant::PipelineVariant;

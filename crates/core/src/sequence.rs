@@ -21,6 +21,8 @@
 //! isolation: the temporal machinery accelerates, it never approximates
 //! (DESIGN.md §6).
 
+use std::sync::{Arc, OnceLock};
+
 use gpu_sim::config::GpuConfig;
 use gpu_sim::stats::PipelineStats;
 use gpu_sim::tiles::Tiling;
@@ -183,11 +185,28 @@ pub struct Session {
     pre: PreprocessScratch,
     splats: Vec<Splat>,
     stream: SplatStream,
-    /// Spatial index for [`SequenceConfig::indexed`] sequences, built
-    /// lazily per scene (fingerprint-guarded) and reused across runs.
-    index: Option<SceneIndex>,
-    /// Temporal culling state paired with `index`.
+    /// Spatial index for [`SequenceConfig::indexed`] sequences. Either
+    /// this session's own (built lazily per scene, fingerprint-guarded,
+    /// reused across runs) or a [`SharedScene`]'s — shared immutable
+    /// per-scene data behind an `Arc`, while everything else in the
+    /// session is per-stream state.
+    index: Option<Arc<SceneIndex>>,
+    /// Temporal culling state paired with `index` — always owned by this
+    /// session, never shared: per-frame classification and the
+    /// epoch-tagged covariance cache follow *this* stream's camera.
     cull: CullState,
+    /// Simulated-pipeline draw scratch, reused across frames and
+    /// [`Session::run_vrpipe`] calls.
+    draw: DrawScratch,
+    /// Persistent color target for the vrpipe backend (re-created only
+    /// when the viewport or pixel format changes).
+    color: Option<ColorBuffer>,
+    /// Persistent depth/stencil target paired with `color`.
+    depth: Option<DepthStencilBuffer>,
+    /// Cached screen-tile count keyed by the tiling geometry it was
+    /// computed for, so per-frame vrpipe records don't rebuild the
+    /// [`Tiling`] every frame.
+    tiles: Option<((u32, u32, u32, u32), f64)>,
 }
 
 impl Session {
@@ -232,6 +251,113 @@ impl Session {
         self.cull = CullState::default();
     }
 
+    /// The spatial index this session currently holds — its own or a
+    /// [`SharedScene`]'s. `Arc::ptr_eq` against [`SharedScene::index`]
+    /// tells the two apart; `None` until an indexed run prepared one.
+    pub fn scene_index(&self) -> Option<&Arc<SceneIndex>> {
+        self.index.as_ref()
+    }
+
+    /// Adopts `index` as this session's spatial index — the sharing seam:
+    /// N sessions over one scene each adopt one [`SharedScene`]'s
+    /// `Arc<SceneIndex>` instead of building N copies. A no-op when the
+    /// session already holds this exact allocation. The per-stream
+    /// [`CullState`] is kept: it re-pairs by fingerprint on the next
+    /// frame, and cached covariance products stay valid across
+    /// same-fingerprint index swaps (they depend only on the cloud bits).
+    pub fn attach_index(&mut self, index: Arc<SceneIndex>) {
+        if self
+            .index
+            .as_ref()
+            .is_some_and(|own| Arc::ptr_eq(own, &index))
+        {
+            return;
+        }
+        self.index = Some(index);
+    }
+
+    /// Prepares the session for `cfg` over `scene`: for indexed sequences,
+    /// builds (or rebuilds) the session's own spatial index when it has
+    /// not seen this scene before. The fingerprint guard catches both a
+    /// session re-pointed at a different scene and an in-place mutation of
+    /// the same cloud between runs; an unchanged scene provably reuses the
+    /// existing allocation (`Arc::ptr_eq` holds across runs).
+    ///
+    /// [`Session::run`]/[`Session::run_vrpipe`] call this implicitly; it
+    /// is public for callers that step frames manually through
+    /// [`Session::render_frame`].
+    pub fn prepare(&mut self, scene: &Scene, cfg: &SequenceConfig) {
+        if !cfg.indexed {
+            return;
+        }
+        let fp = cloud_fingerprint(&scene.gaussians);
+        if self.index.as_ref().map(|i| i.fingerprint()) != Some(fp) {
+            self.index = Some(Arc::new(SceneIndex::build(&scene.gaussians)));
+            self.cull = CullState::default();
+        }
+    }
+
+    /// [`Session::prepare`] against a [`SharedScene`]: indexed sequences
+    /// adopt the shared `Arc<SceneIndex>` (building it on first use)
+    /// instead of constructing a private copy.
+    pub fn prepare_shared(&mut self, shared: &SharedScene, cfg: &SequenceConfig) {
+        if cfg.indexed {
+            self.attach_index(Arc::clone(shared.index()));
+        }
+    }
+
+    /// Preprocesses and renders frame `index` of the sequence — the
+    /// single-frame body of [`Session::run`], public so external
+    /// schedulers (the [`crate::serve`] server) can interleave frames of
+    /// many sessions. For indexed sequences the index must already be in
+    /// place ([`Session::prepare`] or [`Session::prepare_shared`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.indexed` is set but no index was prepared.
+    pub fn render_frame<R>(
+        &mut self,
+        scene: &Scene,
+        cfg: &SequenceConfig,
+        index: usize,
+        render: impl FnOnce(FrameInput<'_>) -> R,
+    ) -> R {
+        let camera = cfg
+            .path
+            .camera(index, cfg.frames, cfg.width, cfg.height, cfg.fov_y);
+        let cull_before = self.cull.stats();
+        let preprocess = if cfg.indexed {
+            preprocess_into_indexed(
+                scene,
+                &camera,
+                self.policy,
+                self.index
+                    .as_ref()
+                    .expect("indexed sequence: call prepare()/prepare_shared() first"),
+                &mut self.cull,
+                &mut self.pre,
+                &mut self.splats,
+            )
+        } else if cfg.temporal {
+            preprocess_into_temporal(scene, &camera, self.policy, &mut self.pre, &mut self.splats)
+        } else {
+            preprocess_into(scene, &camera, self.policy, &mut self.pre, &mut self.splats)
+        };
+        if self.build_stream {
+            self.stream.rebuild_from(&self.splats);
+        } else {
+            self.stream.clear();
+        }
+        render(FrameInput {
+            index,
+            camera: &camera,
+            splats: &self.splats,
+            stream: &self.stream,
+            preprocess,
+            cull: self.cull.stats().delta_since(&cull_before),
+        })
+    }
+
     /// Renders `cfg.frames` frames of `scene` along the configured path,
     /// calling `render` once per frame with the preprocessed
     /// [`FrameInput`]. Preprocessing reuses all scratch across frames; the
@@ -242,87 +368,66 @@ impl Session {
         cfg: &SequenceConfig,
         mut render: impl FnMut(FrameInput<'_>) -> R,
     ) -> Vec<R> {
-        if cfg.indexed {
-            // Build (or rebuild) the spatial index when this session has
-            // not seen this scene before. The fingerprint guard catches a
-            // session being re-pointed at a different scene; an in-place
-            // mutation of the same cloud needs `invalidate_index`.
-            let fp = cloud_fingerprint(&scene.gaussians);
-            if self.index.as_ref().map(|i| i.fingerprint()) != Some(fp) {
-                self.index = Some(SceneIndex::build(&scene.gaussians));
-                self.cull = CullState::default();
-            }
-        }
-        let mut out = Vec::with_capacity(cfg.frames);
-        for index in 0..cfg.frames {
-            let camera = cfg
-                .path
-                .camera(index, cfg.frames, cfg.width, cfg.height, cfg.fov_y);
-            let cull_before = self.cull.stats();
-            let preprocess = if cfg.indexed {
-                preprocess_into_indexed(
-                    scene,
-                    &camera,
-                    self.policy,
-                    self.index.as_ref().expect("index built above"),
-                    &mut self.cull,
-                    &mut self.pre,
-                    &mut self.splats,
-                )
-            } else if cfg.temporal {
-                preprocess_into_temporal(
-                    scene,
-                    &camera,
-                    self.policy,
-                    &mut self.pre,
-                    &mut self.splats,
-                )
-            } else {
-                preprocess_into(scene, &camera, self.policy, &mut self.pre, &mut self.splats)
-            };
-            if self.build_stream {
-                self.stream.rebuild_from(&self.splats);
-            } else {
-                self.stream.clear();
-            }
-            out.push(render(FrameInput {
-                index,
-                camera: &camera,
-                splats: &self.splats,
-                stream: &self.stream,
-                preprocess,
-                cull: self.cull.stats().delta_since(&cull_before),
-            }));
-        }
-        out
+        self.prepare(scene, cfg);
+        (0..cfg.frames)
+            .map(|i| self.render_frame(scene, cfg, i, &mut render))
+            .collect()
     }
 
-    /// Renders the sequence through the simulated hardware pipeline
-    /// (`gpu`/`variant`), reusing one [`DrawScratch`] and one pair of
-    /// render targets across all frames. Returns per-frame records, or a
-    /// [`DrawError`]: an invalid configuration is rejected here, before
-    /// any frame is preprocessed, instead of panicking mid-sequence.
-    pub fn run_vrpipe(
+    /// Renders frame `index` through the simulated hardware pipeline —
+    /// the single-frame body of [`Session::run_vrpipe`], consuming the
+    /// session-owned [`DrawScratch`] and render targets (created on first
+    /// use, reset when the viewport or pixel format changes, and kept warm
+    /// across frames, runs and serve-scheduler interleavings).
+    pub fn render_frame_vrpipe(
         &mut self,
         scene: &Scene,
         cfg: &SequenceConfig,
+        index: usize,
         gpu: &GpuConfig,
         variant: PipelineVariant,
-    ) -> Result<Vec<SequenceFrameRecord>, DrawError> {
-        // Fail fast: validate once up front (also guards the `Tiling`
-        // construction below) rather than erroring on every frame.
+    ) -> Result<SequenceFrameRecord, DrawError> {
         gpu.validate().map_err(DrawError::InvalidConfig)?;
-        let mut scratch = DrawScratch::default();
-        let mut color = ColorBuffer::new(cfg.width, cfg.height, gpu.pixel_format);
-        let mut ds = DepthStencilBuffer::new(cfg.width, cfg.height);
-        let tiles = Tiling::new(
+        // Take the session-owned backend state out so the frame closure
+        // can borrow it mutably alongside the preprocessed splats.
+        let mut scratch = std::mem::take(&mut self.draw);
+        let mut color = match self.color.take() {
+            Some(mut c) => {
+                if c.width() != cfg.width
+                    || c.height() != cfg.height
+                    || c.format() != gpu.pixel_format
+                {
+                    c.reset(cfg.width, cfg.height, gpu.pixel_format);
+                }
+                c
+            }
+            None => ColorBuffer::new(cfg.width, cfg.height, gpu.pixel_format),
+        };
+        let mut ds = match self.depth.take() {
+            Some(mut d) => {
+                if d.width() != cfg.width || d.height() != cfg.height {
+                    d.reset(cfg.width, cfg.height);
+                }
+                d
+            }
+            None => DepthStencilBuffer::new(cfg.width, cfg.height),
+        };
+        let tiling_key = (
             cfg.width.max(1),
             cfg.height.max(1),
             gpu.screen_tile_px,
             gpu.tile_grid_tiles,
-        )
-        .tile_count() as f64;
-        let frames = self.run(scene, cfg, |f| {
+        );
+        let tiles = match self.tiles {
+            Some((key, tiles)) if key == tiling_key => tiles,
+            _ => {
+                let tiles = Tiling::new(tiling_key.0, tiling_key.1, tiling_key.2, tiling_key.3)
+                    .tile_count() as f64;
+                self.tiles = Some((tiling_key, tiles));
+                tiles
+            }
+        };
+        let record = self.render_frame(scene, cfg, index, |f| {
             let stats =
                 try_draw_in_place(f.splats, gpu, variant, &mut color, &mut ds, &mut scratch)?;
             let retired_tile_ratio = if tiles > 0.0 {
@@ -338,7 +443,132 @@ impl Session {
                 cull: f.cull,
             })
         });
-        frames.into_iter().collect()
+        self.draw = scratch;
+        self.color = Some(color);
+        self.depth = Some(ds);
+        record
+    }
+
+    /// Renders the sequence through the simulated hardware pipeline
+    /// (`gpu`/`variant`), reusing the session's [`DrawScratch`] and render
+    /// targets across all frames. Returns per-frame records, or a
+    /// [`DrawError`]: an invalid configuration is rejected here, before
+    /// any frame is preprocessed, instead of panicking mid-sequence.
+    pub fn run_vrpipe(
+        &mut self,
+        scene: &Scene,
+        cfg: &SequenceConfig,
+        gpu: &GpuConfig,
+        variant: PipelineVariant,
+    ) -> Result<Vec<SequenceFrameRecord>, DrawError> {
+        // Fail fast: an invalid config errors here, before any frame is
+        // preprocessed. (`render_frame_vrpipe` re-validates per call — a
+        // handful of field checks — because it is also a standalone entry
+        // point for external schedulers.)
+        gpu.validate().map_err(DrawError::InvalidConfig)?;
+        self.prepare(scene, cfg);
+        (0..cfg.frames)
+            .map(|i| self.render_frame_vrpipe(scene, cfg, i, gpu, variant))
+            .collect()
+    }
+}
+
+/// The immutable per-scene half of a multi-stream workload: the scene and
+/// its lazily built, fingerprint-guarded [`SceneIndex`], shared behind
+/// `Arc`s by every [`Session`] that streams views of it.
+///
+/// The split mirrors what each piece of state depends on: everything in
+/// here is a pure function of the Gaussian cloud (grid cells, per-Gaussian
+/// camera-invariant caches, the content fingerprint), so N head-tracked
+/// streams of one scene can read it concurrently — while everything that
+/// follows a *camera* (frame classification, the epoch-tagged covariance
+/// cache, sorter warm starts, render targets) stays per-stream inside each
+/// `Session`.
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::scene::EVALUATED_SCENES;
+/// use std::sync::Arc;
+/// use vrpipe::SharedScene;
+/// let shared = SharedScene::new(EVALUATED_SCENES[4].generate_scaled(0.04));
+/// let a = Arc::clone(shared.index());
+/// let b = Arc::clone(shared.index());
+/// assert!(Arc::ptr_eq(&a, &b)); // built once, shared forever
+/// ```
+#[derive(Debug)]
+pub struct SharedScene {
+    scene: Arc<Scene>,
+    /// Content fingerprint of `scene`, computed once at construction.
+    fingerprint: u64,
+    /// The shared spatial index, built on first [`SharedScene::index`]
+    /// call. `OnceLock` keeps `SharedScene: Sync` so worker threads can
+    /// race the first build safely (one winner, same bits either way).
+    index: OnceLock<Arc<SceneIndex>>,
+}
+
+impl SharedScene {
+    /// Wraps `scene` for sharing, computing its content fingerprint once.
+    pub fn new(scene: Scene) -> Self {
+        Self::from_arc(Arc::new(scene))
+    }
+
+    /// [`SharedScene::new`] over an existing `Arc<Scene>` (no clone).
+    pub fn from_arc(scene: Arc<Scene>) -> Self {
+        let fingerprint = cloud_fingerprint(&scene.gaussians);
+        Self {
+            scene,
+            fingerprint,
+            index: OnceLock::new(),
+        }
+    }
+
+    /// The wrapped scene.
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// A handle to the wrapped scene (for moving into worker tasks).
+    pub fn scene_arc(&self) -> Arc<Scene> {
+        Arc::clone(&self.scene)
+    }
+
+    /// Content fingerprint of the wrapped scene (see
+    /// [`cloud_fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The shared spatial index, built exactly once on first use. The
+    /// build is fingerprint-guarded by construction: the scene behind the
+    /// `Arc` is immutable while shared, so the index's fingerprint always
+    /// matches [`SharedScene::fingerprint`] (checked here so a violation
+    /// — e.g. interior mutability smuggled into `Scene` — fails loudly
+    /// instead of serving a stale index).
+    pub fn index(&self) -> &Arc<SceneIndex> {
+        let index = self
+            .index
+            .get_or_init(|| Arc::new(SceneIndex::build(&self.scene.gaussians)));
+        assert_eq!(
+            index.fingerprint(),
+            self.fingerprint,
+            "shared scene mutated after its index was built"
+        );
+        index
+    }
+
+    /// The shared index if some caller already built it.
+    pub fn index_if_built(&self) -> Option<&Arc<SceneIndex>> {
+        self.index.get()
+    }
+
+    /// A fresh per-stream [`Session`] prepared for `cfg` over this scene:
+    /// indexed configurations adopt the shared index instead of building
+    /// their own.
+    pub fn session(&self, policy: ThreadPolicy, cfg: &SequenceConfig) -> Session {
+        let mut session = Session::new(policy);
+        session.prepare_shared(self, cfg);
+        session
     }
 }
 
@@ -538,6 +768,47 @@ mod tests {
         let counts_full = Session::default().run(&scene_b, &cfg, |f| f.splats.len());
         let counts_indexed = session.run(&scene_b, &cfg.clone().with_index(), |f| f.splats.len());
         assert_eq!(counts_full, counts_indexed);
+    }
+
+    /// Regression: the fingerprint guard must (a) provably reuse the same
+    /// `Arc<SceneIndex>` allocation across runs of an unchanged scene,
+    /// (b) rebuild when the scene's Gaussians are mutated in place between
+    /// runs, and (c) drop everything on `invalidate_index`.
+    #[test]
+    fn index_reuses_arc_until_scene_mutates() {
+        let mut scene = EVALUATED_SCENES[4].generate_scaled(0.03);
+        let cfg = orbit_cfg(&scene, 2).with_index();
+        let mut session = Session::default();
+        session.run(&scene, &cfg, |f| f.splats.len());
+        let first = Arc::clone(session.scene_index().expect("indexed run built an index"));
+        // Unchanged scene: the next run must reuse the very allocation.
+        session.run(&scene, &cfg, |f| f.splats.len());
+        assert!(
+            Arc::ptr_eq(&first, session.scene_index().unwrap()),
+            "unchanged scene rebuilt its index"
+        );
+        // In-place mutation: the fingerprint changes, so the next run must
+        // rebuild instead of serving stale cells/caches.
+        scene.gaussians[0].mean.x += 0.5;
+        let counts = session.run(&scene, &cfg, |f| f.splats.len());
+        assert!(
+            !Arc::ptr_eq(&first, session.scene_index().unwrap()),
+            "mutated scene kept its stale index"
+        );
+        // And the rebuilt index yields the same result as a fresh session.
+        let fresh = Session::default().run(&scene, &cfg, |f| f.splats.len());
+        assert_eq!(counts, fresh);
+        // Explicit invalidation drops the index outright.
+        session.invalidate_index();
+        assert!(session.scene_index().is_none());
+        // A session attached to a SharedScene adopts its allocation.
+        let shared = SharedScene::new(scene.clone());
+        session.prepare_shared(&shared, &cfg);
+        assert!(Arc::ptr_eq(session.scene_index().unwrap(), shared.index()));
+        // prepare() on the same scene keeps the shared allocation (same
+        // fingerprint), rather than rebuilding a private copy.
+        session.prepare(&scene, &cfg);
+        assert!(Arc::ptr_eq(session.scene_index().unwrap(), shared.index()));
     }
 
     #[test]

@@ -1,0 +1,711 @@
+//! Multi-session serving: N concurrent coherent streams over one shared
+//! scene — the paper's deployment shape (many head-tracked viewers of the
+//! same world) scaled past a single [`Session`].
+//!
+//! A [`Server`] owns one [`SharedScene`] (scene + `Arc<SceneIndex>`, built
+//! once), a set of streams (each its own [`CameraPath`] via
+//! [`SequenceConfig`], resolution, backend closure and per-stream
+//! [`Session`]), and a persistent [`WorkerPool`] with a run-to-completion
+//! task queue. The scheduler dispatches **ready frames** — a stream is
+//! ready when it has frames left and none in flight — across the pool,
+//! oldest-frame-first with round-robin tie-breaking, so no stream starves
+//! and the pool never idles while work remains.
+//!
+//! **Bit-exactness under interleaving.** Every stream's output is
+//! bit-exact with running that stream alone in a solo [`Session`], for any
+//! pool size and any service order, because the scheduler moves only
+//! *whole frames* and every piece of mutable state a frame touches is
+//! owned by exactly one stream: the sorter warm start, the
+//! [`gsplat::index::CullState`] (classification + covariance cache) and
+//! the backend's targets all live in that stream's session, each stream's
+//! frames run in order with at most one in flight, and the shared scene
+//! and [`SceneIndex`] are immutable. Interleaving therefore permutes
+//! *wall-clock* execution, never any stream's state trajectory — enforced
+//! by `tests/serve.rs` and the scheduling-shuffle property test.
+//!
+//! [`CameraPath`]: gsplat::camera::CameraPath
+//! [`SceneIndex`]: gsplat::index::SceneIndex
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use gpu_sim::config::GpuConfig;
+use gsplat::index::CullStats;
+use gsplat::par::WorkerPool;
+use gsplat::sort::ResortStats;
+use gsplat::ThreadPolicy;
+
+use crate::pipeline::DrawError;
+use crate::sequence::{FrameInput, SequenceConfig, SequenceFrameRecord, Session, SharedScene};
+use crate::variant::PipelineVariant;
+
+/// Boxed per-frame backend of one stream.
+type RenderFn<R> = Box<dyn FnMut(FrameInput<'_>) -> R + Send>;
+
+/// Field-wise `now - earlier` over the session-lifetime resort counters,
+/// so a [`StreamReport`] covers exactly one run.
+fn resort_delta(now: ResortStats, earlier: &ResortStats) -> ResortStats {
+    ResortStats {
+        frames: now.frames - earlier.frames,
+        repaired: now.repaired - earlier.repaired,
+        radix_fallbacks: now.radix_fallbacks - earlier.radix_fallbacks,
+        repair_shifts: now.repair_shifts - earlier.repair_shifts,
+    }
+}
+
+/// How one stream turns a prepared frame into its output.
+enum Backend<R> {
+    /// A caller-supplied closure over the preprocessed [`FrameInput`].
+    Closure(RenderFn<R>),
+    /// The built-in simulated-hardware path, routed through
+    /// [`Session::render_frame_vrpipe`] so it reuses the session-owned
+    /// [`crate::pipeline::DrawScratch`] and persistent render targets.
+    /// `wrap` converts the record into the server's `R` (the identity —
+    /// this variant is only constructible when the types line up).
+    VrPipe {
+        gpu: GpuConfig,
+        variant: PipelineVariant,
+        wrap: fn(Result<SequenceFrameRecord, DrawError>) -> R,
+    },
+}
+
+/// How the scheduler picks among ready streams.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Serve the ready stream with the fewest completed frames (no stream
+    /// falls behind); ties rotate round-robin from the last dispatch.
+    /// This is the default.
+    #[default]
+    OldestFirst,
+    /// Pick a ready stream pseudo-randomly from the seed — a test policy
+    /// that shuffles service order to *prove* scheduling cannot change
+    /// output bits (it exercises interleavings the default never would).
+    Seeded(u64),
+}
+
+/// One stream's definition: a name, its sequence (camera path, frame
+/// budget, viewport, temporal/indexed knobs) and the per-frame backend
+/// closure receiving the preprocessed [`FrameInput`].
+pub struct StreamSpec<R> {
+    name: String,
+    cfg: SequenceConfig,
+    build_stream: bool,
+    backend: Backend<R>,
+}
+
+impl<R> std::fmt::Debug for StreamSpec<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamSpec")
+            .field("name", &self.name)
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R: Send + 'static> StreamSpec<R> {
+    /// A stream rendering `cfg` through `render` — any backend that can
+    /// consume a [`FrameInput`] (the three `swrender` backends, the
+    /// in-shader workload model, or arbitrary instrumentation). State the
+    /// backend needs across frames lives inside the closure.
+    ///
+    /// Configure the backend's own renderer **serially** (e.g.
+    /// `SwConfig { threads: 1, .. }`): served parallelism comes from
+    /// concurrent streams sharing the pool, and a backend that fork-joins
+    /// over the whole host inside its frame oversubscribes it M-fold
+    /// (results are bit-identical either way — only wall time suffers).
+    pub fn new(
+        name: impl Into<String>,
+        cfg: SequenceConfig,
+        render: impl FnMut(FrameInput<'_>) -> R + Send + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            cfg,
+            build_stream: false,
+            backend: Backend::Closure(Box::new(render)),
+        }
+    }
+
+    /// Also maintain the SoA [`gsplat::stream::SplatStream`] mirror each
+    /// frame (for backends consuming streams directly, e.g.
+    /// `CudaLikeRenderer::render_prepared`).
+    pub fn with_stream(mut self) -> Self {
+        self.build_stream = true;
+        self
+    }
+
+    /// The stream's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The stream's sequence configuration.
+    pub fn cfg(&self) -> &SequenceConfig {
+        &self.cfg
+    }
+}
+
+impl StreamSpec<Result<SequenceFrameRecord, DrawError>> {
+    /// The built-in simulated-hardware backend: every frame runs through
+    /// [`Session::render_frame_vrpipe`], reusing the per-stream session's
+    /// own [`crate::pipeline::DrawScratch`] and persistent render targets
+    /// — the serve-side equivalent of [`Session::run_vrpipe`], one
+    /// implementation for both.
+    ///
+    /// The draw's host threading is pinned serial (`gpu.threads = 1`,
+    /// bit-identical results by the determinism contract): served
+    /// parallelism comes from concurrent streams sharing the pool, not
+    /// from each frame fork-joining over the whole host.
+    pub fn vrpipe(
+        name: impl Into<String>,
+        cfg: SequenceConfig,
+        gpu: GpuConfig,
+        variant: PipelineVariant,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            cfg,
+            build_stream: false,
+            backend: Backend::VrPipe {
+                gpu: GpuConfig { threads: 1, ..gpu },
+                variant,
+                wrap: std::convert::identity,
+            },
+        }
+    }
+}
+
+/// Mutable per-stream state, touched by at most one worker at a time (the
+/// scheduler never has two frames of one stream in flight).
+struct StreamState<R> {
+    cfg: SequenceConfig,
+    session: Session,
+    backend: Backend<R>,
+    outputs: Vec<R>,
+    frames_done: usize,
+    /// Wall time spent inside this stream's frame tasks, ms.
+    busy_ms: f64,
+}
+
+/// One registered stream: its immutable identity plus the shared mutable
+/// state handed to worker tasks.
+struct StreamEntry<R> {
+    name: String,
+    frames: usize,
+    indexed: bool,
+    state: Arc<Mutex<StreamState<R>>>,
+}
+
+/// Per-stream results and counters of one [`Server::run`].
+#[derive(Debug)]
+pub struct StreamReport<R> {
+    /// Stream name.
+    pub name: String,
+    /// Per-frame backend outputs, in frame order.
+    pub frames: Vec<R>,
+    /// Wall time spent inside this stream's frame tasks, ms.
+    pub busy_ms: f64,
+    /// Delivered frame rate over the whole run's wall clock.
+    pub fps: f64,
+    /// Incremental re-sort counters (warm-start reuse).
+    pub resort: ResortStats,
+    /// Incremental culling counters (index reuse; zero when not indexed).
+    pub cull: CullStats,
+    /// `true` when this stream's session holds the [`SharedScene`]'s
+    /// `Arc<SceneIndex>` allocation (not a private copy).
+    pub shares_index: bool,
+}
+
+/// Aggregate results of one [`Server::run`].
+#[derive(Debug)]
+pub struct ServeReport<R> {
+    /// Per-stream reports, in registration order.
+    pub streams: Vec<StreamReport<R>>,
+    /// Wall time of the whole run, ms.
+    pub wall_ms: f64,
+    /// Frames delivered across all streams.
+    pub total_frames: usize,
+    /// Aggregate delivered frame rate (all streams / wall clock).
+    pub aggregate_fps: f64,
+    /// Streams whose sessions share the scene's one `Arc<SceneIndex>`.
+    pub index_sharers: usize,
+    /// Streams that requested indexed preprocessing.
+    pub indexed_streams: usize,
+}
+
+impl<R> ServeReport<R> {
+    /// Fraction of indexed streams that share the single scene index
+    /// allocation (1.0 = every indexed session reuses the shared `Arc`).
+    pub fn index_share(&self) -> f64 {
+        if self.indexed_streams == 0 {
+            0.0
+        } else {
+            self.index_sharers as f64 / self.indexed_streams as f64
+        }
+    }
+}
+
+/// A multi-stream serving loop: one [`SharedScene`], N per-stream
+/// [`Session`]s, one persistent [`WorkerPool`].
+///
+/// Streams render frames in their own order with at most one frame in
+/// flight each; the scheduler fills the pool with ready frames under the
+/// configured [`SchedulePolicy`]. Sessions run with a **serial**
+/// per-frame thread policy — parallelism comes from concurrent streams
+/// sharing the pool, not from each frame fork-joining over the whole
+/// host (which would oversubscribe it M-fold; see
+/// [`gsplat::par::WorkerPool`]).
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::config::GpuConfig;
+/// use gsplat::camera::CameraPath;
+/// use gsplat::scene::EVALUATED_SCENES;
+/// use vrpipe::{PipelineVariant, SequenceConfig, Server, SharedScene, StreamSpec};
+///
+/// let scene = EVALUATED_SCENES[4].generate_scaled(0.04);
+/// let shared = SharedScene::new(scene);
+/// let mut server = Server::new(shared, 1);
+/// for k in 0..2 {
+///     let path = CameraPath::orbit(
+///         server.shared().scene().center,
+///         server.shared().scene().view_radius,
+///         1.0 + k as f32 * 0.3,
+///         0.02,
+///     );
+///     server.add_stream(StreamSpec::vrpipe(
+///         format!("viewer-{k}"),
+///         SequenceConfig::new(path, 3, 64, 48).with_index(),
+///         GpuConfig::default(),
+///         PipelineVariant::HetQm,
+///     ));
+/// }
+/// let report = server.run();
+/// assert_eq!(report.total_frames, 6);
+/// assert_eq!(report.index_sharers, 2);
+/// ```
+pub struct Server<R> {
+    shared: Arc<SharedScene>,
+    pool: Arc<WorkerPool>,
+    policy: SchedulePolicy,
+    streams: Vec<StreamEntry<R>>,
+    /// Round-robin cursor for tie-breaking.
+    rr_next: usize,
+    /// LCG state for [`SchedulePolicy::Seeded`].
+    rng: u64,
+}
+
+impl<R> std::fmt::Debug for Server<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("streams", &self.streams.len())
+            .field("workers", &self.pool.workers())
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl<R: Send + 'static> Server<R> {
+    /// A server over `shared` with its own pool of `threads` workers
+    /// (`0` = the host budget; see [`WorkerPool::new`]).
+    pub fn new(shared: SharedScene, threads: usize) -> Self {
+        Self::with_pool(Arc::new(shared), Arc::new(WorkerPool::new(threads)))
+    }
+
+    /// A server borrowing an existing pool — several servers (or other
+    /// subsystems) can share one host-thread budget.
+    pub fn with_pool(shared: Arc<SharedScene>, pool: Arc<WorkerPool>) -> Self {
+        Self {
+            shared,
+            pool,
+            policy: SchedulePolicy::default(),
+            streams: Vec::new(),
+            rr_next: 0,
+            rng: 0,
+        }
+    }
+
+    /// Replaces the scheduling policy (default
+    /// [`SchedulePolicy::OldestFirst`]).
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The shared scene every stream renders.
+    pub fn shared(&self) -> &Arc<SharedScene> {
+        &self.shared
+    }
+
+    /// The worker pool frames are scheduled onto.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Number of registered streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Registers a stream and returns its id (registration order). The
+    /// stream gets a fresh serial-policy [`Session`], prepared against the
+    /// shared scene (indexed configurations adopt the shared
+    /// `Arc<SceneIndex>` — built now, once, if this is the first).
+    pub fn add_stream(&mut self, spec: StreamSpec<R>) -> usize {
+        let mut session = Session::new(ThreadPolicy::serial());
+        if spec.build_stream {
+            session = session.with_stream();
+        }
+        session.prepare_shared(&self.shared, &spec.cfg);
+        let id = self.streams.len();
+        self.streams.push(StreamEntry {
+            name: spec.name,
+            frames: spec.cfg.frames,
+            indexed: spec.cfg.indexed,
+            state: Arc::new(Mutex::new(StreamState {
+                cfg: spec.cfg,
+                session,
+                backend: spec.backend,
+                outputs: Vec::new(),
+                frames_done: 0,
+                busy_ms: 0.0,
+            })),
+        });
+        id
+    }
+
+    /// A clone of stream `id`'s current `Arc<SceneIndex>` (for sharing
+    /// assertions in tests; `None` for non-indexed streams).
+    pub fn stream_index(&self, id: usize) -> Option<Arc<gsplat::index::SceneIndex>> {
+        self.streams[id]
+            .state
+            .lock()
+            .expect("stream state")
+            .session
+            .scene_index()
+            .cloned()
+    }
+
+    /// Serves every stream's full frame budget across the pool and
+    /// returns per-stream outputs and counters. Streams are then rewound:
+    /// a subsequent `run` replays the same frame budgets with warm
+    /// temporal state — still bit-exact (the temporal machinery never
+    /// approximates), just cheaper, which is exactly what benchmark
+    /// repetitions want.
+    pub fn run(&mut self) -> ServeReport<R> {
+        let t0 = Instant::now();
+        let n = self.streams.len();
+        // Counter baselines, so the report covers exactly this run even
+        // though the sessions' resort/cull stats accumulate for life.
+        let baselines: Vec<(ResortStats, CullStats)> = self
+            .streams
+            .iter()
+            .map(|e| {
+                let st = e.state.lock().expect("stream state");
+                (st.session.resort_stats(), st.session.cull_stats())
+            })
+            .collect();
+        let (tx, rx) = mpsc::channel::<usize>();
+        let workers = self.pool.workers();
+        let mut busy = vec![false; n];
+        // Scheduler-side mirror of per-stream progress (exact: one frame
+        // in flight per stream, completion messages drive it).
+        let mut done: Vec<usize> = vec![0; n];
+        let mut in_flight = 0usize;
+        loop {
+            while in_flight < workers {
+                let Some(sid) = self.pick(&busy, &done) else {
+                    break;
+                };
+                busy[sid] = true;
+                in_flight += 1;
+                let state = Arc::clone(&self.streams[sid].state);
+                let scene = self.shared.scene_arc();
+                let tx = tx.clone();
+                // Run-to-completion frame task: locks its stream's state
+                // (uncontended — the scheduler never double-dispatches a
+                // stream), renders the next frame, reports back. The
+                // completion message is sent from a drop guard so even a
+                // panicking backend cannot strand the scheduler in
+                // `recv` — the panic then surfaces as a poisoned stream
+                // lock on the next touch instead of a hang.
+                self.pool.submit(move || {
+                    struct Complete {
+                        tx: mpsc::Sender<usize>,
+                        sid: usize,
+                    }
+                    impl Drop for Complete {
+                        fn drop(&mut self) {
+                            let _ = self.tx.send(self.sid);
+                        }
+                    }
+                    let _complete = Complete { tx, sid };
+                    let mut guard = state.lock().expect("stream state");
+                    let st = &mut *guard;
+                    let i = st.frames_done;
+                    let f0 = Instant::now();
+                    let StreamState {
+                        cfg,
+                        session,
+                        backend,
+                        ..
+                    } = st;
+                    let out = match backend {
+                        Backend::Closure(render) => session.render_frame(&scene, cfg, i, render),
+                        Backend::VrPipe { gpu, variant, wrap } => {
+                            wrap(session.render_frame_vrpipe(&scene, cfg, i, gpu, *variant))
+                        }
+                    };
+                    st.busy_ms += f0.elapsed().as_secs_f64() * 1e3;
+                    st.outputs.push(out);
+                    st.frames_done += 1;
+                });
+            }
+            if in_flight == 0 {
+                break;
+            }
+            let sid = rx.recv().expect("completion channel");
+            busy[sid] = false;
+            done[sid] += 1;
+            in_flight -= 1;
+            // Drain without blocking so the dispatch pass sees every
+            // stream that became ready while we slept.
+            while let Ok(sid) = rx.try_recv() {
+                busy[sid] = false;
+                done[sid] += 1;
+                in_flight -= 1;
+            }
+        }
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let shared_index = self.shared.index_if_built();
+        let mut streams = Vec::with_capacity(n);
+        let mut total_frames = 0usize;
+        let mut index_sharers = 0usize;
+        let mut indexed_streams = 0usize;
+        for (entry, (resort0, cull0)) in self.streams.iter_mut().zip(&baselines) {
+            let mut st = entry.state.lock().expect("stream state");
+            let frames = std::mem::take(&mut st.outputs);
+            // Rewind for the next run; temporal state stays warm.
+            st.frames_done = 0;
+            let busy_ms = std::mem::replace(&mut st.busy_ms, 0.0);
+            total_frames += frames.len();
+            let shares_index = match (shared_index, st.session.scene_index()) {
+                (Some(shared), Some(own)) => Arc::ptr_eq(shared, own),
+                _ => false,
+            };
+            if entry.indexed {
+                indexed_streams += 1;
+                if shares_index {
+                    index_sharers += 1;
+                }
+            }
+            streams.push(StreamReport {
+                name: entry.name.clone(),
+                fps: frames.len() as f64 / (wall_ms / 1e3).max(1e-12),
+                frames,
+                busy_ms,
+                resort: resort_delta(st.session.resort_stats(), resort0),
+                cull: st.session.cull_stats().delta_since(cull0),
+                shares_index,
+            });
+        }
+        ServeReport {
+            streams,
+            wall_ms,
+            total_frames,
+            aggregate_fps: total_frames as f64 / (wall_ms / 1e3).max(1e-12),
+            index_sharers,
+            indexed_streams,
+        }
+    }
+
+    /// Picks the next stream to dispatch among the ready ones (not busy,
+    /// frames remaining), or `None`.
+    fn pick(&mut self, busy: &[bool], done: &[usize]) -> Option<usize> {
+        let ready: Vec<usize> = (0..self.streams.len())
+            .filter(|&i| !busy[i] && done[i] < self.streams[i].frames)
+            .collect();
+        if ready.is_empty() {
+            return None;
+        }
+        match self.policy {
+            SchedulePolicy::OldestFirst => {
+                // Fewest completed frames first; ties rotate round-robin
+                // from the cursor so equal streams are served fairly.
+                let oldest = ready.iter().map(|&i| done[i]).min().expect("non-empty");
+                let n = self.streams.len();
+                let sid = (0..n)
+                    .map(|k| (self.rr_next + k) % n)
+                    .find(|&i| !busy[i] && done[i] < self.streams[i].frames && done[i] == oldest)
+                    .expect("some ready stream has the oldest frame");
+                self.rr_next = (sid + 1) % n;
+                Some(sid)
+            }
+            SchedulePolicy::Seeded(seed) => {
+                // SplitMix64 step over the running state (seeded once).
+                if self.rng == 0 {
+                    self.rng = seed | 1;
+                }
+                self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = self.rng;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                Some(ready[(z % ready.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsplat::camera::CameraPath;
+    use gsplat::scene::EVALUATED_SCENES;
+
+    fn shared_scene() -> SharedScene {
+        SharedScene::new(EVALUATED_SCENES[4].generate_scaled(0.03))
+    }
+
+    fn orbit_cfg(shared: &SharedScene, phase: f32, frames: usize) -> SequenceConfig {
+        let s = shared.scene();
+        SequenceConfig::new(
+            CameraPath::orbit(s.center, s.view_radius, 1.0 + phase, 0.03),
+            frames,
+            64,
+            48,
+        )
+        .with_index()
+    }
+
+    #[test]
+    fn server_serves_every_stream_its_full_budget() {
+        let shared = shared_scene();
+        let mut server = Server::new(shared, 2);
+        for k in 0..3 {
+            let cfg = orbit_cfg(server.shared(), k as f32 * 0.2, 2 + k);
+            server.add_stream(StreamSpec::vrpipe(
+                format!("s{k}"),
+                cfg,
+                GpuConfig::default(),
+                PipelineVariant::HetQm,
+            ));
+        }
+        let report = server.run();
+        assert_eq!(report.total_frames, 2 + 3 + 4);
+        for (k, s) in report.streams.iter().enumerate() {
+            assert_eq!(s.frames.len(), 2 + k, "{}", s.name);
+            assert!(s.frames.iter().all(|f| f.is_ok()));
+            assert!(s.shares_index);
+        }
+        assert_eq!(report.index_sharers, 3);
+        assert_eq!(report.indexed_streams, 3);
+        assert!((report.index_share() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero_frame_servers_terminate() {
+        let mut server: Server<usize> = Server::new(shared_scene(), 1);
+        let report = server.run();
+        assert_eq!(report.total_frames, 0);
+        let shared = shared_scene();
+        let cfg = SequenceConfig::new(
+            CameraPath::orbit(shared.scene().center, 1.0, 1.0, 0.1),
+            0,
+            32,
+            32,
+        );
+        let mut server = Server::new(shared, 2);
+        server.add_stream(StreamSpec::new("empty", cfg, |f| f.splats.len()));
+        let report = server.run();
+        assert_eq!(report.total_frames, 0);
+        assert_eq!(report.streams[0].frames.len(), 0);
+    }
+
+    #[test]
+    fn oldest_first_never_lets_a_stream_fall_behind() {
+        // One-worker pool → dispatch order is fully policy-driven; record
+        // the service order and check the lag bound.
+        let shared = shared_scene();
+        let mut server = Server::new(shared, 1);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for k in 0..3usize {
+            let cfg = SequenceConfig::new(
+                CameraPath::orbit(server.shared().scene().center, 2.0, 1.0, 0.05),
+                4,
+                32,
+                24,
+            );
+            let log = Arc::clone(&log);
+            server.add_stream(StreamSpec::new(format!("s{k}"), cfg, move |f| {
+                log.lock().unwrap().push((k, f.index));
+                f.index
+            }));
+        }
+        server.run();
+        let log = log.lock().unwrap();
+        assert_eq!(log.len(), 12);
+        // After every prefix, completed-frame counts differ by at most 1.
+        let mut counts = [0usize; 3];
+        for &(k, _) in log.iter() {
+            counts[k] += 1;
+            let lo = counts.iter().min().unwrap();
+            let hi = counts.iter().max().unwrap();
+            assert!(hi - lo <= 1, "unfair schedule: {counts:?}");
+        }
+    }
+
+    /// A panicking backend must terminate the run with a propagated
+    /// failure — never strand the scheduler waiting on a completion that
+    /// will not come (the completion guard + the pool's panic isolation).
+    #[test]
+    fn panicking_stream_fails_loudly_instead_of_hanging() {
+        for threads in [1usize, 2] {
+            let shared = shared_scene();
+            let cfg = SequenceConfig::new(
+                CameraPath::orbit(shared.scene().center, 2.0, 1.0, 0.05),
+                3,
+                32,
+                24,
+            );
+            let mut server = Server::new(shared, threads);
+            server.add_stream(StreamSpec::new("boom", cfg, |_| -> usize {
+                panic!("backend failure (expected in this test)")
+            }));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| server.run()));
+            assert!(outcome.is_err(), "threads={threads}: panic was swallowed");
+        }
+    }
+
+    #[test]
+    fn rerun_replays_warm_but_bit_exact() {
+        let shared = shared_scene();
+        let mut server = Server::new(shared, 1);
+        let cfg = orbit_cfg(server.shared(), 0.0, 3);
+        server.add_stream(StreamSpec::vrpipe(
+            "s0",
+            cfg,
+            GpuConfig::default(),
+            PipelineVariant::Het,
+        ));
+        let a = server.run();
+        let b = server.run();
+        let stats = |r: &ServeReport<Result<SequenceFrameRecord, DrawError>>| {
+            r.streams[0]
+                .frames
+                .iter()
+                .map(|f| f.as_ref().unwrap().stats.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(stats(&a), stats(&b));
+        // Counters are per-run (baselined), not session-lifetime: each
+        // report covers exactly its own three frames.
+        assert_eq!(a.streams[0].resort.frames, 3);
+        assert_eq!(b.streams[0].resort.frames, 3);
+        assert_eq!(a.streams[0].cull.frames, 3);
+        assert_eq!(b.streams[0].cull.frames, 3);
+    }
+}

@@ -116,6 +116,72 @@ proptest! {
         prop_assert!(het.stats.shaded_fragments <= base.stats.shaded_fragments);
     }
 
+    /// Serving is scheduling-invariant: a seeded shuffle of the stream
+    /// service order ([`SchedulePolicy::Seeded`]) never changes any
+    /// stream's output bits relative to the default oldest-frame-first
+    /// schedule — for any seed, i.e. for any interleaving of stream
+    /// frames the scheduler can produce.
+    #[test]
+    fn interleaved_scheduling_never_changes_stream_bits(seed in 0u64..u64::MAX) {
+        use gsplat::camera::CameraPath;
+        use gsplat::scene::{Scene, EVALUATED_SCENES};
+        use std::sync::OnceLock;
+        use vrpipe::{
+            SchedulePolicy, SequenceConfig, Server, SharedScene, StreamSpec,
+        };
+
+        fn scene() -> &'static Scene {
+            static SCENE: OnceLock<Scene> = OnceLock::new();
+            SCENE.get_or_init(|| EVALUATED_SCENES[4].generate_scaled(0.02))
+        }
+
+        /// Per-frame digest: pipeline stats + preprocess stats formatted,
+        /// enough to pin the whole frame (stats include every counter the
+        /// image feeds).
+        fn run_with(policy: SchedulePolicy) -> Vec<Vec<String>> {
+            let s = scene();
+            let mut server =
+                Server::new(SharedScene::new(s.clone()), 1).with_policy(policy);
+            for k in 0..3 {
+                let path = CameraPath::orbit(
+                    s.center,
+                    s.view_radius,
+                    0.8 + 0.3 * k as f32,
+                    0.04 * (k as f32 + 1.0),
+                );
+                let cfg = SequenceConfig::new(path, 3, 40, 30).with_index();
+                server.add_stream(StreamSpec::vrpipe(
+                    format!("s{k}"),
+                    cfg,
+                    GpuConfig::default(),
+                    PipelineVariant::HetQm,
+                ));
+            }
+            server
+                .run()
+                .streams
+                .into_iter()
+                .map(|s| {
+                    s.frames
+                        .into_iter()
+                        .map(|f| {
+                            let f = f.expect("valid config");
+                            format!("{:?}|{:?}|{:?}", f.stats, f.preprocess, f.cull)
+                        })
+                        .collect()
+                })
+                .collect()
+        }
+
+        fn reference() -> &'static Vec<Vec<String>> {
+            static REF: OnceLock<Vec<Vec<String>>> = OnceLock::new();
+            REF.get_or_init(|| run_with(SchedulePolicy::OldestFirst))
+        }
+
+        let shuffled = run_with(SchedulePolicy::Seeded(seed));
+        prop_assert_eq!(reference(), &shuffled, "seed {} changed stream bits", seed);
+    }
+
     /// Work-counter invariants hold for every variant: blended fragments
     /// never exceed shaded, which never exceed rasterized.
     #[test]

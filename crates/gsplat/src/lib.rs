@@ -47,7 +47,7 @@ pub use color::{PixelFormat, Rgba};
 pub use framebuffer::{ColorBuffer, DepthStencilBuffer, TERMINATION_BIT};
 pub use gaussian::Gaussian;
 pub use index::{CellClass, CullState, CullStats, SceneIndex};
-pub use par::ThreadPolicy;
+pub use par::{ThreadPolicy, WorkerPool};
 pub use preprocess::PreprocessScratch;
 pub use projection::FrameTransform;
 pub use scene::{Scene, SceneKind, SceneSpec, EVALUATED_SCENES, LARGE_SCALE_SCENES};

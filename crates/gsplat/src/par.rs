@@ -20,8 +20,9 @@
 //! Scheduling (`static` striping vs. dynamic work-stealing) affects only
 //! which thread does the work, never the result.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Number of worker threads for a request of `requested` (`0` = the host
 /// default), clamped to `work` items so tiny draws stay serial.
@@ -327,6 +328,193 @@ impl BinScratch {
     }
 }
 
+/// A boxed run-to-completion task for the [`WorkerPool`].
+type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared queue state behind the pool's mutex.
+#[derive(Default)]
+struct PoolState {
+    /// Pending tasks in submission (FIFO) order.
+    tasks: VecDeque<PoolTask>,
+    /// Tasks submitted but not yet finished (queued + running).
+    in_flight: usize,
+    /// Set once, on drop: workers drain the queue and exit.
+    shutdown: bool,
+}
+
+/// Queue + wakeups shared between the pool handle and its workers.
+#[derive(Default)]
+struct PoolQueue {
+    state: Mutex<PoolState>,
+    /// Signalled on task submission (workers wait here for work).
+    ready: Condvar,
+    /// Signalled when `in_flight` drains to zero ([`WorkerPool::wait_idle`]).
+    idle: Condvar,
+}
+
+/// A persistent worker pool with a **run-to-completion** task queue: tasks
+/// are picked up in FIFO submission order and each runs on one worker until
+/// it returns — there is no preemption and no work splitting inside a task.
+///
+/// This is the host-thread budget for *multi-stream* workloads: where the
+/// fork-join primitives above parallelise **within** one frame (and M
+/// independent frame loops would oversubscribe the host M-fold), a
+/// `WorkerPool` runs M streams' frame tasks over one fixed set of workers,
+/// so the budget is shared instead of multiplied. Scheduling order can
+/// never change results — a task owns all the state it touches for its
+/// whole run (see `vrpipe::serve` for the bit-exactness argument).
+///
+/// # Sizing and `VRPIPE_HOST_THREADS`
+///
+/// Like [`effective_threads`], a request of `0` workers resolves to the
+/// process-wide host default: one worker per available CPU, overridden by
+/// the `VRPIPE_HOST_THREADS` environment variable (read once per process).
+/// An explicit request is honoured as given, clamped below at 1. A
+/// **one-worker pool spawns no threads at all**: [`WorkerPool::submit`]
+/// runs the task inline on the calling thread, so the 1-thread degeneracy
+/// (e.g. `VRPIPE_HOST_THREADS=1` in CI) is exactly a serial loop with zero
+/// queue or wakeup overhead.
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::par::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+/// let pool = WorkerPool::new(2);
+/// assert_eq!(pool.workers(), 2);
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..8 {
+///     let hits = Arc::clone(&hits);
+///     pool.submit(move || {
+///         hits.fetch_add(1, Ordering::SeqCst);
+///     });
+/// }
+/// pool.wait_idle();
+/// assert_eq!(hits.load(Ordering::SeqCst), 8);
+/// ```
+pub struct WorkerPool {
+    queue: Arc<PoolQueue>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .field("serial", &self.is_serial())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool of `threads` workers (`0` = the host default, i.e. one per
+    /// available CPU or the `VRPIPE_HOST_THREADS` override). A resolved
+    /// size of 1 spawns no threads; tasks run inline on the submitter.
+    pub fn new(threads: usize) -> Self {
+        let workers = effective_threads(threads, usize::MAX);
+        let queue = Arc::new(PoolQueue::default());
+        let handles = if workers <= 1 {
+            Vec::new()
+        } else {
+            (0..workers)
+                .map(|_| {
+                    let queue = Arc::clone(&queue);
+                    std::thread::spawn(move || loop {
+                        let task = {
+                            let mut state = queue.state.lock().expect("pool queue");
+                            loop {
+                                if let Some(task) = state.tasks.pop_front() {
+                                    break task;
+                                }
+                                if state.shutdown {
+                                    return;
+                                }
+                                state = queue.ready.wait(state).expect("pool queue");
+                            }
+                        };
+                        // A panicking task must not kill the worker (the
+                        // pool would silently shrink and eventually hang
+                        // its submitters) nor leak its in-flight slot. The
+                        // default panic hook still reports the panic; any
+                        // state the task poisoned surfaces to its owner on
+                        // the next lock.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                        let mut state = queue.state.lock().expect("pool queue");
+                        state.in_flight -= 1;
+                        if state.in_flight == 0 {
+                            queue.idle.notify_all();
+                        }
+                    })
+                })
+                .collect()
+        };
+        Self {
+            queue,
+            handles,
+            workers,
+        }
+    }
+
+    /// A pool sized to the host budget (`VRPIPE_HOST_THREADS` override,
+    /// else one worker per available CPU) — equivalent to `new(0)`.
+    pub fn with_host_budget() -> Self {
+        Self::new(0)
+    }
+
+    /// Number of workers the pool resolves work onto (≥ 1; a serial pool
+    /// reports 1 and is the calling thread itself).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// `true` when the pool runs tasks inline on the calling thread (one
+    /// worker — no threads were spawned).
+    pub fn is_serial(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Enqueues `task`. On a serial pool the task runs **inline, to
+    /// completion, before `submit` returns**; otherwise it is appended to
+    /// the FIFO queue and picked up by the next free worker.
+    pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
+        if self.handles.is_empty() {
+            task();
+            return;
+        }
+        let mut state = self.queue.state.lock().expect("pool queue");
+        state.in_flight += 1;
+        state.tasks.push_back(Box::new(task));
+        drop(state);
+        self.queue.ready.notify_one();
+    }
+
+    /// Blocks until every submitted task has finished (condvar wait — no
+    /// spinning). Completion-driven callers (e.g. the serve scheduler's
+    /// channel) don't need this; it exists for fire-and-forget uses and
+    /// tests.
+    pub fn wait_idle(&self) {
+        let mut state = self.queue.state.lock().expect("pool queue");
+        while state.in_flight > 0 {
+            state = self.queue.idle.wait(state).expect("pool queue");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.queue.state.lock().expect("pool queue");
+            state.shutdown = true;
+        }
+        self.queue.ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -473,5 +661,116 @@ mod tests {
         assert_eq!(effective_threads(8, 3), 3);
         assert_eq!(effective_threads(4, 0), 1);
         assert!(effective_threads(0, 1000) >= 1);
+    }
+
+    /// A default-sized pool resolves to the same host budget as the
+    /// fork-join primitives: `VRPIPE_HOST_THREADS` (cached once per
+    /// process) or one worker per available CPU — under CI's
+    /// `VRPIPE_HOST_THREADS=1` leg this pool is serial, under `=4` it has
+    /// exactly 4 workers.
+    #[test]
+    fn pool_size_follows_the_host_budget() {
+        let budget = effective_threads(0, usize::MAX);
+        let pool = WorkerPool::with_host_budget();
+        assert_eq!(pool.workers(), budget);
+        assert_eq!(pool.is_serial(), budget == 1);
+        // Explicit requests are honoured as given, clamped below at 1.
+        assert_eq!(WorkerPool::new(3).workers(), 3);
+        assert_eq!(WorkerPool::new(1).workers(), 1);
+    }
+
+    /// The 1-worker degeneracy spawns no threads: tasks run inline on the
+    /// submitting thread, to completion, before `submit` returns.
+    #[test]
+    fn serial_pool_runs_inline_with_zero_overhead() {
+        let pool = WorkerPool::new(1);
+        assert!(pool.is_serial());
+        let ran_on = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&ran_on);
+        let mut order = Vec::new();
+        pool.submit(move || {
+            *slot.lock().unwrap() = Some(std::thread::current().id());
+        });
+        // Inline execution: the effect is visible immediately after submit.
+        assert_eq!(
+            ran_on.lock().unwrap().expect("task ran"),
+            std::thread::current().id()
+        );
+        for i in 0..4 {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let l = Arc::clone(&log);
+            pool.submit(move || l.lock().unwrap().push(i));
+            order.extend(log.lock().unwrap().drain(..));
+        }
+        assert_eq!(order, vec![0, 1, 2, 3], "inline FIFO == submission order");
+        pool.wait_idle(); // no-op on a serial pool
+    }
+
+    /// Parallel pools run every task exactly once, off the submitter.
+    #[test]
+    fn parallel_pool_completes_all_tasks_on_workers() {
+        let pool = WorkerPool::new(3);
+        assert!(!pool.is_serial());
+        let main_id = std::thread::current().id();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let off_thread = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let hits = Arc::clone(&hits);
+            let off_thread = Arc::clone(&off_thread);
+            pool.submit(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+                if std::thread::current().id() != main_id {
+                    off_thread.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(hits.load(Ordering::SeqCst), 64);
+        assert_eq!(off_thread.load(Ordering::SeqCst), 64);
+        // The pool stays usable after draining (persistent, not fork-join).
+        let again = Arc::new(AtomicUsize::new(0));
+        let a = Arc::clone(&again);
+        pool.submit(move || {
+            a.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.wait_idle();
+        assert_eq!(again.load(Ordering::SeqCst), 1);
+    }
+
+    /// A panicking task neither kills its worker nor leaks its in-flight
+    /// slot: the pool stays at full strength and `wait_idle` returns.
+    #[test]
+    fn panicking_tasks_do_not_kill_the_pool() {
+        let pool = WorkerPool::new(2);
+        for _ in 0..4 {
+            pool.submit(|| panic!("task panic (expected in this test)"));
+        }
+        pool.wait_idle(); // would hang if the slot leaked
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let hits = Arc::clone(&hits);
+            pool.submit(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle(); // would hang if workers died
+        assert_eq!(hits.load(Ordering::SeqCst), 8);
+    }
+
+    /// Dropping a pool with queued work drains the queue first: shutdown
+    /// is graceful, never lossy.
+    #[test]
+    fn drop_drains_pending_tasks() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..32 {
+                let hits = Arc::clone(&hits);
+                pool.submit(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // drop joins the workers
+        assert_eq!(hits.load(Ordering::SeqCst), 32);
     }
 }
