@@ -10,6 +10,7 @@
 //!                           # kernel (SoA fragment-kernel throughput)
 //!                           # sequence (temporal-coherence frame sequences)
 //!                           # serve (multi-stream serving over one shared scene)
+//!                           # serve-faults / serve --faults (fault-injection smoke)
 //! figures all               # everything, in paper order
 //! ```
 //!
@@ -53,6 +54,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("kernel", kernel::kernel),
     ("sequence", sequence::sequence),
     ("serve", serve::serve),
+    ("serve-faults", serve::serve_faults),
     ("ablation-tgc", ablation::ablation_tgc),
     ("ablation-tc", ablation::ablation_tc),
     ("ablation-cache", ablation::ablation_crop_cache),
@@ -85,7 +87,14 @@ fn main() {
             }
             continue;
         }
-        match EXPERIMENTS.iter().find(|(n, _)| n == arg) {
+        // `figures serve --faults` is the CI spelling of the
+        // fault-injection smoke.
+        let arg = if arg == "--faults" {
+            "serve-faults"
+        } else {
+            arg.as_str()
+        };
+        match EXPERIMENTS.iter().find(|(n, _)| *n == arg) {
             Some((name, f)) => report.run(name, *f),
             None => {
                 eprintln!("unknown experiment: {arg}");

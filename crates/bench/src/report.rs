@@ -126,7 +126,7 @@ fn serve_measurement(scale: f32) -> String {
         let comma = if i + 1 < points.len() { "," } else { "" };
         let _ = writeln!(
             body,
-            "      {{\"streams\": {}, \"total_frames\": {}, \"wall_ms\": {:.3}, \"aggregate_fps\": {:.2}, \"index_share\": {:.3}, \"repaired_frames\": {}, \"radix_fallbacks\": {}, \"gaussians_skipped\": {}, \"gaussians_refreshed\": {}, \"gaussians_reprojected\": {}}}{comma}",
+            "      {{\"streams\": {}, \"total_frames\": {}, \"wall_ms\": {:.3}, \"aggregate_fps\": {:.2}, \"index_share\": {:.3}, \"repaired_frames\": {}, \"radix_fallbacks\": {}, \"gaussians_skipped\": {}, \"gaussians_refreshed\": {}, \"gaussians_reprojected\": {},\n       \"streams_detail\": [\n{}       ]}}{comma}",
             p.streams,
             p.total_frames,
             p.wall_ms,
@@ -137,12 +137,39 @@ fn serve_measurement(scale: f32) -> String {
             p.cull.gaussians_skipped,
             p.cull.gaussians_refreshed,
             p.cull.gaussians_reprojected,
+            stream_details_json(&p.details, "        "),
         );
     }
+    let faults = crate::serve::measure_serve_faults(2, scale.min(0.04), 4);
     format!(
-        "{{\"scene\": \"Train\", \"frames_per_stream\": {}, \"points\": [\n{body}    ]}}",
-        crate::serve::SERVE_FRAMES
+        "{{\"scene\": \"Train\", \"frames_per_stream\": {}, \"points\": [\n{body}    ],\n    \"faults\": {{\"seed\": {}, \"streams\": [\n{}    ]}}}}",
+        crate::serve::SERVE_FRAMES,
+        faults.seed,
+        stream_details_json(&faults.streams, "      "),
     )
+}
+
+/// Renders per-stream health counters (phase incl. eviction/failure
+/// reason, p50/p99 latency, deadline misses, dropped frames, retries) as
+/// a JSON array body, one object per line at `indent`.
+fn stream_details_json(details: &[crate::serve::StreamDetail], indent: &str) -> String {
+    let mut body = String::new();
+    for (i, d) in details.iter().enumerate() {
+        let comma = if i + 1 < details.len() { "," } else { "" };
+        let _ = writeln!(
+            body,
+            "{indent}{{\"name\": \"{}\", \"phase\": \"{}\", \"frames\": {}, \"frames_dropped\": {}, \"deadline_misses\": {}, \"retries\": {}, \"latency_p50_ms\": {:.4}, \"latency_p99_ms\": {:.4}}}{comma}",
+            d.name,
+            d.phase.escape_default(),
+            d.frames,
+            d.frames_dropped,
+            d.deadline_misses,
+            d.retries,
+            d.latency_p50_ms,
+            d.latency_p99_ms,
+        );
+    }
+    body
 }
 
 /// Fragment-kernel measurement for the JSON trail: SoA vs scalar

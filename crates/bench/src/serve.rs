@@ -1,12 +1,16 @@
 //! Multi-stream serving experiment: aggregate throughput as the number of
 //! concurrent viewers of one shared scene grows (1/2/4/8 streams), plus
 //! the index-share hit rate (how many sessions reuse the single
-//! `Arc<SceneIndex>` allocation).
+//! `Arc<SceneIndex>` allocation) and per-stream health counters (p50/p99
+//! frame latency, deadline misses, dropped frames, terminal phase).
 //!
 //! Parity-gated: before anything is timed, every stream of a 4-stream
 //! server run is asserted bit-exact against running that stream alone in
 //! a solo [`Session`], so a reported throughput can never hide a
-//! scheduling or state-sharing bug.
+//! scheduling or state-sharing bug. The companion `serve-faults` smoke
+//! ([`serve_faults`]) drives the server through a seeded fault plan plus
+//! a deadline/stall eviction and applies the same gate to every *produced*
+//! frame.
 
 use std::time::Instant;
 
@@ -16,7 +20,10 @@ use gsplat::index::CullStats;
 use gsplat::scene::EVALUATED_SCENES;
 use gsplat::sort::ResortStats;
 use gsplat::stream::FragmentKernel;
-use vrpipe::{PipelineVariant, SequenceConfig, Server, Session, SharedScene, StreamSpec};
+use vrpipe::{
+    FaultKind, FaultPlan, PipelineVariant, SequenceConfig, ServeReport, Server, Session,
+    SharedScene, StreamPhase, StreamReport, StreamSpec,
+};
 
 use crate::common::{banner, default_scale};
 
@@ -25,6 +32,54 @@ pub const SERVE_FRAMES: usize = 8;
 
 /// Concurrent-stream counts swept by the experiment.
 pub const STREAM_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Seed of the fault plan driven by the `serve-faults` smoke.
+pub const FAULT_SEED: u64 = 0xC0FFEE;
+
+/// Per-stream health counters of one serve run, for the JSON trail.
+pub struct StreamDetail {
+    /// Stream name.
+    pub name: String,
+    /// Terminal phase, flattened to a label ("completed", "evicted: …",
+    /// "failed: …").
+    pub phase: String,
+    /// Frames produced.
+    pub frames: usize,
+    /// Frames shed by graceful degradation.
+    pub frames_dropped: usize,
+    /// Produced frames that completed after their deadline.
+    pub deadline_misses: usize,
+    /// Backend retries performed.
+    pub retries: u32,
+    /// Median accepted frame latency, ms.
+    pub latency_p50_ms: f64,
+    /// 99th-percentile accepted frame latency, ms.
+    pub latency_p99_ms: f64,
+}
+
+/// Flattens a [`StreamPhase`] to a stable report label.
+fn phase_label(phase: &StreamPhase) -> String {
+    match phase {
+        StreamPhase::Completed => "completed".to_string(),
+        StreamPhase::Evicted(reason) => format!("evicted: {reason}"),
+        StreamPhase::Failed(fault) => format!("failed: {fault}"),
+        StreamPhase::Admitted => "admitted".to_string(),
+        StreamPhase::Running => "running".to_string(),
+    }
+}
+
+fn detail_of<R>(s: &StreamReport<R>) -> StreamDetail {
+    StreamDetail {
+        name: s.name.clone(),
+        phase: phase_label(&s.phase),
+        frames: s.frames.len(),
+        frames_dropped: s.frames_dropped,
+        deadline_misses: s.deadline_misses,
+        retries: s.retries,
+        latency_p50_ms: s.latency_p50_ms,
+        latency_p99_ms: s.latency_p99_ms,
+    }
+}
 
 /// One stream-count configuration's measurement.
 pub struct ServePoint {
@@ -42,6 +97,8 @@ pub struct ServePoint {
     pub resort: ResortStats,
     /// Summed incremental culling counters across streams.
     pub cull: CullStats,
+    /// Per-stream health counters of the final rep.
+    pub details: Vec<StreamDetail>,
 }
 
 /// The k-th viewer's sequence: alternating frame-coherent orbits (even
@@ -77,7 +134,7 @@ fn build_server(
     w: u32,
     h: u32,
     gpu: &GpuConfig,
-) -> Server<Result<vrpipe::SequenceFrameRecord, vrpipe::DrawError>> {
+) -> Server<vrpipe::SequenceFrameRecord> {
     let mut server = Server::new(shared, 0);
     for k in 0..n {
         let cfg = viewer_cfg(server.shared().scene(), k, frames, w, h);
@@ -89,6 +146,38 @@ fn build_server(
         ));
     }
     server
+}
+
+/// Asserts stream `k` of `report` bit-exact against its solo session for
+/// every frame it produced (full budget for healthy streams, the prefix
+/// before the fault otherwise).
+#[allow(clippy::too_many_arguments)]
+fn assert_stream_parity(
+    scene: &gsplat::Scene,
+    report: &ServeReport<vrpipe::SequenceFrameRecord>,
+    k: usize,
+    frames: usize,
+    w: u32,
+    h: u32,
+    gpu: &GpuConfig,
+    context: &str,
+) {
+    let cfg = viewer_cfg(scene, k, frames, w, h);
+    let solo = Session::default()
+        .run_vrpipe(scene, &cfg, gpu, PipelineVariant::HetQm)
+        .expect("valid config");
+    let stream = &report.streams[k];
+    for (served, &frame) in stream.frames.iter().zip(&stream.produced) {
+        let alone = &solo[frame];
+        assert_eq!(
+            served.stats, alone.stats,
+            "{context}: stream {k} frame {frame} diverged from its solo render"
+        );
+        assert_eq!(
+            served.preprocess, alone.preprocess,
+            "{context}: stream {k} frame {frame} preprocess diverged"
+        );
+    }
 }
 
 /// Measures aggregate serve throughput per stream count. **Parity-gated**:
@@ -112,25 +201,14 @@ pub fn measure_serve(spec_index: usize, scale: f32, frames: usize) -> Vec<ServeP
             "{}: not every session shares the scene index",
             spec.name
         );
-        for (k, stream) in report.streams.iter().enumerate() {
-            let cfg = viewer_cfg(&scene, k, frames, w, h);
-            let solo = Session::default()
-                .run_vrpipe(&scene, &cfg, &gpu, PipelineVariant::HetQm)
-                .expect("valid config");
-            assert_eq!(stream.frames.len(), solo.len(), "{}: stream {k}", spec.name);
-            for (i, (served, alone)) in stream.frames.iter().zip(&solo).enumerate() {
-                let served = served.as_ref().expect("valid config");
-                assert_eq!(
-                    served.stats, alone.stats,
-                    "{}: stream {k} frame {i} diverged from its solo render",
-                    spec.name
-                );
-                assert_eq!(
-                    served.preprocess, alone.preprocess,
-                    "{}: stream {k} frame {i} preprocess diverged",
-                    spec.name
-                );
-            }
+        for k in 0..report.streams.len() {
+            assert_eq!(
+                report.streams[k].frames.len(),
+                frames,
+                "{}: stream {k}",
+                spec.name
+            );
+            assert_stream_parity(&scene, &report, k, frames, w, h, &gpu, spec.name);
         }
     }
 
@@ -172,6 +250,7 @@ pub fn measure_serve(spec_index: usize, scale: f32, frames: usize) -> Vec<ServeP
                 index_share: report.index_share(),
                 resort,
                 cull,
+                details: report.streams.iter().map(detail_of).collect(),
             }
         })
         .collect()
@@ -186,6 +265,145 @@ fn sum_cull(a: CullStats, b: CullStats) -> CullStats {
         gaussians_skipped: a.gaussians_skipped + b.gaussians_skipped,
         gaussians_refreshed: a.gaussians_refreshed + b.gaussians_refreshed,
         gaussians_reprojected: a.gaussians_reprojected + b.gaussians_reprojected,
+    }
+}
+
+/// The `serve-faults` smoke measurement: one server driven through a
+/// deterministic chaos scenario (healthy / transient-recovered /
+/// persistently-failing / stalled-and-evicted streams) plus a seeded
+/// [`FaultPlan`], every produced frame parity-gated against solo
+/// sessions.
+pub struct ServeFaultsMeasurement {
+    /// Seed of the random fault plan.
+    pub seed: u64,
+    /// Per-stream outcomes of the deterministic chaos scenario.
+    pub streams: Vec<StreamDetail>,
+}
+
+/// Runs the fault-injection smoke: (a) a 4-stream chaos matrix — healthy
+/// deadline stream, transient fault that retries recover, persistent
+/// error that exhausts retries, stalled stream the watchdog evicts — and
+/// (b) a seeded [`FaultPlan`] over 4 more streams. Both are parity-gated:
+/// every frame any stream *produced* is bit-exact with its solo session.
+pub fn measure_serve_faults(
+    spec_index: usize,
+    scale: f32,
+    frames: usize,
+) -> ServeFaultsMeasurement {
+    let spec = &EVALUATED_SCENES[spec_index];
+    let scene = spec.generate_scaled(scale);
+    let (w, h) = spec.scaled_viewport(scale);
+    let gpu = GpuConfig {
+        kernel: FragmentKernel::Soa,
+        ..GpuConfig::default()
+    };
+
+    // --- (a) Deterministic chaos matrix. Stream k renders viewer_cfg(k)
+    // so the solo references are the same as the throughput gate's. ---
+    let mut server = Server::new(SharedScene::new(scene.clone()), 0).with_watchdog(2.0);
+    let mk = |k: usize, server: &Server<vrpipe::SequenceFrameRecord>| {
+        StreamSpec::vrpipe(
+            format!("chaos-{k}"),
+            viewer_cfg(server.shared().scene(), k, frames, w, h),
+            gpu.clone(),
+            PipelineVariant::HetQm,
+        )
+    };
+    // Healthy, generous deadline: must complete with zero misses.
+    let s0 = mk(0, &server).with_deadline_ms(10_000.0);
+    server.add_stream(s0);
+    // Transient fault at frame 1, cleared by two retries: must recover.
+    let s1 = mk(1, &server).with_faults(
+        FaultPlan::new()
+            .with_fault(0, 1, FaultKind::Transient(2))
+            .injector(0),
+    );
+    server.add_stream(s1);
+    // Persistent error at frame 2: retries exhaust, stream fails.
+    let s2 = mk(2, &server).with_faults(
+        FaultPlan::new()
+            .with_fault(0, 2, FaultKind::Error)
+            .injector(0),
+    );
+    server.add_stream(s2);
+    // Stall far past the watchdog budget (2 × 5 ms): evicted.
+    let s3 = mk(3, &server).with_deadline_ms(5.0).with_faults(
+        FaultPlan::new()
+            .with_fault(0, 1, FaultKind::Stall(120))
+            .injector(0),
+    );
+    server.add_stream(s3);
+
+    let report = server.run();
+    for k in 0..4 {
+        assert_stream_parity(&scene, &report, k, frames, w, h, &gpu, "serve-faults");
+    }
+    let s = &report.streams;
+    assert_eq!(s[0].phase, StreamPhase::Completed, "healthy stream");
+    assert_eq!(s[0].frames.len(), frames);
+    assert_eq!(s[0].deadline_misses, 0, "generous deadline missed");
+    assert_eq!(s[1].phase, StreamPhase::Completed, "transient must recover");
+    assert_eq!(s[1].retries, 2, "transient fault takes exactly two retries");
+    assert!(
+        matches!(s[2].phase, StreamPhase::Failed(_)),
+        "persistent error must fail the stream: {:?}",
+        s[2].phase
+    );
+    assert!(
+        phase_label(&s[2].phase).contains("injected"),
+        "report must name the injected cause: {}",
+        phase_label(&s[2].phase)
+    );
+    assert!(
+        matches!(s[3].phase, StreamPhase::Evicted(_)),
+        "stalled stream must be evicted: {:?}",
+        s[3].phase
+    );
+    let details = report.streams.iter().map(detail_of).collect();
+
+    // --- (b) Seeded fault plan: whatever the seed injects, produced
+    // frames stay bit-exact and the server terminates. ---
+    let plan = FaultPlan::seeded(FAULT_SEED, 4, frames);
+    let mut server = Server::new(SharedScene::new(scene.clone()), 0).with_watchdog(4.0);
+    for k in 0..4 {
+        let mut spec = mk(k, &server).with_faults(plan.injector(k));
+        if plan
+            .faults_for(k)
+            .any(|f| matches!(f.kind, FaultKind::Stall(_)))
+        {
+            // Stalls only evict under a deadline; give stalled streams one
+            // so the seeded plan exercises the watchdog too.
+            spec = spec.with_deadline_ms(5.0);
+        }
+        server.add_stream(spec);
+    }
+    let report = server.run();
+    for k in 0..4 {
+        assert_stream_parity(
+            &scene,
+            &report,
+            k,
+            frames,
+            w,
+            h,
+            &gpu,
+            "serve-faults(seeded)",
+        );
+    }
+    for (k, s) in report.streams.iter().enumerate() {
+        if plan.faults_for(k).next().is_none() {
+            assert_eq!(
+                s.phase,
+                StreamPhase::Completed,
+                "unfaulted stream {k} must complete"
+            );
+            assert_eq!(s.frames.len(), frames, "unfaulted stream {k}");
+        }
+    }
+
+    ServeFaultsMeasurement {
+        seed: FAULT_SEED,
+        streams: details,
     }
 }
 
@@ -233,4 +451,43 @@ pub fn serve() {
         );
         assert_eq!(p.total_frames, p.streams * SERVE_FRAMES);
     }
+    let largest = points.last().expect("non-empty sweep");
+    println!("  per-stream (at {} streams):", largest.streams);
+    for d in &largest.details {
+        println!(
+            "    {:>10}  p50 {:>7.3} ms  p99 {:>7.3} ms  misses {}  dropped {}  {}",
+            d.name,
+            d.latency_p50_ms,
+            d.latency_p99_ms,
+            d.deadline_misses,
+            d.frames_dropped,
+            d.phase
+        );
+    }
+}
+
+/// The `serve-faults` experiment (also reachable as `figures serve
+/// --faults`): fault-injection smoke — chaos matrix + seeded fault plan,
+/// parity-gated before anything is reported.
+pub fn serve_faults() {
+    banner(
+        "serve-faults",
+        "fault-tolerant serving (injection, retries, watchdog eviction)",
+    );
+    let scale = default_scale().min(0.04);
+    let m = measure_serve_faults(2, scale, 4);
+    println!("seeded fault plan 0x{:X}; chaos matrix outcomes:", m.seed);
+    for d in &m.streams {
+        println!(
+            "  {:>10}  frames {}  dropped {}  misses {}  retries {}  p50 {:.3} ms  {}",
+            d.name,
+            d.frames,
+            d.frames_dropped,
+            d.deadline_misses,
+            d.retries,
+            d.latency_p50_ms,
+            d.phase
+        );
+    }
+    println!("  parity gate passed: every produced frame bit-exact with its solo session");
 }

@@ -18,7 +18,8 @@
 //! into temporally coherent frame streams ([`Session`]), and [`serve`]
 //! schedules many such streams over one [`SharedScene`] — shared scene +
 //! spatial index, private per-stream state — across a persistent worker
-//! pool.
+//! pool, with dynamic admission/eviction, per-stream deadlines and
+//! failure containment ([`StreamPhase`], [`serve::faults`]).
 //!
 //! ```
 //! use gpu_sim::config::GpuConfig;
@@ -53,5 +54,9 @@ pub use pipeline::{
 };
 pub use renderer::{Frame, FrameScratch, Renderer, TimeBreakdown};
 pub use sequence::{FrameInput, SequenceConfig, SequenceFrameRecord, Session, SharedScene};
-pub use serve::{SchedulePolicy, ServeReport, Server, StreamReport, StreamSpec};
+pub use serve::faults::{FaultAction, FaultInjector, FaultKind, FaultPlan, PlannedFault};
+pub use serve::{
+    AdmissionPolicy, AttachOutcome, EvictReason, RetryPolicy, SchedulePolicy, ServeReport, Server,
+    ServerHandle, StreamFault, StreamPhase, StreamReport, StreamSpec,
+};
 pub use variant::PipelineVariant;

@@ -52,9 +52,14 @@ pub struct DrawOutput {
     pub stats: PipelineStats,
 }
 
-/// Why a draw call was rejected before any work ran. Returned by the
-/// fallible [`try_draw`]/[`try_draw_with_scratch`]/[`try_draw_in_place`]
-/// entry points; the panicking [`draw`] family unwraps it.
+/// Why a draw call failed. Returned by the fallible
+/// [`try_draw`]/[`try_draw_with_scratch`]/[`try_draw_in_place`] entry
+/// points and by stream backends behind `vrpipe::serve`; the panicking
+/// [`draw`] family unwraps it.
+///
+/// Implements [`std::error::Error`] + [`std::fmt::Display`], and
+/// [`DrawError::is_transient`] classifies errors for retry logic — user
+/// code can match on the variants instead of inspecting strings.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DrawError {
     /// The [`GpuConfig`] failed [`GpuConfig::validate`]; the payload is
@@ -68,6 +73,42 @@ pub enum DrawError {
         /// Depth/stencil-buffer dimensions.
         depth_stencil: (u32, u32),
     },
+    /// A runtime backend fault: the stream's renderer (or an injected
+    /// fault, see `vrpipe::serve::faults`) failed while producing a frame.
+    /// `transient` marks faults worth retrying (momentary resource
+    /// pressure, an injected transient) as opposed to deterministic ones.
+    Backend {
+        /// Human-readable description of the fault.
+        reason: String,
+        /// `true` when a retry of the same frame may succeed.
+        transient: bool,
+    },
+}
+
+impl DrawError {
+    /// A runtime backend fault (see [`DrawError::Backend`]).
+    pub fn backend(reason: impl Into<String>, transient: bool) -> Self {
+        DrawError::Backend {
+            reason: reason.into(),
+            transient,
+        }
+    }
+
+    /// `true` when retrying the failed operation may succeed, so retry
+    /// loops (e.g. the serve scheduler's bounded exponential backoff) can
+    /// classify errors without string inspection. Configuration and
+    /// target-shape errors are deterministic — a retry would fail
+    /// identically — so only transient [`DrawError::Backend`] faults
+    /// qualify.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            DrawError::Backend {
+                transient: true,
+                ..
+            }
+        )
+    }
 }
 
 impl std::fmt::Display for DrawError {
@@ -81,6 +122,11 @@ impl std::fmt::Display for DrawError {
                 f,
                 "render target dimensions disagree: color {}x{} vs depth/stencil {}x{}",
                 color.0, color.1, depth_stencil.0, depth_stencil.1
+            ),
+            DrawError::Backend { reason, transient } => write!(
+                f,
+                "backend fault ({}): {reason}",
+                if *transient { "transient" } else { "permanent" }
             ),
         }
     }
@@ -1081,6 +1127,30 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, err2);
+    }
+
+    /// The retry classifier: only transient backend faults are worth
+    /// retrying — config and target-shape errors are deterministic.
+    #[test]
+    fn draw_error_transience_classifier() {
+        assert!(!DrawError::InvalidConfig("x".into()).is_transient());
+        assert!(!DrawError::TargetMismatch {
+            color: (1, 1),
+            depth_stencil: (2, 2)
+        }
+        .is_transient());
+        assert!(DrawError::backend("blip", true).is_transient());
+        assert!(!DrawError::backend("hard fault", false).is_transient());
+        // Display carries the classification for logs.
+        assert!(DrawError::backend("blip", true)
+            .to_string()
+            .contains("transient"));
+        assert!(DrawError::backend("hard fault", false)
+            .to_string()
+            .contains("permanent"));
+        // std::error::Error is implemented (satisfies `?`-style callers).
+        let e: Box<dyn std::error::Error> = Box::new(DrawError::backend("blip", true));
+        assert!(e.to_string().contains("blip"));
     }
 
     #[test]

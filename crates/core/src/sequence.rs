@@ -237,7 +237,13 @@ impl Session {
         self.cull.stats()
     }
 
-    /// Forgets the temporal warm start (call on a scene or camera cut).
+    /// Forgets the temporal warm start: the sorter's warm-start order and
+    /// the [`CullState`]'s classification history / covariance-cache
+    /// epochs. Call on a scene or camera cut — and after any run that did
+    /// **not** complete cleanly (the serve scheduler calls this when it
+    /// rewinds an evicted or failed stream, so a rerun is provably
+    /// bit-exact from frame 0 even if the aborted run left mid-frame
+    /// state behind).
     pub fn invalidate_temporal(&mut self) {
         self.pre.invalidate_temporal();
         self.cull.invalidate();

@@ -1,47 +1,96 @@
 //! Multi-session serving: N concurrent coherent streams over one shared
 //! scene — the paper's deployment shape (many head-tracked viewers of the
-//! same world) scaled past a single [`Session`].
+//! same world) scaled past a single [`Session`] — now as a long-lived,
+//! fault-tolerant service.
 //!
 //! A [`Server`] owns one [`SharedScene`] (scene + `Arc<SceneIndex>`, built
 //! once), a set of streams (each its own [`CameraPath`] via
-//! [`SequenceConfig`], resolution, backend closure and per-stream
-//! [`Session`]), and a persistent [`WorkerPool`] with a run-to-completion
-//! task queue. The scheduler dispatches **ready frames** — a stream is
-//! ready when it has frames left and none in flight — across the pool,
-//! oldest-frame-first with round-robin tie-breaking, so no stream starves
-//! and the pool never idles while work remains.
+//! [`SequenceConfig`], resolution, backend and per-stream [`Session`]),
+//! and a persistent [`WorkerPool`] with a run-to-completion task queue.
+//! The scheduler dispatches **ready frames** — a stream is ready when it
+//! is `Running`, has frames left and none in flight — across the pool
+//! under the configured [`SchedulePolicy`].
 //!
-//! **Bit-exactness under interleaving.** Every stream's output is
-//! bit-exact with running that stream alone in a solo [`Session`], for any
-//! pool size and any service order, because the scheduler moves only
+//! **Stream lifecycle.** Every stream walks the state machine
+//! `Admitted → Running → {Completed, Evicted(reason), Failed(reason)}`
+//! ([`StreamPhase`]). Streams attach and detach mid-flight
+//! ([`Server::attach`] / [`Server::detach`] while idle, a cloneable
+//! [`ServerHandle`] from anywhere — including from inside a running
+//! stream's backend); admission is controlled against a capacity budget
+//! ([`Server::with_admission`]): [`AdmissionPolicy::Queue`] parks excess
+//! streams in `Admitted` until capacity frees, [`AdmissionPolicy::Reject`]
+//! refuses them at the door ([`AttachOutcome::Rejected`] hands the spec
+//! back).
+//!
+//! **Deadlines, EDF, watchdog.** A stream with a frame-rate target
+//! ([`StreamSpec::with_deadline_ms`] / [`StreamSpec::with_target_fps`])
+//! gives frame *i* the deadline `started + (i+1)·period`.
+//! [`SchedulePolicy::Deadline`] serves ready streams
+//! earliest-deadline-first. A watchdog evicts a stream whose in-flight
+//! frame has not completed within `k × period` ([`Server::with_watchdog`])
+//! — mid-flight when the pool is threaded, or on (late) completion when a
+//! serial pool ran the frame inline, so both pool shapes converge on the
+//! same [`EvictReason::Stalled`] report. Streams that opted into
+//! [`StreamSpec::with_frame_dropping`] shed frames that are already a
+//! full period past their deadline before they start: dropped frames are
+//! *recorded* (`frames_dropped`, the `produced` index list), never
+//! silently rendered differently.
+//!
+//! **Failure containment.** A backend returning a *transient*
+//! [`DrawError`] ([`DrawError::is_transient`]) is retried with bounded
+//! exponential backoff and deterministic seeded jitter ([`RetryPolicy`])
+//! before the stream is marked [`StreamPhase::Failed`]; a panicking
+//! backend is caught at the task boundary (the pool's panic isolation
+//! plus [`gsplat::par::panic_message`] carry the payload back) and
+//! surfaces as [`StreamFault::Panicked`] on *that stream only* — the
+//! server keeps serving the rest. Deterministic chaos comes from the
+//! [`faults`] module: a seeded [`faults::FaultPlan`] injects
+//! Error/Panic/Stall/Transient faults at the backend seam, driving
+//! `tests/serve_faults.rs`.
+//!
+//! **Bit-exactness under interleaving and faults.** Every *produced*
+//! frame of every stream is bit-exact with running that stream alone in a
+//! solo [`Session`], for any pool size, any service order, and any fault
+//! plan targeting *other* streams, because the scheduler moves only
 //! *whole frames* and every piece of mutable state a frame touches is
 //! owned by exactly one stream: the sorter warm start, the
 //! [`gsplat::index::CullState`] (classification + covariance cache) and
 //! the backend's targets all live in that stream's session, each stream's
 //! frames run in order with at most one in flight, and the shared scene
-//! and [`SceneIndex`] are immutable. Interleaving therefore permutes
-//! *wall-clock* execution, never any stream's state trajectory — enforced
-//! by `tests/serve.rs` and the scheduling-shuffle property test.
+//! and [`SceneIndex`] are immutable. Faults are injected *before* the
+//! frame renders, so a faulted attempt never half-mutates session state;
+//! dropped frames are never rendered at all, and the warm-start/cull
+//! machinery is bit-exact regardless of which frames preceded (enforced
+//! by `tests/serve.rs`, the scheduling-shuffle property test and the
+//! chaos suite). Rewind after an eviction or failure calls
+//! [`Session::invalidate_temporal`], so a rerun is bit-exact from
+//! frame 0.
 //!
 //! [`CameraPath`]: gsplat::camera::CameraPath
 //! [`SceneIndex`]: gsplat::index::SceneIndex
 
-use std::sync::mpsc;
+pub mod faults;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gpu_sim::config::GpuConfig;
 use gsplat::index::CullStats;
-use gsplat::par::WorkerPool;
+use gsplat::par::{panic_message, WorkerPool};
 use gsplat::sort::ResortStats;
 use gsplat::ThreadPolicy;
 
 use crate::pipeline::DrawError;
 use crate::sequence::{FrameInput, SequenceConfig, SequenceFrameRecord, Session, SharedScene};
 use crate::variant::PipelineVariant;
+use faults::{FaultAction, FaultInjector};
 
 /// Boxed per-frame backend of one stream.
 type RenderFn<R> = Box<dyn FnMut(FrameInput<'_>) -> R + Send>;
+/// Boxed fallible per-frame backend (errors feed the retry machinery).
+type TryRenderFn<R> = Box<dyn FnMut(FrameInput<'_>) -> Result<R, DrawError> + Send>;
 
 /// Field-wise `now - earlier` over the session-lifetime resort counters,
 /// so a [`StreamReport`] covers exactly one run.
@@ -54,10 +103,30 @@ fn resort_delta(now: ResortStats, earlier: &ResortStats) -> ResortStats {
     }
 }
 
+/// SplitMix64 finalizer, the repo's standard bit mixer.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0.0 on empty).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
 /// How one stream turns a prepared frame into its output.
 enum Backend<R> {
     /// A caller-supplied closure over the preprocessed [`FrameInput`].
-    Closure(RenderFn<R>),
+    Infallible(RenderFn<R>),
+    /// A caller-supplied closure that can fail; transient [`DrawError`]s
+    /// go through the stream's [`RetryPolicy`] before the stream is
+    /// marked [`StreamPhase::Failed`].
+    Fallible(TryRenderFn<R>),
     /// The built-in simulated-hardware path, routed through
     /// [`Session::render_frame_vrpipe`] so it reuses the session-owned
     /// [`crate::pipeline::DrawScratch`] and persistent render targets.
@@ -66,14 +135,14 @@ enum Backend<R> {
     VrPipe {
         gpu: GpuConfig,
         variant: PipelineVariant,
-        wrap: fn(Result<SequenceFrameRecord, DrawError>) -> R,
+        wrap: fn(SequenceFrameRecord) -> R,
     },
 }
 
 /// How the scheduler picks among ready streams.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulePolicy {
-    /// Serve the ready stream with the fewest completed frames (no stream
+    /// Serve the ready stream with the fewest started frames (no stream
     /// falls behind); ties rotate round-robin from the last dispatch.
     /// This is the default.
     #[default]
@@ -82,16 +151,191 @@ pub enum SchedulePolicy {
     /// that shuffles service order to *prove* scheduling cannot change
     /// output bits (it exercises interleavings the default never would).
     Seeded(u64),
+    /// Earliest-deadline-first: among ready streams with a deadline, pick
+    /// the one whose next frame is due soonest; streams without a
+    /// deadline rank after every deadline stream and are served
+    /// oldest-first among themselves.
+    Deadline,
+}
+
+/// What happens when a stream is attached while the server is at its
+/// admission capacity (see [`Server::with_admission`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Admit the stream but park it in [`StreamPhase::Admitted`] until a
+    /// running stream reaches a terminal phase and frees capacity. This
+    /// is the default.
+    #[default]
+    Queue,
+    /// Refuse the stream at the door: [`Server::attach`] returns
+    /// [`AttachOutcome::Rejected`] with the spec handed back. (A
+    /// [`ServerHandle::attach`] under this policy silently drops the
+    /// spec — the handle is fire-and-forget.)
+    Reject,
+}
+
+/// Bounded exponential backoff with deterministic seeded jitter, applied
+/// between retries of a transient [`DrawError`] (see
+/// [`DrawError::is_transient`]). Delays are
+/// `min(base·2^attempt, max) · (0.5 + 0.5·jitter)` where `jitter ∈ [0,1)`
+/// is a pure hash of `(seed, stream, frame, attempt)` — the same fault
+/// always backs off identically, so chaos runs are replayable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries before the stream is marked failed (0 = fail on first
+    /// error).
+    pub max_retries: u32,
+    /// First-retry delay, ms.
+    pub base_delay_ms: f64,
+    /// Backoff ceiling, ms.
+    pub max_delay_ms: f64,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three retries, 0.25 ms → 4 ms backoff — generous enough to clear
+    /// injected transients, short enough for tests.
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_delay_ms: 0.25,
+            max_delay_ms: 4.0,
+            seed: 0x5EED_0BAC,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: the first backend error fails the stream.
+    pub fn none() -> Self {
+        Self {
+            max_retries: 0,
+            ..Self::default()
+        }
+    }
+
+    /// The deterministic delay before retry `attempt` (0-based) of
+    /// `frame` on stream `stream`, ms.
+    pub fn backoff_ms(&self, stream: usize, frame: usize, attempt: u32) -> f64 {
+        let exp = (self.base_delay_ms * (1u64 << attempt.min(20)) as f64).min(self.max_delay_ms);
+        let h = mix64(
+            self.seed
+                ^ (stream as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (frame as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                ^ ((attempt as u64 + 1).wrapping_mul(0x94D0_49BB_1331_11EB)),
+        );
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        exp * (0.5 + 0.5 * unit)
+    }
+}
+
+/// Why a stream was evicted (the scheduler gave up on it; its session
+/// state is invalidated at rewind so a rerun is bit-exact from frame 0).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvictReason {
+    /// The in-flight frame did not complete within the stall budget
+    /// (`k × period`, see [`Server::with_watchdog`]).
+    Stalled {
+        /// Frame that was in flight when the watchdog fired.
+        frame: usize,
+        /// How long the scheduler had waited (or the frame took), ms.
+        waited_ms: f64,
+        /// The stall budget that was exceeded, ms.
+        budget_ms: f64,
+    },
+    /// The stream was detached mid-run ([`Server::detach`] /
+    /// [`ServerHandle::detach`]).
+    Detached,
+}
+
+impl std::fmt::Display for EvictReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvictReason::Stalled {
+                frame,
+                waited_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "stalled at frame {frame} ({waited_ms:.1} ms > budget {budget_ms:.1} ms)"
+            ),
+            EvictReason::Detached => write!(f, "detached"),
+        }
+    }
+}
+
+/// Why a stream failed (its own backend misbehaved; other streams are
+/// untouched).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamFault {
+    /// The backend kept returning [`DrawError`] after `retries` retries
+    /// (transient errors retry up to [`RetryPolicy::max_retries`];
+    /// permanent ones fail immediately with the retry count so far).
+    Render {
+        /// The final error.
+        error: DrawError,
+        /// Retries performed before giving up.
+        retries: u32,
+    },
+    /// The backend panicked; the payload was caught at the task boundary.
+    Panicked {
+        /// The panic payload, stringified.
+        message: String,
+        /// Frame whose attempt panicked.
+        frame: usize,
+    },
+}
+
+impl std::fmt::Display for StreamFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamFault::Render { error, retries } => {
+                write!(f, "render error after {retries} retries: {error}")
+            }
+            StreamFault::Panicked { message, frame } => {
+                write!(f, "backend panicked at frame {frame}: {message}")
+            }
+        }
+    }
+}
+
+/// One stream's position in the lifecycle state machine
+/// `Admitted → Running → {Completed, Evicted, Failed}`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamPhase {
+    /// Registered, waiting for admission capacity.
+    Admitted,
+    /// Being served.
+    Running,
+    /// Every frame of the budget was produced or (opted-in) dropped.
+    Completed,
+    /// The scheduler gave up on the stream.
+    Evicted(EvictReason),
+    /// The stream's own backend failed.
+    Failed(StreamFault),
+}
+
+impl StreamPhase {
+    /// `true` once the stream can make no further progress this run.
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self, StreamPhase::Admitted | StreamPhase::Running)
+    }
 }
 
 /// One stream's definition: a name, its sequence (camera path, frame
-/// budget, viewport, temporal/indexed knobs) and the per-frame backend
-/// closure receiving the preprocessed [`FrameInput`].
+/// budget, viewport, temporal/indexed knobs), the per-frame backend, and
+/// the serving knobs (deadline, frame dropping, retry policy, fault
+/// injection).
 pub struct StreamSpec<R> {
     name: String,
     cfg: SequenceConfig,
     build_stream: bool,
     backend: Backend<R>,
+    deadline_ms: Option<f64>,
+    drop_late: bool,
+    retry: RetryPolicy,
+    injector: FaultInjector,
 }
 
 impl<R> std::fmt::Debug for StreamSpec<R> {
@@ -99,11 +343,26 @@ impl<R> std::fmt::Debug for StreamSpec<R> {
         f.debug_struct("StreamSpec")
             .field("name", &self.name)
             .field("cfg", &self.cfg)
+            .field("deadline_ms", &self.deadline_ms)
+            .field("drop_late", &self.drop_late)
             .finish_non_exhaustive()
     }
 }
 
 impl<R: Send + 'static> StreamSpec<R> {
+    fn with_backend(name: impl Into<String>, cfg: SequenceConfig, backend: Backend<R>) -> Self {
+        Self {
+            name: name.into(),
+            cfg,
+            build_stream: false,
+            backend,
+            deadline_ms: None,
+            drop_late: false,
+            retry: RetryPolicy::default(),
+            injector: FaultInjector::none(),
+        }
+    }
+
     /// A stream rendering `cfg` through `render` — any backend that can
     /// consume a [`FrameInput`] (the three `swrender` backends, the
     /// in-shader workload model, or arbitrary instrumentation). State the
@@ -119,12 +378,19 @@ impl<R: Send + 'static> StreamSpec<R> {
         cfg: SequenceConfig,
         render: impl FnMut(FrameInput<'_>) -> R + Send + 'static,
     ) -> Self {
-        Self {
-            name: name.into(),
-            cfg,
-            build_stream: false,
-            backend: Backend::Closure(Box::new(render)),
-        }
+        Self::with_backend(name, cfg, Backend::Infallible(Box::new(render)))
+    }
+
+    /// Like [`StreamSpec::new`] but the backend can fail: transient
+    /// [`DrawError`]s go through the stream's [`RetryPolicy`] before the
+    /// stream is marked [`StreamPhase::Failed`]; permanent ones fail it
+    /// immediately.
+    pub fn fallible(
+        name: impl Into<String>,
+        cfg: SequenceConfig,
+        render: impl FnMut(FrameInput<'_>) -> Result<R, DrawError> + Send + 'static,
+    ) -> Self {
+        Self::with_backend(name, cfg, Backend::Fallible(Box::new(render)))
     }
 
     /// Also maintain the SoA [`gsplat::stream::SplatStream`] mirror each
@@ -132,6 +398,45 @@ impl<R: Send + 'static> StreamSpec<R> {
     /// `CudaLikeRenderer::render_prepared`).
     pub fn with_stream(mut self) -> Self {
         self.build_stream = true;
+        self
+    }
+
+    /// Sets a per-frame deadline: frame *i* is due `(i+1)·period_ms`
+    /// after the stream starts running. Enables the watchdog and makes
+    /// the stream eligible for [`SchedulePolicy::Deadline`].
+    pub fn with_deadline_ms(mut self, period_ms: f64) -> Self {
+        self.deadline_ms = (period_ms > 0.0).then_some(period_ms);
+        self
+    }
+
+    /// [`StreamSpec::with_deadline_ms`] expressed as a frame-rate target.
+    pub fn with_target_fps(self, fps: f64) -> Self {
+        if fps > 0.0 {
+            self.with_deadline_ms(1e3 / fps)
+        } else {
+            self
+        }
+    }
+
+    /// Opt into graceful degradation: frames that are already a full
+    /// period past their deadline before they start are *dropped* —
+    /// recorded in `frames_dropped` and missing from `produced`, never
+    /// silently rendered differently. Requires a deadline.
+    pub fn with_frame_dropping(mut self) -> Self {
+        self.drop_late = true;
+        self
+    }
+
+    /// Replaces the retry policy (default [`RetryPolicy::default`]).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Attaches a fault injector (see [`faults`]) at the backend seam —
+    /// consulted once per render attempt, before the real backend runs.
+    pub fn with_faults(mut self, injector: FaultInjector) -> Self {
+        self.injector = injector;
         self
     }
 
@@ -144,14 +449,21 @@ impl<R: Send + 'static> StreamSpec<R> {
     pub fn cfg(&self) -> &SequenceConfig {
         &self.cfg
     }
+
+    /// The per-frame deadline, if set.
+    pub fn deadline_ms(&self) -> Option<f64> {
+        self.deadline_ms
+    }
 }
 
-impl StreamSpec<Result<SequenceFrameRecord, DrawError>> {
+impl StreamSpec<SequenceFrameRecord> {
     /// The built-in simulated-hardware backend: every frame runs through
     /// [`Session::render_frame_vrpipe`], reusing the per-stream session's
     /// own [`crate::pipeline::DrawScratch`] and persistent render targets
     /// — the serve-side equivalent of [`Session::run_vrpipe`], one
-    /// implementation for both.
+    /// implementation for both. Draw errors feed the stream's
+    /// [`RetryPolicy`] / [`StreamPhase::Failed`] machinery instead of
+    /// leaking into the output type.
     ///
     /// The draw's host threading is pinned serial (`gpu.threads = 1`,
     /// bit-identical results by the determinism contract): served
@@ -163,16 +475,15 @@ impl StreamSpec<Result<SequenceFrameRecord, DrawError>> {
         gpu: GpuConfig,
         variant: PipelineVariant,
     ) -> Self {
-        Self {
-            name: name.into(),
+        Self::with_backend(
+            name,
             cfg,
-            build_stream: false,
-            backend: Backend::VrPipe {
+            Backend::VrPipe {
                 gpu: GpuConfig { threads: 1, ..gpu },
                 variant,
                 wrap: std::convert::identity,
             },
-        }
+        )
     }
 }
 
@@ -182,28 +493,195 @@ struct StreamState<R> {
     cfg: SequenceConfig,
     session: Session,
     backend: Backend<R>,
-    outputs: Vec<R>,
-    frames_done: usize,
-    /// Wall time spent inside this stream's frame tasks, ms.
-    busy_ms: f64,
+    injector: FaultInjector,
+    retry: RetryPolicy,
 }
 
-/// One registered stream: its immutable identity plus the shared mutable
-/// state handed to worker tasks.
+/// Scheduler-owned bookkeeping of one stream — everything the run loop
+/// mutates without touching the stream's mutex (which a stalled zombie
+/// task may hold).
+struct Sched<R> {
+    phase: StreamPhase,
+    busy: bool,
+    /// Next frame index to start (dispatch and drop both advance it).
+    cursor: usize,
+    /// `(frame, output)` in completion order (= frame order: one in
+    /// flight, in-order dispatch).
+    outputs: Vec<(usize, R)>,
+    /// Frame indices shed by graceful degradation.
+    dropped: Vec<usize>,
+    /// Accepted per-frame latencies, ms, in completion order.
+    latencies: Vec<f64>,
+    deadline_misses: usize,
+    retries: u32,
+    busy_ms: f64,
+    /// Dispatch epoch: bumped on eviction/detach so completions from
+    /// zombie tasks are recognised and discarded.
+    generation: u32,
+    /// When the stream entered `Running` (deadline origin).
+    started_at: Option<Instant>,
+    /// When the in-flight frame was dispatched (watchdog origin).
+    dispatched_at: Option<Instant>,
+}
+
+impl<R> Default for Sched<R> {
+    fn default() -> Self {
+        Self {
+            phase: StreamPhase::Admitted,
+            busy: false,
+            cursor: 0,
+            outputs: Vec::new(),
+            dropped: Vec::new(),
+            latencies: Vec::new(),
+            deadline_misses: 0,
+            retries: 0,
+            busy_ms: 0.0,
+            generation: 0,
+            started_at: None,
+            dispatched_at: None,
+        }
+    }
+}
+
+/// One registered stream: immutable identity + scheduler bookkeeping +
+/// the shared mutable state handed to worker tasks.
 struct StreamEntry<R> {
+    /// Stable id (monotonic across attach/detach; [`Server::add_stream`]
+    /// returns it).
+    id: usize,
     name: String,
-    frames: usize,
+    budget: usize,
     indexed: bool,
+    deadline_ms: Option<f64>,
+    drop_late: bool,
+    /// Marked for removal at the end of the current run.
+    detached: bool,
+    /// The session's temporal state must be invalidated before the next
+    /// run (set when a run ends in a non-`Completed` phase).
+    needs_reset: bool,
+    /// Session-lifetime counter baseline at the start of the current run.
+    baseline: (ResortStats, CullStats),
+    sched: Sched<R>,
     state: Arc<Mutex<StreamState<R>>>,
+}
+
+/// Commands a [`ServerHandle`] (or the idle server) feeds the scheduler.
+/// The spec is boxed so the enum (and [`Msg`], which carries it) stays
+/// small next to its other variants.
+enum Command<R> {
+    Attach { id: usize, spec: Box<StreamSpec<R>> },
+    Detach { id: usize },
+}
+
+/// Everything that flows to the scheduler over its one channel: frame
+/// completions and lifecycle commands share it, so a command sent before
+/// a completion is always observed first (FIFO).
+enum Msg<R> {
+    Done {
+        id: usize,
+        generation: u32,
+        frame: usize,
+        latency_ms: f64,
+        retries: u32,
+        result: Result<R, StreamFault>,
+    },
+    Cmd(Command<R>),
+}
+
+/// Outcome of [`Server::attach`].
+#[derive(Debug)]
+pub enum AttachOutcome<R> {
+    /// The stream was registered under `id`.
+    Admitted {
+        /// The stream's stable id.
+        id: usize,
+    },
+    /// [`AdmissionPolicy::Reject`]: the server is at capacity; the spec
+    /// is handed back untouched (boxed, so the enum stays small).
+    Rejected {
+        /// The refused spec.
+        spec: Box<StreamSpec<R>>,
+        /// The capacity that was full.
+        capacity: usize,
+    },
+}
+
+impl<R> AttachOutcome<R> {
+    /// The admitted id, or `None` when rejected.
+    pub fn id(&self) -> Option<usize> {
+        match self {
+            AttachOutcome::Admitted { id } => Some(*id),
+            AttachOutcome::Rejected { .. } => None,
+        }
+    }
+}
+
+/// A cloneable remote control for a [`Server`]: attach and detach streams
+/// from anywhere — another thread, or a running stream's own backend —
+/// while [`Server::run`] is in flight. Commands ride the scheduler's
+/// completion channel, so one sent from inside a frame task is processed
+/// before that frame's own completion.
+pub struct ServerHandle<R> {
+    tx: mpsc::Sender<Msg<R>>,
+    next_id: Arc<AtomicUsize>,
+}
+
+impl<R> Clone for ServerHandle<R> {
+    fn clone(&self) -> Self {
+        Self {
+            tx: self.tx.clone(),
+            next_id: Arc::clone(&self.next_id),
+        }
+    }
+}
+
+impl<R: Send + 'static> ServerHandle<R> {
+    /// Queues `spec` for attachment and returns its id immediately. The
+    /// stream is admitted when the scheduler processes the command
+    /// (silently dropped under [`AdmissionPolicy::Reject`] at capacity —
+    /// use [`Server::attach`] for a synchronous verdict).
+    pub fn attach(&self, spec: StreamSpec<R>) -> usize {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let _ = self.tx.send(Msg::Cmd(Command::Attach {
+            id,
+            spec: Box::new(spec),
+        }));
+        id
+    }
+
+    /// Queues detachment of stream `id`: it is reported as
+    /// [`EvictReason::Detached`] for the current run and removed from the
+    /// server afterwards.
+    pub fn detach(&self, id: usize) {
+        let _ = self.tx.send(Msg::Cmd(Command::Detach { id }));
+    }
 }
 
 /// Per-stream results and counters of one [`Server::run`].
 #[derive(Debug)]
 pub struct StreamReport<R> {
+    /// The stream's stable id.
+    pub id: usize,
     /// Stream name.
     pub name: String,
-    /// Per-frame backend outputs, in frame order.
+    /// Where the stream ended the run.
+    pub phase: StreamPhase,
+    /// Per-frame backend outputs, in frame order (dropped frames are
+    /// absent — see `produced`).
     pub frames: Vec<R>,
+    /// Frame indices of `frames` (identical to `0..frames.len()` unless
+    /// frames were dropped).
+    pub produced: Vec<usize>,
+    /// Frames shed by graceful degradation (late past their deadline).
+    pub frames_dropped: usize,
+    /// Produced frames that completed after their deadline.
+    pub deadline_misses: usize,
+    /// Backend retries performed across the run.
+    pub retries: u32,
+    /// Median accepted frame latency, ms (0 when nothing was produced).
+    pub latency_p50_ms: f64,
+    /// 99th-percentile accepted frame latency, ms.
+    pub latency_p99_ms: f64,
     /// Wall time spent inside this stream's frame tasks, ms.
     pub busy_ms: f64,
     /// Delivered frame rate over the whole run's wall clock.
@@ -244,17 +722,44 @@ impl<R> ServeReport<R> {
             self.index_sharers as f64 / self.indexed_streams as f64
         }
     }
+
+    /// The report of the stream named `name`, if any.
+    pub fn stream(&self, name: &str) -> Option<&StreamReport<R>> {
+        self.streams.iter().find(|s| s.name == name)
+    }
+
+    /// Streams that ended the run in `Completed`.
+    pub fn completed(&self) -> usize {
+        self.count(|p| matches!(p, StreamPhase::Completed))
+    }
+
+    /// Streams that ended the run in `Evicted`.
+    pub fn evicted(&self) -> usize {
+        self.count(|p| matches!(p, StreamPhase::Evicted(_)))
+    }
+
+    /// Streams that ended the run in `Failed`.
+    pub fn failed(&self) -> usize {
+        self.count(|p| matches!(p, StreamPhase::Failed(_)))
+    }
+
+    fn count(&self, f: impl Fn(&StreamPhase) -> bool) -> usize {
+        self.streams.iter().filter(|s| f(&s.phase)).count()
+    }
 }
 
-/// A multi-stream serving loop: one [`SharedScene`], N per-stream
-/// [`Session`]s, one persistent [`WorkerPool`].
+/// A fault-tolerant multi-stream serving loop: one [`SharedScene`], N
+/// per-stream [`Session`]s, one persistent [`WorkerPool`].
 ///
 /// Streams render frames in their own order with at most one frame in
 /// flight each; the scheduler fills the pool with ready frames under the
-/// configured [`SchedulePolicy`]. Sessions run with a **serial**
-/// per-frame thread policy — parallelism comes from concurrent streams
-/// sharing the pool, not from each frame fork-joining over the whole
-/// host (which would oversubscribe it M-fold; see
+/// configured [`SchedulePolicy`], walks each stream through the
+/// [`StreamPhase`] lifecycle, retries transient backend errors, contains
+/// panics to the faulting stream, and (for deadline streams) evicts
+/// stalls and optionally sheds late frames. Sessions run with a
+/// **serial** per-frame thread policy — parallelism comes from concurrent
+/// streams sharing the pool, not from each frame fork-joining over the
+/// whole host (which would oversubscribe it M-fold; see
 /// [`gsplat::par::WorkerPool`]).
 ///
 /// # Examples
@@ -263,7 +768,7 @@ impl<R> ServeReport<R> {
 /// use gpu_sim::config::GpuConfig;
 /// use gsplat::camera::CameraPath;
 /// use gsplat::scene::EVALUATED_SCENES;
-/// use vrpipe::{PipelineVariant, SequenceConfig, Server, SharedScene, StreamSpec};
+/// use vrpipe::{PipelineVariant, SequenceConfig, Server, SharedScene, StreamPhase, StreamSpec};
 ///
 /// let scene = EVALUATED_SCENES[4].generate_scaled(0.04);
 /// let shared = SharedScene::new(scene);
@@ -285,16 +790,25 @@ impl<R> ServeReport<R> {
 /// let report = server.run();
 /// assert_eq!(report.total_frames, 6);
 /// assert_eq!(report.index_sharers, 2);
+/// assert!(report.streams.iter().all(|s| s.phase == StreamPhase::Completed));
 /// ```
 pub struct Server<R> {
     shared: Arc<SharedScene>,
     pool: Arc<WorkerPool>,
     policy: SchedulePolicy,
+    admission: AdmissionPolicy,
+    capacity: Option<usize>,
+    /// Stall budget multiplier: a deadline stream is evicted when a frame
+    /// takes longer than `watchdog_k × period`.
+    watchdog_k: f64,
     streams: Vec<StreamEntry<R>>,
     /// Round-robin cursor for tie-breaking.
     rr_next: usize,
     /// LCG state for [`SchedulePolicy::Seeded`].
     rng: u64,
+    tx: mpsc::Sender<Msg<R>>,
+    rx: mpsc::Receiver<Msg<R>>,
+    next_id: Arc<AtomicUsize>,
 }
 
 impl<R> std::fmt::Debug for Server<R> {
@@ -303,6 +817,8 @@ impl<R> std::fmt::Debug for Server<R> {
             .field("streams", &self.streams.len())
             .field("workers", &self.pool.workers())
             .field("policy", &self.policy)
+            .field("admission", &self.admission)
+            .field("capacity", &self.capacity)
             .finish()
     }
 }
@@ -317,13 +833,20 @@ impl<R: Send + 'static> Server<R> {
     /// A server borrowing an existing pool — several servers (or other
     /// subsystems) can share one host-thread budget.
     pub fn with_pool(shared: Arc<SharedScene>, pool: Arc<WorkerPool>) -> Self {
+        let (tx, rx) = mpsc::channel();
         Self {
             shared,
             pool,
             policy: SchedulePolicy::default(),
+            admission: AdmissionPolicy::default(),
+            capacity: None,
+            watchdog_k: 4.0,
             streams: Vec::new(),
             rr_next: 0,
             rng: 0,
+            tx,
+            rx,
+            next_id: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -331,6 +854,22 @@ impl<R: Send + 'static> Server<R> {
     /// [`SchedulePolicy::OldestFirst`]).
     pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Caps concurrently running streams at `capacity` (clamped to ≥ 1)
+    /// under `policy` (default: unlimited, [`AdmissionPolicy::Queue`]).
+    pub fn with_admission(mut self, capacity: usize, policy: AdmissionPolicy) -> Self {
+        self.capacity = Some(capacity.max(1));
+        self.admission = policy;
+        self
+    }
+
+    /// Replaces the watchdog stall multiplier (default 4.0): a deadline
+    /// stream is evicted when a frame exceeds `k × period`. Streams
+    /// without a deadline are never watchdogged.
+    pub fn with_watchdog(mut self, k: f64) -> Self {
+        self.watchdog_k = k.max(1.0);
         self
     }
 
@@ -349,169 +888,645 @@ impl<R: Send + 'static> Server<R> {
         self.streams.len()
     }
 
-    /// Registers a stream and returns its id (registration order). The
-    /// stream gets a fresh serial-policy [`Session`], prepared against the
-    /// shared scene (indexed configurations adopt the shared
-    /// `Arc<SceneIndex>` — built now, once, if this is the first).
-    pub fn add_stream(&mut self, spec: StreamSpec<R>) -> usize {
-        let mut session = Session::new(ThreadPolicy::serial());
-        if spec.build_stream {
-            session = session.with_stream();
+    /// A cloneable handle for mid-flight [`ServerHandle::attach`] /
+    /// [`ServerHandle::detach`].
+    pub fn handle(&self) -> ServerHandle<R> {
+        ServerHandle {
+            tx: self.tx.clone(),
+            next_id: Arc::clone(&self.next_id),
         }
-        session.prepare_shared(&self.shared, &spec.cfg);
-        let id = self.streams.len();
-        self.streams.push(StreamEntry {
-            name: spec.name,
-            frames: spec.cfg.frames,
-            indexed: spec.cfg.indexed,
-            state: Arc::new(Mutex::new(StreamState {
-                cfg: spec.cfg,
-                session,
-                backend: spec.backend,
-                outputs: Vec::new(),
-                frames_done: 0,
-                busy_ms: 0.0,
-            })),
-        });
-        id
+    }
+
+    /// Registers a stream, subject to admission control. Admitted streams
+    /// get a fresh serial-policy [`Session`], prepared against the shared
+    /// scene (indexed configurations adopt the shared `Arc<SceneIndex>` —
+    /// built now, once, if this is the first). Under
+    /// [`AdmissionPolicy::Reject`] at capacity, the spec is handed back.
+    pub fn attach(&mut self, spec: StreamSpec<R>) -> AttachOutcome<R> {
+        if self.admission == AdmissionPolicy::Reject {
+            if let Some(cap) = self.capacity {
+                let active = self
+                    .streams
+                    .iter()
+                    .filter(|e| !e.sched.phase.is_terminal() && !e.detached)
+                    .count();
+                if active >= cap {
+                    return AttachOutcome::Rejected {
+                        spec: Box::new(spec),
+                        capacity: cap,
+                    };
+                }
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.register(id, spec);
+        AttachOutcome::Admitted { id }
+    }
+
+    /// [`Server::attach`] for servers without admission limits: returns
+    /// the stream id directly.
+    ///
+    /// # Panics
+    ///
+    /// If the stream is rejected (only possible under
+    /// [`AdmissionPolicy::Reject`] with a capacity set).
+    pub fn add_stream(&mut self, spec: StreamSpec<R>) -> usize {
+        match self.attach(spec) {
+            AttachOutcome::Admitted { id } => id,
+            AttachOutcome::Rejected { spec, capacity } => panic!(
+                "stream {:?} rejected: server at capacity {capacity}",
+                spec.name
+            ),
+        }
+    }
+
+    /// Removes stream `id` from an idle server. Returns `false` when no
+    /// such stream exists. (Mid-run detach goes through
+    /// [`ServerHandle::detach`].)
+    pub fn detach(&mut self, id: usize) -> bool {
+        match self.find(id) {
+            Some(k) => {
+                self.streams.remove(k);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replaces stream `id`'s fault injector (e.g. healing an injected
+    /// fault before a rerun). Returns `false` when no such stream exists.
+    pub fn set_faults(&mut self, id: usize, injector: FaultInjector) -> bool {
+        match self.find(id) {
+            Some(k) => {
+                lock_state(&self.streams[k].state).injector = injector;
+                true
+            }
+            None => false,
+        }
     }
 
     /// A clone of stream `id`'s current `Arc<SceneIndex>` (for sharing
     /// assertions in tests; `None` for non-indexed streams).
     pub fn stream_index(&self, id: usize) -> Option<Arc<gsplat::index::SceneIndex>> {
-        self.streams[id]
-            .state
-            .lock()
-            .expect("stream state")
+        let k = self.find(id)?;
+        lock_state(&self.streams[k].state)
             .session
             .scene_index()
             .cloned()
     }
 
-    /// Serves every stream's full frame budget across the pool and
-    /// returns per-stream outputs and counters. Streams are then rewound:
-    /// a subsequent `run` replays the same frame budgets with warm
-    /// temporal state — still bit-exact (the temporal machinery never
-    /// approximates), just cheaper, which is exactly what benchmark
-    /// repetitions want.
+    fn find(&self, id: usize) -> Option<usize> {
+        self.streams.iter().position(|e| e.id == id)
+    }
+
+    /// Builds the entry for an admitted spec.
+    fn register(&mut self, id: usize, spec: StreamSpec<R>) {
+        let mut session = Session::new(ThreadPolicy::serial());
+        if spec.build_stream {
+            session = session.with_stream();
+        }
+        session.prepare_shared(&self.shared, &spec.cfg);
+        let baseline = (session.resort_stats(), session.cull_stats());
+        self.streams.push(StreamEntry {
+            id,
+            name: spec.name,
+            budget: spec.cfg.frames,
+            indexed: spec.cfg.indexed,
+            deadline_ms: spec.deadline_ms,
+            drop_late: spec.drop_late,
+            detached: false,
+            needs_reset: false,
+            baseline,
+            sched: Sched::default(),
+            state: Arc::new(Mutex::new(StreamState {
+                cfg: spec.cfg,
+                session,
+                backend: spec.backend,
+                injector: spec.injector,
+                retry: spec.retry,
+            })),
+        });
+    }
+}
+
+/// Locks a stream's state, recovering from poisoning (panics are caught
+/// inside the frame task, but stay robust anyway).
+fn lock_state<R>(state: &Arc<Mutex<StreamState<R>>>) -> std::sync::MutexGuard<'_, StreamState<R>> {
+    match state.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl<R: Send + 'static> Server<R> {
+    /// Serves every registered stream to a terminal phase across the pool
+    /// and returns per-stream outputs and counters. Streams are then
+    /// rewound for the next run: `Completed` streams keep their warm
+    /// temporal state (still bit-exact — the temporal machinery never
+    /// approximates — just cheaper, which is what benchmark repetitions
+    /// want), while evicted/failed streams get
+    /// [`Session::invalidate_temporal`] so their rerun is bit-exact from
+    /// frame 0. Detached streams are removed after reporting.
     pub fn run(&mut self) -> ServeReport<R> {
         let t0 = Instant::now();
-        let n = self.streams.len();
-        // Counter baselines, so the report covers exactly this run even
-        // though the sessions' resort/cull stats accumulate for life.
-        let baselines: Vec<(ResortStats, CullStats)> = self
-            .streams
-            .iter()
-            .map(|e| {
-                let st = e.state.lock().expect("stream state");
-                (st.session.resort_stats(), st.session.cull_stats())
-            })
-            .collect();
-        let (tx, rx) = mpsc::channel::<usize>();
+        self.begin_run();
         let workers = self.pool.workers();
-        let mut busy = vec![false; n];
-        // Scheduler-side mirror of per-stream progress (exact: one frame
-        // in flight per stream, completion messages drive it).
-        let mut done: Vec<usize> = vec![0; n];
         let mut in_flight = 0usize;
         loop {
-            while in_flight < workers {
-                let Some(sid) = self.pick(&busy, &done) else {
-                    break;
-                };
-                busy[sid] = true;
-                in_flight += 1;
-                let state = Arc::clone(&self.streams[sid].state);
-                let scene = self.shared.scene_arc();
-                let tx = tx.clone();
-                // Run-to-completion frame task: locks its stream's state
-                // (uncontended — the scheduler never double-dispatches a
-                // stream), renders the next frame, reports back. The
-                // completion message is sent from a drop guard so even a
-                // panicking backend cannot strand the scheduler in
-                // `recv` — the panic then surfaces as a poisoned stream
-                // lock on the next touch instead of a hang.
-                self.pool.submit(move || {
-                    struct Complete {
-                        tx: mpsc::Sender<usize>,
-                        sid: usize,
-                    }
-                    impl Drop for Complete {
-                        fn drop(&mut self) {
-                            let _ = self.tx.send(self.sid);
-                        }
-                    }
-                    let _complete = Complete { tx, sid };
-                    let mut guard = state.lock().expect("stream state");
-                    let st = &mut *guard;
-                    let i = st.frames_done;
-                    let f0 = Instant::now();
-                    let StreamState {
-                        cfg,
-                        session,
-                        backend,
-                        ..
-                    } = st;
-                    let out = match backend {
-                        Backend::Closure(render) => session.render_frame(&scene, cfg, i, render),
-                        Backend::VrPipe { gpu, variant, wrap } => {
-                            wrap(session.render_frame_vrpipe(&scene, cfg, i, gpu, *variant))
-                        }
-                    };
-                    st.busy_ms += f0.elapsed().as_secs_f64() * 1e3;
-                    st.outputs.push(out);
-                    st.frames_done += 1;
-                });
-            }
-            if in_flight == 0 {
+            // Apply everything that arrived while we slept (or before the
+            // run started), then make progress deterministically:
+            // promotions first, sheds second, dispatch last.
+            self.pump(&mut in_flight);
+            self.promote_admitted();
+            self.drop_late_frames();
+            self.dispatch_ready(&mut in_flight, workers);
+            if in_flight == 0 && self.all_settled() {
                 break;
             }
-            let sid = rx.recv().expect("completion channel");
-            busy[sid] = false;
-            done[sid] += 1;
-            in_flight -= 1;
-            // Drain without blocking so the dispatch pass sees every
-            // stream that became ready while we slept.
-            while let Ok(sid) = rx.try_recv() {
-                busy[sid] = false;
-                done[sid] += 1;
-                in_flight -= 1;
+            let msg = match self.watch_tick() {
+                // Deadline streams need wall-clock ticks for the watchdog
+                // and the frame-shedding rule even while nothing
+                // completes.
+                Some(tick) => match self.rx.recv_timeout(tick) {
+                    Ok(m) => Some(m),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        unreachable!("scheduler holds a sender")
+                    }
+                },
+                None => Some(self.rx.recv().expect("scheduler holds a sender")),
+            };
+            if let Some(m) = msg {
+                self.handle_msg(m, &mut in_flight);
             }
+            self.watchdog(&mut in_flight);
         }
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.finish_run(wall_ms)
+    }
 
+    /// Drains the channel without blocking.
+    fn pump(&mut self, in_flight: &mut usize) {
+        while let Ok(m) = self.rx.try_recv() {
+            self.handle_msg(m, in_flight);
+        }
+    }
+
+    /// Processes pending commands and stale completions left over from a
+    /// previous run, and re-arms sessions flagged for a temporal reset.
+    fn begin_run(&mut self) {
+        let mut stray = 0usize;
+        self.pump(&mut stray);
+        debug_assert_eq!(stray, 0, "no live dispatches outside run()");
+        for e in &mut self.streams {
+            if e.needs_reset {
+                // Blocking lock: a zombie from the previous run may still
+                // hold the state; correctness over latency here.
+                let mut st = lock_state(&e.state);
+                st.session.invalidate_temporal();
+                e.needs_reset = false;
+                e.baseline = (st.session.resort_stats(), st.session.cull_stats());
+            } else {
+                let st = lock_state(&e.state);
+                e.baseline = (st.session.resort_stats(), st.session.cull_stats());
+            }
+        }
+    }
+
+    /// `Admitted → Running` while capacity allows, in registration order.
+    fn promote_admitted(&mut self) {
+        let cap = self.capacity.unwrap_or(usize::MAX);
+        let mut running = self
+            .streams
+            .iter()
+            .filter(|e| matches!(e.sched.phase, StreamPhase::Running))
+            .count();
+        for e in &mut self.streams {
+            if !matches!(e.sched.phase, StreamPhase::Admitted) {
+                continue;
+            }
+            if running >= cap {
+                break;
+            }
+            e.sched.started_at = Some(Instant::now());
+            if e.budget == 0 {
+                e.sched.phase = StreamPhase::Completed;
+            } else {
+                e.sched.phase = StreamPhase::Running;
+                running += 1;
+            }
+        }
+    }
+
+    /// Graceful degradation: sheds frames that are already a full period
+    /// past their deadline before they start (opt-in per stream).
+    fn drop_late_frames(&mut self) {
+        for e in &mut self.streams {
+            if !e.drop_late || e.sched.busy || !matches!(e.sched.phase, StreamPhase::Running) {
+                continue;
+            }
+            let (Some(period), Some(start)) = (e.deadline_ms, e.sched.started_at) else {
+                continue;
+            };
+            let now_ms = start.elapsed().as_secs_f64() * 1e3;
+            while e.sched.cursor < e.budget {
+                let due = (e.sched.cursor + 1) as f64 * period;
+                if now_ms <= due + period {
+                    break;
+                }
+                e.sched.dropped.push(e.sched.cursor);
+                e.sched.cursor += 1;
+            }
+            if e.sched.cursor >= e.budget {
+                e.sched.phase = StreamPhase::Completed;
+            }
+        }
+    }
+
+    /// Fills the pool with ready frames.
+    fn dispatch_ready(&mut self, in_flight: &mut usize, workers: usize) {
+        while *in_flight < workers {
+            let Some(k) = self.pick() else { break };
+            let e = &mut self.streams[k];
+            let frame = e.sched.cursor;
+            e.sched.cursor += 1;
+            e.sched.busy = true;
+            e.sched.dispatched_at = Some(Instant::now());
+            *in_flight += 1;
+            let id = e.id;
+            let generation = e.sched.generation;
+            let state = Arc::clone(&e.state);
+            let scene = self.shared.scene_arc();
+            let tx = self.tx.clone();
+            // Run-to-completion frame task. Exactly one completion per
+            // dispatch: the normal path stores its message in the guard,
+            // and the guard's drop sends it — with a Failed backstop if
+            // the task somehow aborts first — so the scheduler can never
+            // be stranded waiting on a completion that will not come.
+            self.pool.submit(move || {
+                let mut complete = Complete {
+                    tx,
+                    id,
+                    generation,
+                    frame,
+                    msg: None,
+                };
+                let t0 = Instant::now();
+                let mut guard = lock_state(&state);
+                let st = &mut *guard;
+                let mut retries = 0u32;
+                let result: Result<R, StreamFault> = loop {
+                    // The fault seam fires BEFORE the real backend: an
+                    // injected fault never half-mutates session state,
+                    // which is what keeps faulted streams' sessions
+                    // replayable and other streams' bits untouchable.
+                    let injected = st.injector.intercept(frame, retries);
+                    let attempt: Result<Result<R, DrawError>, String> = match injected {
+                        Some(FaultAction::Fail(e)) => Ok(Err(e)),
+                        Some(FaultAction::Panic(msg)) => {
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                || -> Result<R, DrawError> { panic!("{msg}") },
+                            ))
+                            .map_err(|p| panic_message(p.as_ref()))
+                        }
+                        other => {
+                            if let Some(FaultAction::Sleep(d)) = other {
+                                std::thread::sleep(d);
+                            }
+                            let StreamState {
+                                cfg,
+                                session,
+                                backend,
+                                ..
+                            } = st;
+                            // catch_unwind INSIDE the lock: a panicking
+                            // backend unwinds into this Err arm, not past
+                            // the guard, so the mutex is never poisoned.
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                || match backend {
+                                    Backend::Infallible(render) => {
+                                        Ok(session.render_frame(&scene, cfg, frame, render))
+                                    }
+                                    Backend::Fallible(render) => {
+                                        session.render_frame(&scene, cfg, frame, render)
+                                    }
+                                    Backend::VrPipe { gpu, variant, wrap } => session
+                                        .render_frame_vrpipe(&scene, cfg, frame, gpu, *variant)
+                                        .map(wrap),
+                                },
+                            ))
+                            .map_err(|p| panic_message(p.as_ref()))
+                        }
+                    };
+                    match attempt {
+                        Err(message) => break Err(StreamFault::Panicked { message, frame }),
+                        Ok(Ok(out)) => break Ok(out),
+                        Ok(Err(error)) => {
+                            if error.is_transient() && retries < st.retry.max_retries {
+                                let delay = st.retry.backoff_ms(id, frame, retries);
+                                if delay > 0.0 {
+                                    std::thread::sleep(Duration::from_secs_f64(delay / 1e3));
+                                }
+                                retries += 1;
+                            } else {
+                                break Err(StreamFault::Render { error, retries });
+                            }
+                        }
+                    }
+                };
+                drop(guard);
+                complete.msg = Some(Msg::Done {
+                    id,
+                    generation,
+                    frame,
+                    latency_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    retries,
+                    result,
+                });
+            });
+        }
+    }
+
+    /// Handles one completion or command.
+    fn handle_msg(&mut self, msg: Msg<R>, in_flight: &mut usize) {
+        match msg {
+            Msg::Cmd(Command::Attach { id, spec }) => {
+                if self.admission == AdmissionPolicy::Reject {
+                    if let Some(cap) = self.capacity {
+                        let active = self
+                            .streams
+                            .iter()
+                            .filter(|e| !e.sched.phase.is_terminal() && !e.detached)
+                            .count();
+                        if active >= cap {
+                            return; // handle-attach is fire-and-forget
+                        }
+                    }
+                }
+                self.register(id, *spec);
+            }
+            Msg::Cmd(Command::Detach { id }) => {
+                let Some(k) = self.find(id) else { return };
+                let e = &mut self.streams[k];
+                e.detached = true;
+                if !e.sched.phase.is_terminal() {
+                    if e.sched.busy {
+                        // The in-flight frame becomes a zombie; its
+                        // completion is recognised by generation and
+                        // dropped.
+                        e.sched.generation += 1;
+                        e.sched.busy = false;
+                        e.sched.dispatched_at = None;
+                        *in_flight -= 1;
+                    }
+                    e.sched.phase = StreamPhase::Evicted(EvictReason::Detached);
+                }
+            }
+            Msg::Done {
+                id,
+                generation,
+                frame,
+                latency_ms,
+                retries,
+                result,
+            } => {
+                let Some(k) = self.find(id) else { return };
+                if self.streams[k].sched.generation != generation {
+                    return; // zombie of an evicted/detached epoch
+                }
+                let budget_ms = self.stall_budget(k);
+                let e = &mut self.streams[k];
+                e.sched.busy = false;
+                e.sched.dispatched_at = None;
+                *in_flight -= 1;
+                e.sched.busy_ms += latency_ms;
+                e.sched.retries += retries;
+                // Watchdog parity for serial pools: a frame that ran
+                // inline on the scheduler thread could not be evicted
+                // mid-stall, so evict on its (late) completion instead —
+                // both pool shapes converge on the same report.
+                if let Some(budget_ms) = budget_ms {
+                    if latency_ms > budget_ms {
+                        e.sched.generation += 1;
+                        e.sched.phase = StreamPhase::Evicted(EvictReason::Stalled {
+                            frame,
+                            waited_ms: latency_ms,
+                            budget_ms,
+                        });
+                        return;
+                    }
+                }
+                match result {
+                    Ok(out) => {
+                        e.sched.latencies.push(latency_ms);
+                        if let (Some(period), Some(start)) = (e.deadline_ms, e.sched.started_at) {
+                            let due = (frame + 1) as f64 * period;
+                            if start.elapsed().as_secs_f64() * 1e3 > due {
+                                e.sched.deadline_misses += 1;
+                            }
+                        }
+                        e.sched.outputs.push((frame, out));
+                        if e.sched.cursor >= e.budget {
+                            e.sched.phase = StreamPhase::Completed;
+                        }
+                    }
+                    Err(fault) => {
+                        e.sched.phase = StreamPhase::Failed(fault);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evicts running deadline streams whose in-flight frame blew the
+    /// stall budget (threaded pools; serial pools converge via the
+    /// late-completion check in [`Server::handle_msg`]).
+    fn watchdog(&mut self, in_flight: &mut usize) {
+        for k in 0..self.streams.len() {
+            let Some(budget_ms) = self.stall_budget(k) else {
+                continue;
+            };
+            let e = &mut self.streams[k];
+            if !e.sched.busy || !matches!(e.sched.phase, StreamPhase::Running) {
+                continue;
+            }
+            let Some(t) = e.sched.dispatched_at else {
+                continue;
+            };
+            let waited_ms = t.elapsed().as_secs_f64() * 1e3;
+            if waited_ms > budget_ms {
+                // The zombie task keeps a pool worker until it returns;
+                // its completion is discarded by generation. Scheduler
+                // capacity is freed now so healthy/queued streams
+                // proceed.
+                e.sched.generation += 1;
+                e.sched.busy = false;
+                e.sched.dispatched_at = None;
+                e.sched.phase = StreamPhase::Evicted(EvictReason::Stalled {
+                    frame: e.sched.cursor - 1,
+                    waited_ms,
+                    budget_ms,
+                });
+                *in_flight -= 1;
+            }
+        }
+    }
+
+    /// The stall budget of stream `k`, ms (`None` = no deadline, never
+    /// watchdogged).
+    fn stall_budget(&self, k: usize) -> Option<f64> {
+        self.streams[k].deadline_ms.map(|p| p * self.watchdog_k)
+    }
+
+    /// `true` once every stream is in a terminal phase.
+    fn all_settled(&self) -> bool {
+        self.streams.iter().all(|e| e.sched.phase.is_terminal())
+    }
+
+    /// The receive timeout while any deadline stream is live (watchdog
+    /// and shed rules need wall-clock ticks), else `None` (block).
+    fn watch_tick(&self) -> Option<Duration> {
+        let live = self.streams.iter().any(|e| {
+            e.deadline_ms.is_some()
+                && matches!(e.sched.phase, StreamPhase::Running | StreamPhase::Admitted)
+        });
+        live.then(|| Duration::from_millis(1))
+    }
+
+    /// Picks the next stream to dispatch among the ready ones (running,
+    /// not busy, frames remaining), or `None`.
+    fn pick(&mut self) -> Option<usize> {
+        let ready: Vec<usize> = (0..self.streams.len())
+            .filter(|&i| {
+                let e = &self.streams[i];
+                matches!(e.sched.phase, StreamPhase::Running)
+                    && !e.sched.busy
+                    && e.sched.cursor < e.budget
+            })
+            .collect();
+        if ready.is_empty() {
+            return None;
+        }
+        match self.policy {
+            SchedulePolicy::OldestFirst => Some(self.pick_oldest(&ready)),
+            SchedulePolicy::Seeded(seed) => {
+                // SplitMix64 step over the running state (seeded once).
+                if self.rng == 0 {
+                    self.rng = seed | 1;
+                }
+                self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let z = mix64(self.rng);
+                Some(ready[(z % ready.len() as u64) as usize])
+            }
+            SchedulePolicy::Deadline => {
+                // EDF over the ready deadline streams; deadline-less
+                // streams only when no deadline stream is ready.
+                let edf = ready
+                    .iter()
+                    .filter_map(|&i| {
+                        let e = &self.streams[i];
+                        let period = e.deadline_ms?;
+                        let start = e.sched.started_at?;
+                        let due = start
+                            + Duration::from_secs_f64((e.sched.cursor + 1) as f64 * period / 1e3);
+                        Some((due, i))
+                    })
+                    .min_by_key(|&(due, _)| due);
+                match edf {
+                    Some((_, i)) => Some(i),
+                    None => Some(self.pick_oldest(&ready)),
+                }
+            }
+        }
+    }
+
+    /// Fewest started frames first; ties rotate round-robin from the
+    /// cursor so equal streams are served fairly.
+    fn pick_oldest(&mut self, ready: &[usize]) -> usize {
+        let oldest = ready
+            .iter()
+            .map(|&i| self.streams[i].sched.cursor)
+            .min()
+            .expect("non-empty");
+        let n = self.streams.len();
+        let sid = (0..n)
+            .map(|k| (self.rr_next + k) % n)
+            .find(|&i| ready.contains(&i) && self.streams[i].sched.cursor == oldest)
+            .expect("some ready stream has the oldest frame");
+        self.rr_next = (sid + 1) % n;
+        sid
+    }
+
+    /// Builds the report, rewinds every stream for the next run and
+    /// removes detached entries.
+    fn finish_run(&mut self, wall_ms: f64) -> ServeReport<R> {
         let shared_index = self.shared.index_if_built();
-        let mut streams = Vec::with_capacity(n);
+        let mut streams = Vec::with_capacity(self.streams.len());
         let mut total_frames = 0usize;
         let mut index_sharers = 0usize;
         let mut indexed_streams = 0usize;
-        for (entry, (resort0, cull0)) in self.streams.iter_mut().zip(&baselines) {
-            let mut st = entry.state.lock().expect("stream state");
-            let frames = std::mem::take(&mut st.outputs);
-            // Rewind for the next run; temporal state stays warm.
-            st.frames_done = 0;
-            let busy_ms = std::mem::replace(&mut st.busy_ms, 0.0);
-            total_frames += frames.len();
-            let shares_index = match (shared_index, st.session.scene_index()) {
-                (Some(shared), Some(own)) => Arc::ptr_eq(shared, own),
-                _ => false,
+        for e in &mut self.streams {
+            let sched = std::mem::take(&mut e.sched);
+            let phase = match sched.phase {
+                // A stream still Admitted/Running when the loop settled
+                // can only be one that never got work (budget exhausted
+                // races are impossible: terminal phases are set on
+                // completion). Normalise for the report.
+                StreamPhase::Admitted | StreamPhase::Running => StreamPhase::Completed,
+                p => p,
             };
-            if entry.indexed {
+            // Keep the dispatch epoch monotonic so zombies from this run
+            // can never masquerade as next-run completions.
+            e.sched.generation = sched.generation.wrapping_add(1);
+            let (produced, frames): (Vec<usize>, Vec<R>) = sched.outputs.into_iter().unzip();
+            total_frames += frames.len();
+            // try_lock: an evicted stream's zombie may still hold the
+            // state. Fall back to empty deltas; begin_run() re-baselines.
+            let (resort, cull, shares_index) = match e.state.try_lock() {
+                Ok(st) => {
+                    let shares = match (shared_index, st.session.scene_index()) {
+                        (Some(shared), Some(own)) => Arc::ptr_eq(shared, own),
+                        _ => false,
+                    };
+                    (
+                        resort_delta(st.session.resort_stats(), &e.baseline.0),
+                        st.session.cull_stats().delta_since(&e.baseline.1),
+                        shares,
+                    )
+                }
+                Err(_) => (ResortStats::default(), CullStats::default(), false),
+            };
+            if e.indexed {
                 indexed_streams += 1;
                 if shares_index {
                     index_sharers += 1;
                 }
             }
+            // Rewind: completed streams keep warm temporal state; any
+            // other outcome re-arms a frame-0 reset (the satellite fix —
+            // sorter warm start AND CullState epochs).
+            e.needs_reset = !matches!(phase, StreamPhase::Completed);
+            let mut latencies = sched.latencies;
+            latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
             streams.push(StreamReport {
-                name: entry.name.clone(),
+                id: e.id,
+                name: e.name.clone(),
+                phase,
                 fps: frames.len() as f64 / (wall_ms / 1e3).max(1e-12),
                 frames,
-                busy_ms,
-                resort: resort_delta(st.session.resort_stats(), resort0),
-                cull: st.session.cull_stats().delta_since(cull0),
+                produced,
+                frames_dropped: sched.dropped.len(),
+                deadline_misses: sched.deadline_misses,
+                retries: sched.retries,
+                latency_p50_ms: percentile(&latencies, 0.50),
+                latency_p99_ms: percentile(&latencies, 0.99),
+                busy_ms: sched.busy_ms,
+                resort,
+                cull,
                 shares_index,
             });
         }
+        self.streams.retain(|e| !e.detached);
         ServeReport {
             streams,
             wall_ms,
@@ -521,47 +1536,40 @@ impl<R: Send + 'static> Server<R> {
             indexed_streams,
         }
     }
+}
 
-    /// Picks the next stream to dispatch among the ready ones (not busy,
-    /// frames remaining), or `None`.
-    fn pick(&mut self, busy: &[bool], done: &[usize]) -> Option<usize> {
-        let ready: Vec<usize> = (0..self.streams.len())
-            .filter(|&i| !busy[i] && done[i] < self.streams[i].frames)
-            .collect();
-        if ready.is_empty() {
-            return None;
-        }
-        match self.policy {
-            SchedulePolicy::OldestFirst => {
-                // Fewest completed frames first; ties rotate round-robin
-                // from the cursor so equal streams are served fairly.
-                let oldest = ready.iter().map(|&i| done[i]).min().expect("non-empty");
-                let n = self.streams.len();
-                let sid = (0..n)
-                    .map(|k| (self.rr_next + k) % n)
-                    .find(|&i| !busy[i] && done[i] < self.streams[i].frames && done[i] == oldest)
-                    .expect("some ready stream has the oldest frame");
-                self.rr_next = (sid + 1) % n;
-                Some(sid)
-            }
-            SchedulePolicy::Seeded(seed) => {
-                // SplitMix64 step over the running state (seeded once).
-                if self.rng == 0 {
-                    self.rng = seed | 1;
-                }
-                self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                let mut z = self.rng;
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                z ^= z >> 31;
-                Some(ready[(z % ready.len() as u64) as usize])
-            }
-        }
+/// Completion backstop: exactly one `Done` per dispatched frame. The
+/// normal path parks its message here; if the task aborts before that,
+/// the drop sends a `Failed` placeholder instead — the scheduler can
+/// never be stranded in `recv`.
+struct Complete<R> {
+    tx: mpsc::Sender<Msg<R>>,
+    id: usize,
+    generation: u32,
+    frame: usize,
+    msg: Option<Msg<R>>,
+}
+
+impl<R> Drop for Complete<R> {
+    fn drop(&mut self) {
+        let msg = self.msg.take().unwrap_or(Msg::Done {
+            id: self.id,
+            generation: self.generation,
+            frame: self.frame,
+            latency_ms: 0.0,
+            retries: 0,
+            result: Err(StreamFault::Panicked {
+                message: "frame task aborted before reporting".into(),
+                frame: self.frame,
+            }),
+        });
+        let _ = self.tx.send(msg);
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::faults::FaultKind;
     use super::*;
     use gsplat::camera::CameraPath;
     use gsplat::scene::EVALUATED_SCENES;
@@ -598,9 +1606,15 @@ mod tests {
         assert_eq!(report.total_frames, 2 + 3 + 4);
         for (k, s) in report.streams.iter().enumerate() {
             assert_eq!(s.frames.len(), 2 + k, "{}", s.name);
-            assert!(s.frames.iter().all(|f| f.is_ok()));
+            assert_eq!(s.phase, StreamPhase::Completed, "{}", s.name);
+            assert_eq!(s.produced, (0..2 + k).collect::<Vec<_>>());
+            assert_eq!(s.frames_dropped, 0);
+            assert_eq!(s.retries, 0);
+            assert!(s.latency_p50_ms > 0.0);
+            assert!(s.latency_p99_ms >= s.latency_p50_ms);
             assert!(s.shares_index);
         }
+        assert_eq!(report.completed(), 3);
         assert_eq!(report.index_sharers, 3);
         assert_eq!(report.indexed_streams, 3);
         assert!((report.index_share() - 1.0).abs() < 1e-12);
@@ -623,6 +1637,7 @@ mod tests {
         let report = server.run();
         assert_eq!(report.total_frames, 0);
         assert_eq!(report.streams[0].frames.len(), 0);
+        assert_eq!(report.streams[0].phase, StreamPhase::Completed);
     }
 
     #[test]
@@ -658,26 +1673,115 @@ mod tests {
         }
     }
 
-    /// A panicking backend must terminate the run with a propagated
-    /// failure — never strand the scheduler waiting on a completion that
-    /// will not come (the completion guard + the pool's panic isolation).
+    /// A panicking backend must be contained: the faulting stream is
+    /// reported `Failed(Panicked)` with the payload, every other stream
+    /// completes, and the server (and its pool) stay usable.
     #[test]
-    fn panicking_stream_fails_loudly_instead_of_hanging() {
+    fn panicking_stream_is_contained_not_fatal() {
         for threads in [1usize, 2] {
             let shared = shared_scene();
-            let cfg = SequenceConfig::new(
-                CameraPath::orbit(shared.scene().center, 2.0, 1.0, 0.05),
-                3,
-                32,
-                24,
-            );
+            let mk_cfg = |shared: &SharedScene| {
+                SequenceConfig::new(
+                    CameraPath::orbit(shared.scene().center, 2.0, 1.0, 0.05),
+                    3,
+                    32,
+                    24,
+                )
+            };
+            let cfg = mk_cfg(&shared);
+            let cfg2 = mk_cfg(&shared);
             let mut server = Server::new(shared, threads);
             server.add_stream(StreamSpec::new("boom", cfg, |_| -> usize {
                 panic!("backend failure (expected in this test)")
             }));
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| server.run()));
-            assert!(outcome.is_err(), "threads={threads}: panic was swallowed");
+            server.add_stream(StreamSpec::new("calm", cfg2, |f| f.splats.len()));
+            let report = server.run();
+            let boom = report.stream("boom").expect("reported");
+            match &boom.phase {
+                StreamPhase::Failed(StreamFault::Panicked { message, frame }) => {
+                    assert!(
+                        message.contains("backend failure (expected in this test)"),
+                        "threads={threads}: payload lost: {message}"
+                    );
+                    assert_eq!(*frame, 0);
+                }
+                p => panic!("threads={threads}: expected Failed(Panicked), got {p:?}"),
+            }
+            assert_eq!(boom.frames.len(), 0);
+            let calm = report.stream("calm").expect("reported");
+            assert_eq!(calm.phase, StreamPhase::Completed, "threads={threads}");
+            assert_eq!(calm.frames.len(), 3);
+            // The server is still serviceable: rerun completes the calm
+            // stream again (the panicking one fails again, contained).
+            let again = server.run();
+            assert_eq!(again.stream("calm").unwrap().frames.len(), 3);
+            assert_eq!(again.failed(), 1);
         }
+    }
+
+    #[test]
+    fn transient_backend_errors_are_retried_to_success() {
+        let shared = shared_scene();
+        let cfg = SequenceConfig::new(
+            CameraPath::orbit(shared.scene().center, 2.0, 1.0, 0.05),
+            3,
+            32,
+            24,
+        );
+        let mut server = Server::new(shared, 1);
+        let mut failures_left = 2u32;
+        server.add_stream(
+            StreamSpec::fallible("flaky", cfg, move |f| {
+                if f.index == 1 && failures_left > 0 {
+                    failures_left -= 1;
+                    return Err(DrawError::backend("spurious", true));
+                }
+                Ok(f.splats.len())
+            })
+            .with_retry(RetryPolicy {
+                base_delay_ms: 0.0,
+                max_delay_ms: 0.0,
+                ..RetryPolicy::default()
+            }),
+        );
+        let report = server.run();
+        let s = &report.streams[0];
+        assert_eq!(s.phase, StreamPhase::Completed);
+        assert_eq!(s.frames.len(), 3);
+        assert_eq!(s.retries, 2);
+    }
+
+    #[test]
+    fn permanent_backend_errors_fail_without_retries() {
+        let shared = shared_scene();
+        let cfg = SequenceConfig::new(
+            CameraPath::orbit(shared.scene().center, 2.0, 1.0, 0.05),
+            3,
+            32,
+            24,
+        );
+        let mut server = Server::new(shared, 1);
+        server.add_stream(StreamSpec::fallible(
+            "doomed",
+            cfg,
+            |f| -> Result<usize, DrawError> {
+                if f.index == 1 {
+                    Err(DrawError::backend("broken lens", false))
+                } else {
+                    Ok(f.splats.len())
+                }
+            },
+        ));
+        let report = server.run();
+        let s = &report.streams[0];
+        match &s.phase {
+            StreamPhase::Failed(StreamFault::Render { error, retries }) => {
+                assert_eq!(*retries, 0, "permanent errors must not retry");
+                assert!(!error.is_transient());
+            }
+            p => panic!("expected Failed(Render), got {p:?}"),
+        }
+        assert_eq!(s.frames.len(), 1, "frame 0 was produced before the fault");
     }
 
     #[test]
@@ -693,11 +1797,11 @@ mod tests {
         ));
         let a = server.run();
         let b = server.run();
-        let stats = |r: &ServeReport<Result<SequenceFrameRecord, DrawError>>| {
+        let stats = |r: &ServeReport<SequenceFrameRecord>| {
             r.streams[0]
                 .frames
                 .iter()
-                .map(|f| f.as_ref().unwrap().stats.clone())
+                .map(|f| f.stats.clone())
                 .collect::<Vec<_>>()
         };
         assert_eq!(stats(&a), stats(&b));
@@ -707,5 +1811,175 @@ mod tests {
         assert_eq!(b.streams[0].resort.frames, 3);
         assert_eq!(a.streams[0].cull.frames, 3);
         assert_eq!(b.streams[0].cull.frames, 3);
+    }
+
+    #[test]
+    fn idle_detach_removes_and_attach_readmits() {
+        let shared = shared_scene();
+        let mut server = Server::new(shared, 1);
+        let cfg = orbit_cfg(server.shared(), 0.0, 2);
+        let cfg2 = orbit_cfg(server.shared(), 0.3, 2);
+        let a = server.add_stream(StreamSpec::vrpipe(
+            "a",
+            cfg,
+            GpuConfig::default(),
+            PipelineVariant::Het,
+        ));
+        let b = server.add_stream(StreamSpec::vrpipe(
+            "b",
+            cfg2,
+            GpuConfig::default(),
+            PipelineVariant::Het,
+        ));
+        assert_ne!(a, b);
+        assert!(server.detach(a));
+        assert!(!server.detach(a), "double detach is a no-op");
+        assert_eq!(server.stream_count(), 1);
+        let report = server.run();
+        assert_eq!(report.streams.len(), 1);
+        assert_eq!(report.streams[0].name, "b");
+    }
+
+    #[test]
+    fn reject_admission_hands_the_spec_back() {
+        let shared = shared_scene();
+        let mut server = Server::new(shared, 1).with_admission(1, AdmissionPolicy::Reject);
+        let cfg = orbit_cfg(server.shared(), 0.0, 1);
+        let cfg2 = orbit_cfg(server.shared(), 0.1, 1);
+        let first = server.attach(StreamSpec::vrpipe(
+            "first",
+            cfg,
+            GpuConfig::default(),
+            PipelineVariant::Het,
+        ));
+        assert!(first.id().is_some());
+        match server.attach(StreamSpec::vrpipe(
+            "second",
+            cfg2,
+            GpuConfig::default(),
+            PipelineVariant::Het,
+        )) {
+            AttachOutcome::Rejected { spec, capacity } => {
+                assert_eq!(spec.name(), "second");
+                assert_eq!(capacity, 1);
+            }
+            AttachOutcome::Admitted { .. } => panic!("capacity 1 must reject the second stream"),
+        }
+        assert_eq!(server.stream_count(), 1);
+    }
+
+    #[test]
+    fn deadline_policy_serves_urgent_streams_first() {
+        // One worker, two deadline streams with very different periods:
+        // EDF must start the tight-deadline stream first even though the
+        // relaxed one was registered first.
+        let shared = shared_scene();
+        let mut server = Server::new(shared, 1).with_policy(SchedulePolicy::Deadline);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (k, period) in [(0usize, 10_000.0), (1usize, 1_000.0)] {
+            let cfg = SequenceConfig::new(
+                CameraPath::orbit(server.shared().scene().center, 2.0, 1.0, 0.05),
+                2,
+                32,
+                24,
+            );
+            let order = Arc::clone(&order);
+            server.add_stream(
+                StreamSpec::new(format!("s{k}"), cfg, move |f| {
+                    order.lock().unwrap().push((k, f.index));
+                    f.index
+                })
+                .with_deadline_ms(period),
+            );
+        }
+        let report = server.run();
+        assert_eq!(report.completed(), 2);
+        let order = order.lock().unwrap();
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0].0, 1, "tight deadline must be served first");
+        assert_eq!(
+            report
+                .streams
+                .iter()
+                .map(|s| s.deadline_misses)
+                .sum::<usize>(),
+            0,
+            "generous periods must not be missed"
+        );
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 0..8 {
+            let a = p.backoff_ms(3, 7, attempt);
+            let b = p.backoff_ms(3, 7, attempt);
+            assert_eq!(a, b, "same key must give the same delay");
+            assert!(a >= 0.5 * p.base_delay_ms);
+            assert!(a <= p.max_delay_ms);
+        }
+        assert_ne!(
+            p.backoff_ms(0, 0, 0),
+            p.backoff_ms(1, 0, 0),
+            "jitter must differ across streams"
+        );
+        assert_eq!(RetryPolicy::none().max_retries, 0);
+    }
+
+    #[test]
+    fn faulted_runs_rewind_bit_exact_from_frame_zero() {
+        // The rewind-fix satellite: after a failed run, the session's
+        // sorter warm start and CullState epochs are invalidated, so the
+        // healed rerun replays from a cold frame 0 — bit-exact with the
+        // very first (cold) run.
+        let shared = shared_scene();
+        let mut server = Server::new(shared, 1);
+        let cfg = orbit_cfg(server.shared(), 0.0, 3);
+        let id = server.add_stream(StreamSpec::vrpipe(
+            "healed",
+            cfg,
+            GpuConfig::default(),
+            PipelineVariant::Het,
+        ));
+        let clean = server.run();
+        assert_eq!(clean.streams[0].phase, StreamPhase::Completed);
+        let clean_stats: Vec<_> = clean.streams[0]
+            .frames
+            .iter()
+            .map(|f| f.stats.clone())
+            .collect();
+
+        // Break it mid-sequence, then heal and rerun.
+        server.set_faults(id, FaultInjector::at(2, FaultKind::Error));
+        let broken = server.run();
+        assert!(matches!(
+            broken.streams[0].phase,
+            StreamPhase::Failed(StreamFault::Render { .. })
+        ));
+        assert_eq!(broken.streams[0].frames.len(), 2);
+        assert_eq!(
+            broken.streams[0].retries,
+            RetryPolicy::default().max_retries,
+            "persistent transient-classified faults must exhaust retries"
+        );
+
+        server.set_faults(id, FaultInjector::none());
+        let healed = server.run();
+        assert_eq!(healed.streams[0].phase, StreamPhase::Completed);
+        let healed_stats: Vec<_> = healed.streams[0]
+            .frames
+            .iter()
+            .map(|f| f.stats.clone())
+            .collect();
+        assert_eq!(
+            healed_stats, clean_stats,
+            "rerun must be bit-exact from frame 0"
+        );
+        // Cold start is visible in the resort counters: frame 0 cannot be
+        // warm-started after the reset (matches the very first run).
+        assert_eq!(
+            healed.streams[0].resort.repaired,
+            clean.streams[0].resort.repaired
+        );
     }
 }

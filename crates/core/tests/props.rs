@@ -164,10 +164,7 @@ proptest! {
                 .map(|s| {
                     s.frames
                         .into_iter()
-                        .map(|f| {
-                            let f = f.expect("valid config");
-                            format!("{:?}|{:?}|{:?}", f.stats, f.preprocess, f.cull)
-                        })
+                        .map(|f| format!("{:?}|{:?}|{:?}", f.stats, f.preprocess, f.cull))
                         .collect()
                 })
                 .collect()

@@ -331,6 +331,22 @@ impl BinScratch {
 /// A boxed run-to-completion task for the [`WorkerPool`].
 type PoolTask = Box<dyn FnOnce() + Send + 'static>;
 
+/// Best-effort human-readable rendering of a panic payload — the `&str`
+/// and `String` payloads produced by `panic!`/`assert!` are extracted
+/// verbatim; anything else (a custom `panic_any` value) gets a
+/// placeholder. This is the seam that lets a submitter receive *what* a
+/// task panicked with instead of just losing the payload to the pool's
+/// isolation boundary (see [`WorkerPool::submit_caught`]).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Shared queue state behind the pool's mutex.
 #[derive(Default)]
 struct PoolState {
@@ -478,9 +494,15 @@ impl WorkerPool {
     /// Enqueues `task`. On a serial pool the task runs **inline, to
     /// completion, before `submit` returns**; otherwise it is appended to
     /// the FIFO queue and picked up by the next free worker.
+    ///
+    /// Panic isolation is uniform across pool sizes: a panicking task is
+    /// caught (inline on a serial pool, at the worker boundary otherwise)
+    /// and its payload dropped — the pool never shrinks and the submitter
+    /// never unwinds. Use [`WorkerPool::submit_caught`] when the submitter
+    /// needs the panic payload back.
     pub fn submit(&self, task: impl FnOnce() + Send + 'static) {
         if self.handles.is_empty() {
-            task();
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
             return;
         }
         let mut state = self.queue.state.lock().expect("pool queue");
@@ -488,6 +510,28 @@ impl WorkerPool {
         state.tasks.push_back(Box::new(task));
         drop(state);
         self.queue.ready.notify_one();
+    }
+
+    /// [`WorkerPool::submit`] with panic **payload propagation**: when the
+    /// task panics, `on_panic` receives the panic message (extracted via
+    /// [`panic_message`]) on the same thread that ran the task, after the
+    /// unwind has been caught. The pool stays at full strength either way
+    /// — this is the per-task fault boundary `vrpipe::serve` uses to turn
+    /// a panicking stream backend into a per-stream failure report instead
+    /// of a poisoned pool.
+    ///
+    /// `on_panic` itself must not panic (a panic there is swallowed by the
+    /// pool's outer isolation, losing the report).
+    pub fn submit_caught(
+        &self,
+        task: impl FnOnce() + Send + 'static,
+        on_panic: impl FnOnce(String) + Send + 'static,
+    ) {
+        self.submit(move || {
+            if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+                on_panic(panic_message(payload.as_ref()));
+            }
+        });
     }
 
     /// Blocks until every submitted task has finished (condvar wait — no
@@ -755,6 +799,81 @@ mod tests {
         }
         pool.wait_idle(); // would hang if workers died
         assert_eq!(hits.load(Ordering::SeqCst), 8);
+    }
+
+    /// Panic **payload propagation**: a panicking task reports its message
+    /// to the submitter through `submit_caught`, and the pool stays fully
+    /// usable afterwards — on the inline 1-worker degeneracy and on a real
+    /// 4-worker pool alike.
+    #[test]
+    fn panic_payloads_propagate_to_the_submitter() {
+        for workers in [1usize, 4] {
+            let pool = WorkerPool::new(workers);
+            let reports = Arc::new(Mutex::new(Vec::new()));
+            for k in 0..3 {
+                let reports = Arc::clone(&reports);
+                pool.submit_caught(
+                    move || panic!("task {k} failed (expected in this test)"),
+                    move |msg| reports.lock().unwrap().push(msg),
+                );
+            }
+            // A non-panicking task through the same seam reports nothing.
+            let clean = Arc::new(AtomicUsize::new(0));
+            let c = Arc::clone(&clean);
+            pool.submit_caught(
+                move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                },
+                |_| unreachable!("clean task must not report a panic"),
+            );
+            pool.wait_idle();
+            let mut got = reports.lock().unwrap().clone();
+            got.sort();
+            assert_eq!(
+                got,
+                (0..3)
+                    .map(|k| format!("task {k} failed (expected in this test)"))
+                    .collect::<Vec<_>>(),
+                "workers={workers}"
+            );
+            assert_eq!(clean.load(Ordering::SeqCst), 1, "workers={workers}");
+            // Subsequent submits succeed: the pool kept every worker.
+            let hits = Arc::new(AtomicUsize::new(0));
+            for _ in 0..8 {
+                let hits = Arc::clone(&hits);
+                pool.submit(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            pool.wait_idle();
+            assert_eq!(hits.load(Ordering::SeqCst), 8, "workers={workers}");
+        }
+    }
+
+    /// The serial pool's inline path shares the parallel pool's panic
+    /// isolation: a plain `submit` of a panicking task neither unwinds
+    /// into the submitter nor wedges later submissions.
+    #[test]
+    fn serial_submit_contains_panics_inline() {
+        let pool = WorkerPool::new(1);
+        pool.submit(|| panic!("inline panic (expected in this test)"));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r = Arc::clone(&ran);
+        pool.submit(move || {
+            r.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    /// `panic_message` extracts the payload forms `panic!` produces.
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let p = std::panic::catch_unwind(|| panic!("plain &str")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "plain &str");
+        let p = std::panic::catch_unwind(|| panic!("formatted {}", 7)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "formatted 7");
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
     }
 
     /// Dropping a pool with queued work drains the queue first: shutdown

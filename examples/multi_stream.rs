@@ -8,7 +8,14 @@
 //!
 //! ```text
 //! cargo run --release --example multi_stream [frames] [scale] [threads]
+//! cargo run --release --example multi_stream -- --chaos [frames] [scale] [threads]
 //! ```
+//!
+//! With `--chaos`, every viewer gets a frame deadline and the flythrough
+//! is injected with a multi-second stall: the watchdog evicts it
+//! mid-run (naming the frame and the exceeded budget) while the other
+//! three streams finish their full budgets on deadline — the failure is
+//! contained to the stream that caused it.
 
 use std::sync::Arc;
 
@@ -17,10 +24,15 @@ use gsplat::camera::CameraPath;
 use gsplat::math::Vec3;
 use gsplat::scene::EVALUATED_SCENES;
 use gsplat::stream::FragmentKernel;
-use vrpipe::{PipelineVariant, SequenceConfig, Server, SharedScene, StreamSpec};
+use vrpipe::{
+    FaultInjector, FaultKind, PipelineVariant, SequenceConfig, Server, SharedScene, StreamPhase,
+    StreamSpec,
+};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let chaos = args.iter().any(|a| a == "--chaos");
+    args.retain(|a| a != "--chaos");
     let frames: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(16);
     let scale: f32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.08);
     let threads: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
@@ -38,72 +50,103 @@ fn main() {
         ..GpuConfig::default()
     };
     let mut server = Server::new(SharedScene::new(scene), threads);
+    if chaos {
+        server = server.with_watchdog(4.0);
+    }
     println!(
-        "'{}': 4 viewers of one shared scene ({} Gaussians) at {}x{}, {} frames each, {} worker(s)\n",
+        "'{}': 4 viewers of one shared scene ({} Gaussians) at {}x{}, {} frames each, {} worker(s){}\n",
         spec.name,
         n_gaussians,
         w,
         h,
         frames,
         server.pool().workers(),
+        if chaos {
+            " — CHAOS: flythrough will stall and be evicted"
+        } else {
+            ""
+        },
     );
+
+    // A generous frame deadline for the chaos run: normal frames make it
+    // comfortably, a multi-second stall blows the 4x watchdog budget.
+    let deadline_ms = 250.0;
+    let arm = |spec: StreamSpec<vrpipe::SequenceFrameRecord>| {
+        if chaos {
+            spec.with_deadline_ms(deadline_ms)
+        } else {
+            spec
+        }
+    };
 
     // Two mono orbits at different heights and speeds.
     for (k, (hgt, rev)) in [(0.8f32, 0.002f32), (1.6, -0.003)].iter().enumerate() {
         let path = CameraPath::orbit(center, radius, *hgt, rev * frames as f32);
-        server.add_stream(StreamSpec::vrpipe(
+        server.add_stream(arm(StreamSpec::vrpipe(
             format!("orbit-{k}"),
             SequenceConfig::new(path, frames, w, h).with_index(),
             gpu.clone(),
             PipelineVariant::HetQm,
-        ));
+        )));
     }
-    // One shaky flythrough.
+    // One shaky flythrough — the chaos victim: an injected stall at
+    // frame 2, far past the watchdog budget.
     let fly = CameraPath::flythrough(
         center + Vec3::new(0.0, height, radius),
         center,
         radius * 0.0015,
         radius * 0.0008,
     );
-    server.add_stream(StreamSpec::vrpipe(
+    let mut fly_spec = arm(StreamSpec::vrpipe(
         "flythrough",
         SequenceConfig::new(fly, frames, w, h).with_index(),
         gpu.clone(),
         PipelineVariant::HetQm,
     ));
+    if chaos {
+        fly_spec = fly_spec.with_faults(FaultInjector::at(2, FaultKind::Stall(3_000)));
+    }
+    server.add_stream(fly_spec);
     // One stereo pair (frames alternate left/right eyes).
     let stereo = CameraPath::orbit(center, radius, 1.1, 0.002 * frames as f32).stereo(0.065);
-    server.add_stream(StreamSpec::vrpipe(
+    server.add_stream(arm(StreamSpec::vrpipe(
         "stereo-pair",
         SequenceConfig::new(stereo, frames, w, h).with_index(),
         gpu.clone(),
         PipelineVariant::HetQm,
-    ));
+    )));
 
     let report = server.run();
 
     println!(
-        "{:<12} {:>7} {:>9} {:>9} {:>15} {:>17} {:>14}",
-        "stream", "frames", "busy-ms", "fps", "repaired/fallbk", "refreshed-gauss", "retired-last"
+        "{:<12} {:>7} {:>9} {:>9} {:>9} {:>9} {:>15}  phase",
+        "stream", "frames", "busy-ms", "fps", "p50-ms", "p99-ms", "misses/dropped"
     );
     for s in &report.streams {
-        let retired_last = s
-            .frames
-            .last()
-            .and_then(|f| f.as_ref().ok())
-            .map_or(0.0, |f| f.retired_tile_ratio);
+        let phase = match &s.phase {
+            StreamPhase::Completed => "completed".to_string(),
+            StreamPhase::Evicted(r) => format!("evicted: {r}"),
+            StreamPhase::Failed(f) => format!("failed: {f}"),
+            p => format!("{p:?}"),
+        };
         println!(
-            "{:<12} {:>7} {:>9.2} {:>9.1} {:>11}/{} {:>17} {:>14.3}",
+            "{:<12} {:>7} {:>9.2} {:>9.1} {:>9.2} {:>9.2} {:>9}/{}  {}",
             s.name,
             s.frames.len(),
             s.busy_ms,
             s.fps,
-            s.resort.repaired,
-            s.resort.radix_fallbacks,
-            s.cull.gaussians_refreshed,
-            retired_last,
+            s.latency_p50_ms,
+            s.latency_p99_ms,
+            s.deadline_misses,
+            s.frames_dropped,
+            phase,
         );
-        assert!(s.shares_index, "{}: private index built", s.name);
+        // An evicted stream's zombie task may still hold its state lock
+        // when the report is cut, so sharing is only knowable for streams
+        // that ended cleanly.
+        if s.phase == StreamPhase::Completed {
+            assert!(s.shares_index, "{}: private index built", s.name);
+        }
     }
     println!(
         "\naggregate: {} frames in {:.2} ms ({:.1} frames/s) across {} streams",
@@ -118,4 +161,27 @@ fn main() {
         report.indexed_streams,
         Arc::strong_count(server.shared().index()),
     );
+    if chaos {
+        let victim = report.stream("flythrough").expect("victim stream");
+        assert!(
+            matches!(victim.phase, StreamPhase::Evicted(_)),
+            "the stalled stream must be evicted, got {:?}",
+            victim.phase
+        );
+        for s in &report.streams {
+            if s.name != "flythrough" {
+                assert_eq!(
+                    s.phase,
+                    StreamPhase::Completed,
+                    "{}: healthy streams finish despite the chaos",
+                    s.name
+                );
+                assert_eq!(s.frames.len(), frames, "{}", s.name);
+            }
+        }
+        println!(
+            "chaos contained: 'flythrough' evicted by the watchdog, {} healthy streams completed on deadline",
+            report.streams.len() - 1
+        );
+    }
 }

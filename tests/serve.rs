@@ -278,7 +278,6 @@ fn check_vrpipe_streams_match_run_vrpipe(threads: usize) {
     assert_eq!(report.index_sharers, 4);
     for (sid, stream) in report.streams.iter().enumerate() {
         for (i, (served, alone)) in stream.frames.iter().zip(&solo[sid]).enumerate() {
-            let served = served.as_ref().expect("valid config");
             assert_eq!(served.stats, alone.stats, "stream {sid} frame {i}");
             assert_eq!(
                 served.preprocess, alone.preprocess,
