@@ -11,6 +11,7 @@
 //!                           # sequence (temporal-coherence frame sequences)
 //!                           # serve (multi-stream serving over one shared scene)
 //!                           # serve-faults / serve --faults (fault-injection smoke)
+//!                           # asset (checksummed scene assets, corruption sweep)
 //! figures all               # everything, in paper order
 //! ```
 //!
@@ -21,6 +22,7 @@
 
 mod ablation;
 mod analysis;
+mod asset;
 mod common;
 mod evaluation;
 mod kernel;
@@ -55,6 +57,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("sequence", sequence::sequence),
     ("serve", serve::serve),
     ("serve-faults", serve::serve_faults),
+    ("asset", asset::asset),
     ("ablation-tgc", ablation::ablation_tgc),
     ("ablation-tc", ablation::ablation_tc),
     ("ablation-cache", ablation::ablation_crop_cache),
@@ -104,6 +107,11 @@ fn main() {
     }
     match report.write(common::default_scale()) {
         Ok(path) => println!("\nwrote {path}"),
-        Err(e) => eprintln!("could not write {}: {e}", report::REPORT_PATH),
+        Err(e) => {
+            // A missing benchmark trail is a failed run: CI must not read
+            // a stale BENCH_pipeline.json as this invocation's result.
+            eprintln!("could not write {}: {e}", report::REPORT_PATH);
+            std::process::exit(1);
+        }
     }
 }

@@ -71,6 +71,8 @@ impl Report {
         json.push_str(&sequence_measurement(scale));
         json.push_str(",\n  \"serve\": ");
         json.push_str(&serve_measurement(scale));
+        json.push_str(",\n  \"asset\": ");
+        json.push_str(&asset_measurement(scale));
         json.push_str("\n}\n");
         std::fs::write(REPORT_PATH, json)?;
         Ok(REPORT_PATH)
@@ -170,6 +172,30 @@ fn stream_details_json(details: &[crate::serve::StreamDetail], indent: &str) -> 
         );
     }
     body
+}
+
+/// Scene-asset measurement for the JSON trail: checksummed encode/decode
+/// throughput, the seeded corruption-detection sweep, quarantine
+/// counters and the hot-reload rollback gate (parity-gated inside
+/// [`crate::asset::measure_asset`] — the quarantined load is rendered
+/// bit-exact against a rebuilt survivor scene before reporting).
+fn asset_measurement(scale: f32) -> String {
+    let m = crate::asset::measure_asset(2, scale.min(0.1));
+    format!(
+        "{{\"scene\": \"{}\", \"gaussians\": {}, \"bytes\": {}, \"encode_ms\": {:.4}, \"decode_ms\": {:.4}, \"decode_mb_s\": {:.2}, \"corruptions_tested\": {}, \"corruptions_detected\": {}, \"quarantine_total\": {}, \"quarantine_kept\": {}, \"reload_refused\": {}, \"reload_epoch\": {}}}",
+        m.scene,
+        m.gaussians,
+        m.bytes,
+        m.encode_ms,
+        m.decode_ms,
+        m.decode_mb_s,
+        m.corruptions_tested,
+        m.corruptions_detected,
+        m.quarantine_total,
+        m.quarantine_kept,
+        m.reload_refused,
+        m.reload_epoch,
+    )
 }
 
 /// Fragment-kernel measurement for the JSON trail: SoA vs scalar

@@ -56,7 +56,8 @@ pub use renderer::{Frame, FrameScratch, Renderer, TimeBreakdown};
 pub use sequence::{FrameInput, SequenceConfig, SequenceFrameRecord, Session, SharedScene};
 pub use serve::faults::{FaultAction, FaultInjector, FaultKind, FaultPlan, PlannedFault};
 pub use serve::{
-    AdmissionPolicy, AttachOutcome, EvictReason, RetryPolicy, SchedulePolicy, ServeReport, Server,
-    ServerHandle, StreamFault, StreamPhase, StreamReport, StreamSpec,
+    AdmissionPolicy, AttachOutcome, EvictReason, ReloadOutcome, RetryPolicy, SceneSource,
+    SchedulePolicy, ServeReport, Server, ServerHandle, StreamFault, StreamPhase, StreamReport,
+    StreamSpec,
 };
 pub use variant::PipelineVariant;

@@ -134,6 +134,15 @@ impl std::fmt::Display for DrawError {
 
 impl std::error::Error for DrawError {}
 
+/// Asset-loading failures surface at backend call sites as permanent
+/// (non-transient) backend faults: a corrupt file fails identically on
+/// retry, so the serve scheduler's retry machinery must not spin on it.
+impl From<gsplat::asset::AssetError> for DrawError {
+    fn from(e: gsplat::asset::AssetError) -> Self {
+        DrawError::backend(format!("scene asset: {e}"), false)
+    }
+}
+
 /// Reusable per-draw buffers: primitive setups, the TGC key stream, the
 /// raster quad buffer and every per-flush staging vector. Holding one of
 /// these across draws removes all steady-state allocation from the

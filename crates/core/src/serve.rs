@@ -66,15 +66,37 @@
 //! [`Session::invalidate_temporal`], so a rerun is bit-exact from
 //! frame 0.
 //!
+//! **Hot reload.** [`Server::reload_scene`] (idle) and
+//! [`ServerHandle::reload_scene`] (mid-flight, from anywhere) swap the
+//! server's [`SharedScene`] for one decoded from a [`SceneSource`] —
+//! in-memory, raw bytes, or a `.gspa` file validated by
+//! [`gsplat::asset`]. The swap is **all-or-nothing under an epoch
+//! bump**: decoding and validation happen *before* anything is touched,
+//! so a corrupt source returns a typed
+//! [`AssetError`] and leaves the old scene,
+//! every session and every in-flight frame exactly as they were — the
+//! rollback is the absence of any mutation, which keeps attached streams
+//! provably bit-exact with their solo sessions
+//! (`tests/asset_faults.rs`). On success the scene epoch bumps and each
+//! stream re-binds *lazily* at its next dispatched frame (temporal state
+//! invalidated, shared index re-adopted) inside its own state lock, so a
+//! busy stream's in-flight frame still completes against the scene `Arc`
+//! it captured. A reload whose fingerprint equals the current scene's is
+//! recognised as a no-op: the existing allocations (and every session's
+//! warm state) are kept, so frames remain bit-exact across the swap.
+//!
 //! [`CameraPath`]: gsplat::camera::CameraPath
 //! [`SceneIndex`]: gsplat::index::SceneIndex
 
 pub mod faults;
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+use gsplat::asset::{self, AssetError, LoadPolicy};
 
 use gpu_sim::config::GpuConfig;
 use gsplat::index::CullStats;
@@ -561,8 +583,44 @@ struct StreamEntry<R> {
     needs_reset: bool,
     /// Session-lifetime counter baseline at the start of the current run.
     baseline: (ResortStats, CullStats),
+    /// The server scene epoch this stream's session is bound to; when it
+    /// trails the server's, the next dispatched frame re-binds (temporal
+    /// invalidation + shared-index adoption) inside the stream's lock.
+    scene_epoch: u64,
     sched: Sched<R>,
     state: Arc<Mutex<StreamState<R>>>,
+}
+
+/// Where a [`Server::reload_scene`] gets its replacement scene from.
+///
+/// The byte and path variants route through [`gsplat::asset`]'s
+/// validated loader under the given [`LoadPolicy`]; an already-built
+/// [`SharedScene`] is accepted as-is (it can only exist with a computed
+/// fingerprint).
+#[derive(Debug)]
+pub enum SceneSource {
+    /// An already-validated in-memory scene.
+    Shared(Box<SharedScene>),
+    /// An encoded asset, decoded and validated at the swap point.
+    Bytes(Vec<u8>, LoadPolicy),
+    /// A `.gspa` file, read and validated at the swap point.
+    Path(PathBuf, LoadPolicy),
+}
+
+/// What a successful [`Server::reload_scene`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReloadOutcome {
+    /// The scene epoch after this reload (bumps on every successful
+    /// reload, changed or not).
+    pub epoch: u64,
+    /// Fingerprint of the scene now being served.
+    pub fingerprint: u64,
+    /// `false` when the source's fingerprint matched the current scene:
+    /// the old allocations (and all warm per-stream state) were kept.
+    pub changed: bool,
+    /// Gaussians the loader quarantined (0 for [`SceneSource::Shared`]
+    /// or [`LoadPolicy::Strict`] sources).
+    pub quarantined: usize,
 }
 
 /// Commands a [`ServerHandle`] (or the idle server) feeds the scheduler.
@@ -571,6 +629,7 @@ struct StreamEntry<R> {
 enum Command<R> {
     Attach { id: usize, spec: Box<StreamSpec<R>> },
     Detach { id: usize },
+    Reload { source: SceneSource },
 }
 
 /// Everything that flows to the scheduler over its one channel: frame
@@ -655,6 +714,15 @@ impl<R: Send + 'static> ServerHandle<R> {
     pub fn detach(&self, id: usize) {
         let _ = self.tx.send(Msg::Cmd(Command::Detach { id }));
     }
+
+    /// Queues a mid-flight scene reload from `source`. Fire-and-forget:
+    /// the outcome (success or typed [`AssetError`]) is recorded in the
+    /// run's [`ServeReport::reloads`]. A failed load swaps nothing —
+    /// every stream keeps serving the old scene bit-exactly; use
+    /// [`Server::reload_scene`] for a synchronous verdict while idle.
+    pub fn reload_scene(&self, source: SceneSource) {
+        let _ = self.tx.send(Msg::Cmd(Command::Reload { source }));
+    }
 }
 
 /// Per-stream results and counters of one [`Server::run`].
@@ -710,6 +778,11 @@ pub struct ServeReport<R> {
     pub index_sharers: usize,
     /// Streams that requested indexed preprocessing.
     pub indexed_streams: usize,
+    /// Outcome of every [`ServerHandle::reload_scene`] processed during
+    /// the run, in processing order (failed reloads swap nothing).
+    pub reloads: Vec<Result<ReloadOutcome, AssetError>>,
+    /// The scene epoch at the end of the run.
+    pub scene_epoch: u64,
 }
 
 impl<R> ServeReport<R> {
@@ -802,6 +875,12 @@ pub struct Server<R> {
     /// takes longer than `watchdog_k × period`.
     watchdog_k: f64,
     streams: Vec<StreamEntry<R>>,
+    /// Bumped on every successful reload; streams trailing it re-bind at
+    /// their next dispatch.
+    scene_epoch: u64,
+    /// Reload outcomes accumulated during the current run (drained into
+    /// the report).
+    reloads: Vec<Result<ReloadOutcome, AssetError>>,
     /// Round-robin cursor for tie-breaking.
     rr_next: usize,
     /// LCG state for [`SchedulePolicy::Seeded`].
@@ -842,6 +921,8 @@ impl<R: Send + 'static> Server<R> {
             capacity: None,
             watchdog_k: 4.0,
             streams: Vec::new(),
+            scene_epoch: 0,
+            reloads: Vec::new(),
             rr_next: 0,
             rng: 0,
             tx,
@@ -876,6 +957,81 @@ impl<R: Send + 'static> Server<R> {
     /// The shared scene every stream renders.
     pub fn shared(&self) -> &Arc<SharedScene> {
         &self.shared
+    }
+
+    /// The current scene epoch (0 until the first successful reload).
+    pub fn scene_epoch(&self) -> u64 {
+        self.scene_epoch
+    }
+
+    /// Swaps the served scene for one decoded from `source`, synchronously
+    /// (idle-server counterpart of [`ServerHandle::reload_scene`]).
+    ///
+    /// All-or-nothing: the source is fully decoded and validated *before*
+    /// any server state is touched, so on error the old scene, every
+    /// session's warm state and the scene epoch are untouched — attached
+    /// streams keep rendering bit-exactly as if the reload was never
+    /// attempted. On success the epoch bumps; if the new scene's
+    /// fingerprint matches the current one the existing allocations are
+    /// kept (warm state survives, frames stay bit-exact), otherwise each
+    /// stream re-binds at its next dispatched frame.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`gsplat::asset`]'s loader reports for the source.
+    pub fn reload_scene(&mut self, source: SceneSource) -> Result<ReloadOutcome, AssetError> {
+        self.do_reload(source)
+    }
+
+    /// The swap point shared by the sync and handle-driven reload paths.
+    fn do_reload(&mut self, source: SceneSource) -> Result<ReloadOutcome, AssetError> {
+        // Decode/validate first: any failure returns before a single field
+        // of the server (or any stream) is mutated — that *is* the
+        // rollback guarantee.
+        let (candidate, quarantined) = match source {
+            SceneSource::Shared(shared) => (*shared, 0),
+            SceneSource::Bytes(bytes, policy) => {
+                let loaded = asset::decode_scene(&bytes, policy)?;
+                (
+                    SharedScene::new(loaded.scene),
+                    loaded.report.quarantined.len(),
+                )
+            }
+            SceneSource::Path(path, policy) => {
+                let loaded = asset::load_scene(&path, policy)?;
+                (
+                    SharedScene::new(loaded.scene),
+                    loaded.report.quarantined.len(),
+                )
+            }
+        };
+        let previous_epoch = self.scene_epoch;
+        self.scene_epoch += 1;
+        let changed = candidate.fingerprint() != self.shared.fingerprint();
+        if changed {
+            // In-flight frames hold their own `Arc<SharedScene>` clone and
+            // finish against the old scene; streams re-bind lazily at
+            // their next dispatch (entry epoch trails the server's).
+            self.shared = Arc::new(candidate);
+        } else {
+            // Same bits: keep the existing allocations so index sharing
+            // and every session's warm temporal state survive. Only
+            // entries already bound to the scene being re-confirmed may
+            // skip the re-bind — a stream still trailing an *earlier*
+            // changed reload keeps its pending rebind, or it would render
+            // the new scene against its stale index.
+            for e in &mut self.streams {
+                if e.scene_epoch == previous_epoch {
+                    e.scene_epoch = self.scene_epoch;
+                }
+            }
+        }
+        Ok(ReloadOutcome {
+            epoch: self.scene_epoch,
+            fingerprint: self.shared.fingerprint(),
+            changed,
+            quarantined,
+        })
     }
 
     /// The worker pool frames are scheduled onto.
@@ -997,6 +1153,7 @@ impl<R: Send + 'static> Server<R> {
             detached: false,
             needs_reset: false,
             baseline,
+            scene_epoch: self.scene_epoch,
             sched: Sched::default(),
             state: Arc::new(Mutex::new(StreamState {
                 cfg: spec.cfg,
@@ -1156,7 +1313,12 @@ impl<R: Send + 'static> Server<R> {
             let id = e.id;
             let generation = e.sched.generation;
             let state = Arc::clone(&e.state);
-            let scene = self.shared.scene_arc();
+            // Scene-epoch fence: a stream that trails a successful reload
+            // re-binds inside its own lock before this frame renders.
+            let rebind = e.scene_epoch != self.scene_epoch;
+            e.scene_epoch = self.scene_epoch;
+            let indexed = e.indexed;
+            let shared = Arc::clone(&self.shared);
             let tx = self.tx.clone();
             // Run-to-completion frame task. Exactly one completion per
             // dispatch: the normal path stores its message in the guard,
@@ -1174,6 +1336,18 @@ impl<R: Send + 'static> Server<R> {
                 let t0 = Instant::now();
                 let mut guard = lock_state(&state);
                 let st = &mut *guard;
+                if rebind {
+                    // The scene changed under this stream: cold-start its
+                    // temporal machinery (sorter warm start + cull epochs)
+                    // and adopt the new shared index, so every frame from
+                    // here is bit-exact with a solo session on the new
+                    // scene.
+                    st.session.invalidate_temporal();
+                    if indexed {
+                        st.session.attach_index(Arc::clone(shared.index()));
+                    }
+                }
+                let scene = shared.scene_arc();
                 let mut retries = 0u32;
                 let result: Result<R, StreamFault> = loop {
                     // The fault seam fires BEFORE the real backend: an
@@ -1264,6 +1438,10 @@ impl<R: Send + 'static> Server<R> {
                     }
                 }
                 self.register(id, *spec);
+            }
+            Msg::Cmd(Command::Reload { source }) => {
+                let outcome = self.do_reload(source);
+                self.reloads.push(outcome);
             }
             Msg::Cmd(Command::Detach { id }) => {
                 let Some(k) = self.find(id) else { return };
@@ -1534,6 +1712,8 @@ impl<R: Send + 'static> Server<R> {
             aggregate_fps: total_frames as f64 / (wall_ms / 1e3).max(1e-12),
             index_sharers,
             indexed_streams,
+            reloads: std::mem::take(&mut self.reloads),
+            scene_epoch: self.scene_epoch,
         }
     }
 }
@@ -1618,6 +1798,45 @@ mod tests {
         assert_eq!(report.index_sharers, 3);
         assert_eq!(report.indexed_streams, 3);
         assert!((report.index_share() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_reload_is_all_or_nothing_and_epoch_fenced() {
+        let mut server: Server<usize> = Server::new(shared_scene(), 1);
+        let old_fp = server.shared().fingerprint();
+        let old_arc = Arc::clone(server.shared());
+        assert_eq!(server.scene_epoch(), 0);
+
+        // Failed reload: typed error, nothing swapped, epoch untouched.
+        let err = server
+            .reload_scene(SceneSource::Bytes(vec![0u8; 64], LoadPolicy::Strict))
+            .expect_err("garbage bytes must not load");
+        assert!(matches!(err, AssetError::BadMagic { .. }));
+        assert_eq!(server.scene_epoch(), 0);
+        assert!(Arc::ptr_eq(server.shared(), &old_arc));
+
+        // Same-fingerprint reload: success, epoch bumps, allocations kept.
+        let bytes = asset::encode_scene(server.shared().scene());
+        let outcome = server
+            .reload_scene(SceneSource::Bytes(bytes, LoadPolicy::Strict))
+            .expect("clean bytes load");
+        assert_eq!(outcome.epoch, 1);
+        assert!(!outcome.changed);
+        assert_eq!(outcome.fingerprint, old_fp);
+        assert!(
+            Arc::ptr_eq(server.shared(), &old_arc),
+            "no-op swap keeps the Arc"
+        );
+
+        // Different scene: success, swap visible, epoch bumps again.
+        let other = EVALUATED_SCENES[2].generate_scaled(0.02);
+        let outcome = server
+            .reload_scene(SceneSource::Shared(Box::new(SharedScene::new(other))))
+            .expect("in-memory scene swaps");
+        assert!(outcome.changed);
+        assert_eq!(outcome.epoch, 2);
+        assert_ne!(server.shared().fingerprint(), old_fp);
+        assert_eq!(server.scene_epoch(), 2);
     }
 
     #[test]

@@ -1,0 +1,1166 @@
+//! Corruption-tolerant on-disk scene assets: a checksummed sectioned
+//! binary format with validated, never-panicking loading (DESIGN.md §10).
+//!
+//! A `.gspa` file is the first *untrusted* input the pipeline ever reads:
+//! everything else in the repo is generated in memory from seeds. The
+//! loader therefore treats the byte stream as hostile and upholds two
+//! contracts:
+//!
+//! * **Never panic, never over-allocate.** [`decode_scene`] on *arbitrary*
+//!   bytes returns a typed [`AssetError`]; every length field is clamped
+//!   against the real file size before any `Vec` reservation, and Gaussians
+//!   are built by struct literal (not [`Gaussian::new`], whose asserts
+//!   would turn bad data into a panic).
+//! * **Validate in order: structural → checksum → semantic.** Magic,
+//!   version, section table and byte budgets first; then a CRC32 per
+//!   section plus a whole-file content fingerprint (the same
+//!   [`cloud_fingerprint`] that keys [`CullState`](crate::index::CullState)
+//!   re-pairing, so a loaded scene's fingerprint agrees with what the
+//!   serving layer computes); only then per-Gaussian invariants.
+//!
+//! Semantic failures are the one *recoverable* class: under
+//! [`LoadPolicy::Quarantine`] invalid residents are dropped — classic
+//! outlier screening at the ingestion boundary — and the [`LoadReport`]
+//! names every quarantined index and [`GaussianDefect`]. The surviving
+//! scene is bit-identical to one rebuilt in memory from the surviving
+//! Gaussians, so rendering it is provably unaffected by the dropped ones.
+//!
+//! ## File layout (little-endian throughout)
+//!
+//! ```text
+//! offset 0   magic "GSPA" · version u16 · flags u16
+//!        8   section_count u32 · gaussian_count u64 · fingerprint u64
+//!       28   header_crc u32                  (CRC32 of bytes 0..28)
+//!       32   section table: 7 × { id u32, crc32 u32, len u64 }
+//!      144   payloads, contiguous, in table order:
+//!            Meta · Means · Scales · Rotations · Opacities ·
+//!            ShDegrees · ShCoeffs
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use gsplat::asset::{decode_scene, encode_scene, LoadPolicy};
+//! use gsplat::scene::EVALUATED_SCENES;
+//! let scene = EVALUATED_SCENES[4].generate_scaled(0.02);
+//! let bytes = encode_scene(&scene);
+//! let loaded = decode_scene(&bytes, LoadPolicy::Strict).unwrap();
+//! assert_eq!(loaded.scene.gaussians, scene.gaussians);
+//! assert!(loaded.report.is_clean());
+//! ```
+
+pub mod faults;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io::Read;
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+
+use crate::gaussian::Gaussian;
+use crate::index::cloud_fingerprint;
+use crate::math::Vec3;
+use crate::scene::{scene_by_name, Scene, SceneKind, SceneSpec};
+use crate::sh::{coeff_count, ShColor, MAX_SH_DEGREE};
+
+/// File magic: the first four bytes of every scene asset.
+pub const MAGIC: [u8; 4] = *b"GSPA";
+/// The (only) format version this loader understands.
+pub const FORMAT_VERSION: u16 = 1;
+/// Fixed header length in bytes (through the header CRC).
+pub const HEADER_LEN: usize = 32;
+/// Bytes per section-table entry: id `u32` + crc `u32` + len `u64`.
+pub const TABLE_ENTRY_LEN: usize = 16;
+/// Number of payload sections in a v1 file.
+pub const SECTION_COUNT: usize = 7;
+/// Offset of the first payload byte (header + section table).
+pub const PAYLOAD_OFFSET: usize = HEADER_LEN + SECTION_COUNT * TABLE_ENTRY_LEN;
+/// Upper bound on the stored scene-name length (structural clamp).
+pub const MAX_NAME_LEN: usize = 256;
+
+/// Regions of the file, named in errors so a corruption report points at
+/// the byte range that failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Section {
+    /// The fixed 32-byte header.
+    Header,
+    /// The section table between header and payloads.
+    SectionTable,
+    /// Scene spec + viewpoint metadata.
+    Meta,
+    /// Gaussian means, `count × 3 × f32`.
+    Means,
+    /// Per-axis scales, `count × 3 × f32`.
+    Scales,
+    /// Rotation quaternions, `count × 4 × f32`.
+    Rotations,
+    /// Opacities, `count × f32`.
+    Opacities,
+    /// Per-Gaussian SH degree, `count × u8`.
+    ShDegrees,
+    /// Packed SH coefficients, `Σ coeff_count(degree_i) × 3 × f32`.
+    ShCoeffs,
+}
+
+/// Payload sections in table order (ids `1..=7`).
+const PAYLOAD_SECTIONS: [Section; SECTION_COUNT] = [
+    Section::Meta,
+    Section::Means,
+    Section::Scales,
+    Section::Rotations,
+    Section::Opacities,
+    Section::ShDegrees,
+    Section::ShCoeffs,
+];
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Section::Header => "header",
+            Section::SectionTable => "section table",
+            Section::Meta => "meta",
+            Section::Means => "means",
+            Section::Scales => "scales",
+            Section::Rotations => "rotations",
+            Section::Opacities => "opacities",
+            Section::ShDegrees => "sh-degrees",
+            Section::ShCoeffs => "sh-coeffs",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Why one Gaussian failed the semantic (per-resident) validation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GaussianDefect {
+    /// Mean has a non-finite component.
+    NonFiniteMean,
+    /// Scale has a non-finite component.
+    NonFiniteScale,
+    /// Scale has a negative component (covariance would lose PSD-ness).
+    NegativeScale,
+    /// Rotation quaternion has non-finite components or zero/overflowing
+    /// norm, so the rotation matrix would be garbage.
+    DegenerateRotation,
+    /// Opacity is non-finite or outside `[0, 1]`.
+    OpacityOutOfRange,
+    /// Stored SH degree exceeds [`MAX_SH_DEGREE`]. Unlike the other
+    /// defects this is *not* quarantinable: the coefficient packing of
+    /// every later Gaussian depends on this degree, so the load fails
+    /// under both policies.
+    ShDegreeUnsupported,
+    /// An SH coefficient has a non-finite component.
+    NonFiniteSh,
+}
+
+impl fmt::Display for GaussianDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            GaussianDefect::NonFiniteMean => "non-finite mean",
+            GaussianDefect::NonFiniteScale => "non-finite scale",
+            GaussianDefect::NegativeScale => "negative scale",
+            GaussianDefect::DegenerateRotation => "degenerate rotation quaternion",
+            GaussianDefect::OpacityOutOfRange => "opacity outside [0, 1]",
+            GaussianDefect::ShDegreeUnsupported => "SH degree above 3",
+            GaussianDefect::NonFiniteSh => "non-finite SH coefficient",
+        };
+        f.write_str(msg)
+    }
+}
+
+/// Everything that can go wrong between raw bytes and a valid [`Scene`].
+///
+/// Mirrors the `DrawError` treatment: implements [`fmt::Display`] and
+/// [`std::error::Error`] (with the underlying [`std::io::Error`] as
+/// `source()` for [`AssetError::Io`]) so it composes with `?`-based call
+/// sites and `Box<dyn Error>` mains.
+#[derive(Debug)]
+pub enum AssetError {
+    /// The file (or a section) ends before its declared contents.
+    Truncated {
+        /// Which region ran short.
+        section: Section,
+        /// Bytes the region needed.
+        need: u64,
+        /// Bytes actually available.
+        got: u64,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic {
+        /// What was found instead.
+        found: [u8; 4],
+    },
+    /// The header's version field is not [`FORMAT_VERSION`].
+    VersionUnsupported {
+        /// The version the file claims.
+        found: u16,
+    },
+    /// A region's CRC32 does not match its bytes.
+    ChecksumMismatch {
+        /// Which region failed its CRC.
+        section: Section,
+    },
+    /// Every section CRC passed but the decoded cloud's
+    /// [`cloud_fingerprint`] disagrees with the header — the file is
+    /// internally inconsistent (e.g. crafted, or sections recombined from
+    /// different files).
+    FingerprintMismatch {
+        /// Fingerprint stored in the header.
+        stored: u64,
+        /// Fingerprint of the decoded cloud.
+        computed: u64,
+    },
+    /// A Gaussian failed semantic validation (under
+    /// [`LoadPolicy::Strict`], or a non-quarantinable defect).
+    InvalidGaussian {
+        /// Index of the offending Gaussian in file order.
+        index: usize,
+        /// What was wrong with it.
+        reason: GaussianDefect,
+    },
+    /// A structural inconsistency not covered by the variants above
+    /// (unknown flags, wrong section ids, trailing bytes, bad enum
+    /// encodings, oversized counts…).
+    Malformed {
+        /// Human-readable description of the inconsistency.
+        what: String,
+    },
+    /// An I/O error while reading or writing the asset.
+    Io {
+        /// What was being done when the error hit.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for AssetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssetError::Truncated { section, need, got } => {
+                write!(f, "truncated {section} section: need {need} bytes, got {got}")
+            }
+            AssetError::BadMagic { found } => {
+                write!(f, "bad magic {found:02x?} (expected {MAGIC:02x?})")
+            }
+            AssetError::VersionUnsupported { found } => {
+                write!(f, "unsupported format version {found} (loader speaks {FORMAT_VERSION})")
+            }
+            AssetError::ChecksumMismatch { section } => {
+                write!(f, "CRC32 mismatch in {section} section")
+            }
+            AssetError::FingerprintMismatch { stored, computed } => write!(
+                f,
+                "content fingerprint mismatch: header says {stored:#018x}, cloud hashes to {computed:#018x}"
+            ),
+            AssetError::InvalidGaussian { index, reason } => {
+                write!(f, "invalid gaussian at index {index}: {reason}")
+            }
+            AssetError::Malformed { what } => write!(f, "malformed asset: {what}"),
+            AssetError::Io { context, source } => write!(f, "asset I/O failed ({context}): {source}"),
+        }
+    }
+}
+
+impl std::error::Error for AssetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AssetError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for AssetError {
+    fn from(source: std::io::Error) -> Self {
+        AssetError::Io {
+            context: "asset I/O".to_string(),
+            source,
+        }
+    }
+}
+
+/// What the loader does with Gaussians that fail semantic validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LoadPolicy {
+    /// The first invalid Gaussian fails the whole load with
+    /// [`AssetError::InvalidGaussian`].
+    #[default]
+    Strict,
+    /// Invalid Gaussians are dropped; the [`LoadReport`] names every
+    /// quarantined index and reason. Structural, checksum and fingerprint
+    /// failures still fail the load — quarantine only ever applies to
+    /// per-resident semantic defects in an otherwise intact file.
+    Quarantine,
+}
+
+/// One quarantined resident: file-order index plus defect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quarantined {
+    /// Index of the Gaussian in the file's storage order.
+    pub index: usize,
+    /// Why it was dropped.
+    pub defect: GaussianDefect,
+}
+
+/// What a (successful) load did: how many residents survived, which were
+/// quarantined, and the fingerprints before/after screening.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LoadReport {
+    /// Gaussians stored in the file.
+    pub total: usize,
+    /// Gaussians that survived validation.
+    pub kept: usize,
+    /// Every dropped resident, in file order.
+    pub quarantined: Vec<Quarantined>,
+    /// The whole-file content fingerprint from the header (verified
+    /// against the decoded cloud *before* quarantine).
+    pub file_fingerprint: u64,
+    /// Fingerprint of the surviving cloud — equals `file_fingerprint`
+    /// when nothing was quarantined, and matches what
+    /// `SharedScene::fingerprint` will report for the loaded scene.
+    pub kept_fingerprint: u64,
+}
+
+impl LoadReport {
+    /// `true` when every stored Gaussian survived.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.kept == self.total
+    }
+}
+
+/// A validated scene plus the [`LoadReport`] describing how it loaded.
+#[derive(Debug, Clone)]
+pub struct LoadedAsset {
+    /// The surviving scene.
+    pub scene: Scene,
+    /// What validation kept and dropped.
+    pub report: LoadReport,
+}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) — self-contained so the
+// format has no dependency footprint.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 (IEEE) of `bytes` — the per-section checksum of the format.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn kind_code(kind: SceneKind) -> u8 {
+    match kind {
+        SceneKind::IndoorRoom => 0,
+        SceneKind::OutdoorUnbounded => 1,
+        SceneKind::SyntheticObject => 2,
+        SceneKind::LargeScale => 3,
+    }
+}
+
+fn kind_from_code(code: u8) -> Option<SceneKind> {
+    Some(match code {
+        0 => SceneKind::IndoorRoom,
+        1 => SceneKind::OutdoorUnbounded,
+        2 => SceneKind::SyntheticObject,
+        3 => SceneKind::LargeScale,
+        _ => return None,
+    })
+}
+
+fn push_f32(out: &mut Vec<u8>, v: f32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_vec3(out: &mut Vec<u8>, v: Vec3) {
+    push_f32(out, v.x);
+    push_f32(out, v.y);
+    push_f32(out, v.z);
+}
+
+fn encode_meta(scene: &Scene) -> Vec<u8> {
+    let spec = &scene.spec;
+    let mut out = Vec::with_capacity(80 + spec.name.len());
+    out.extend_from_slice(&spec.width.to_le_bytes());
+    out.extend_from_slice(&spec.height.to_le_bytes());
+    out.extend_from_slice(&(spec.gaussians as u64).to_le_bytes());
+    out.push(kind_code(spec.kind));
+    push_f32(&mut out, spec.object_fraction);
+    out.extend_from_slice(&spec.depth_layers.to_le_bytes());
+    push_f32(&mut out, spec.opacity_scale);
+    out.extend_from_slice(&spec.seed.to_le_bytes());
+    push_f32(&mut out, scene.scale);
+    push_vec3(&mut out, scene.center);
+    push_f32(&mut out, scene.view_radius);
+    push_f32(&mut out, scene.view_height);
+    out.extend_from_slice(&(spec.name.len() as u32).to_le_bytes());
+    out.extend_from_slice(spec.name.as_bytes());
+    out
+}
+
+/// Serializes `scene` into the canonical v1 byte layout. The encoder is
+/// bit-deterministic: equal scenes produce equal bytes, and
+/// `decode_scene(encode_scene(s))` reproduces `s` exactly (fingerprint
+/// included).
+pub fn encode_scene(scene: &Scene) -> Vec<u8> {
+    let n = scene.gaussians.len();
+    let mut means = Vec::with_capacity(n * 12);
+    let mut scales = Vec::with_capacity(n * 12);
+    let mut rotations = Vec::with_capacity(n * 16);
+    let mut opacities = Vec::with_capacity(n * 4);
+    let mut degrees = Vec::with_capacity(n);
+    let mut coeffs = Vec::new();
+    for g in &scene.gaussians {
+        push_vec3(&mut means, g.mean);
+        push_vec3(&mut scales, g.scale);
+        for r in g.rotation {
+            push_f32(&mut rotations, r);
+        }
+        push_f32(&mut opacities, g.opacity);
+        degrees.push(g.sh.degree());
+        for c in g.sh.coeffs() {
+            push_vec3(&mut coeffs, *c);
+        }
+    }
+    let sections = [
+        encode_meta(scene),
+        means,
+        scales,
+        rotations,
+        opacities,
+        degrees,
+        coeffs,
+    ];
+    let payload_len: usize = sections.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(PAYLOAD_OFFSET + payload_len);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // flags, reserved
+    out.extend_from_slice(&(SECTION_COUNT as u32).to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&cloud_fingerprint(&scene.gaussians).to_le_bytes());
+    let header_crc = crc32(&out);
+    out.extend_from_slice(&header_crc.to_le_bytes());
+    for (i, payload) in sections.iter().enumerate() {
+        out.extend_from_slice(&(i as u32 + 1).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    }
+    for payload in &sections {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Writes `scene` to `path` in the v1 format.
+///
+/// # Errors
+///
+/// Returns [`AssetError::Io`] with the path as context when the write
+/// fails.
+pub fn save_scene(path: &Path, scene: &Scene) -> Result<(), AssetError> {
+    std::fs::write(path, encode_scene(scene)).map_err(|source| AssetError::Io {
+        context: format!("writing {}", path.display()),
+        source,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian reader over one section's bytes. Every
+/// accessor reports [`AssetError::Truncated`] instead of slicing out of
+/// bounds — the decode path has no panicking indexing.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    section: Section,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8], section: Section) -> Self {
+        Self {
+            bytes,
+            pos: 0,
+            section,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], AssetError> {
+        let end = self.pos.checked_add(n).ok_or(AssetError::Truncated {
+            section: self.section,
+            need: u64::MAX,
+            got: self.bytes.len() as u64,
+        })?;
+        if end > self.bytes.len() {
+            return Err(AssetError::Truncated {
+                section: self.section,
+                need: end as u64,
+                got: self.bytes.len() as u64,
+            });
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, AssetError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, AssetError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, AssetError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, AssetError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f32(&mut self) -> Result<f32, AssetError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    fn vec3(&mut self) -> Result<Vec3, AssetError> {
+        Ok(Vec3::new(self.f32()?, self.f32()?, self.f32()?))
+    }
+}
+
+/// Scene-name interner: loaded names become `&'static str` (what
+/// [`SceneSpec::name`] requires) without leaking more than once per
+/// distinct name. Preset names short-circuit through [`scene_by_name`]
+/// and never allocate.
+fn intern_name(name: String) -> &'static str {
+    if let Some(preset) = scene_by_name(&name) {
+        return preset.name;
+    }
+    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    if let Some(existing) = set.get(name.as_str()) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+/// Decoded meta section, name still owned (interned only on full success).
+struct Meta {
+    width: u32,
+    height: u32,
+    gaussians: u64,
+    kind: SceneKind,
+    object_fraction: f32,
+    depth_layers: u32,
+    opacity_scale: f32,
+    seed: u64,
+    scale: f32,
+    center: Vec3,
+    view_radius: f32,
+    view_height: f32,
+    name: String,
+}
+
+fn decode_meta(bytes: &[u8]) -> Result<Meta, AssetError> {
+    let mut c = Cursor::new(bytes, Section::Meta);
+    let width = c.u32()?;
+    let height = c.u32()?;
+    let gaussians = c.u64()?;
+    let kind_code = c.u8()?;
+    let kind = kind_from_code(kind_code).ok_or_else(|| AssetError::Malformed {
+        what: format!("unknown scene kind code {kind_code}"),
+    })?;
+    let object_fraction = c.f32()?;
+    let depth_layers = c.u32()?;
+    let opacity_scale = c.f32()?;
+    let seed = c.u64()?;
+    let scale = c.f32()?;
+    let center = c.vec3()?;
+    let view_radius = c.f32()?;
+    let view_height = c.f32()?;
+    let name_len = c.u32()? as usize;
+    if name_len > MAX_NAME_LEN {
+        return Err(AssetError::Malformed {
+            what: format!("scene name length {name_len} exceeds {MAX_NAME_LEN}"),
+        });
+    }
+    let name_bytes = c.take(name_len)?;
+    if c.pos != bytes.len() {
+        return Err(AssetError::Malformed {
+            what: format!("{} trailing bytes after meta", bytes.len() - c.pos),
+        });
+    }
+    let name = std::str::from_utf8(name_bytes)
+        .map_err(|_| AssetError::Malformed {
+            what: "scene name is not valid UTF-8".to_string(),
+        })?
+        .to_string();
+    Ok(Meta {
+        width,
+        height,
+        gaussians,
+        kind,
+        object_fraction,
+        depth_layers,
+        opacity_scale,
+        seed,
+        scale,
+        center,
+        view_radius,
+        view_height,
+        name,
+    })
+}
+
+/// Semantic validation of one decoded Gaussian — the load-boundary mirror
+/// of [`Splat::is_finite`](crate::splat::Splat::is_finite) plus the
+/// invariants [`Gaussian::new`] asserts. Returns the first defect found.
+pub fn validate_gaussian(g: &Gaussian) -> Result<(), GaussianDefect> {
+    if !g.mean.is_finite() {
+        return Err(GaussianDefect::NonFiniteMean);
+    }
+    if !g.scale.is_finite() {
+        return Err(GaussianDefect::NonFiniteScale);
+    }
+    if g.scale.x < 0.0 || g.scale.y < 0.0 || g.scale.z < 0.0 {
+        return Err(GaussianDefect::NegativeScale);
+    }
+    let [w, x, y, z] = g.rotation;
+    let norm2 = w * w + x * x + y * y + z * z;
+    if !norm2.is_finite() || norm2 <= 0.0 {
+        return Err(GaussianDefect::DegenerateRotation);
+    }
+    if !g.opacity.is_finite() || !(0.0..=1.0).contains(&g.opacity) {
+        return Err(GaussianDefect::OpacityOutOfRange);
+    }
+    if g.sh.coeffs().iter().any(|c| !c.is_finite()) {
+        return Err(GaussianDefect::NonFiniteSh);
+    }
+    Ok(())
+}
+
+/// Checks that a section's length matches `count × stride` exactly.
+fn expect_len(section: Section, len: usize, count: u64, stride: u64) -> Result<(), AssetError> {
+    let need = count
+        .checked_mul(stride)
+        .ok_or_else(|| AssetError::Malformed {
+            what: format!("gaussian count {count} overflows the {section} section size"),
+        })?;
+    if len as u64 != need {
+        return Err(AssetError::Truncated {
+            section,
+            need,
+            got: len as u64,
+        });
+    }
+    Ok(())
+}
+
+/// Decodes and validates a scene from `bytes` under `policy`.
+///
+/// Validation runs structural → checksum → semantic (module docs): any
+/// byte of the file is covered by either the header CRC or a section CRC,
+/// so *every* single-bit corruption yields a typed error. The function
+/// never panics and never allocates more than a small multiple of
+/// `bytes.len()`, no matter what the length fields claim.
+///
+/// # Errors
+///
+/// Any [`AssetError`] variant except [`AssetError::Io`].
+pub fn decode_scene(bytes: &[u8], policy: LoadPolicy) -> Result<LoadedAsset, AssetError> {
+    // --- Structural: header -------------------------------------------------
+    if bytes.len() < HEADER_LEN {
+        return Err(AssetError::Truncated {
+            section: Section::Header,
+            need: HEADER_LEN as u64,
+            got: bytes.len() as u64,
+        });
+    }
+    let mut h = Cursor::new(&bytes[..HEADER_LEN], Section::Header);
+    let magic = h.take(4)?;
+    if magic != MAGIC {
+        return Err(AssetError::BadMagic {
+            found: [magic[0], magic[1], magic[2], magic[3]],
+        });
+    }
+    let version = h.u16()?;
+    if version != FORMAT_VERSION {
+        return Err(AssetError::VersionUnsupported { found: version });
+    }
+    let flags = h.u16()?;
+    if flags != 0 {
+        return Err(AssetError::Malformed {
+            what: format!("unknown header flags {flags:#06x}"),
+        });
+    }
+    let section_count = h.u32()?;
+    if section_count as usize != SECTION_COUNT {
+        return Err(AssetError::Malformed {
+            what: format!("expected {SECTION_COUNT} sections, header says {section_count}"),
+        });
+    }
+    let count = h.u64()?;
+    let fingerprint = h.u64()?;
+    let header_crc = h.u32()?;
+    if crc32(&bytes[..HEADER_LEN - 4]) != header_crc {
+        return Err(AssetError::ChecksumMismatch {
+            section: Section::Header,
+        });
+    }
+
+    // --- Structural: section table + byte budgets ---------------------------
+    if bytes.len() < PAYLOAD_OFFSET {
+        return Err(AssetError::Truncated {
+            section: Section::SectionTable,
+            need: PAYLOAD_OFFSET as u64,
+            got: bytes.len() as u64,
+        });
+    }
+    let mut t = Cursor::new(&bytes[HEADER_LEN..PAYLOAD_OFFSET], Section::SectionTable);
+    let mut payloads: [&[u8]; SECTION_COUNT] = [&[]; SECTION_COUNT];
+    let mut crcs = [0u32; SECTION_COUNT];
+    let mut offset = PAYLOAD_OFFSET as u64;
+    for (i, &section) in PAYLOAD_SECTIONS.iter().enumerate() {
+        let id = t.u32()?;
+        if id as usize != i + 1 {
+            return Err(AssetError::Malformed {
+                what: format!("section {i} has id {id}, expected {}", i + 1),
+            });
+        }
+        crcs[i] = t.u32()?;
+        let len = t.u64()?;
+        // Clamp against the real file size BEFORE any use of `len`: the
+        // declared length can never push a slice (or an allocation keyed
+        // on it) past the bytes that actually exist.
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| AssetError::Malformed {
+                what: format!("section {section} length {len} overflows the file offset"),
+            })?;
+        if end > bytes.len() as u64 {
+            return Err(AssetError::Truncated {
+                section,
+                need: end,
+                got: bytes.len() as u64,
+            });
+        }
+        payloads[i] = &bytes[offset as usize..end as usize];
+        offset = end;
+    }
+    if offset != bytes.len() as u64 {
+        return Err(AssetError::Malformed {
+            what: format!(
+                "{} trailing bytes after the last section",
+                bytes.len() as u64 - offset
+            ),
+        });
+    }
+
+    // --- Checksum: every payload byte ---------------------------------------
+    for (i, &section) in PAYLOAD_SECTIONS.iter().enumerate() {
+        if crc32(payloads[i]) != crcs[i] {
+            return Err(AssetError::ChecksumMismatch { section });
+        }
+    }
+
+    // --- Structural: per-section sizes vs. the gaussian count ----------------
+    // Section lengths already fit in the file, so `count` is bounded by
+    // file_size/stride before any Vec reservation below.
+    let meta = decode_meta(payloads[0])?;
+    expect_len(Section::Means, payloads[1].len(), count, 12)?;
+    expect_len(Section::Scales, payloads[2].len(), count, 12)?;
+    expect_len(Section::Rotations, payloads[3].len(), count, 16)?;
+    expect_len(Section::Opacities, payloads[4].len(), count, 4)?;
+    expect_len(Section::ShDegrees, payloads[5].len(), count, 1)?;
+    let count = count as usize;
+
+    let degrees = payloads[5];
+    let mut total_coeffs = 0u64;
+    for (i, &d) in degrees.iter().enumerate() {
+        if d > MAX_SH_DEGREE {
+            return Err(AssetError::InvalidGaussian {
+                index: i,
+                reason: GaussianDefect::ShDegreeUnsupported,
+            });
+        }
+        total_coeffs += coeff_count(d) as u64;
+    }
+    expect_len(Section::ShCoeffs, payloads[6].len(), total_coeffs, 12)?;
+
+    // --- Decode (bit-preserving; no validation-sensitive constructors) ------
+    let mut means = Cursor::new(payloads[1], Section::Means);
+    let mut scales = Cursor::new(payloads[2], Section::Scales);
+    let mut rotations = Cursor::new(payloads[3], Section::Rotations);
+    let mut opacities = Cursor::new(payloads[4], Section::Opacities);
+    let mut coeffs = Cursor::new(payloads[6], Section::ShCoeffs);
+    let mut gaussians = Vec::with_capacity(count);
+    for &degree in degrees {
+        let mean = means.vec3()?;
+        let scale = scales.vec3()?;
+        let rotation = [
+            rotations.f32()?,
+            rotations.f32()?,
+            rotations.f32()?,
+            rotations.f32()?,
+        ];
+        let opacity = opacities.f32()?;
+        let mut cs = Vec::with_capacity(coeff_count(degree));
+        for _ in 0..coeff_count(degree) {
+            cs.push(coeffs.vec3()?);
+        }
+        // Struct literal, not `Gaussian::new`: the constructor's asserts
+        // would panic on hostile bytes; validation happens below instead.
+        gaussians.push(Gaussian {
+            mean,
+            scale,
+            rotation,
+            opacity,
+            // Degree was bounds-checked above and `cs` has exactly
+            // `coeff_count(degree)` entries, so this cannot panic.
+            sh: ShColor::new(degree, cs),
+        });
+    }
+
+    // --- Checksum: whole-file content fingerprint ----------------------------
+    let computed = cloud_fingerprint(&gaussians);
+    if computed != fingerprint {
+        return Err(AssetError::FingerprintMismatch {
+            stored: fingerprint,
+            computed,
+        });
+    }
+
+    // --- Semantic: per-resident invariants -----------------------------------
+    let mut quarantined = Vec::new();
+    let kept: Vec<Gaussian> = match policy {
+        LoadPolicy::Strict => {
+            for (index, g) in gaussians.iter().enumerate() {
+                if let Err(reason) = validate_gaussian(g) {
+                    return Err(AssetError::InvalidGaussian { index, reason });
+                }
+            }
+            gaussians
+        }
+        LoadPolicy::Quarantine => gaussians
+            .into_iter()
+            .enumerate()
+            .filter_map(|(index, g)| match validate_gaussian(&g) {
+                Ok(()) => Some(g),
+                Err(defect) => {
+                    quarantined.push(Quarantined { index, defect });
+                    None
+                }
+            })
+            .collect(),
+    };
+
+    let report = LoadReport {
+        total: count,
+        kept: kept.len(),
+        quarantined,
+        file_fingerprint: fingerprint,
+        kept_fingerprint: cloud_fingerprint(&kept),
+    };
+    let spec = SceneSpec {
+        name: intern_name(meta.name),
+        width: meta.width,
+        height: meta.height,
+        gaussians: meta.gaussians as usize,
+        kind: meta.kind,
+        object_fraction: meta.object_fraction,
+        depth_layers: meta.depth_layers,
+        opacity_scale: meta.opacity_scale,
+        seed: meta.seed,
+    };
+    let scene = Scene {
+        spec,
+        scale: meta.scale,
+        gaussians: kept,
+        center: meta.center,
+        view_radius: meta.view_radius,
+        view_height: meta.view_height,
+    };
+    Ok(LoadedAsset { scene, report })
+}
+
+/// Reads an asset from any [`Read`] implementor (short reads are
+/// absorbed by the internal buffering) and decodes it under `policy`.
+///
+/// # Errors
+///
+/// [`AssetError::Io`] on read failure, otherwise whatever
+/// [`decode_scene`] reports.
+pub fn read_scene<R: Read>(mut reader: R, policy: LoadPolicy) -> Result<LoadedAsset, AssetError> {
+    let mut bytes = Vec::new();
+    reader
+        .read_to_end(&mut bytes)
+        .map_err(|source| AssetError::Io {
+            context: "reading asset stream".to_string(),
+            source,
+        })?;
+    decode_scene(&bytes, policy)
+}
+
+/// Loads and validates a scene asset from `path` under `policy`.
+///
+/// # Errors
+///
+/// [`AssetError::Io`] with the path as context on read failure, otherwise
+/// whatever [`decode_scene`] reports.
+pub fn load_scene(path: &Path, policy: LoadPolicy) -> Result<LoadedAsset, AssetError> {
+    let bytes = std::fs::read(path).map_err(|source| AssetError::Io {
+        context: format!("reading {}", path.display()),
+        source,
+    })?;
+    decode_scene(&bytes, policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::EVALUATED_SCENES;
+
+    fn tiny_scene() -> Scene {
+        EVALUATED_SCENES[4].generate_scaled(0.01)
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let scene = tiny_scene();
+        let bytes = encode_scene(&scene);
+        let loaded = decode_scene(&bytes, LoadPolicy::Strict).expect("clean file loads");
+        assert_eq!(loaded.scene.spec, scene.spec);
+        assert_eq!(loaded.scene.scale, scene.scale);
+        assert_eq!(loaded.scene.gaussians, scene.gaussians);
+        assert_eq!(loaded.scene.center, scene.center);
+        assert_eq!(loaded.scene.view_radius, scene.view_radius);
+        assert_eq!(loaded.scene.view_height, scene.view_height);
+        assert!(loaded.report.is_clean());
+        assert_eq!(
+            loaded.report.file_fingerprint,
+            cloud_fingerprint(&scene.gaussians)
+        );
+        assert_eq!(
+            loaded.report.kept_fingerprint,
+            loaded.report.file_fingerprint
+        );
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let scene = tiny_scene();
+        assert_eq!(encode_scene(&scene), encode_scene(&scene));
+    }
+
+    #[test]
+    fn preset_names_do_not_leak() {
+        let scene = tiny_scene();
+        let loaded = decode_scene(&encode_scene(&scene), LoadPolicy::Strict).unwrap();
+        // Same 'static pointer as the preset table.
+        assert!(std::ptr::eq(loaded.scene.spec.name, scene.spec.name));
+    }
+
+    #[test]
+    fn empty_and_truncated_inputs_error_cleanly() {
+        assert!(matches!(
+            decode_scene(&[], LoadPolicy::Strict),
+            Err(AssetError::Truncated {
+                section: Section::Header,
+                ..
+            })
+        ));
+        let bytes = encode_scene(&tiny_scene());
+        assert!(matches!(
+            decode_scene(&bytes[..HEADER_LEN + 3], LoadPolicy::Strict),
+            Err(AssetError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let mut bytes = encode_scene(&tiny_scene());
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert!(matches!(
+            decode_scene(&wrong, LoadPolicy::Strict),
+            Err(AssetError::BadMagic { .. })
+        ));
+        bytes[4] = 9; // version — header CRC must be refreshed to reach the check
+        let crc = crc32(&bytes[..HEADER_LEN - 4]).to_le_bytes();
+        bytes[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&crc);
+        assert!(matches!(
+            decode_scene(&bytes, LoadPolicy::Strict),
+            Err(AssetError::VersionUnsupported { found: 9 })
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_is_a_checksum_mismatch() {
+        let mut bytes = encode_scene(&tiny_scene());
+        let mid = PAYLOAD_OFFSET + (bytes.len() - PAYLOAD_OFFSET) / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            decode_scene(&bytes, LoadPolicy::Strict),
+            Err(AssetError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_field_is_clamped_not_allocated() {
+        let mut bytes = encode_scene(&tiny_scene());
+        // Claim the means section is absurdly large; the decoder must
+        // reject on the file-size clamp (it can't CRC bytes that do not
+        // exist), not attempt the allocation.
+        let entry = HEADER_LEN + TABLE_ENTRY_LEN + 8;
+        bytes[entry..entry + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        match decode_scene(&bytes, LoadPolicy::Strict) {
+            Err(AssetError::Malformed { .. }) | Err(AssetError::Truncated { .. }) => {}
+            other => panic!("expected structural rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strict_rejects_poisoned_gaussian_quarantine_drops_it() {
+        let mut scene = tiny_scene();
+        scene.gaussians[3].mean.x = f32::NAN;
+        scene.gaussians[7].opacity = 2.5;
+        let bytes = encode_scene(&scene);
+        match decode_scene(&bytes, LoadPolicy::Strict) {
+            Err(AssetError::InvalidGaussian { index: 3, reason }) => {
+                assert_eq!(reason, GaussianDefect::NonFiniteMean);
+            }
+            other => panic!("expected InvalidGaussian at 3, got {other:?}"),
+        }
+        let loaded = decode_scene(&bytes, LoadPolicy::Quarantine).expect("quarantine succeeds");
+        assert_eq!(loaded.report.total, scene.gaussians.len());
+        assert_eq!(loaded.report.kept, scene.gaussians.len() - 2);
+        assert_eq!(
+            loaded.report.quarantined,
+            vec![
+                Quarantined {
+                    index: 3,
+                    defect: GaussianDefect::NonFiniteMean
+                },
+                Quarantined {
+                    index: 7,
+                    defect: GaussianDefect::OpacityOutOfRange
+                },
+            ]
+        );
+        assert_eq!(
+            loaded.report.kept_fingerprint,
+            cloud_fingerprint(&loaded.scene.gaussians)
+        );
+        assert!(!loaded.report.is_clean());
+    }
+
+    #[test]
+    fn defect_taxonomy_covers_every_field() {
+        let base = tiny_scene().gaussians[0].clone();
+        let mut nan_scale = base.clone();
+        nan_scale.scale.y = f32::INFINITY;
+        let mut neg_scale = base.clone();
+        neg_scale.scale.z = -0.1;
+        let mut zero_rot = base.clone();
+        zero_rot.rotation = [0.0; 4];
+        let mut big_rot = base.clone();
+        big_rot.rotation = [1e30, 1e30, 0.0, 0.0]; // norm² overflows to inf
+        let mut nan_sh = base.clone();
+        nan_sh.sh.coeffs_mut()[0].x = f32::NAN;
+        for (g, want) in [
+            (&nan_scale, GaussianDefect::NonFiniteScale),
+            (&neg_scale, GaussianDefect::NegativeScale),
+            (&zero_rot, GaussianDefect::DegenerateRotation),
+            (&big_rot, GaussianDefect::DegenerateRotation),
+            (&nan_sh, GaussianDefect::NonFiniteSh),
+        ] {
+            assert_eq!(validate_gaussian(g), Err(want));
+        }
+        assert_eq!(validate_gaussian(&base), Ok(()));
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        let mut bytes = encode_scene(&tiny_scene());
+        bytes.push(0);
+        assert!(matches!(
+            decode_scene(&bytes, LoadPolicy::Strict),
+            Err(AssetError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_and_source_compose() {
+        let e = AssetError::from(std::io::Error::other("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+        let msgs = [
+            AssetError::Truncated {
+                section: Section::Means,
+                need: 10,
+                got: 3,
+            }
+            .to_string(),
+            AssetError::ChecksumMismatch {
+                section: Section::ShCoeffs,
+            }
+            .to_string(),
+            AssetError::VersionUnsupported { found: 7 }.to_string(),
+            AssetError::InvalidGaussian {
+                index: 5,
+                reason: GaussianDefect::OpacityOutOfRange,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+}

@@ -25,6 +25,7 @@
 //! pipeline stages live in the `gpu-sim` crate and the VR-Pipe extensions
 //! in the `vrpipe` crate.
 
+pub mod asset;
 pub mod blend;
 pub mod camera;
 pub mod color;
@@ -41,6 +42,7 @@ pub mod sort;
 pub mod splat;
 pub mod stream;
 
+pub use asset::{AssetError, GaussianDefect, LoadPolicy, LoadReport, LoadedAsset};
 pub use blend::{ALPHA_PRUNE_THRESHOLD, EARLY_TERMINATION_THRESHOLD};
 pub use camera::{Camera, CameraPath};
 pub use color::{PixelFormat, Rgba};

@@ -373,3 +373,91 @@ proptest! {
         }
     }
 }
+
+/// A small but structurally rich scene for the asset round-trip
+/// properties: arbitrary cloud over one of the preset specs.
+fn asset_scene(gaussians: Vec<Gaussian>) -> gsplat::scene::Scene {
+    gsplat::scene::Scene {
+        spec: gsplat::scene::EVALUATED_SCENES[4].clone(),
+        scale: 0.5,
+        gaussians,
+        center: Vec3::ZERO,
+        view_radius: 4.0,
+        view_height: 1.5,
+    }
+}
+
+proptest! {
+    /// The never-panic decode contract over *arbitrary* bytes: any input
+    /// produces a typed result — almost always an error, and a successful
+    /// decode has, by construction, verified every checksum.
+    #[test]
+    fn asset_decode_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..512),
+        strict in 0u8..=1,
+    ) {
+        let policy = if strict == 0 {
+            gsplat::asset::LoadPolicy::Strict
+        } else {
+            gsplat::asset::LoadPolicy::Quarantine
+        };
+        // Must return (not panic, not over-allocate) for any byte soup.
+        let _ = gsplat::asset::decode_scene(&bytes, policy);
+    }
+
+    /// Every byte of a valid file is covered by the header CRC or a
+    /// section CRC, so a single bit flip anywhere is always *detected*:
+    /// decode returns a typed error, never a panic, never a silently
+    /// different scene.
+    #[test]
+    fn asset_single_bit_flip_is_always_detected(
+        cloud in cloud_strategy(),
+        offset in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let scene = asset_scene(cloud);
+        let bytes = gsplat::asset::encode_scene(&scene);
+        let flip = gsplat::asset::faults::Corruption::BitFlip { offset, bit };
+        let corrupt = flip.apply(&bytes);
+        prop_assert!(
+            gsplat::asset::decode_scene(&corrupt, gsplat::asset::LoadPolicy::Strict).is_err(),
+            "flip at {} bit {bit} went undetected", offset % bytes.len()
+        );
+    }
+
+    /// Valid files damaged by k seeded corruptions (truncation, bit
+    /// flips, CRC clobbers) never panic the decoder, under either policy.
+    #[test]
+    fn asset_seeded_corruptions_never_panic(
+        cloud in cloud_strategy(),
+        seed in 0u64..u64::MAX,
+        k in 1usize..4,
+    ) {
+        let scene = asset_scene(cloud);
+        let bytes = gsplat::asset::encode_scene(&scene);
+        for c in gsplat::asset::faults::seeded_corruptions(seed, bytes.len(), k) {
+            let corrupt = c.apply(&bytes);
+            let _ = gsplat::asset::decode_scene(&corrupt, gsplat::asset::LoadPolicy::Strict);
+            let _ = gsplat::asset::decode_scene(&corrupt, gsplat::asset::LoadPolicy::Quarantine);
+        }
+    }
+
+    /// Round trip: `save(scene) |> load == scene`, bit-exact, fingerprint
+    /// included, for arbitrary valid clouds.
+    #[test]
+    fn asset_roundtrip_is_bit_exact(cloud in cloud_strategy()) {
+        let scene = asset_scene(cloud);
+        let bytes = gsplat::asset::encode_scene(&scene);
+        let loaded = gsplat::asset::decode_scene(&bytes, gsplat::asset::LoadPolicy::Strict)
+            .expect("a freshly encoded scene must load");
+        prop_assert!(loaded.report.is_clean());
+        prop_assert_eq!(&loaded.scene.gaussians, &scene.gaussians);
+        prop_assert_eq!(loaded.scene.spec, scene.spec.clone());
+        prop_assert_eq!(loaded.scene.scale, scene.scale);
+        prop_assert_eq!(
+            loaded.report.file_fingerprint,
+            gsplat::index::cloud_fingerprint(&scene.gaussians)
+        );
+        prop_assert_eq!(loaded.report.kept_fingerprint, loaded.report.file_fingerprint);
+    }
+}
