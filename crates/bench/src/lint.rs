@@ -1,0 +1,149 @@
+//! The `lint` experiment: runs the vrlint invariant checker over the
+//! workspace and feeds the per-rule tallies into the benchmark trail,
+//! so `BENCH_pipeline.json` records not just how fast the pipeline is
+//! but whether the never-panic / no-alloc / determinism / lock
+//! contracts still hold — and which suppressions (with their reasons)
+//! the claim rests on.
+
+use std::path::{Path, PathBuf};
+
+use vrlint::{Options, Rule};
+
+/// Workspace root for linting: walk up from the working directory
+/// (`cargo run -p bench` and CI both start inside the repository); when
+/// the binary runs from elsewhere (the harness chdirs into a scratch
+/// dir for its output files), fall back to the workspace it was built
+/// from.
+fn root() -> PathBuf {
+    std::env::current_dir()
+        .ok()
+        .and_then(|d| vrlint::workspace_root_from(&d))
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+/// Console experiment: the per-rule summary, mirroring `vrlint`'s CLI.
+pub fn lint() {
+    println!("\n== lint: static invariant check (vrlint, DESIGN.md §11) ==");
+    let ws = match vrlint::lint_workspace(&root(), Options::default()) {
+        Ok(ws) => ws,
+        Err(e) => {
+            println!("  vrlint failed to read the workspace: {e}");
+            return;
+        }
+    };
+    println!("  {} files scanned", ws.files.len());
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        let (found, suppressed) = ws.per_rule()[i];
+        if found > 0 {
+            println!(
+                "  {}: {found} finding(s), {suppressed} suppressed, {} open",
+                rule.id(),
+                found - suppressed
+            );
+        }
+    }
+    let open: Vec<_> = ws.denied().collect();
+    for (path, f) in &open {
+        println!(
+            "  OPEN {path}:{} {}[{}] {}",
+            f.line,
+            f.rule.id(),
+            f.kind,
+            f.message
+        );
+    }
+    println!(
+        "  unsafe: {} block(s) (pinned at {}); verdict: {}",
+        ws.unsafe_total,
+        vrlint::PINNED_UNSAFE_BLOCKS,
+        if open.is_empty() {
+            "clean"
+        } else {
+            "FINDINGS OPEN"
+        }
+    );
+}
+
+/// Escapes a string for embedding in a JSON literal (quotes and
+/// backslashes; the reasons are plain UTF-8 otherwise).
+fn json_str(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// The `lint` block of `BENCH_pipeline.json`: per-rule found/suppressed
+/// counts, the full suppression inventory with reasons (inline and
+/// builtin), the unsafe audit and the deny verdict.
+pub fn lint_measurement() -> String {
+    let ws = match vrlint::lint_workspace(&root(), Options::default()) {
+        Ok(ws) => ws,
+        Err(e) => {
+            return format!(
+                "{{\"error\": \"{}\", \"deny_clean\": false}}",
+                json_str(&e.to_string())
+            )
+        }
+    };
+    // An empty scan means the root resolution is wrong, not that the
+    // workspace is clean — refuse the false positive.
+    if ws.files.is_empty() {
+        return "{\"error\": \"no workspace sources found\", \"deny_clean\": false}".to_string();
+    }
+
+    let mut rules = String::new();
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        let (found, suppressed) = ws.per_rule()[i];
+        let comma = if i + 1 < Rule::ALL.len() { "," } else { "" };
+        rules.push_str(&format!(
+            "\n      {{\"rule\": \"{}\", \"found\": {found}, \"suppressed\": {suppressed}, \"open\": {}}}{comma}",
+            rule.id(),
+            found - suppressed
+        ));
+    }
+
+    let inline: Vec<_> = ws.suppressions().collect();
+    let builtin = ws.builtin_uses();
+    let mut sups = String::new();
+    let total = inline.len() + builtin.len();
+    for (k, (path, s)) in inline.iter().enumerate() {
+        let ids: Vec<String> = s
+            .rules
+            .iter()
+            .map(|(r, kind)| match kind {
+                Some(kind) => format!("{}[{kind}]", r.id()),
+                None => r.id().to_string(),
+            })
+            .collect();
+        let comma = if k + 1 < total { "," } else { "" };
+        sups.push_str(&format!(
+            "\n      {{\"site\": \"{path}:{}\", \"rules\": \"{}\", \"used\": {}, \"reason\": \"{}\"}}{comma}",
+            s.line,
+            ids.join(", "),
+            s.used,
+            json_str(&s.reason)
+        ));
+    }
+    for (k, (bi, n)) in builtin.iter().enumerate() {
+        let a = &vrlint::BUILTIN_ALLOWS[*bi];
+        let comma = if inline.len() + k + 1 < total {
+            ","
+        } else {
+            ""
+        };
+        sups.push_str(&format!(
+            "\n      {{\"site\": \"builtin:{}\", \"rules\": \"{} {}\", \"used\": {n}, \"reason\": \"{}\"}}{comma}",
+            a.path,
+            a.rule.id(),
+            a.ident,
+            json_str(a.reason)
+        ));
+    }
+
+    format!(
+        "{{\n    \"files\": {},\n    \"hot_regions\": {},\n    \"rules\": [{rules}\n    ],\n    \"suppressions\": [{sups}\n    ],\n    \"unsafe_blocks\": {},\n    \"unsafe_pinned\": {},\n    \"deny_clean\": {}\n  }}",
+        ws.files.len(),
+        ws.hot_regions(),
+        ws.unsafe_total,
+        vrlint::PINNED_UNSAFE_BLOCKS,
+        ws.denied().next().is_none()
+    )
+}

@@ -12,6 +12,7 @@
 //!                           # serve (multi-stream serving over one shared scene)
 //!                           # serve-faults / serve --faults (fault-injection smoke)
 //!                           # asset (checksummed scene assets, corruption sweep)
+//!                           # lint (vrlint invariant check, per-rule tallies)
 //! figures all               # everything, in paper order
 //! ```
 //!
@@ -26,6 +27,7 @@ mod asset;
 mod common;
 mod evaluation;
 mod kernel;
+mod lint;
 mod motivation;
 mod report;
 mod sequence;
@@ -58,6 +60,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("serve", serve::serve),
     ("serve-faults", serve::serve_faults),
     ("asset", asset::asset),
+    ("lint", lint::lint),
     ("ablation-tgc", ablation::ablation_tgc),
     ("ablation-tc", ablation::ablation_tc),
     ("ablation-cache", ablation::ablation_crop_cache),

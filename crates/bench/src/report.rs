@@ -41,7 +41,14 @@ impl Report {
     }
 
     /// Writes `BENCH_pipeline.json` (experiment wall times + the canonical
-    /// pipeline measurement) and returns the path, or the I/O error.
+    /// measurements) and returns the path, or an error.
+    ///
+    /// Every section is validated as standalone JSON before assembly and
+    /// the full document is written atomically (temp file + rename, with
+    /// a length check), so a measurement that emits a non-finite number
+    /// (`NaN` has no JSON spelling) or an interrupted write can never
+    /// leave a half-valid trail for CI to read as this run's result —
+    /// any violation surfaces as `Err` and the harness exits non-zero.
     pub fn write(&self, scale: f32) -> std::io::Result<&'static str> {
         let mut json = String::new();
         json.push_str("{\n");
@@ -63,20 +70,200 @@ impl Report {
         }
         json.push_str("  ],\n");
 
-        json.push_str("  \"pipeline\": ");
-        json.push_str(&pipeline_measurement(scale));
-        json.push_str(",\n  \"kernel\": ");
-        json.push_str(&kernel_measurement(scale));
-        json.push_str(",\n  \"sequence\": ");
-        json.push_str(&sequence_measurement(scale));
-        json.push_str(",\n  \"serve\": ");
-        json.push_str(&serve_measurement(scale));
-        json.push_str(",\n  \"asset\": ");
-        json.push_str(&asset_measurement(scale));
-        json.push_str("\n}\n");
-        std::fs::write(REPORT_PATH, json)?;
+        let sections: [(&str, SectionFn); 6] = [
+            ("pipeline", pipeline_measurement),
+            ("kernel", kernel_measurement),
+            ("sequence", sequence_measurement),
+            ("serve", serve_measurement),
+            ("asset", asset_measurement),
+            ("lint", |_| crate::lint::lint_measurement()),
+        ];
+        for (i, (name, measure)) in sections.iter().enumerate() {
+            let body = measure(scale);
+            check_json(&body).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("section `{name}` is not valid JSON ({e}); refusing a partial report"),
+                )
+            })?;
+            let comma = if i + 1 < sections.len() { "," } else { "" };
+            let _ = writeln!(json, "  \"{name}\": {body}{comma}");
+        }
+        json.push_str("}\n");
+        check_json(&json).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("assembled report is not valid JSON ({e})"),
+            )
+        })?;
+
+        // Atomic replace: a crash mid-write leaves the previous report
+        // intact instead of a truncated one.
+        let tmp = "BENCH_pipeline.json.tmp";
+        std::fs::write(tmp, &json)?;
+        let written = std::fs::metadata(tmp)?.len();
+        if written != json.len() as u64 {
+            let _ = std::fs::remove_file(tmp);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                format!("short write: {written} of {} bytes", json.len()),
+            ));
+        }
+        std::fs::rename(tmp, REPORT_PATH)?;
         Ok(REPORT_PATH)
     }
+}
+
+/// One section of the report: its measurement body as a JSON string,
+/// parameterized on the benchmark scene scale.
+type SectionFn = fn(f32) -> String;
+
+/// Minimal structural JSON validator for the report sections: verifies
+/// the text is exactly one JSON value (objects, arrays, strings with
+/// escapes, finite numbers, `true`/`false`/`null`). Rust's `{:.3}` on a
+/// non-finite float prints `NaN`/`inf`, which no JSON parser accepts —
+/// this is the check that turns such a measurement into a failed run
+/// instead of a silently unreadable trail.
+fn check_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut i = 0usize;
+    skip_value(b, &mut i).map_err(|e| format!("{e} at byte {i}"))?;
+    skip_ws(b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing content at byte {i}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn skip_value(b: &[u8], i: &mut usize) -> Result<(), &'static str> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        None => Err("unexpected end of input"),
+        Some(b'{') => skip_composite(b, i, b'}', true),
+        Some(b'[') => skip_composite(b, i, b']', false),
+        Some(b'"') => skip_string(b, i),
+        Some(b't') => skip_lit(b, i, "true"),
+        Some(b'f') => skip_lit(b, i, "false"),
+        Some(b'n') => skip_lit(b, i, "null"),
+        Some(b'-' | b'0'..=b'9') => skip_number(b, i),
+        Some(_) => Err("unexpected character"),
+    }
+}
+
+fn skip_composite(b: &[u8], i: &mut usize, close: u8, keyed: bool) -> Result<(), &'static str> {
+    *i += 1; // opening bracket
+    skip_ws(b, i);
+    if b.get(*i) == Some(&close) {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        if keyed {
+            skip_ws(b, i);
+            skip_string(b, i)?;
+            skip_ws(b, i);
+            if b.get(*i) != Some(&b':') {
+                return Err("expected `:` after object key");
+            }
+            *i += 1;
+        }
+        skip_value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(c) if *c == close => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err("expected `,` or closing bracket"),
+        }
+    }
+}
+
+fn skip_string(b: &[u8], i: &mut usize) -> Result<(), &'static str> {
+    if b.get(*i) != Some(&b'"') {
+        return Err("expected string");
+    }
+    *i += 1;
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => match b.get(*i + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 2,
+                Some(b'u') => {
+                    let hex = b.get(*i + 2..*i + 6).ok_or("truncated \\u escape")?;
+                    if !hex.iter().all(|c| c.is_ascii_hexdigit()) {
+                        return Err("bad \\u escape");
+                    }
+                    *i += 6;
+                }
+                _ => return Err("bad escape"),
+            },
+            0x00..=0x1f => return Err("raw control character in string"),
+            _ => *i += 1,
+        }
+    }
+    Err("unterminated string")
+}
+
+fn skip_lit(b: &[u8], i: &mut usize, lit: &str) -> Result<(), &'static str> {
+    if b[*i..].starts_with(lit.as_bytes()) {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err("bad literal")
+    }
+}
+
+fn skip_number(b: &[u8], i: &mut usize) -> Result<(), &'static str> {
+    // JSON grammar: -?int frac? exp? — in particular no `NaN`, `inf`,
+    // leading `+`, bare `.` or hex.
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    let int0 = *i;
+    while b.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+        *i += 1;
+    }
+    if *i == int0 {
+        return Err("number missing integer digits");
+    }
+    if b[int0] == b'0' && *i > int0 + 1 {
+        return Err("leading zero in number");
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        let f0 = *i;
+        while b.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+            *i += 1;
+        }
+        if *i == f0 {
+            return Err("number missing fraction digits");
+        }
+    }
+    if matches!(b.get(*i), Some(b'e' | b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+' | b'-')) {
+            *i += 1;
+        }
+        let e0 = *i;
+        while b.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+            *i += 1;
+        }
+        if *i == e0 {
+            return Err("number missing exponent digits");
+        }
+    }
+    Ok(())
 }
 
 /// Frame-sequence measurement for the JSON trail: a 16-frame coherent
@@ -272,4 +459,44 @@ fn pipeline_measurement(scale: f32) -> String {
         spec.name,
         serial_ms / parallel_ms.max(1e-9)
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check_json;
+
+    #[test]
+    fn validator_accepts_report_shapes() {
+        for ok in [
+            "{}",
+            "[]",
+            "{\"a\": 1, \"b\": [1.5, -2e-3, \"x\\n\"], \"c\": {\"d\": null}}",
+            "{\"deny_clean\": true, \"reason\": \"§9 — proven\"}",
+            "  {\"pad\": 0}  ",
+        ] {
+            assert!(check_json(ok).is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_non_json() {
+        for bad in [
+            "{\"x\": NaN}",
+            "{\"x\": inf}",
+            "{\"x\": 1,}",
+            "{\"x\" 1}",
+            "{\"x\": 01}",
+            "{\"x\": .5}",
+            "{\"unterminated",
+            "{} trailing",
+            "",
+        ] {
+            assert!(check_json(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn lint_measurement_is_valid_json() {
+        assert!(check_json(&crate::lint::lint_measurement()).is_ok());
+    }
 }

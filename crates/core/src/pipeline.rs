@@ -203,6 +203,7 @@ pub fn draw(
     cfg: &GpuConfig,
     variant: PipelineVariant,
 ) -> DrawOutput {
+    // vrlint: allow(VL01, reason = "documented # Panics wrapper; frame loops use the try_ form")
     try_draw(splats, width, height, cfg, variant).expect("draw rejected")
 }
 
@@ -240,6 +241,7 @@ pub fn draw_with_scratch(
     variant: PipelineVariant,
     scratch: &mut DrawScratch,
 ) -> DrawOutput {
+    // vrlint: allow(VL01, reason = "documented # Panics wrapper; frame loops use the try_ form")
     try_draw_with_scratch(splats, width, height, cfg, variant, scratch).expect("draw rejected")
 }
 
@@ -278,12 +280,14 @@ pub fn draw_in_place(
     ds: &mut DepthStencilBuffer,
     scratch: &mut DrawScratch,
 ) -> PipelineStats {
+    // vrlint: allow(VL01, reason = "documented # Panics wrapper; frame loops use the try_ form")
     try_draw_in_place(splats, cfg, variant, color, ds, scratch).expect("draw rejected")
 }
 
 /// Fallible [`draw_in_place`]: rejects invalid configurations and
 /// mismatched render targets as a [`DrawError`] before any pipeline state
 /// is touched, instead of panicking mid-frame-loop.
+// vrlint: hot
 pub fn try_draw_in_place(
     splats: &[Splat],
     cfg: &GpuConfig,

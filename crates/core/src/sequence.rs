@@ -321,6 +321,7 @@ impl Session {
     /// # Panics
     ///
     /// Panics when `cfg.indexed` is set but no index was prepared.
+    // vrlint: hot
     pub fn render_frame<R>(
         &mut self,
         scene: &Scene,
@@ -339,6 +340,7 @@ impl Session {
                 self.policy,
                 self.index
                     .as_ref()
+                    // vrlint: allow(VL01, reason = "documented precondition: prepare()/prepare_shared() builds the index before any indexed frame")
                     .expect("indexed sequence: call prepare()/prepare_shared() first"),
                 &mut self.cull,
                 &mut self.pre,
@@ -385,6 +387,7 @@ impl Session {
     /// session-owned [`DrawScratch`] and render targets (created on first
     /// use, reset when the viewport or pixel format changes, and kept warm
     /// across frames, runs and serve-scheduler interleavings).
+    // vrlint: hot
     pub fn render_frame_vrpipe(
         &mut self,
         scene: &Scene,

@@ -13,6 +13,8 @@ use gsplat::stream::SplatStream;
 
 /// Shades one quad: evaluates the Gaussian falloff alpha per covered
 /// fragment and applies alpha pruning (α < 1/255 lanes are killed).
+// vrlint: hot
+// vrlint: allow-block(VL01[index], reason = "fragment lanes index fixed [T; 4] quad arrays with i in 0..4")
 pub fn shade_quad(quad: &Quad, splat: &Splat) -> ShadedQuad {
     let mut rgb = [Vec3::ZERO; 4];
     let mut alpha = [0.0f32; 4];
@@ -47,6 +49,8 @@ pub fn shade_quad(quad: &Quad, splat: &Splat) -> ShadedQuad {
 /// 64-byte struct — and the per-fragment arithmetic is the identical
 /// [`fragment_alpha`] call, so the shaded quad is bit-exact with the
 /// scalar path's.
+// vrlint: hot
+// vrlint: allow-block(VL01[index], reason = "quad.splat indexes the SoA stream the quad was rasterized from; lanes index fixed [T; 4] arrays")
 pub fn shade_quad_stream(quad: &Quad, stream: &SplatStream) -> ShadedQuad {
     let si = quad.splat as usize;
     let cx = stream.center_x()[si];

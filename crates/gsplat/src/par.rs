@@ -117,7 +117,7 @@ where
                 s.spawn(move || {
                     let mut i = w;
                     while i < n {
-                        *results[i].lock().expect("result slot") = Some(f(i));
+                        *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(f(i));
                         i += workers;
                     }
                 });
@@ -130,17 +130,18 @@ where
                     if i >= n {
                         break;
                     }
-                    *results[i].lock().expect("result slot") = Some(f(i));
+                    *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(f(i));
                 });
             }
         }
     });
     results
         .iter()
-        .map(|m| {
-            m.lock()
-                .expect("result slot")
+        .map(|slot| {
+            slot.lock()
+                .unwrap_or_else(|p| p.into_inner())
                 .take()
+                // vrlint: allow(VL01, reason = "both schedules write every index in 0..n before scope join")
                 .expect("every index ran")
         })
         .collect()
@@ -244,8 +245,9 @@ impl<'a, T> Bands<'a, T> {
     pub fn take(&self, i: usize) -> &'a mut [T] {
         self.slots[i]
             .lock()
-            .expect("band slot")
+            .unwrap_or_else(|p| p.into_inner())
             .take()
+            // vrlint: allow(VL01, reason = "documented # Panics contract: each band is claimed exactly once")
             .expect("band taken twice")
     }
 }
@@ -439,7 +441,7 @@ impl WorkerPool {
                     let queue = Arc::clone(&queue);
                     std::thread::spawn(move || loop {
                         let task = {
-                            let mut state = queue.state.lock().expect("pool queue");
+                            let mut state = queue.state.lock().unwrap_or_else(|p| p.into_inner());
                             loop {
                                 if let Some(task) = state.tasks.pop_front() {
                                     break task;
@@ -447,7 +449,7 @@ impl WorkerPool {
                                 if state.shutdown {
                                     return;
                                 }
-                                state = queue.ready.wait(state).expect("pool queue");
+                                state = queue.ready.wait(state).unwrap_or_else(|p| p.into_inner());
                             }
                         };
                         // A panicking task must not kill the worker (the
@@ -457,7 +459,7 @@ impl WorkerPool {
                         // state the task poisoned surfaces to its owner on
                         // the next lock.
                         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
-                        let mut state = queue.state.lock().expect("pool queue");
+                        let mut state = queue.state.lock().unwrap_or_else(|p| p.into_inner());
                         state.in_flight -= 1;
                         if state.in_flight == 0 {
                             queue.idle.notify_all();
@@ -505,7 +507,7 @@ impl WorkerPool {
             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
             return;
         }
-        let mut state = self.queue.state.lock().expect("pool queue");
+        let mut state = self.queue.state.lock().unwrap_or_else(|p| p.into_inner());
         state.in_flight += 1;
         state.tasks.push_back(Box::new(task));
         drop(state);
@@ -539,9 +541,13 @@ impl WorkerPool {
     /// channel) don't need this; it exists for fire-and-forget uses and
     /// tests.
     pub fn wait_idle(&self) {
-        let mut state = self.queue.state.lock().expect("pool queue");
+        let mut state = self.queue.state.lock().unwrap_or_else(|p| p.into_inner());
         while state.in_flight > 0 {
-            state = self.queue.idle.wait(state).expect("pool queue");
+            state = self
+                .queue
+                .idle
+                .wait(state)
+                .unwrap_or_else(|p| p.into_inner());
         }
     }
 }
@@ -549,7 +555,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut state = self.queue.state.lock().expect("pool queue");
+            let mut state = self.queue.state.lock().unwrap_or_else(|p| p.into_inner());
             state.shutdown = true;
         }
         self.queue.ready.notify_all();

@@ -142,6 +142,7 @@ pub fn preprocess_with(scene: &Scene, camera: &Camera, policy: ThreadPolicy) -> 
 
 /// [`preprocess`] into caller-provided buffers — the allocation-free frame
 /// loop entry point. `out` is cleared and refilled with the sorted splats.
+// vrlint: hot
 pub fn preprocess_into(
     scene: &Scene,
     camera: &Camera,
@@ -159,6 +160,7 @@ pub fn preprocess_into(
 /// for every frame — only the sorting cost changes. Use
 /// [`PreprocessScratch::resort_stats`] to observe the repair/fallback mix
 /// and [`PreprocessScratch::invalidate_temporal`] on scene cuts.
+// vrlint: hot
 pub fn preprocess_into_temporal(
     scene: &Scene,
     camera: &Camera,
@@ -169,6 +171,7 @@ pub fn preprocess_into_temporal(
     preprocess_into_impl(scene, camera, policy, scratch, out, true)
 }
 
+// vrlint: hot
 fn preprocess_into_impl(
     scene: &Scene,
     camera: &Camera,
@@ -199,6 +202,7 @@ fn preprocess_into_impl(
         let parts = chunked_ranges_mut::<()>(n, workers, &mut []);
         // Exactly one (splat, key) chunk pair per spawned part: a shorter
         // part list must not leave stale chunks for the merge to pick up.
+        // vrlint: allow(VL02, reason = "Vec::new allocates nothing; resize_with grows the worker table only on first use or a worker-count change")
         scratch.worker_out.resize_with(parts.len(), Vec::new);
         scratch
             .worker_keys
@@ -216,6 +220,7 @@ fn preprocess_into_impl(
                     chunk_keys.0.clear();
                     chunk_keys.1.clear();
                     let start = range.start;
+                    // vrlint: allow(VL01[index], reason = "chunk ranges partition 0..gaussians.len() by construction")
                     for (k, g) in gaussians[range].iter().enumerate() {
                         if let Some(s) = project_gaussian_frame(g, frame, (start + k) as u32) {
                             chunk_keys.0.push(s.depth);
@@ -316,6 +321,7 @@ fn finish_preprocess(
 /// assert_eq!(a, b);
 /// assert_eq!(indexed, full);
 /// ```
+// vrlint: hot
 pub fn preprocess_into_indexed(
     scene: &Scene,
     camera: &Camera,
@@ -362,10 +368,12 @@ pub fn preprocess_into_indexed(
         )
     } else {
         let parts = chunked_ranges_mut(n, workers, mcache);
+        // vrlint: allow(VL02, reason = "Vec::new allocates nothing; resize_with grows the worker table only on first use or a worker-count change")
         scratch.worker_out.resize_with(parts.len(), Vec::new);
         scratch
             .worker_keys
             .resize_with(parts.len(), Default::default);
+        // vrlint: allow-block(VL02[collect], reason = "O(workers) scoped-thread handle lists per fan-out, not O(gaussians)")
         let counters = std::thread::scope(|s| {
             let handles: Vec<_> = parts
                 .into_iter()
@@ -395,7 +403,9 @@ pub fn preprocess_into_indexed(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("indexed projection worker"))
+                // A worker panic propagates to the submitter unchanged
+                // rather than re-panicking with a second message.
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
                 .collect::<Vec<_>>()
         });
         // Chunk-order concatenation == serial projection order.
@@ -496,6 +506,7 @@ fn project_indexed_range(
 /// consumed by the `Soa` fragment kernels. `stream` is rebuilt from the
 /// sorted AoS output, so `stream.get(i) == out[i]` bit-for-bit; with warm
 /// buffers the extra cost is one linear copy and no allocation.
+// vrlint: hot
 pub fn preprocess_into_stream(
     scene: &Scene,
     camera: &Camera,

@@ -124,6 +124,8 @@ pub fn fragment_workload_with(
 /// kernel scans a [`SplatStream`] with a hoisted per-row falloff term and
 /// skips band visits whose conservative [`tile_alpha_bound`] proves every
 /// fragment alpha-pruned; counts are identical to the scalar oracle.
+// vrlint: hot
+// vrlint: allow-block(VL01[index], reason = "band-local pixel indices are clamped to the band's row window; SoA lanes iterate 0..stream.len()")
 pub fn fragment_workload_kernel(
     splats: &[Splat],
     width: u32,
@@ -135,6 +137,7 @@ pub fn fragment_workload_kernel(
         FragmentKernel::Scalar => None,
         FragmentKernel::Soa => Some(SplatStream::from_splats(splats)),
     };
+    // vrlint: allow(VL02, reason = "per-pixel count buffer is allocated per call; this kernel is a modelled workload probe, not the vrpipe scratch-reusing frame loop")
     let mut per_pixel = vec![0u32; (width * height) as usize];
     let workers = policy.workers(height as usize);
     let band_rows = if workers <= 1 {

@@ -111,6 +111,8 @@ pub struct MultiPassFrame {
 /// let four = render_multipass(&pre.splats, cam.width(), cam.height(), 4, &MultiPassConfig::default());
 /// assert!(four.blended_fragments <= one.blended_fragments);
 /// ```
+// vrlint: hot
+// vrlint: allow-block(VL01[index], reason = "band-local pixel indices are clamped to the band's row window of the framebuffer split")
 pub fn render_multipass(
     splats: &[Splat],
     width: u32,
@@ -122,6 +124,7 @@ pub fn render_multipass(
     let policy = cfg.thread_policy();
     let mut color = ColorBuffer::new(width, height, PixelFormat::Rgba16F);
     // Stencil: true = terminated (stencil value 1 in Algorithm 1).
+    // vrlint: allow(VL02, reason = "whole-frame render targets are allocated per call; this kernel is a modelled workload probe, not the vrpipe scratch-reusing frame loop")
     let mut stencil = vec![false; (width * height) as usize];
     let mut blended = 0u64;
     let mut discarded = 0u64;

@@ -1,0 +1,462 @@
+//! A hand-rolled Rust lexer: just enough token structure for the
+//! invariant rules, with zero dependencies (no `syn`, no network).
+//!
+//! The lexer's one job is to make the rule matchers sound against the
+//! parts of Rust surface syntax that defeat naive `grep`: string and
+//! char literals (an `"unwrap()"` inside a string is not a call),
+//! raw strings with arbitrary `#` fences, *nested* block comments,
+//! lifetimes vs char literals (`'a` vs `'a'`), and byte/raw-byte
+//! string prefixes. Comments are captured separately so suppression
+//! directives (`// vrlint: ...`) and `// SAFETY:` audits can be
+//! resolved against token lines.
+
+/// Token category. Literal payloads are kept only where a rule needs
+/// them (identifiers and punctuation); string/char/number bodies are
+/// opaque.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`, stored without
+    /// the `r#` sigil so rules match the name).
+    Ident,
+    /// `'a`, `'static`, `'_` — never confused with a char literal.
+    Lifetime,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`, `c"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Numeric literal (integers, floats, any radix/suffix).
+    Num,
+    /// Single punctuation byte (`::` arrives as two `:` tokens).
+    Punct,
+}
+
+/// One token: kind, source text, 1-based line of its first byte.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok<'a> {
+    pub kind: TokKind,
+    pub text: &'a str,
+    pub line: u32,
+}
+
+impl<'a> Tok<'a> {
+    /// True when this token is the given punctuation byte.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+
+    /// True when this token is exactly the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+}
+
+/// One comment (line or block), with the line span it covers. Block
+/// comments may span many lines; `line..=end_line` is inclusive.
+#[derive(Clone, Copy, Debug)]
+pub struct Comment<'a> {
+    pub line: u32,
+    pub end_line: u32,
+    pub text: &'a str,
+}
+
+/// Lexer output: the token stream plus the comment stream.
+#[derive(Default, Debug)]
+pub struct Lexed<'a> {
+    pub toks: Vec<Tok<'a>>,
+    pub comments: Vec<Comment<'a>>,
+}
+
+impl<'a> Lexed<'a> {
+    /// First line at or after `line` that carries a code token, if any.
+    /// Used to resolve an `allow` comment standing alone on its own
+    /// line onto the next code line.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        // Token lines are nondecreasing; a scan is fine at this scale.
+        self.toks.iter().map(|t| t.line).find(|&l| l >= line)
+    }
+
+    /// True when some code token sits on exactly `line`.
+    pub fn has_code_on(&self, line: u32) -> bool {
+        self.toks.iter().any(|t| t.line == line)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens and comments. Never panics: malformed input
+/// (unterminated strings/comments) is consumed to end of file.
+pub fn lex(src: &str) -> Lexed<'_> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let at = |i: usize| -> u8 {
+        if i < n {
+            b[i]
+        } else {
+            0
+        }
+    };
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    // Counts newlines in `src[from..to]`, returning the line after `to`.
+    let count_lines = |from: usize, to: usize, line: u32| -> u32 {
+        line + b[from..to.min(n)].iter().filter(|&&c| c == b'\n').count() as u32
+    };
+
+    while i < n {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if at(i + 1) == b'/' => {
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: &src[start..i],
+                });
+            }
+            b'/' if at(i + 1) == b'*' => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if at(i) == b'/' && at(i + 1) == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if at(i) == b'*' && at(i + 1) == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: &src[start..i.min(n)],
+                });
+            }
+            b'"' => {
+                let start = i;
+                i = scan_string(b, i);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: &src[start..i.min(n)],
+                    line,
+                });
+                line = count_lines(start, i, line);
+            }
+            b'\'' => {
+                // Char literal vs lifetime. Escapes and `'X'` with a
+                // one-byte X are chars; `'ident` (no closing quote
+                // right after one char) is a lifetime; multibyte char
+                // literals fall back to a bounded close-quote scan.
+                if at(i + 1) == b'\\' {
+                    let start = i;
+                    i += 2; // consume '\ and the escape lead
+                    if i < n {
+                        i += 1; // the escaped byte itself
+                    }
+                    // \u{…} and multi-byte escapes: scan to the quote.
+                    while i < n && b[i] != b'\'' && b[i] != b'\n' {
+                        i += 1;
+                    }
+                    if at(i) == b'\'' {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: &src[start..i.min(n)],
+                        line,
+                    });
+                } else if at(i + 2) == b'\'' && at(i + 1) != b'\'' && at(i + 1) != b'\\' {
+                    let start = i;
+                    i += 3;
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: &src[start..i],
+                        line,
+                    });
+                } else if is_ident_start(at(i + 1)) {
+                    let start = i;
+                    i += 2;
+                    while i < n && is_ident_cont(b[i]) {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: &src[start..i],
+                        line,
+                    });
+                } else {
+                    // Multibyte char literal like 'é': bounded scan for
+                    // the closing quote on the same line.
+                    let start = i;
+                    let mut j = i + 1;
+                    while j < n && j < i + 8 && b[j] != b'\'' && b[j] != b'\n' {
+                        j += 1;
+                    }
+                    if at(j) == b'\'' {
+                        i = j + 1;
+                        out.toks.push(Tok {
+                            kind: TokKind::Char,
+                            text: &src[start..i],
+                            line,
+                        });
+                    } else {
+                        i += 1;
+                        out.toks.push(Tok {
+                            kind: TokKind::Punct,
+                            text: &src[start..start + 1],
+                            line,
+                        });
+                    }
+                }
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < n {
+                    let d = b[i];
+                    if is_ident_cont(d) {
+                        // Covers hex/binary digits, `_` separators and
+                        // suffixes; also `e`/`E` exponents, whose sign
+                        // is consumed right below.
+                        i += 1;
+                        if (d == b'e' || d == b'E') && (at(i) == b'+' || at(i) == b'-') {
+                            // Only a real exponent in decimal floats,
+                            // but over-consuming `1e-` in hex (invalid
+                            // Rust anyway) is harmless here.
+                            i += 1;
+                        }
+                    } else if d == b'.' && at(i + 1) != b'.' && !is_ident_start(at(i + 1)) {
+                        // `1.0` and trailing `1.`, but not `1..n`
+                        // ranges and not `1.method()`.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: &src[start..i],
+                    line,
+                });
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                i += 1;
+                while i < n && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                let ident = &src[start..i];
+                // String-literal prefixes and raw identifiers.
+                let next = at(i);
+                let is_str_prefix = matches!(ident, "r" | "b" | "br" | "c" | "cr");
+                if is_str_prefix && (next == b'"' || (ident != "b" && ident != "c" && next == b'#'))
+                {
+                    if ident == "r" && next == b'#' && is_ident_start(at(i + 1)) {
+                        // Raw identifier r#name: token text is `name`.
+                        let id_start = i + 1;
+                        i += 2;
+                        while i < n && is_ident_cont(b[i]) {
+                            i += 1;
+                        }
+                        out.toks.push(Tok {
+                            kind: TokKind::Ident,
+                            text: &src[id_start..i],
+                            line,
+                        });
+                    } else if ident.contains('r') {
+                        // Raw string: count the fence, scan for `"` +
+                        // fence.
+                        let mut hashes = 0usize;
+                        while at(i) == b'#' {
+                            hashes += 1;
+                            i += 1;
+                        }
+                        if at(i) == b'"' {
+                            i += 1;
+                            'scan: while i < n {
+                                if b[i] == b'"' {
+                                    let mut k = 0usize;
+                                    while k < hashes && at(i + 1 + k) == b'#' {
+                                        k += 1;
+                                    }
+                                    if k == hashes {
+                                        i += 1 + hashes;
+                                        break 'scan;
+                                    }
+                                }
+                                i += 1;
+                            }
+                        }
+                        out.toks.push(Tok {
+                            kind: TokKind::Str,
+                            text: &src[start..i.min(n)],
+                            line,
+                        });
+                        line = count_lines(start, i, line);
+                    } else {
+                        // b"…" / c"…": ordinary escape-aware scan.
+                        i = scan_string(b, i);
+                        out.toks.push(Tok {
+                            kind: TokKind::Str,
+                            text: &src[start..i.min(n)],
+                            line,
+                        });
+                        line = count_lines(start, i, line);
+                    }
+                } else if ident == "b" && next == b'\'' {
+                    // Byte char literal b'x' / b'\n'.
+                    i += 1; // the quote
+                    if at(i) == b'\\' {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    while i < n && b[i] != b'\'' && b[i] != b'\n' {
+                        i += 1;
+                    }
+                    if at(i) == b'\'' {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: &src[start..i.min(n)],
+                        line,
+                    });
+                } else {
+                    out.toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: ident,
+                        line,
+                    });
+                }
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: &src[i..i + 1],
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans an escape-aware `"…"` string starting at the opening quote
+/// index; returns the index one past the closing quote (or EOF).
+fn scan_string(b: &[u8], open: usize) -> usize {
+    let n = b.len();
+    let mut i = open + 1;
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<&str> {
+        lex(src)
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let x = "a.unwrap()"; y"#), vec!["let", "x", "y"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let s = r#\"contains \"quoted\" unwrap()\"#; tail";
+        assert_eq!(idents(src), vec!["let", "s", "tail"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        assert_eq!(idents(src), vec!["a", "b"]);
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let lx = lex("fn f<'a>(x: &'a str) { let c = 'a'; let s = '\\n'; }");
+        let lifetimes: Vec<_> = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = lx.toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        assert_eq!(idents(r##"b"bytes" c"cstr" br#"raw"# x"##), vec!["x"]);
+    }
+
+    #[test]
+    fn lines_advance_through_multiline_tokens() {
+        let src = "a\n\"two\nline\"\nb";
+        let lx = lex(src);
+        let b_tok = lx.toks.iter().find(|t| t.is_ident("b")).expect("b");
+        assert_eq!(b_tok.line, 4);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let lx = lex("for i in 0..10 { x.f(1.0, 2.sqrt()); }");
+        assert!(lx.toks.iter().any(|t| t.is_ident("sqrt")));
+        let nums: Vec<_> = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.0", "2"]);
+    }
+
+    #[test]
+    fn raw_idents_lose_the_sigil() {
+        assert_eq!(
+            idents("r#type r#match plain"),
+            vec!["type", "match", "plain"]
+        );
+    }
+}

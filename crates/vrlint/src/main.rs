@@ -1,0 +1,171 @@
+//! vrlint CLI.
+//!
+//! ```text
+//! cargo run -p vrlint --               # report
+//! cargo run -p vrlint -- --deny       # exit 1 on any unsuppressed finding
+//! cargo run -p vrlint -- --pedantic   # widen VL01 to all library code (advisory)
+//! cargo run -p vrlint -- --root PATH  # lint another workspace
+//! ```
+//!
+//! Output: one `file:line: VLxx[kind] message` per unsuppressed
+//! finding (with a fix hint), then the per-rule summary, the
+//! suppression inventory (inline + builtin, each with its reason) and
+//! the unsafe audit.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vrlint::{Options, Rule};
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut verbose = false;
+    let mut opts = Options::default();
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--pedantic" => opts.pedantic = true,
+            "--verbose" => verbose = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag: {other}");
+                eprintln!("usage: vrlint [--deny] [--pedantic] [--verbose] [--root PATH]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root
+        .or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|d| vrlint::workspace_root_from(&d))
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let ws = match vrlint::lint_workspace(&root, opts) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("vrlint: cannot lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut denied = 0usize;
+    let mut advisories = 0usize;
+    for (path, f) in ws.findings() {
+        if f.suppressed.is_some() {
+            continue;
+        }
+        if f.advisory {
+            advisories += 1;
+            if verbose {
+                println!(
+                    "{path}:{}: {}[{}] (advisory) {}",
+                    f.line,
+                    f.rule.id(),
+                    f.kind,
+                    f.message
+                );
+            }
+            continue;
+        }
+        denied += 1;
+        println!(
+            "{path}:{}: {}[{}] {}",
+            f.line,
+            f.rule.id(),
+            f.kind,
+            f.message
+        );
+        println!("    hint: {}", f.hint);
+    }
+
+    println!("\nvrlint: {} files scanned", ws.files.len());
+    let per_rule = ws.per_rule();
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        let (found, suppressed) = per_rule[i];
+        if found == 0 {
+            continue;
+        }
+        println!(
+            "  {}: {found} finding(s), {suppressed} suppressed, {} open",
+            rule.id(),
+            found - suppressed
+        );
+    }
+    if advisories > 0 {
+        println!(
+            "  advisory (pedantic): {advisories} — informational, never denied{}",
+            if verbose {
+                ""
+            } else {
+                "; rerun with --verbose to list"
+            }
+        );
+    }
+
+    let inline: Vec<_> = ws.suppressions().collect();
+    let builtin = ws.builtin_uses();
+    println!(
+        "  suppressions: {} inline, {} builtin-allowlist",
+        inline.len(),
+        builtin.len()
+    );
+    for (path, s) in &inline {
+        let rules: Vec<String> = s
+            .rules
+            .iter()
+            .map(|(r, k)| match k {
+                Some(k) => format!("{}[{k}]", r.id()),
+                None => r.id().to_string(),
+            })
+            .collect();
+        let tag = if s.used == 0 { " [UNUSED]" } else { "" };
+        println!(
+            "    {path}:{} allow({}) x{}{tag} — {}",
+            s.line,
+            rules.join(", "),
+            s.used,
+            s.reason
+        );
+    }
+    for (bi, n) in &builtin {
+        let a = &vrlint::BUILTIN_ALLOWS[*bi];
+        println!(
+            "    [builtin] {} {} `{}` x{n} — {}",
+            a.rule.id(),
+            a.path,
+            a.ident,
+            a.reason
+        );
+    }
+    let unused = inline.iter().filter(|(_, s)| s.used == 0).count();
+    if unused > 0 {
+        println!("  note: {unused} unused suppression(s) — remove or fix the directive");
+    }
+    println!(
+        "  unsafe audit: {} block(s), pinned at {}",
+        ws.unsafe_total,
+        vrlint::PINNED_UNSAFE_BLOCKS
+    );
+
+    if denied > 0 {
+        println!("\nvrlint: {denied} unsuppressed finding(s)");
+        if deny {
+            return ExitCode::from(1);
+        }
+    } else {
+        println!("\nvrlint: clean");
+    }
+    ExitCode::SUCCESS
+}
