@@ -11,6 +11,7 @@
 //!                           # sequence (temporal-coherence frame sequences)
 //!                           # serve (multi-stream serving over one shared scene)
 //!                           # serve-faults / serve --faults (fault-injection smoke)
+//!                           # serve-degrade / serve --degrade (overload quality-ladder smoke)
 //!                           # asset (checksummed scene assets, corruption sweep)
 //!                           # lint (vrlint invariant check, per-rule tallies)
 //! figures all               # everything, in paper order
@@ -59,6 +60,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("sequence", sequence::sequence),
     ("serve", serve::serve),
     ("serve-faults", serve::serve_faults),
+    ("serve-degrade", serve::serve_degrade),
     ("asset", asset::asset),
     ("lint", lint::lint),
     ("ablation-tgc", ablation::ablation_tgc),
@@ -93,12 +95,12 @@ fn main() {
             }
             continue;
         }
-        // `figures serve --faults` is the CI spelling of the
-        // fault-injection smoke.
-        let arg = if arg == "--faults" {
-            "serve-faults"
-        } else {
-            arg.as_str()
+        // `figures serve --faults` / `--degrade` are the CI spellings of
+        // the fault-injection and overload-degradation smokes.
+        let arg = match arg.as_str() {
+            "--faults" => "serve-faults",
+            "--degrade" => "serve-degrade",
+            a => a,
         };
         match EXPERIMENTS.iter().find(|(n, _)| *n == arg) {
             Some((name, f)) => report.run(name, *f),

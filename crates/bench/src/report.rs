@@ -307,7 +307,9 @@ fn sequence_measurement(scale: f32) -> String {
 /// throughput vs concurrent stream count over one shared scene and index
 /// (parity-gated inside [`crate::serve::measure_serve`] — every stream of
 /// a 4-stream server is asserted bit-exact against its solo session
-/// before timing).
+/// before timing), plus the fault-injection outcomes and the
+/// overload-degradation smoke (recorded rung traces, occupancy
+/// schema-gated to sum to the produced frames).
 fn serve_measurement(scale: f32) -> String {
     let points = crate::serve::measure_serve(2, scale.min(0.06), crate::serve::SERVE_FRAMES);
     let mut body = String::new();
@@ -330,12 +332,67 @@ fn serve_measurement(scale: f32) -> String {
         );
     }
     let faults = crate::serve::measure_serve_faults(2, scale.min(0.04), 4);
+    let degrade =
+        crate::serve::measure_serve_degrade(2, scale.min(0.03), crate::serve::DEGRADE_FRAMES);
+    // Schema gate: a rung occupancy that does not account for every
+    // produced frame is a bookkeeping bug, not a measurement — refuse to
+    // write it into the trail.
+    for d in &degrade.streams {
+        assert_eq!(
+            d.occupancy.iter().sum::<usize>(),
+            d.frames,
+            "serve.degrade schema: stream `{}` rung occupancy {:?} must sum to its {} produced frames",
+            d.name,
+            d.occupancy,
+            d.frames
+        );
+    }
     format!(
-        "{{\"scene\": \"Train\", \"frames_per_stream\": {}, \"points\": [\n{body}    ],\n    \"faults\": {{\"seed\": {}, \"streams\": [\n{}    ]}}}}",
+        "{{\"scene\": \"Train\", \"frames_per_stream\": {}, \"points\": [\n{body}    ],\n    \"faults\": {{\"seed\": {}, \"streams\": [\n{}    ]}},\n    \"degrade\": {{\"period_ms\": {}, \"baseline_phase\": \"{}\", \"baseline_frames\": {}, \"frames_saved\": {}, \"streams\": [\n{}    ]}}}}",
         crate::serve::SERVE_FRAMES,
         faults.seed,
         stream_details_json(&faults.streams, "      "),
+        degrade.period_ms,
+        degrade.baseline_phase.escape_default(),
+        degrade.baseline_frames,
+        degrade.frames_saved,
+        degrade_streams_json(&degrade.streams, "      "),
     )
+}
+
+/// Renders the overload-degradation outcomes (recorded rung trace,
+/// per-rung occupancy, hysteresis/brownout step counters) as a JSON
+/// array body, one object per line at `indent`.
+fn degrade_streams_json(details: &[crate::serve::DegradeStreamDetail], indent: &str) -> String {
+    let mut body = String::new();
+    let ints = |xs: &[usize]| {
+        xs.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    for (i, d) in details.iter().enumerate() {
+        let comma = if i + 1 < details.len() { "," } else { "" };
+        let rungs = d
+            .rungs
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            body,
+            "{indent}{{\"name\": \"{}\", \"phase\": \"{}\", \"frames\": {}, \"deadline_misses\": {}, \"rungs\": [{rungs}], \"rung_occupancy\": [{}], \"steps_down\": {}, \"steps_up\": {}, \"brownout_steps\": {}}}{comma}",
+            d.name,
+            d.phase.escape_default(),
+            d.frames,
+            d.deadline_misses,
+            ints(&d.occupancy),
+            d.steps_down,
+            d.steps_up,
+            d.brownout_steps,
+        );
+    }
+    body
 }
 
 /// Renders per-stream health counters (phase incl. eviction/failure

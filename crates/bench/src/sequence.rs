@@ -245,6 +245,8 @@ pub fn measure_sequence(spec_index: usize, scale: f32, frames: usize) -> Sequenc
         fov_y: 55f32.to_radians(),
         temporal: true,
         indexed: false,
+        max_sh_degree: gsplat::sh::MAX_SH_DEGREE,
+        rung: 0,
     };
     let gpu = GpuConfig {
         kernel: FragmentKernel::Soa,
@@ -366,6 +368,8 @@ pub fn sequence() {
         fov_y: 55f32.to_radians(),
         temporal: true,
         indexed: true,
+        max_sh_degree: gsplat::sh::MAX_SH_DEGREE,
+        rung: 0,
     };
     let gpu = GpuConfig {
         kernel: FragmentKernel::Soa,

@@ -21,8 +21,8 @@ use gsplat::scene::EVALUATED_SCENES;
 use gsplat::sort::ResortStats;
 use gsplat::stream::FragmentKernel;
 use vrpipe::{
-    FaultKind, FaultPlan, PipelineVariant, SequenceConfig, ServeReport, Server, Session,
-    SharedScene, StreamPhase, StreamReport, StreamSpec,
+    FaultKind, FaultPlan, PipelineVariant, QualityLadder, SchedulePolicy, SequenceConfig,
+    ServeReport, Server, Session, SharedScene, StreamPhase, StreamReport, StreamSpec,
 };
 
 use crate::common::{banner, default_scale};
@@ -407,6 +407,247 @@ pub fn measure_serve_faults(
     }
 }
 
+/// Serving period of the overload-degradation smoke, ms. Generous enough
+/// that an on-time frame is decidable even on a debug build on a loaded
+/// CI machine (~60 ms/frame at these scales).
+pub const DEGRADE_PERIOD_MS: f64 = 150.0;
+
+/// Frames each stream renders in the overload-degradation smoke — enough
+/// post-spike room for the hysteresis to climb all the way back up.
+pub const DEGRADE_FRAMES: usize = 10;
+
+/// Per-stream outcome of the overload-degradation smoke, for the JSON
+/// trail: the recorded rung trace plus occupancy and step counters.
+pub struct DegradeStreamDetail {
+    /// Stream name.
+    pub name: String,
+    /// Terminal phase label.
+    pub phase: String,
+    /// Frames produced.
+    pub frames: usize,
+    /// Produced frames that completed after their deadline.
+    pub deadline_misses: usize,
+    /// Recorded rung per produced frame, in production order.
+    pub rungs: Vec<u8>,
+    /// Frames produced at each ladder rung; sums to `frames`.
+    pub occupancy: Vec<usize>,
+    /// Hysteresis + brownout steps toward lower quality.
+    pub steps_down: usize,
+    /// Hysteresis steps back toward full quality.
+    pub steps_up: usize,
+    /// Steps forced by the server-level brownout detector.
+    pub brownout_steps: usize,
+}
+
+fn degrade_detail_of(s: &StreamReport<vrpipe::SequenceFrameRecord>) -> DegradeStreamDetail {
+    DegradeStreamDetail {
+        name: s.name.clone(),
+        phase: phase_label(&s.phase),
+        frames: s.frames.len(),
+        deadline_misses: s.deadline_misses,
+        rungs: s.rungs.clone(),
+        occupancy: s.rung_occupancy(),
+        steps_down: s.rung_steps_down,
+        steps_up: s.rung_steps_up,
+        brownout_steps: s.brownout_steps,
+    }
+}
+
+/// The `serve-degrade` smoke measurement: the same load spike driven
+/// through a frame-dropping-only server (which loses the stream to the
+/// watchdog) and a quality-ladder server (which serves every frame),
+/// with per-rung parity gates on everything produced.
+pub struct ServeDegradeMeasurement {
+    /// Frame period of both servers, ms.
+    pub period_ms: f64,
+    /// Terminal phase of the frame-dropping baseline stream.
+    pub baseline_phase: String,
+    /// Frames the baseline delivered before losing its slot.
+    pub baseline_frames: usize,
+    /// Frames the ladder delivered that the baseline did not.
+    pub frames_saved: usize,
+    /// Per-stream outcomes of the adaptive server.
+    pub streams: Vec<DegradeStreamDetail>,
+}
+
+/// Asserts every frame `stream` produced bit-exact against a solo
+/// [`Session`] configured at that frame's *recorded* rung from the very
+/// start — degradation is a quality change, never a correctness change.
+fn assert_rung_parity(
+    scene: &gsplat::Scene,
+    base: &SequenceConfig,
+    ladder: &QualityLadder,
+    gpu: &GpuConfig,
+    stream: &StreamReport<vrpipe::SequenceFrameRecord>,
+    context: &str,
+) {
+    let solos: Vec<Vec<vrpipe::SequenceFrameRecord>> = ladder
+        .derive_all(base)
+        .iter()
+        .zip(ladder.rungs())
+        .map(|(cfg, rung)| {
+            let solo_gpu = match rung.kernel {
+                Some(kernel) => GpuConfig {
+                    kernel,
+                    ..gpu.clone()
+                },
+                None => gpu.clone(),
+            };
+            Session::default()
+                .run_vrpipe(scene, cfg, &solo_gpu, PipelineVariant::HetQm)
+                .expect("valid config")
+        })
+        .collect();
+    assert_eq!(
+        stream.rungs.len(),
+        stream.produced.len(),
+        "{context}: {} records exactly one rung per produced frame",
+        stream.name
+    );
+    for ((served, &frame), &rung) in stream
+        .frames
+        .iter()
+        .zip(&stream.produced)
+        .zip(&stream.rungs)
+    {
+        let alone = &solos[rung as usize][frame];
+        assert_eq!(
+            served.stats, alone.stats,
+            "{context}: {} frame {frame} at rung {rung} diverged from its solo render",
+            stream.name
+        );
+        assert_eq!(
+            served.preprocess, alone.preprocess,
+            "{context}: {} frame {frame} at rung {rung} preprocess diverged",
+            stream.name
+        );
+    }
+}
+
+/// Runs the overload-degradation smoke: (a) a frame-dropping-only
+/// baseline hit by a two-frame load spike — the spike frame is
+/// dispatched before it is droppable and blows the watchdog budget
+/// mid-flight, so the stream is evicted; (b) the same spike against a
+/// stream carrying [`QualityLadder::standard`] — it steps down to the
+/// quarter-cost floor, serves the spike inside the budget, and climbs
+/// back to full quality. Every produced frame of both servers is
+/// parity-gated against a solo session at its recorded rung.
+pub fn measure_serve_degrade(
+    spec_index: usize,
+    scale: f32,
+    frames: usize,
+) -> ServeDegradeMeasurement {
+    let spec = &EVALUATED_SCENES[spec_index];
+    let scene = spec.generate_scaled(scale);
+    let (w, h) = spec.scaled_viewport(scale);
+    let gpu = GpuConfig {
+        kernel: FragmentKernel::Soa,
+        ..GpuConfig::default()
+    };
+    // Step down after a single miss, back up after two on-time frames.
+    let ladder = QualityLadder::standard().with_hysteresis(1, 2);
+    // A 200 ms onset (a guaranteed miss at the 150 ms period) and a
+    // 1.6 s spike — beyond the 4 × 150 ms watchdog budget at full
+    // quality, comfortably inside it at quarter cost.
+    let spike = || {
+        FaultPlan::new()
+            .with_fault(0, 0, FaultKind::Load(200))
+            .with_fault(0, 1, FaultKind::Load(1_600))
+            .injector(0)
+    };
+    let mk = |k: usize, name: &str, scene: &gsplat::Scene| {
+        StreamSpec::vrpipe(
+            name.to_string(),
+            viewer_cfg(scene, k, frames, w, h),
+            gpu.clone(),
+            PipelineVariant::HetQm,
+        )
+    };
+
+    // --- (a) Baseline: dropping late frames is the only pressure valve.
+    let mut baseline = Server::new(SharedScene::new(scene.clone()), 1);
+    baseline.add_stream(
+        mk(0, "baseline", &scene)
+            .with_deadline_ms(DEGRADE_PERIOD_MS)
+            .with_frame_dropping()
+            .with_faults(spike()),
+    );
+    let lost = baseline.run();
+    let b = &lost.streams[0];
+    assert!(
+        matches!(b.phase, StreamPhase::Evicted(_)),
+        "frame dropping alone must lose the stream to the spike: {:?}",
+        b.phase
+    );
+    assert!(
+        b.frames.len() < frames,
+        "the evicted baseline never delivers its budget"
+    );
+    // What it did produce is still bit-exact (single-rung ladder).
+    assert_rung_parity(
+        &scene,
+        &viewer_cfg(&scene, 0, frames, w, h),
+        &QualityLadder::new(),
+        &gpu,
+        b,
+        "serve-degrade(baseline)",
+    );
+
+    // --- (b) Adaptive: same spike, plus the ladder, plus a healthy
+    // deadline-less companion. EDF keeps the deadline stream first in
+    // line, so its degradation trajectory is pool-size independent.
+    let mut adaptive =
+        Server::new(SharedScene::new(scene.clone()), 1).with_policy(SchedulePolicy::Deadline);
+    adaptive.add_stream(
+        mk(0, "adaptive", &scene)
+            .with_deadline_ms(DEGRADE_PERIOD_MS)
+            .with_ladder(ladder.clone())
+            .with_faults(spike()),
+    );
+    adaptive.add_stream(mk(1, "steady", &scene));
+    let saved = adaptive.run();
+    for s in &saved.streams {
+        assert_eq!(
+            s.phase,
+            StreamPhase::Completed,
+            "{}: the ladder absorbs the spike — zero evictions",
+            s.name
+        );
+        assert_eq!(s.frames.len(), frames, "{}: no frames lost", s.name);
+    }
+    let a = &saved.streams[0];
+    assert!(
+        a.rungs.contains(&1) && a.rungs.contains(&2),
+        "the spike must push the stream through both degraded rungs: {:?}",
+        a.rungs
+    );
+    assert_eq!(a.rungs.last(), Some(&0), "recovered to full quality");
+    assert_rung_parity(
+        &scene,
+        &viewer_cfg(&scene, 0, frames, w, h),
+        &ladder,
+        &gpu,
+        a,
+        "serve-degrade(adaptive)",
+    );
+    assert_rung_parity(
+        &scene,
+        &viewer_cfg(&scene, 1, frames, w, h),
+        &QualityLadder::new(),
+        &gpu,
+        &saved.streams[1],
+        "serve-degrade(steady)",
+    );
+
+    ServeDegradeMeasurement {
+        period_ms: DEGRADE_PERIOD_MS,
+        baseline_phase: phase_label(&b.phase),
+        baseline_frames: b.frames.len(),
+        frames_saved: frames - b.frames.len(),
+        streams: saved.streams.iter().map(degrade_detail_of).collect(),
+    }
+}
+
 /// The `serve` experiment: aggregate throughput vs concurrent stream
 /// count over one shared scene, parity-gated.
 pub fn serve() {
@@ -490,4 +731,45 @@ pub fn serve_faults() {
         );
     }
     println!("  parity gate passed: every produced frame bit-exact with its solo session");
+}
+
+/// The `serve-degrade` experiment (also reachable as `figures serve
+/// --degrade`): overload-degradation smoke — the spike that evicts a
+/// frame-dropping-only stream is served to completion by the quality
+/// ladder, every frame parity-gated at its recorded rung.
+pub fn serve_degrade() {
+    banner(
+        "serve-degrade",
+        "overload-adaptive serving (quality ladder, hysteresis, recorded rungs)",
+    );
+    let scale = default_scale().min(0.03);
+    let m = measure_serve_degrade(2, scale, DEGRADE_FRAMES);
+    println!(
+        "load spike at a {} ms period — frame-dropping baseline vs quality ladder:",
+        m.period_ms
+    );
+    println!(
+        "  baseline:  {}/{} frames, then {}",
+        m.baseline_frames, DEGRADE_FRAMES, m.baseline_phase
+    );
+    for d in &m.streams {
+        let trace: Vec<String> = d.rungs.iter().map(|r| r.to_string()).collect();
+        println!(
+            "  {:>9}:  frames {}  misses {}  steps {} down / {} up  brownout {}  occupancy {:?}  {}",
+            d.name,
+            d.frames,
+            d.deadline_misses,
+            d.steps_down,
+            d.steps_up,
+            d.brownout_steps,
+            d.occupancy,
+            d.phase
+        );
+        println!("             rung trace  {}", trace.join(" → "));
+    }
+    println!(
+        "  {} frame(s) the baseline lost were served by the ladder; parity gate passed:",
+        m.frames_saved
+    );
+    println!("  every produced frame bit-exact with its solo session at the recorded rung");
 }

@@ -18,8 +18,9 @@
 //! into temporally coherent frame streams ([`Session`]), and [`serve`]
 //! schedules many such streams over one [`SharedScene`] — shared scene +
 //! spatial index, private per-stream state — across a persistent worker
-//! pool, with dynamic admission/eviction, per-stream deadlines and
-//! failure containment ([`StreamPhase`], [`serve::faults`]).
+//! pool, with dynamic admission/eviction, per-stream deadlines, failure
+//! containment ([`StreamPhase`], [`serve::faults`]) and deterministic
+//! overload degradation ([`serve::degrade`]).
 //!
 //! ```
 //! use gpu_sim::config::GpuConfig;
@@ -54,6 +55,7 @@ pub use pipeline::{
 };
 pub use renderer::{Frame, FrameScratch, Renderer, TimeBreakdown};
 pub use sequence::{FrameInput, SequenceConfig, SequenceFrameRecord, Session, SharedScene};
+pub use serve::degrade::{QualityLadder, QualityRung};
 pub use serve::faults::{FaultAction, FaultInjector, FaultKind, FaultPlan, PlannedFault};
 pub use serve::{
     AdmissionPolicy, AttachOutcome, EvictReason, ReloadOutcome, RetryPolicy, SceneSource,

@@ -30,8 +30,8 @@ use gsplat::camera::{Camera, CameraPath};
 use gsplat::framebuffer::{ColorBuffer, DepthStencilBuffer};
 use gsplat::index::{cloud_fingerprint, CullState, CullStats, SceneIndex};
 use gsplat::preprocess::{
-    preprocess_into, preprocess_into_indexed, preprocess_into_temporal, PreprocessScratch,
-    PreprocessStats,
+    preprocess_into_clamped, preprocess_into_indexed_clamped, preprocess_into_temporal_clamped,
+    PreprocessScratch, PreprocessStats,
 };
 use gsplat::scene::Scene;
 use gsplat::sort::ResortStats;
@@ -82,6 +82,16 @@ pub struct SequenceConfig {
     /// temporal warm-started sort. Results are bit-exact with the full
     /// path — only preprocessing cost changes.
     pub indexed: bool,
+    /// SH evaluation degree cap for view-dependent color (the quality
+    /// ladder's color knob; [`gsplat::sh::MAX_SH_DEGREE`] = no clamp).
+    /// Frames rendered under a cap are bit-exact with a scene whose SH
+    /// coefficients were truncated to the same degree.
+    pub max_sh_degree: u8,
+    /// Quality-ladder rung this configuration was derived at (0 = full
+    /// quality). Purely descriptive: it tags every
+    /// [`SequenceFrameRecord`] so served frames can be audited against a
+    /// solo session at the same rung; it does not change any render math.
+    pub rung: u8,
 }
 
 impl SequenceConfig {
@@ -96,7 +106,15 @@ impl SequenceConfig {
             fov_y: 55f32.to_radians(),
             temporal: true,
             indexed: false,
+            max_sh_degree: gsplat::sh::MAX_SH_DEGREE,
+            rung: 0,
         }
+    }
+
+    /// The same sequence with the SH evaluation degree capped.
+    pub fn with_max_sh_degree(mut self, max_sh_degree: u8) -> Self {
+        self.max_sh_degree = max_sh_degree;
+        self
     }
 
     /// The same sequence with the temporal warm start disabled.
@@ -149,6 +167,9 @@ pub struct SequenceFrameRecord {
     /// Incremental-culling counters of this frame (all zero unless the
     /// sequence ran with [`SequenceConfig::indexed`]).
     pub cull: CullStats,
+    /// Quality-ladder rung the frame was rendered at, copied from
+    /// [`SequenceConfig::rung`] (0 = full quality).
+    pub rung: u8,
 }
 
 /// A frame-sequence rendering session: owns every cross-frame buffer so an
@@ -334,7 +355,7 @@ impl Session {
             .camera(index, cfg.frames, cfg.width, cfg.height, cfg.fov_y);
         let cull_before = self.cull.stats();
         let preprocess = if cfg.indexed {
-            preprocess_into_indexed(
+            preprocess_into_indexed_clamped(
                 scene,
                 &camera,
                 self.policy,
@@ -345,11 +366,26 @@ impl Session {
                 &mut self.cull,
                 &mut self.pre,
                 &mut self.splats,
+                cfg.max_sh_degree,
             )
         } else if cfg.temporal {
-            preprocess_into_temporal(scene, &camera, self.policy, &mut self.pre, &mut self.splats)
+            preprocess_into_temporal_clamped(
+                scene,
+                &camera,
+                self.policy,
+                &mut self.pre,
+                &mut self.splats,
+                cfg.max_sh_degree,
+            )
         } else {
-            preprocess_into(scene, &camera, self.policy, &mut self.pre, &mut self.splats)
+            preprocess_into_clamped(
+                scene,
+                &camera,
+                self.policy,
+                &mut self.pre,
+                &mut self.splats,
+                cfg.max_sh_degree,
+            )
         };
         if self.build_stream {
             self.stream.rebuild_from(&self.splats);
@@ -450,6 +486,7 @@ impl Session {
                 stats,
                 retired_tile_ratio,
                 cull: f.cull,
+                rung: cfg.rung,
             })
         });
         self.draw = scratch;

@@ -88,6 +88,7 @@
 //! [`CameraPath`]: gsplat::camera::CameraPath
 //! [`SceneIndex`]: gsplat::index::SceneIndex
 
+pub mod degrade;
 pub mod faults;
 
 use std::path::PathBuf;
@@ -107,7 +108,9 @@ use gsplat::ThreadPolicy;
 use crate::pipeline::DrawError;
 use crate::sequence::{FrameInput, SequenceConfig, SequenceFrameRecord, Session, SharedScene};
 use crate::variant::PipelineVariant;
+use degrade::QualityLadder;
 use faults::{FaultAction, FaultInjector};
+use gsplat::stream::FragmentKernel;
 
 /// Boxed per-frame backend of one stream.
 type RenderFn<R> = Box<dyn FnMut(FrameInput<'_>) -> R + Send>;
@@ -358,6 +361,8 @@ pub struct StreamSpec<R> {
     drop_late: bool,
     retry: RetryPolicy,
     injector: FaultInjector,
+    ladder: QualityLadder,
+    priority: i32,
 }
 
 impl<R> std::fmt::Debug for StreamSpec<R> {
@@ -367,6 +372,8 @@ impl<R> std::fmt::Debug for StreamSpec<R> {
             .field("cfg", &self.cfg)
             .field("deadline_ms", &self.deadline_ms)
             .field("drop_late", &self.drop_late)
+            .field("ladder", &self.ladder.len())
+            .field("priority", &self.priority)
             .finish_non_exhaustive()
     }
 }
@@ -382,6 +389,8 @@ impl<R: Send + 'static> StreamSpec<R> {
             drop_late: false,
             retry: RetryPolicy::default(),
             injector: FaultInjector::none(),
+            ladder: QualityLadder::new(),
+            priority: 0,
         }
     }
 
@@ -462,6 +471,26 @@ impl<R: Send + 'static> StreamSpec<R> {
         self
     }
 
+    /// Attaches a quality ladder (see [`degrade`]): under sustained
+    /// deadline misses the scheduler steps the stream down to the
+    /// ladder's cheaper derived configurations (and back up once it runs
+    /// on time again), instead of dropping frames or letting the watchdog
+    /// evict. Every produced frame's rung is recorded in
+    /// [`StreamReport::rungs`]; frames at rung `r` are bit-exact with a
+    /// solo session configured at rung `r`.
+    pub fn with_ladder(mut self, ladder: QualityLadder) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Sets the stream's brownout priority (default 0). Under server-level
+    /// overload ([`Server::with_brownout`]) *lower*-priority streams are
+    /// stepped down their ladders first; higher values are degraded last.
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+
     /// The stream's name.
     pub fn name(&self) -> &str {
         &self.name
@@ -475,6 +504,17 @@ impl<R: Send + 'static> StreamSpec<R> {
     /// The per-frame deadline, if set.
     pub fn deadline_ms(&self) -> Option<f64> {
         self.deadline_ms
+    }
+
+    /// The stream's quality ladder (a one-rung ladder = no degradation
+    /// headroom).
+    pub fn ladder(&self) -> &QualityLadder {
+        &self.ladder
+    }
+
+    /// The stream's brownout priority.
+    pub fn priority(&self) -> i32 {
+        self.priority
     }
 }
 
@@ -513,6 +553,15 @@ impl StreamSpec<SequenceFrameRecord> {
 /// scheduler never has two frames of one stream in flight).
 struct StreamState<R> {
     cfg: SequenceConfig,
+    /// Per-rung derived configurations, rung order (len ≥ 1; index 0 is
+    /// the base `cfg` tagged rung 0). Precomputed at registration so rung
+    /// switches never derive anything inside the frame task.
+    rung_cfgs: Vec<SequenceConfig>,
+    /// Per-rung fragment-kernel overrides (`None` = keep the backend's).
+    rung_kernels: Vec<Option<FragmentKernel>>,
+    /// Per-rung render-cost factors, scaling [`FaultKind::Load`]
+    /// injections at the backend seam.
+    cost_scales: Vec<f64>,
     session: Session,
     backend: Backend<R>,
     injector: FaultInjector,
@@ -544,6 +593,22 @@ struct Sched<R> {
     started_at: Option<Instant>,
     /// When the in-flight frame was dispatched (watchdog origin).
     dispatched_at: Option<Instant>,
+    /// Current quality-ladder rung (0 = full quality). Only the scheduler
+    /// writes it, and only while no frame is in flight for the stream —
+    /// rung switches happen *between* dispatches, never mid-frame.
+    rung: usize,
+    /// Rung of each accepted output, parallel to `outputs`.
+    rungs: Vec<u8>,
+    /// Consecutive deadline misses at the current rung (hysteresis).
+    consec_misses: u32,
+    /// Consecutive on-time frames at the current rung (hysteresis).
+    consec_hits: u32,
+    /// Ladder step-downs this run (hysteresis + brownout).
+    steps_down: usize,
+    /// Ladder step-ups this run.
+    steps_up: usize,
+    /// Step-downs forced by the server-level brownout detector.
+    brownout_steps: usize,
 }
 
 impl<R> Default for Sched<R> {
@@ -561,6 +626,13 @@ impl<R> Default for Sched<R> {
             generation: 0,
             started_at: None,
             dispatched_at: None,
+            rung: 0,
+            rungs: Vec::new(),
+            consec_misses: 0,
+            consec_hits: 0,
+            steps_down: 0,
+            steps_up: 0,
+            brownout_steps: 0,
         }
     }
 }
@@ -576,6 +648,14 @@ struct StreamEntry<R> {
     indexed: bool,
     deadline_ms: Option<f64>,
     drop_late: bool,
+    /// Quality-ladder depth (1 = no degradation headroom).
+    rung_count: usize,
+    /// Hysteresis: consecutive misses before stepping down.
+    down_after: u32,
+    /// Hysteresis: consecutive on-time frames before stepping up.
+    up_after: u32,
+    /// Brownout priority — lower values are degraded first.
+    priority: i32,
     /// Marked for removal at the end of the current run.
     detached: bool,
     /// The session's temporal state must be invalidated before the next
@@ -640,6 +720,10 @@ enum Msg<R> {
         id: usize,
         generation: u32,
         frame: usize,
+        /// Quality-ladder rung the frame rendered at (rides the
+        /// completion so zombie discards carry their rung away with
+        /// them).
+        rung: u8,
         latency_ms: f64,
         retries: u32,
         result: Result<R, StreamFault>,
@@ -761,6 +845,33 @@ pub struct StreamReport<R> {
     /// `true` when this stream's session holds the [`SharedScene`]'s
     /// `Arc<SceneIndex>` allocation (not a private copy).
     pub shares_index: bool,
+    /// Quality-ladder rung of each produced frame, parallel to
+    /// `produced`/`frames` (all 0 for streams without a ladder).
+    pub rungs: Vec<u8>,
+    /// Quality-ladder depth the stream was registered with (1 = no
+    /// ladder).
+    pub rung_count: usize,
+    /// Ladder step-downs during the run (hysteresis + brownout).
+    pub rung_steps_down: usize,
+    /// Ladder step-ups during the run (recovery).
+    pub rung_steps_up: usize,
+    /// Step-downs forced by the server-level brownout detector (also
+    /// counted in `rung_steps_down`).
+    pub brownout_steps: usize,
+}
+
+impl<R> StreamReport<R> {
+    /// Produced frames per rung: `occupancy()[r]` counts the frames
+    /// rendered at rung `r`. Always sums to `produced.len()` — the
+    /// invariant the bench report's schema check enforces.
+    pub fn rung_occupancy(&self) -> Vec<usize> {
+        let mut occ = vec![0usize; self.rung_count.max(1)];
+        let top = occ.len() - 1;
+        for &r in &self.rungs {
+            occ[(r as usize).min(top)] += 1;
+        }
+        occ
+    }
 }
 
 /// Aggregate results of one [`Server::run`].
@@ -874,6 +985,9 @@ pub struct Server<R> {
     /// Stall budget multiplier: a deadline stream is evicted when a frame
     /// takes longer than `watchdog_k × period`.
     watchdog_k: f64,
+    /// Server-level brownout threshold, ms of aggregate lateness
+    /// (`None` = detector off).
+    brownout_ms: Option<f64>,
     streams: Vec<StreamEntry<R>>,
     /// Bumped on every successful reload; streams trailing it re-bind at
     /// their next dispatch.
@@ -920,6 +1034,7 @@ impl<R: Send + 'static> Server<R> {
             admission: AdmissionPolicy::default(),
             capacity: None,
             watchdog_k: 4.0,
+            brownout_ms: None,
             streams: Vec::new(),
             scene_epoch: 0,
             reloads: Vec::new(),
@@ -951,6 +1066,20 @@ impl<R: Send + 'static> Server<R> {
     /// without a deadline are never watchdogged.
     pub fn with_watchdog(mut self, k: f64) -> Self {
         self.watchdog_k = k.max(1.0);
+        self
+    }
+
+    /// Arms the server-level brownout detector: whenever the *aggregate
+    /// lateness* — summed over running deadline streams, how far each
+    /// stream's next undelivered frame is past its deadline — exceeds
+    /// `threshold_ms` at a frame completion, the scheduler steps the
+    /// lowest-priority running stream with ladder headroom down one rung
+    /// (ties broken by registration order; see
+    /// [`StreamSpec::with_priority`]). At most one step per completion,
+    /// so a single spike cannot cascade the whole fleet to the floor in
+    /// one tick. Off by default.
+    pub fn with_brownout(mut self, threshold_ms: f64) -> Self {
+        self.brownout_ms = Some(threshold_ms.max(0.0));
         self
     }
 
@@ -1144,6 +1273,11 @@ impl<R: Send + 'static> Server<R> {
         }
         session.prepare_shared(&self.shared, &spec.cfg);
         let baseline = (session.resort_stats(), session.cull_stats());
+        // Precompute the ladder's derived configurations once: rung
+        // switches inside the scheduler are then pure index changes.
+        let rung_cfgs = spec.ladder.derive_all(&spec.cfg);
+        let rung_kernels = spec.ladder.kernels();
+        let cost_scales = spec.ladder.cost_scales(&spec.cfg);
         self.streams.push(StreamEntry {
             id,
             name: spec.name,
@@ -1151,6 +1285,10 @@ impl<R: Send + 'static> Server<R> {
             indexed: spec.cfg.indexed,
             deadline_ms: spec.deadline_ms,
             drop_late: spec.drop_late,
+            rung_count: spec.ladder.len().max(1),
+            down_after: spec.ladder.down_after(),
+            up_after: spec.ladder.up_after(),
+            priority: spec.priority,
             detached: false,
             needs_reset: false,
             baseline,
@@ -1158,6 +1296,9 @@ impl<R: Send + 'static> Server<R> {
             sched: Sched::default(),
             state: Arc::new(Mutex::new(StreamState {
                 cfg: spec.cfg,
+                rung_cfgs,
+                rung_kernels,
+                cost_scales,
                 session,
                 backend: spec.backend,
                 injector: spec.injector,
@@ -1296,6 +1437,10 @@ impl<R: Send + 'static> Server<R> {
                 }
                 e.sched.dropped.push(e.sched.cursor);
                 e.sched.cursor += 1;
+                // A shed frame is a missed deadline for the ladder too:
+                // the hysteresis sees it and can step down before the
+                // stream falls far enough behind to drop more.
+                Self::apply_hysteresis(e, true);
             }
             if e.sched.cursor >= e.budget {
                 e.sched.phase = StreamPhase::Completed;
@@ -1315,6 +1460,11 @@ impl<R: Send + 'static> Server<R> {
             *in_flight += 1;
             let id = e.id;
             let generation = e.sched.generation;
+            // The rung is latched here, between dispatches — the task
+            // renders this whole frame at one rung, and hysteresis or
+            // brownout can only move the *next* frame.
+            e.sched.rung = e.sched.rung.min(e.rung_count.saturating_sub(1));
+            let rung = e.sched.rung as u8;
             let state = Arc::clone(&e.state);
             // Scene-epoch fence: a stream that trails a successful reload
             // re-binds inside its own lock before this frame renders.
@@ -1334,6 +1484,7 @@ impl<R: Send + 'static> Server<R> {
                     id,
                     generation,
                     frame,
+                    rung,
                     msg: None,
                 };
                 let t0 = Instant::now();
@@ -1351,13 +1502,17 @@ impl<R: Send + 'static> Server<R> {
                     }
                 }
                 let scene = shared.scene_arc();
+                let rung_ix = rung as usize;
+                // Load injections scale with the rung's render cost:
+                // degrading genuinely sheds the injected overload.
+                let cost_scale = st.cost_scales.get(rung_ix).copied().unwrap_or(1.0);
                 let mut retries = 0u32;
                 let result: Result<R, StreamFault> = loop {
                     // The fault seam fires BEFORE the real backend: an
                     // injected fault never half-mutates session state,
                     // which is what keeps faulted streams' sessions
                     // replayable and other streams' bits untouchable.
-                    let injected = st.injector.intercept(frame, retries);
+                    let injected = st.injector.intercept_scaled(frame, retries, cost_scale);
                     let attempt: Result<Result<R, DrawError>, String> = match injected {
                         Some(FaultAction::Fail(e)) => Ok(Err(e)),
                         Some(FaultAction::Panic(msg)) => {
@@ -1373,10 +1528,17 @@ impl<R: Send + 'static> Server<R> {
                             }
                             let StreamState {
                                 cfg,
+                                rung_cfgs,
+                                rung_kernels,
                                 session,
                                 backend,
                                 ..
                             } = st;
+                            // The rung's derived configuration drives the
+                            // whole frame; a missing index falls back to
+                            // the base config (rung 0 derivation == base).
+                            let cfg = rung_cfgs.get(rung_ix).unwrap_or(cfg);
+                            let kernel = rung_kernels.get(rung_ix).copied().flatten();
                             // catch_unwind INSIDE the lock: a panicking
                             // backend unwinds into this Err arm, not past
                             // the guard, so the mutex is never poisoned.
@@ -1388,9 +1550,25 @@ impl<R: Send + 'static> Server<R> {
                                     Backend::Fallible(render) => {
                                         session.render_frame(&scene, cfg, frame, render)
                                     }
-                                    Backend::VrPipe { gpu, variant, wrap } => session
-                                        .render_frame_vrpipe(&scene, cfg, frame, gpu, *variant)
-                                        .map(wrap),
+                                    Backend::VrPipe { gpu, variant, wrap } => {
+                                        // The rung may override the
+                                        // simulated fragment kernel for
+                                        // this frame only.
+                                        let overridden;
+                                        let gpu = match kernel {
+                                            Some(kernel) => {
+                                                overridden = GpuConfig {
+                                                    kernel,
+                                                    ..gpu.clone()
+                                                };
+                                                &overridden
+                                            }
+                                            None => &*gpu,
+                                        };
+                                        session
+                                            .render_frame_vrpipe(&scene, cfg, frame, gpu, *variant)
+                                            .map(wrap)
+                                    }
                                 },
                             ))
                             .map_err(|p| panic_message(p.as_ref()))
@@ -1417,6 +1595,7 @@ impl<R: Send + 'static> Server<R> {
                     id,
                     generation,
                     frame,
+                    rung,
                     latency_ms: t0.elapsed().as_secs_f64() * 1e3,
                     retries,
                     result,
@@ -1468,6 +1647,7 @@ impl<R: Send + 'static> Server<R> {
                 id,
                 generation,
                 frame,
+                rung,
                 latency_ms,
                 retries,
                 result,
@@ -1498,16 +1678,24 @@ impl<R: Send + 'static> Server<R> {
                         return;
                     }
                 }
+                let mut accepted = false;
                 match result {
                     Ok(out) => {
+                        accepted = true;
                         e.sched.latencies.push(latency_ms);
+                        let mut missed = false;
                         if let (Some(period), Some(start)) = (e.deadline_ms, e.sched.started_at) {
                             let due = (frame + 1) as f64 * period;
                             if start.elapsed().as_secs_f64() * 1e3 > due {
                                 e.sched.deadline_misses += 1;
+                                missed = true;
                             }
                         }
+                        e.sched.rungs.push(rung);
                         e.sched.outputs.push((frame, out));
+                        // Hysteresis AFTER recording: the step only
+                        // affects the next dispatched frame.
+                        Self::apply_hysteresis(e, missed);
                         if e.sched.cursor >= e.budget {
                             e.sched.phase = StreamPhase::Completed;
                         }
@@ -1516,8 +1704,106 @@ impl<R: Send + 'static> Server<R> {
                         e.sched.phase = StreamPhase::Failed(fault);
                     }
                 }
+                if accepted {
+                    // Evaluated at completions only: at most one brownout
+                    // step per delivered frame.
+                    self.brownout_shed();
+                }
             }
         }
+    }
+
+    /// Per-stream ladder hysteresis: `down_after` consecutive deadline
+    /// misses step down one rung, `up_after` consecutive on-time frames
+    /// step back up. Counters reset on every step and on every
+    /// miss/hit flip, so a stream oscillating at the boundary stays put.
+    fn apply_hysteresis(e: &mut StreamEntry<R>, missed: bool) {
+        if e.rung_count <= 1 {
+            return;
+        }
+        if missed {
+            e.sched.consec_hits = 0;
+            e.sched.consec_misses += 1;
+            if e.sched.consec_misses >= e.down_after && e.sched.rung + 1 < e.rung_count {
+                e.sched.rung += 1;
+                e.sched.steps_down += 1;
+                e.sched.consec_misses = 0;
+            }
+        } else {
+            e.sched.consec_misses = 0;
+            e.sched.consec_hits += 1;
+            if e.sched.consec_hits >= e.up_after && e.sched.rung > 0 {
+                e.sched.rung -= 1;
+                e.sched.steps_up += 1;
+                e.sched.consec_hits = 0;
+            }
+        }
+    }
+
+    /// Aggregate lateness across running deadline streams, ms: for each,
+    /// how far its next undelivered frame is past its deadline. Frames
+    /// already shed by frame dropping count as delivered — the metric
+    /// recovers once a stream is back on schedule by any means.
+    fn aggregate_lateness_ms(&self) -> f64 {
+        let mut total = 0.0;
+        for e in &self.streams {
+            if !matches!(e.sched.phase, StreamPhase::Running) {
+                continue;
+            }
+            let (Some(period), Some(start)) = (e.deadline_ms, e.sched.started_at) else {
+                continue;
+            };
+            let delivered = e.sched.outputs.len() + e.sched.dropped.len();
+            let due = (delivered + 1) as f64 * period;
+            total += (start.elapsed().as_secs_f64() * 1e3 - due).max(0.0);
+        }
+        total
+    }
+
+    /// The stream the brownout detector would step down next: the
+    /// lowest-priority running stream with ladder headroom, ties broken
+    /// by registration order. `None` when every candidate is floored.
+    fn brownout_target(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (k, e) in self.streams.iter().enumerate() {
+            if !matches!(e.sched.phase, StreamPhase::Running) {
+                continue;
+            }
+            if e.sched.rung + 1 >= e.rung_count {
+                continue;
+            }
+            match best {
+                None => best = Some(k),
+                Some(b) => {
+                    if e.priority < self.streams[b].priority {
+                        best = Some(k);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Server-level overload shedding: one ladder step down for the
+    /// brownout target when aggregate lateness exceeds the armed
+    /// threshold — quality degrades fleet-wide in priority order before
+    /// the watchdog ever has to evict.
+    fn brownout_shed(&mut self) {
+        let Some(threshold) = self.brownout_ms else {
+            return;
+        };
+        if self.aggregate_lateness_ms() <= threshold {
+            return;
+        }
+        let Some(k) = self.brownout_target() else {
+            return;
+        };
+        let e = &mut self.streams[k];
+        e.sched.rung += 1;
+        e.sched.steps_down += 1;
+        e.sched.brownout_steps += 1;
+        e.sched.consec_misses = 0;
+        e.sched.consec_hits = 0;
     }
 
     /// Evicts running deadline streams whose in-flight frame blew the
@@ -1701,6 +1987,11 @@ impl<R: Send + 'static> Server<R> {
                 frames_dropped: sched.dropped.len(),
                 deadline_misses: sched.deadline_misses,
                 retries: sched.retries,
+                rungs: sched.rungs,
+                rung_count: e.rung_count,
+                rung_steps_down: sched.steps_down,
+                rung_steps_up: sched.steps_up,
+                brownout_steps: sched.brownout_steps,
                 latency_p50_ms: percentile(&latencies, 0.50),
                 latency_p99_ms: percentile(&latencies, 0.99),
                 busy_ms: sched.busy_ms,
@@ -1732,6 +2023,7 @@ struct Complete<R> {
     id: usize,
     generation: u32,
     frame: usize,
+    rung: u8,
     msg: Option<Msg<R>>,
 }
 
@@ -1741,6 +2033,7 @@ impl<R> Drop for Complete<R> {
             id: self.id,
             generation: self.generation,
             frame: self.frame,
+            rung: self.rung,
             latency_ms: 0.0,
             retries: 0,
             result: Err(StreamFault::Panicked {
@@ -2205,5 +2498,102 @@ mod tests {
             healed.streams[0].resort.repaired,
             clean.streams[0].resort.repaired
         );
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[], 0.50), 0.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        let single = [7.5];
+        assert_eq!(percentile(&single, 0.0), 7.5);
+        assert_eq!(percentile(&single, 0.50), 7.5);
+        assert_eq!(percentile(&single, 1.0), 7.5);
+        let dup = [2.0, 2.0, 2.0, 2.0];
+        assert_eq!(percentile(&dup, 0.50), 2.0);
+        assert_eq!(percentile(&dup, 0.99), 2.0);
+        let two = [1.0, 3.0];
+        assert_eq!(percentile(&two, 0.0), 1.0);
+        assert_eq!(percentile(&two, 1.0), 3.0);
+        // q past 1.0 clamps to the last element instead of indexing out.
+        assert_eq!(percentile(&two, 2.0), 3.0);
+    }
+
+    #[test]
+    fn backoff_saturates_at_large_attempt() {
+        let policy = RetryPolicy::default();
+        // The exponential term is capped by max_delay_ms; the shift is
+        // clamped so huge attempt numbers neither overflow nor panic.
+        for attempt in [20, 21, 63, 64, 1_000, u32::MAX] {
+            let d = policy.backoff_ms(3, 5, attempt);
+            assert!(d.is_finite());
+            assert!(
+                d >= policy.max_delay_ms * 0.5 && d <= policy.max_delay_ms,
+                "attempt {attempt}: {d} outside jittered saturation band"
+            );
+        }
+        // Deterministic: same (stream, frame, attempt) → same delay.
+        assert_eq!(
+            policy.backoff_ms(3, 5, u32::MAX),
+            policy.backoff_ms(3, 5, u32::MAX)
+        );
+        // Early attempts still grow before the cap bites.
+        assert!(policy.backoff_ms(0, 0, 0) <= policy.backoff_ms(0, 0, 30) + policy.max_delay_ms);
+    }
+
+    #[test]
+    fn watchdog_budget_is_k_times_period_and_clamped() {
+        let mut server: Server<usize> = Server::new(shared_scene(), 1);
+        let cfg = orbit_cfg(server.shared(), 0.0, 2);
+        let backend = StreamSpec::new("deadline", cfg.clone(), |_| 0usize).with_deadline_ms(25.0);
+        server.add_stream(backend);
+        // Default k = 4 → budget = 4 × 25 ms.
+        assert_eq!(server.stall_budget(0), Some(100.0));
+        server = server.with_watchdog(2.5);
+        assert_eq!(server.stall_budget(0), Some(62.5));
+        // k clamps at 1.0: the budget can never undercut one period.
+        server = server.with_watchdog(0.0);
+        assert_eq!(server.stall_budget(0), Some(25.0));
+        // No deadline → no stall budget (watchdog disarmed).
+        let free = StreamSpec::new("free", cfg, |_| 0usize);
+        server.add_stream(free);
+        assert_eq!(server.stall_budget(1), None);
+    }
+
+    #[test]
+    fn brownout_target_prefers_lowest_priority_with_headroom() {
+        let mut server: Server<usize> = Server::new(shared_scene(), 1);
+        let cfg = orbit_cfg(server.shared(), 0.0, 2);
+        let mk = |name: &str, prio: i32, ladder: QualityLadder| {
+            StreamSpec::new(name.to_string(), cfg.clone(), |_| 0usize)
+                .with_priority(prio)
+                .with_ladder(ladder)
+        };
+        // vip: high priority, no ladder headroom — structurally immune.
+        server.add_stream(mk("vip", 10, QualityLadder::new()));
+        // bulk-a/bulk-b: same low priority, headroom; registration order
+        // breaks the tie.
+        server.add_stream(mk("bulk-a", 0, QualityLadder::standard()));
+        server.add_stream(mk("bulk-b", 0, QualityLadder::standard()));
+        // mid: between, with headroom.
+        server.add_stream(mk("mid", 5, QualityLadder::standard()));
+        for e in &mut server.streams {
+            e.sched.phase = StreamPhase::Running;
+        }
+        assert_eq!(server.brownout_target(), Some(1), "lowest priority first");
+        // Floor bulk-a: next candidate is bulk-b, not mid or vip.
+        server.streams[1].sched.rung = 2;
+        assert_eq!(server.brownout_target(), Some(2));
+        server.streams[2].sched.rung = 2;
+        assert_eq!(server.brownout_target(), Some(3), "then the mid tier");
+        server.streams[3].sched.rung = 2;
+        assert_eq!(
+            server.brownout_target(),
+            None,
+            "vip has no headroom: never a target"
+        );
+        // Non-running streams are skipped even with headroom.
+        server.streams[1].sched.rung = 0;
+        server.streams[1].sched.phase = StreamPhase::Completed;
+        assert_eq!(server.brownout_target(), None);
     }
 }

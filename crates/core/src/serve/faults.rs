@@ -23,6 +23,12 @@
 //!   budget.
 //! * [`FaultKind::Panic`] — the backend panics; caught at the task
 //!   boundary and reported as a per-stream fault (the pool survives).
+//! * [`FaultKind::Load`]`(ms)` — sustained work inflation: the frame
+//!   sleeps `ms` *scaled by the rung's render-cost factor* before every
+//!   attempt, modelling a backend that is genuinely `ms` slower at full
+//!   quality. Unlike `Stall` it fires on every attempt, and degrading to a
+//!   cheaper quality-ladder rung proportionally shrinks the injected
+//!   latency — the seam the brownout chaos tests drive.
 //!
 //! Everything is deterministic: an injector is a pure function of
 //! `(frame, attempt)`, and [`FaultPlan::seeded`] derives its schedule
@@ -47,6 +53,11 @@ pub enum FaultKind {
     /// The first `n` attempts fail with a transient error, then the real
     /// render runs — recovered by `n` retries.
     Transient(u32),
+    /// Sustained overload: every attempt of the frame sleeps `ms`
+    /// milliseconds *at full quality*, scaled down by the cost factor of
+    /// the quality-ladder rung the frame renders at (see
+    /// [`FaultInjector::intercept_scaled`]).
+    Load(u64),
 }
 
 /// What the frame task must do for one `(frame, attempt)`, resolved by
@@ -193,10 +204,30 @@ impl FaultInjector {
     }
 
     /// What attempt `attempt` of frame `frame` must do instead of (or
-    /// before) the real render; `None` = render normally.
+    /// before) the real render; `None` = render normally. Equivalent to
+    /// [`Self::intercept_scaled`] at full-quality cost (scale 1).
     pub fn intercept(&self, frame: usize, attempt: u32) -> Option<FaultAction> {
+        self.intercept_scaled(frame, attempt, 1.0)
+    }
+
+    /// [`Self::intercept`] with a render-cost scale in `(0, 1]`: a
+    /// [`FaultKind::Load`] sleep is multiplied by `cost_scale`, so a frame
+    /// rendered at a cheaper quality-ladder rung genuinely absorbs less of
+    /// the injected overload. All other fault kinds ignore the scale.
+    /// Still a pure function of its arguments — seeded chaos runs replay
+    /// bit for bit.
+    pub fn intercept_scaled(
+        &self,
+        frame: usize,
+        attempt: u32,
+        cost_scale: f64,
+    ) -> Option<FaultAction> {
         let (_, kind) = self.schedule.iter().find(|(f, _)| *f == frame)?;
         match *kind {
+            FaultKind::Load(ms) => {
+                let scaled = (ms as f64 * cost_scale.clamp(0.0, 1.0)).round() as u64;
+                Some(FaultAction::Sleep(Duration::from_millis(scaled)))
+            }
             FaultKind::Error => Some(FaultAction::Fail(DrawError::backend(
                 format!("injected persistent error at frame {frame} (attempt {attempt})"),
                 true,
@@ -267,5 +298,42 @@ mod tests {
             Some(FaultAction::Sleep(Duration::from_millis(30)))
         );
         assert_eq!(s.intercept(2, 1), None);
+    }
+
+    #[test]
+    fn load_fires_every_attempt_and_scales_with_rung_cost() {
+        let inj = FaultInjector::at(1, FaultKind::Load(100));
+        for attempt in 0..4 {
+            assert_eq!(
+                inj.intercept(1, attempt),
+                Some(FaultAction::Sleep(Duration::from_millis(100))),
+                "load is sustained across attempts (attempt {attempt})"
+            );
+        }
+        assert_eq!(
+            inj.intercept_scaled(1, 0, 0.25),
+            Some(FaultAction::Sleep(Duration::from_millis(25))),
+            "quarter-cost rung absorbs a quarter of the overload"
+        );
+        assert_eq!(
+            inj.intercept_scaled(1, 0, 1.0),
+            inj.intercept(1, 0),
+            "intercept() is the scale-1 case"
+        );
+        // Out-of-range scales clamp instead of amplifying.
+        assert_eq!(
+            inj.intercept_scaled(1, 0, 7.0),
+            Some(FaultAction::Sleep(Duration::from_millis(100)))
+        );
+        assert_eq!(inj.intercept(0, 0), None, "other frames unaffected");
+    }
+
+    #[test]
+    fn stall_ignores_cost_scale() {
+        let inj = FaultInjector::at(2, FaultKind::Stall(40));
+        assert_eq!(
+            inj.intercept_scaled(2, 0, 0.25),
+            Some(FaultAction::Sleep(Duration::from_millis(40)))
+        );
     }
 }

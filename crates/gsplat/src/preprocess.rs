@@ -23,6 +23,7 @@ use crate::projection::{
     covariance_entries, project_gaussian_frame, splat_from_covariance, ColorSource, FrameTransform,
 };
 use crate::scene::Scene;
+use crate::sh::MAX_SH_DEGREE;
 use crate::sort::{sort_splats_by_depth_into, IncrementalSorter, ResortStats, SortScratch};
 use crate::splat::Splat;
 use crate::stream::SplatStream;
@@ -132,6 +133,24 @@ pub fn preprocess(scene: &Scene, camera: &Camera) -> PreprocessOutput {
     preprocess_with(scene, camera, ThreadPolicy::default())
 }
 
+/// [`preprocess`] with the SH evaluation degree capped at `max_sh_degree`
+/// (the quality-ladder color knob). Bit-exact with [`preprocess`] on a
+/// scene whose SH coefficients were truncated to the same degree; a cap of
+/// [`MAX_SH_DEGREE`] is the identity.
+pub fn preprocess_clamped(scene: &Scene, camera: &Camera, max_sh_degree: u8) -> PreprocessOutput {
+    let mut scratch = PreprocessScratch::default();
+    let mut splats = Vec::new();
+    let stats = preprocess_into_clamped(
+        scene,
+        camera,
+        ThreadPolicy::default(),
+        &mut scratch,
+        &mut splats,
+        max_sh_degree,
+    );
+    PreprocessOutput { splats, stats }
+}
+
 /// [`preprocess`] with an explicit threading policy.
 pub fn preprocess_with(scene: &Scene, camera: &Camera, policy: ThreadPolicy) -> PreprocessOutput {
     let mut scratch = PreprocessScratch::default();
@@ -150,7 +169,21 @@ pub fn preprocess_into(
     scratch: &mut PreprocessScratch,
     out: &mut Vec<Splat>,
 ) -> PreprocessStats {
-    preprocess_into_impl(scene, camera, policy, scratch, out, false)
+    preprocess_into_impl(scene, camera, policy, scratch, out, false, MAX_SH_DEGREE)
+}
+
+/// [`preprocess_into`] with the SH evaluation degree capped at
+/// `max_sh_degree`.
+// vrlint: hot
+pub fn preprocess_into_clamped(
+    scene: &Scene,
+    camera: &Camera,
+    policy: ThreadPolicy,
+    scratch: &mut PreprocessScratch,
+    out: &mut Vec<Splat>,
+    max_sh_degree: u8,
+) -> PreprocessStats {
+    preprocess_into_impl(scene, camera, policy, scratch, out, false, max_sh_degree)
 }
 
 /// [`preprocess_into`] for temporally coherent frame sequences: the depth
@@ -168,10 +201,25 @@ pub fn preprocess_into_temporal(
     scratch: &mut PreprocessScratch,
     out: &mut Vec<Splat>,
 ) -> PreprocessStats {
-    preprocess_into_impl(scene, camera, policy, scratch, out, true)
+    preprocess_into_impl(scene, camera, policy, scratch, out, true, MAX_SH_DEGREE)
+}
+
+/// [`preprocess_into_temporal`] with the SH evaluation degree capped at
+/// `max_sh_degree`.
+// vrlint: hot
+pub fn preprocess_into_temporal_clamped(
+    scene: &Scene,
+    camera: &Camera,
+    policy: ThreadPolicy,
+    scratch: &mut PreprocessScratch,
+    out: &mut Vec<Splat>,
+    max_sh_degree: u8,
+) -> PreprocessStats {
+    preprocess_into_impl(scene, camera, policy, scratch, out, true, max_sh_degree)
 }
 
 // vrlint: hot
+#[allow(clippy::too_many_arguments)]
 fn preprocess_into_impl(
     scene: &Scene,
     camera: &Camera,
@@ -179,13 +227,14 @@ fn preprocess_into_impl(
     scratch: &mut PreprocessScratch,
     out: &mut Vec<Splat>,
     temporal: bool,
+    max_sh_degree: u8,
 ) -> PreprocessStats {
     let n = scene.gaussians.len();
     let workers = policy.workers(n);
     scratch.clear_staging();
     // Hoist the camera constants out of the per-Gaussian loop; every
     // worker shares the same precomputed frame transform.
-    let frame = FrameTransform::new(camera);
+    let frame = FrameTransform::new(camera).with_max_sh_degree(max_sh_degree);
 
     if workers <= 1 {
         // Both key streams are pushed unconditionally — the non-temporal
@@ -331,6 +380,34 @@ pub fn preprocess_into_indexed(
     scratch: &mut PreprocessScratch,
     out: &mut Vec<Splat>,
 ) -> PreprocessStats {
+    preprocess_into_indexed_clamped(
+        scene,
+        camera,
+        policy,
+        index,
+        cull,
+        scratch,
+        out,
+        MAX_SH_DEGREE,
+    )
+}
+
+/// [`preprocess_into_indexed`] with the SH evaluation degree capped at
+/// `max_sh_degree`. The degree-0 `base_color` cache in the spatial index is
+/// clamp-invariant (a degree-0 color evaluates identically under any cap),
+/// so the indexed path stays bit-exact with the full clamped path.
+// vrlint: hot
+#[allow(clippy::too_many_arguments)]
+pub fn preprocess_into_indexed_clamped(
+    scene: &Scene,
+    camera: &Camera,
+    policy: ThreadPolicy,
+    index: &SceneIndex,
+    cull: &mut CullState,
+    scratch: &mut PreprocessScratch,
+    out: &mut Vec<Splat>,
+    max_sh_degree: u8,
+) -> PreprocessStats {
     assert_eq!(
         index.len(),
         scene.len(),
@@ -347,7 +424,7 @@ pub fn preprocess_into_indexed(
     }
     let n = scene.len();
     let workers = policy.workers(n);
-    let frame = FrameTransform::new(camera);
+    let frame = FrameTransform::new(camera).with_max_sh_degree(max_sh_degree);
     cull.begin_frame(index, &frame, camera);
     scratch.clear_staging();
 

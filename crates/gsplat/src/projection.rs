@@ -21,6 +21,7 @@ use crate::blend::ALPHA_PRUNE_THRESHOLD;
 use crate::camera::Camera;
 use crate::gaussian::Gaussian;
 use crate::math::{Mat2, Mat3, Mat4, Vec2, Vec3};
+use crate::sh::{ShColor, MAX_SH_DEGREE};
 use crate::splat::Splat;
 
 /// Low-pass dilation added to the 2D covariance diagonal, ensuring every
@@ -77,6 +78,11 @@ pub struct FrameTransform {
     /// dropped terms are `±0` addends that cannot change a screen
     /// coordinate once `ndc·0.5 + 0.5` absorbs the zero sign.
     proj_sparse: bool,
+    /// SH evaluation degree cap for view-dependent color. Defaults to
+    /// [`MAX_SH_DEGREE`] (no clamp); the serving quality ladder lowers it
+    /// per rung. Clamped evaluation is bit-exact with evaluating a scene
+    /// truncated to the same degree ([`ShColor::evaluate_clamped`]).
+    max_sh_degree: u8,
 }
 
 impl FrameTransform {
@@ -118,7 +124,22 @@ impl FrameTransform {
             lim_x: JACOBIAN_CLAMP * (camera.width() as f32 / camera.height() as f32),
             lim_y: JACOBIAN_CLAMP,
             proj_sparse,
+            max_sh_degree: MAX_SH_DEGREE,
         }
+    }
+
+    /// Caps the SH evaluation degree for every color produced through this
+    /// transform (the quality-ladder knob; `MAX_SH_DEGREE` means no clamp).
+    #[must_use]
+    pub fn with_max_sh_degree(mut self, max_sh_degree: u8) -> Self {
+        self.max_sh_degree = max_sh_degree;
+        self
+    }
+
+    /// The SH degree cap applied to view-dependent color.
+    #[inline]
+    pub fn max_sh_degree(&self) -> u8 {
+        self.max_sh_degree
     }
 
     /// Camera position in world space.
@@ -237,7 +258,7 @@ pub(crate) enum ColorSource<'a> {
     /// Precomputed color (degree-0 SH, cached once per scene).
     Cached(Vec3),
     /// Evaluate these coefficients along `mean - eye`.
-    Sh(&'a crate::sh::ShColor),
+    Sh(&'a ShColor),
 }
 
 /// The camera-invariant cull gates of [`project_gaussian`]: opacity below
@@ -345,7 +366,7 @@ pub(crate) fn splat_from_covariance(
 
     let color = match color {
         ColorSource::Cached(c) => c,
-        ColorSource::Sh(sh) => sh.evaluate(mean - frame.eye()),
+        ColorSource::Sh(sh) => sh.evaluate_clamped(mean - frame.eye(), frame.max_sh_degree),
     };
 
     let splat = Splat {

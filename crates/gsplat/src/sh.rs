@@ -113,14 +113,27 @@ impl ShColor {
     /// applying the reference renderer's `+0.5` offset and non-negativity
     /// clamp.
     pub fn evaluate(&self, dir: Vec3) -> Vec3 {
+        self.evaluate_clamped(dir, MAX_SH_DEGREE)
+    }
+
+    /// Evaluates the SH color with the basis truncated to
+    /// `min(self.degree, max_degree)`.
+    ///
+    /// The effective degree only gates which coefficient blocks are summed;
+    /// the per-block float operations are identical to [`Self::evaluate`].
+    /// Evaluating at clamp `d` is therefore bit-exact with evaluating a
+    /// color whose coefficients were truncated to degree `d` up front —
+    /// the quality-ladder contract the serving layer relies on.
+    pub fn evaluate_clamped(&self, dir: Vec3, max_degree: u8) -> Vec3 {
+        let deg = self.degree.min(max_degree);
         let d = dir.normalized();
         let mut c = self.coeffs[0] * SH_C0;
-        if self.degree >= 1 {
+        if deg >= 1 {
             let (x, y, z) = (d.x, d.y, d.z);
             c += self.coeffs[1] * (-SH_C1 * y)
                 + self.coeffs[2] * (SH_C1 * z)
                 + self.coeffs[3] * (-SH_C1 * x);
-            if self.degree >= 2 {
+            if deg >= 2 {
                 let (xx, yy, zz) = (x * x, y * y, z * z);
                 let (xy, yz, xz) = (x * y, y * z, x * z);
                 c += self.coeffs[4] * (SH_C2[0] * xy)
@@ -128,7 +141,7 @@ impl ShColor {
                     + self.coeffs[6] * (SH_C2[2] * (2.0 * zz - xx - yy))
                     + self.coeffs[7] * (SH_C2[3] * xz)
                     + self.coeffs[8] * (SH_C2[4] * (xx - yy));
-                if self.degree >= 3 {
+                if deg >= 3 {
                     c += self.coeffs[9] * (SH_C3[0] * y * (3.0 * xx - yy))
                         + self.coeffs[10] * (SH_C3[1] * xy * z)
                         + self.coeffs[11] * (SH_C3[2] * y * (4.0 * zz - xx - yy))
@@ -140,6 +153,17 @@ impl ShColor {
             }
         }
         (c + Vec3::splat(0.5)).max(Vec3::ZERO)
+    }
+
+    /// A copy truncated to `min(self.degree, degree)`: the retained
+    /// coefficients are bit-identical, the higher bands dropped. Evaluating
+    /// the truncation equals evaluating the original under the same clamp.
+    pub fn truncated(&self, degree: u8) -> Self {
+        let deg = self.degree.min(degree);
+        Self {
+            degree: deg,
+            coeffs: self.coeffs[..coeff_count(deg)].to_vec(),
+        }
     }
 
     /// Storage size in floats (3 per coefficient), used by memory-footprint
@@ -214,5 +238,54 @@ mod tests {
     fn float_count_matches_storage() {
         let sh = ShColor::new(3, vec![Vec3::ZERO; 16]);
         assert_eq!(sh.float_count(), 48);
+    }
+
+    fn bits(v: Vec3) -> [u32; 3] {
+        [v.x.to_bits(), v.y.to_bits(), v.z.to_bits()]
+    }
+
+    fn degree3_fixture() -> ShColor {
+        let coeffs: Vec<Vec3> = (0..16)
+            .map(|i| Vec3::new(0.03 * i as f32, -0.02 * i as f32, 0.011 * (16 - i) as f32))
+            .collect();
+        ShColor::new(3, coeffs)
+    }
+
+    #[test]
+    fn clamp_at_or_above_degree_is_identity() {
+        let sh = degree3_fixture();
+        let dir = Vec3::new(0.3, -0.8, 0.52);
+        assert_eq!(sh.evaluate_clamped(dir, 3), sh.evaluate(dir));
+        assert_eq!(sh.evaluate_clamped(dir, 7), sh.evaluate(dir));
+    }
+
+    #[test]
+    fn clamped_eval_matches_truncated_coefficients_bit_exactly() {
+        let sh = degree3_fixture();
+        let dirs = [
+            Vec3::new(0.3, -0.8, 0.52),
+            Vec3::new(-1.0, 0.2, 0.1),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        for deg in 0..=3u8 {
+            let cut = sh.truncated(deg);
+            assert_eq!(cut.degree(), deg);
+            for dir in dirs {
+                let clamped = sh.evaluate_clamped(dir, deg);
+                let direct = cut.evaluate(dir);
+                assert_eq!(
+                    bits(clamped),
+                    bits(direct),
+                    "degree clamp {deg} diverged from truncation"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_keeps_low_band_bits() {
+        let sh = degree3_fixture();
+        let cut = sh.truncated(1);
+        assert_eq!(cut.coeffs(), &sh.coeffs()[..4]);
     }
 }

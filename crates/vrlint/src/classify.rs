@@ -46,6 +46,7 @@ const HOT_PATH: &[&str] = &[
     "crates/gsplat/src/asset.rs",
     "crates/core/src/pipeline.rs",
     "crates/core/src/serve.rs",
+    "crates/core/src/serve/degrade.rs",
     "crates/core/src/shading.rs",
 ];
 

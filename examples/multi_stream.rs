@@ -9,6 +9,7 @@
 //! ```text
 //! cargo run --release --example multi_stream [frames] [scale] [threads]
 //! cargo run --release --example multi_stream -- --chaos [frames] [scale] [threads]
+//! cargo run --release --example multi_stream -- --overload [frames] [scale] [threads]
 //! ```
 //!
 //! With `--chaos`, every viewer gets a frame deadline and the flythrough
@@ -16,6 +17,13 @@
 //! mid-run (naming the frame and the exceeded budget) while the other
 //! three streams finish their full budgets on deadline — the failure is
 //! contained to the stream that caused it.
+//!
+//! With `--overload`, the flythrough instead carries a quality ladder
+//! (full → ½ res → ¼ res) and a seeded load spike: rather than being
+//! evicted, it steps down two rungs, serves the spike at quarter cost,
+//! and climbs back to full quality once the overload passes. The
+//! per-frame rung trace is printed — every produced frame is bit-exact
+//! with a solo session at its recorded rung.
 
 use std::sync::Arc;
 
@@ -25,15 +33,19 @@ use gsplat::math::Vec3;
 use gsplat::scene::EVALUATED_SCENES;
 use gsplat::stream::FragmentKernel;
 use vrpipe::{
-    FaultInjector, FaultKind, PipelineVariant, SequenceConfig, Server, SharedScene, StreamPhase,
-    StreamSpec,
+    FaultInjector, FaultKind, FaultPlan, PipelineVariant, QualityLadder, SchedulePolicy,
+    SequenceConfig, Server, SharedScene, StreamPhase, StreamSpec,
 };
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let chaos = args.iter().any(|a| a == "--chaos");
-    args.retain(|a| a != "--chaos");
+    let overload = args.iter().any(|a| a == "--overload");
+    args.retain(|a| a != "--chaos" && a != "--overload");
     let frames: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(16);
+    // The overload demo needs enough post-spike frames for the ladder to
+    // climb all the way back up.
+    let frames = if overload { frames.max(10) } else { frames };
     let scale: f32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.08);
     let threads: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
 
@@ -53,6 +65,13 @@ fn main() {
     if chaos {
         server = server.with_watchdog(4.0);
     }
+    if overload {
+        // EDF keeps the deadline stream first in line for a worker, so
+        // its degradation trajectory is the same at any pool size.
+        server = server
+            .with_watchdog(4.0)
+            .with_policy(SchedulePolicy::Deadline);
+    }
     println!(
         "'{}': 4 viewers of one shared scene ({} Gaussians) at {}x{}, {} frames each, {} worker(s){}\n",
         spec.name,
@@ -63,6 +82,8 @@ fn main() {
         server.pool().workers(),
         if chaos {
             " — CHAOS: flythrough will stall and be evicted"
+        } else if overload {
+            " — OVERLOAD: flythrough will degrade down its quality ladder and recover"
         } else {
             ""
         },
@@ -105,6 +126,21 @@ fn main() {
     ));
     if chaos {
         fly_spec = fly_spec.with_faults(FaultInjector::at(2, FaultKind::Stall(3_000)));
+    }
+    if overload {
+        // A 300 ms onset (one guaranteed miss at the 250 ms period) and a
+        // 2.8 s spike — beyond the 1 s watchdog budget at full quality,
+        // comfortably inside it at quarter cost. Stepping: one miss down,
+        // two consecutive on-time frames up.
+        fly_spec = fly_spec
+            .with_deadline_ms(deadline_ms)
+            .with_ladder(QualityLadder::standard().with_hysteresis(1, 2))
+            .with_faults(
+                FaultPlan::new()
+                    .with_fault(0, 0, FaultKind::Load(300))
+                    .with_fault(0, 1, FaultKind::Load(2_800))
+                    .injector(0),
+            );
     }
     server.add_stream(fly_spec);
     // One stereo pair (frames alternate left/right eyes).
@@ -183,5 +219,39 @@ fn main() {
             "chaos contained: 'flythrough' evicted by the watchdog, {} healthy streams completed on deadline",
             report.streams.len() - 1
         );
+    }
+    if overload {
+        let v = report.stream("flythrough").expect("overloaded stream");
+        assert_eq!(
+            v.phase,
+            StreamPhase::Completed,
+            "the ladder absorbs the spike: no eviction"
+        );
+        assert_eq!(v.frames.len(), frames, "no frames lost to the overload");
+        let trace: Vec<String> = v.rungs.iter().map(|r| r.to_string()).collect();
+        println!(
+            "\noverload absorbed: 'flythrough' rung trace  {}",
+            trace.join(" → ")
+        );
+        println!(
+            "  {} step(s) down, {} step(s) up, occupancy per rung {:?}, {} deadline miss(es), 0 evictions",
+            v.rung_steps_down,
+            v.rung_steps_up,
+            v.rung_occupancy(),
+            v.deadline_misses,
+        );
+        assert_eq!(
+            v.rungs.iter().max(),
+            Some(&2),
+            "the spike must push the stream down two rungs"
+        );
+        assert_eq!(
+            v.rungs.last(),
+            Some(&0),
+            "the stream must climb back to full quality after the spike"
+        );
+        for s in &report.streams {
+            assert_eq!(s.phase, StreamPhase::Completed, "{}", s.name);
+        }
     }
 }

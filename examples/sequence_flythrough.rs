@@ -44,6 +44,8 @@ fn main() {
         fov_y: 55f32.to_radians(),
         temporal: true,
         indexed,
+        max_sh_degree: gsplat::sh::MAX_SH_DEGREE,
+        rung: 0,
     };
     let gpu = GpuConfig {
         kernel: FragmentKernel::Soa,
