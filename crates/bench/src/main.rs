@@ -12,6 +12,7 @@
 //!                           # serve (multi-stream serving over one shared scene)
 //!                           # serve-faults / serve --faults (fault-injection smoke)
 //!                           # serve-degrade / serve --degrade (overload quality-ladder smoke)
+//!                           # serve-batch / serve --batch (cross-stream batched preprocessing)
 //!                           # asset (checksummed scene assets, corruption sweep)
 //!                           # lint (vrlint invariant check, per-rule tallies)
 //! figures all               # everything, in paper order
@@ -61,6 +62,7 @@ const EXPERIMENTS: &[(&str, fn())] = &[
     ("serve", serve::serve),
     ("serve-faults", serve::serve_faults),
     ("serve-degrade", serve::serve_degrade),
+    ("serve-batch", serve::serve_batch),
     ("asset", asset::asset),
     ("lint", lint::lint),
     ("ablation-tgc", ablation::ablation_tgc),
@@ -100,6 +102,7 @@ fn main() {
         let arg = match arg.as_str() {
             "--faults" => "serve-faults",
             "--degrade" => "serve-degrade",
+            "--batch" => "serve-batch",
             a => a,
         };
         match EXPERIMENTS.iter().find(|(n, _)| *n == arg) {

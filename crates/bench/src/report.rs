@@ -307,9 +307,11 @@ fn sequence_measurement(scale: f32) -> String {
 /// throughput vs concurrent stream count over one shared scene and index
 /// (parity-gated inside [`crate::serve::measure_serve`] — every stream of
 /// a 4-stream server is asserted bit-exact against its solo session
-/// before timing), plus the fault-injection outcomes and the
+/// before timing), plus the fault-injection outcomes, the
 /// overload-degradation smoke (recorded rung traces, occupancy
-/// schema-gated to sum to the produced frames).
+/// schema-gated to sum to the produced frames) and the cross-stream
+/// batched-preprocessing comparison (parity-gated; round occupancy
+/// schema-gated to sum to the preprocessed frames).
 fn serve_measurement(scale: f32) -> String {
     let points = crate::serve::measure_serve(2, scale.min(0.06), crate::serve::SERVE_FRAMES);
     let mut body = String::new();
@@ -334,6 +336,32 @@ fn serve_measurement(scale: f32) -> String {
     let faults = crate::serve::measure_serve_faults(2, scale.min(0.04), 4);
     let degrade =
         crate::serve::measure_serve_degrade(2, scale.min(0.03), crate::serve::DEGRADE_FRAMES);
+    let batch = crate::serve::measure_serve_batch(2, scale.min(0.06), crate::serve::BATCH_FRAMES);
+    // Schema gates for the batch block: the occupancy histogram must
+    // account for exactly the preprocessed frames (Σ (i+1)·occupancy[i]
+    // == batched + solo), and the stereo stream must have paired both
+    // eyes on every round — a histogram that doesn't add up is a
+    // bookkeeping bug, not a measurement.
+    for p in &batch.points {
+        let accounted: usize = p
+            .occupancy
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i + 1) * n)
+            .sum();
+        assert_eq!(
+            accounted,
+            p.batched_frames + p.solo_frames,
+            "serve.batch schema: occupancy {:?} at {} streams must sum to the {} preprocessed frames",
+            p.occupancy,
+            p.streams,
+            p.batched_frames + p.solo_frames
+        );
+    }
+    assert_eq!(
+        batch.stereo_paired_rounds, batch.stereo_rounds,
+        "serve.batch schema: stereo pairs must batch on 100% of rounds"
+    );
     // Schema gate: a rung occupancy that does not account for every
     // produced frame is a bookkeeping bug, not a measurement — refuse to
     // write it into the trail.
@@ -347,8 +375,33 @@ fn serve_measurement(scale: f32) -> String {
             d.frames
         );
     }
+    let mut batch_points = String::new();
+    for (i, p) in batch.points.iter().enumerate() {
+        let comma = if i + 1 < batch.points.len() { "," } else { "" };
+        let occupancy = p
+            .occupancy
+            .iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            batch_points,
+            "      {{\"streams\": {}, \"total_frames\": {}, \"unbatched_wall_ms\": {:.3}, \"unbatched_fps\": {:.2}, \"batched_wall_ms\": {:.3}, \"batched_fps\": {:.2}, \"speedup\": {:.3}, \"preprocess_ms_per_stream\": {:.4}, \"batched_frames\": {}, \"solo_frames\": {}, \"fallback_ratio\": {:.4}, \"occupancy\": [{occupancy}]}}{comma}",
+            p.streams,
+            p.total_frames,
+            p.unbatched_wall_ms,
+            p.unbatched_fps,
+            p.batched_wall_ms,
+            p.batched_fps,
+            p.speedup,
+            p.preprocess_ms_per_stream,
+            p.batched_frames,
+            p.solo_frames,
+            p.fallback_ratio,
+        );
+    }
     format!(
-        "{{\"scene\": \"Train\", \"frames_per_stream\": {}, \"points\": [\n{body}    ],\n    \"faults\": {{\"seed\": {}, \"streams\": [\n{}    ]}},\n    \"degrade\": {{\"period_ms\": {}, \"baseline_phase\": \"{}\", \"baseline_frames\": {}, \"frames_saved\": {}, \"streams\": [\n{}    ]}}}}",
+        "{{\"scene\": \"Train\", \"frames_per_stream\": {}, \"points\": [\n{body}    ],\n    \"faults\": {{\"seed\": {}, \"streams\": [\n{}    ]}},\n    \"degrade\": {{\"period_ms\": {}, \"baseline_phase\": \"{}\", \"baseline_frames\": {}, \"frames_saved\": {}, \"streams\": [\n{}    ]}},\n    \"batch\": {{\"frames_per_stream\": {}, \"stereo_rounds\": {}, \"stereo_paired_rounds\": {}, \"points\": [\n{batch_points}    ]}}}}",
         crate::serve::SERVE_FRAMES,
         faults.seed,
         stream_details_json(&faults.streams, "      "),
@@ -357,6 +410,9 @@ fn serve_measurement(scale: f32) -> String {
         degrade.baseline_frames,
         degrade.frames_saved,
         degrade_streams_json(&degrade.streams, "      "),
+        batch.frames,
+        batch.stereo_rounds,
+        batch.stereo_paired_rounds,
     )
 }
 

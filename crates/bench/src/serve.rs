@@ -648,6 +648,300 @@ pub fn measure_serve_degrade(
     }
 }
 
+// ---- cross-stream batched preprocessing ----
+
+/// Frames each stream renders in the batched-preprocessing comparison.
+pub const BATCH_FRAMES: usize = 1;
+
+/// FNV-1a over the raw bits of everything frame-relevant a stream emits:
+/// the sorted splat stream plus the preprocessing counters. This is the
+/// bit-exactness witness batching must preserve (`cull` is excluded by
+/// design: batched frames account their culling work in the shared
+/// [`vrpipe::BatchStats`], the one counter batching is allowed to move).
+fn batch_digest(f: &vrpipe::FrameInput<'_>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    };
+    for s in f.splats {
+        eat(s.center.x.to_bits() as u64 | (s.center.y.to_bits() as u64) << 32);
+        eat(s.depth.to_bits() as u64 | (s.conic.0.to_bits() as u64) << 32);
+        eat(s.conic.1.to_bits() as u64 | (s.conic.2.to_bits() as u64) << 32);
+        eat(s.color.x.to_bits() as u64 | (s.color.y.to_bits() as u64) << 32);
+        eat(s.color.z.to_bits() as u64 | (s.opacity.to_bits() as u64) << 32);
+        eat(s.source as u64);
+    }
+    eat(f.preprocess.input_gaussians as u64);
+    eat(f.preprocess.visible_splats as u64);
+    eat(f.preprocess.sorted_keys as u64);
+    eat(f.preprocess.total_obb_area.to_bits());
+    h
+}
+
+/// The k-th batched viewer: an axis-aligned −z flythrough whose camera
+/// basis is bit-identical across frames and across the fleet's
+/// power-of-two eye offsets — every stream is provably a pure
+/// translation of every other, so an M-stream server forms M-member
+/// rounds.
+fn batch_viewer_cfg(
+    scene: &gsplat::Scene,
+    k: usize,
+    frames: usize,
+    w: u32,
+    h: u32,
+) -> SequenceConfig {
+    let dx = 0.5 * (k % 4) as f32;
+    let dy = 0.25 * (k / 4) as f32;
+    let start = scene.center + gsplat::math::Vec3::new(dx, dy, scene.view_radius);
+    SequenceConfig::new(
+        CameraPath::flythrough(
+            start,
+            start + gsplat::math::Vec3::new(0.0, 0.0, -8.0),
+            0.25,
+            0.01,
+        ),
+        frames,
+        w,
+        h,
+    )
+    .with_index()
+}
+
+/// One stream-count configuration of the batched-vs-unbatched comparison.
+pub struct ServeBatchPoint {
+    /// Concurrent translation-bound streams served.
+    pub streams: usize,
+    /// Frames delivered across all streams.
+    pub total_frames: usize,
+    /// Wall time of the unbatched (exact per-stream) server, ms.
+    pub unbatched_wall_ms: f64,
+    /// Aggregate fps of the unbatched server.
+    pub unbatched_fps: f64,
+    /// Wall time of the batching server, ms.
+    pub batched_wall_ms: f64,
+    /// Aggregate fps of the batching server.
+    pub batched_fps: f64,
+    /// `unbatched_wall / batched_wall`.
+    pub speedup: f64,
+    /// Batched preprocessing wall per stream, ms.
+    pub preprocess_ms_per_stream: f64,
+    /// Frames served by ≥2-member rounds.
+    pub batched_frames: usize,
+    /// Frames that fell back to the exact solo path.
+    pub solo_frames: usize,
+    /// Fraction of dispatch rounds that fell back to solo.
+    pub fallback_ratio: f64,
+    /// Round-occupancy histogram: `occupancy[i]` rounds had `i + 1`
+    /// members. `Σ (i+1)·occupancy[i]` equals the preprocessed frames.
+    pub occupancy: Vec<usize>,
+}
+
+/// The `serve-batch` measurement: a translation-bound fleet served
+/// batched vs unbatched, parity-gated, plus the stereo eye-pair
+/// occupancy proof.
+pub struct ServeBatchMeasurement {
+    /// Frames per stream.
+    pub frames: usize,
+    /// One point per stream count in [`STREAM_COUNTS`].
+    pub points: Vec<ServeBatchPoint>,
+    /// Dispatch rounds of the lone stereo stream.
+    pub stereo_rounds: usize,
+    /// Rounds that carried both eyes (must equal `stereo_rounds`).
+    pub stereo_paired_rounds: usize,
+}
+
+/// Measures cross-stream batched preprocessing: one classification pass
+/// serving M translation-bound cameras vs the exact per-stream path.
+/// **Parity-gated**: every stream of a 4-stream batching server is
+/// asserted bit-exact against its solo session, and a stereo stream is
+/// asserted to pair both eyes on 100% of rounds, before any timing runs.
+/// Timing uses a 1-worker pool on both sides so the comparison isolates
+/// shared-vs-duplicated preprocessing work at a fixed core budget.
+pub fn measure_serve_batch(spec_index: usize, scale: f32, frames: usize) -> ServeBatchMeasurement {
+    let spec = &EVALUATED_SCENES[spec_index];
+    let scene = spec.generate_scaled(scale);
+    let (w, h) = spec.scaled_viewport(scale);
+
+    // The gate fleets hash every splat (`batch_digest`) so divergence is
+    // provable; the timing fleets use a length sink so the clock weighs
+    // the preprocessing under comparison, not the checksum.
+    let build = |scene: &gsplat::Scene,
+                 n: usize,
+                 batching: bool,
+                 workers: usize,
+                 vw: u32,
+                 vh: u32,
+                 render: fn(vrpipe::FrameInput) -> u64|
+     -> Server<u64> {
+        let mut server = Server::new(SharedScene::new(scene.clone()), workers);
+        if batching {
+            server = server.with_batching();
+        }
+        for k in 0..n {
+            let cfg = batch_viewer_cfg(server.shared().scene(), k, frames, vw, vh);
+            server.add_stream(StreamSpec::new(format!("viewer-{k}"), cfg, render));
+        }
+        server
+    };
+
+    // --- Parity gate: batched == solo, stream by stream, bit for bit,
+    // before anything is timed. ---
+    {
+        let mut server = build(&scene, 4, true, 0, w, h, |f| batch_digest(&f));
+        let report = server.run();
+        assert!(
+            report.batch.batched_frames > 0,
+            "{}: the translation-bound fleet must actually batch: {:?}",
+            spec.name,
+            report.batch
+        );
+        for (k, s) in report.streams.iter().enumerate() {
+            assert_eq!(s.phase, StreamPhase::Completed, "{}", s.name);
+            let cfg = batch_viewer_cfg(&scene, k, frames, w, h);
+            let solo = Session::default().run(&scene, &cfg, |f| batch_digest(&f));
+            assert_eq!(
+                s.frames, solo,
+                "{}: stream {k} batched frames diverged from its solo render",
+                spec.name
+            );
+        }
+    }
+
+    // --- Stereo eye pairing: both eyes ride one round on 100% of
+    // eligible frames, bit-exact with the solo session. An eye pair is
+    // two frames, so this gate needs a budget of at least two even when
+    // the timing sweep measures the single-frame cold join. ---
+    let (stereo_rounds, stereo_paired_rounds) = {
+        let stereo_frames = frames.max(2);
+        let start = scene.center + gsplat::math::Vec3::new(0.0, 0.0, scene.view_radius);
+        let cfg = SequenceConfig::new(
+            CameraPath::flythrough(
+                start,
+                start + gsplat::math::Vec3::new(0.0, 0.0, -8.0),
+                0.25,
+                0.01,
+            )
+            .stereo(0.065),
+            stereo_frames,
+            w,
+            h,
+        )
+        .with_index();
+        let mut server = Server::new(SharedScene::new(scene.clone()), 0).with_batching();
+        server.add_stream(StreamSpec::new("hmd", cfg.clone(), |f| batch_digest(&f)));
+        let report = server.run();
+        let solo = Session::default().run(&scene, &cfg, |f| batch_digest(&f));
+        assert_eq!(report.streams[0].frames, solo, "stereo parity");
+        let b = &report.batch;
+        assert_eq!(
+            b.batched_rounds, b.rounds,
+            "stereo eyes must pair on 100% of eligible frames: {b:?}"
+        );
+        assert_eq!(b.solo_frames, 0, "no stereo frame may fall back: {b:?}");
+        (b.rounds, b.batched_rounds)
+    };
+
+    // --- Timing: batched vs unbatched per stream count, 1 worker. A
+    // fresh server per rep keeps every stream's temporal state cold:
+    // this measures the serving scenario batching targets — M viewers
+    // join and the server preprocesses their frames, paying the
+    // classification pass and the WΣWᵀ projection once per round
+    // instead of once per stream. The timing scene is denser and the
+    // timing viewport halved so the comparison weighs the per-Gaussian
+    // preprocessing that batching shares rather than the per-pixel
+    // raster that it cannot, and so wall times clear the noise floor;
+    // the parity gates above run at the reported scale and viewport. ---
+    let tscene = spec.generate_scaled((scale * 2.0).min(0.12));
+    let (tw, th) = (w.div_ceil(2), h.div_ceil(2));
+    let reps = 5;
+    let points = STREAM_COUNTS
+        .iter()
+        .map(|&n| {
+            let time = |batching: bool| {
+                let mut best = f64::INFINITY;
+                let mut last = None;
+                for _ in 0..reps {
+                    let mut server =
+                        build(&tscene, n, batching, 1, tw, th, |f| f.splats.len() as u64);
+                    let t0 = Instant::now();
+                    let report = server.run();
+                    best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+                    last = Some(report);
+                }
+                (best, last.expect("at least one rep"))
+            };
+            let (unbatched_wall, _) = time(false);
+            let (batched_wall, report) = time(true);
+            let b = &report.batch;
+            assert_eq!(
+                b.dispatched_frames(),
+                n * frames,
+                "batch accounting must cover every frame"
+            );
+            ServeBatchPoint {
+                streams: n,
+                total_frames: report.total_frames,
+                unbatched_wall_ms: unbatched_wall,
+                unbatched_fps: (n * frames) as f64 / (unbatched_wall / 1e3).max(1e-12),
+                batched_wall_ms: batched_wall,
+                batched_fps: (n * frames) as f64 / (batched_wall / 1e3).max(1e-12),
+                speedup: unbatched_wall / batched_wall.max(1e-12),
+                preprocess_ms_per_stream: batched_wall / n as f64,
+                batched_frames: b.batched_frames,
+                solo_frames: b.solo_frames,
+                fallback_ratio: b.fallback_ratio(),
+                occupancy: b.occupancy.clone(),
+            }
+        })
+        .collect();
+
+    ServeBatchMeasurement {
+        frames,
+        points,
+        stereo_rounds,
+        stereo_paired_rounds,
+    }
+}
+
+/// The `serve-batch` experiment (also reachable as `figures serve
+/// --batch`): cross-stream batched preprocessing — one widened
+/// classification pass and one covariance replay serving every
+/// translation-bound camera of a round, parity-gated before timing.
+pub fn serve_batch() {
+    banner(
+        "serve-batch",
+        "cross-stream batched preprocessing (one classification pass, M cameras)",
+    );
+    let scale = default_scale().min(0.06);
+    let m = measure_serve_batch(2, scale, BATCH_FRAMES);
+    println!(
+        "translation-bound fleet, {} frames/stream, batched vs exact per-stream (1 worker):",
+        m.frames
+    );
+    println!(
+        "  {:>8} {:>12} {:>12} {:>8} {:>14} {:>10} {:>12}",
+        "streams", "solo-fps", "batch-fps", "speedup", "ms/stream", "fallback", "occupancy"
+    );
+    for p in &m.points {
+        println!(
+            "  {:>8} {:>12.1} {:>12.1} {:>7.2}x {:>14.3} {:>10.3} {:>12}",
+            p.streams,
+            p.unbatched_fps,
+            p.batched_fps,
+            p.speedup,
+            p.preprocess_ms_per_stream,
+            p.fallback_ratio,
+            format!("{:?}", p.occupancy),
+        );
+    }
+    println!(
+        "  stereo: {}/{} rounds carried both eyes (100% required)",
+        m.stereo_paired_rounds, m.stereo_rounds
+    );
+    println!("  parity gate passed: every batched frame bit-exact with its solo session");
+}
+
 /// The `serve` experiment: aggregate throughput vs concurrent stream
 /// count over one shared scene, parity-gated.
 pub fn serve() {

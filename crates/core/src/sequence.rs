@@ -26,12 +26,14 @@ use std::sync::{Arc, OnceLock};
 use gpu_sim::config::GpuConfig;
 use gpu_sim::stats::PipelineStats;
 use gpu_sim::tiles::Tiling;
+use gsplat::batch::BatchCullState;
 use gsplat::camera::{Camera, CameraPath};
 use gsplat::framebuffer::{ColorBuffer, DepthStencilBuffer};
 use gsplat::index::{cloud_fingerprint, CullState, CullStats, SceneIndex};
 use gsplat::preprocess::{
-    preprocess_into_clamped, preprocess_into_indexed_clamped, preprocess_into_temporal_clamped,
-    PreprocessScratch, PreprocessStats,
+    preprocess_into_clamped, preprocess_into_indexed_batched_clamped,
+    preprocess_into_indexed_clamped, preprocess_into_temporal_clamped, PreprocessScratch,
+    PreprocessStats,
 };
 use gsplat::scene::Scene;
 use gsplat::sort::ResortStats;
@@ -216,6 +218,10 @@ pub struct Session {
     /// session, never shared: per-frame classification and the
     /// epoch-tagged covariance cache follow *this* stream's camera.
     cull: CullState,
+    /// Batch state for [`Session::render_stereo_pair`]: the two eyes of a
+    /// stereo pair are guaranteed to share the translation bound, so they
+    /// share one classification pass and one covariance cache per pair.
+    pair_batch: BatchCullState,
     /// Simulated-pipeline draw scratch, reused across frames and
     /// [`Session::run_vrpipe`] calls.
     draw: DrawScratch,
@@ -258,6 +264,14 @@ impl Session {
         self.cull.stats()
     }
 
+    /// Counters of the stereo-pair batch rounds run so far through
+    /// [`Session::render_stereo_pair`] (all zero until a pair actually
+    /// batched; solo-path fallbacks accumulate into [`Session::cull_stats`]
+    /// instead).
+    pub fn pair_batch_stats(&self) -> CullStats {
+        self.pair_batch.stats()
+    }
+
     /// Forgets the temporal warm start: the sorter's warm-start order and
     /// the [`CullState`]'s classification history / covariance-cache
     /// epochs. Call on a scene or camera cut — and after any run that did
@@ -268,6 +282,7 @@ impl Session {
     pub fn invalidate_temporal(&mut self) {
         self.pre.invalidate_temporal();
         self.cull.invalidate();
+        self.pair_batch.invalidate();
     }
 
     /// Drops the cached spatial index (call when the scene's Gaussians
@@ -276,6 +291,7 @@ impl Session {
     pub fn invalidate_index(&mut self) {
         self.index = None;
         self.cull = CullState::default();
+        self.pair_batch = BatchCullState::default();
     }
 
     /// The spatial index this session currently holds — its own or a
@@ -350,42 +366,106 @@ impl Session {
         index: usize,
         render: impl FnOnce(FrameInput<'_>) -> R,
     ) -> R {
+        self.render_frame_inner(scene, cfg, index, None, render)
+    }
+
+    /// [`Session::render_frame`] as one member of a cross-stream batch:
+    /// preprocessing replays `batch`'s shared classification pass and
+    /// covariance cache instead of this session's own [`CullState`]. The
+    /// caller owns the round protocol — `batch.begin_round` must have run
+    /// over a camera group this frame's camera belongs to (the
+    /// [`crate::serve`] scheduler and [`Session::render_stereo_pair`] do
+    /// this). Emitted frames are bit-exact with the solo
+    /// [`Session::render_frame`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.indexed` is unset, no index was prepared, or the
+    /// camera falls outside the batch round (see
+    /// [`gsplat::preprocess::preprocess_into_indexed_batched`]).
+    // vrlint: hot
+    pub fn render_frame_batched<R>(
+        &mut self,
+        scene: &Scene,
+        cfg: &SequenceConfig,
+        index: usize,
+        batch: &mut BatchCullState,
+        render: impl FnOnce(FrameInput<'_>) -> R,
+    ) -> R {
+        assert!(
+            cfg.indexed,
+            "batched render requires an indexed sequence config"
+        );
+        self.render_frame_inner(scene, cfg, index, Some(batch), render)
+    }
+
+    // vrlint: hot
+    fn render_frame_inner<R>(
+        &mut self,
+        scene: &Scene,
+        cfg: &SequenceConfig,
+        index: usize,
+        batch: Option<&mut BatchCullState>,
+        render: impl FnOnce(FrameInput<'_>) -> R,
+    ) -> R {
         let camera = cfg
             .path
             .camera(index, cfg.frames, cfg.width, cfg.height, cfg.fov_y);
-        let cull_before = self.cull.stats();
-        let preprocess = if cfg.indexed {
-            preprocess_into_indexed_clamped(
-                scene,
-                &camera,
-                self.policy,
-                self.index
-                    .as_ref()
-                    // vrlint: allow(VL01, reason = "documented precondition: prepare()/prepare_shared() builds the index before any indexed frame")
-                    .expect("indexed sequence: call prepare()/prepare_shared() first"),
-                &mut self.cull,
-                &mut self.pre,
-                &mut self.splats,
-                cfg.max_sh_degree,
-            )
-        } else if cfg.temporal {
-            preprocess_into_temporal_clamped(
-                scene,
-                &camera,
-                self.policy,
-                &mut self.pre,
-                &mut self.splats,
-                cfg.max_sh_degree,
-            )
-        } else {
-            preprocess_into_clamped(
-                scene,
-                &camera,
-                self.policy,
-                &mut self.pre,
-                &mut self.splats,
-                cfg.max_sh_degree,
-            )
+        let (preprocess, cull) = match batch {
+            Some(batch) => {
+                let before = batch.stats();
+                let preprocess = preprocess_into_indexed_batched_clamped(
+                    scene,
+                    &camera,
+                    self.policy,
+                    self.index
+                        .as_ref()
+                        // vrlint: allow(VL01, reason = "documented precondition: prepare()/prepare_shared() builds the index before any indexed frame")
+                        .expect("indexed sequence: call prepare()/prepare_shared() first"),
+                    batch,
+                    &mut self.pre,
+                    &mut self.splats,
+                    cfg.max_sh_degree,
+                );
+                (preprocess, batch.stats().delta_since(&before))
+            }
+            None => {
+                let cull_before = self.cull.stats();
+                let preprocess = if cfg.indexed {
+                    preprocess_into_indexed_clamped(
+                        scene,
+                        &camera,
+                        self.policy,
+                        self.index
+                            .as_ref()
+                            // vrlint: allow(VL01, reason = "documented precondition: prepare()/prepare_shared() builds the index before any indexed frame")
+                            .expect("indexed sequence: call prepare()/prepare_shared() first"),
+                        &mut self.cull,
+                        &mut self.pre,
+                        &mut self.splats,
+                        cfg.max_sh_degree,
+                    )
+                } else if cfg.temporal {
+                    preprocess_into_temporal_clamped(
+                        scene,
+                        &camera,
+                        self.policy,
+                        &mut self.pre,
+                        &mut self.splats,
+                        cfg.max_sh_degree,
+                    )
+                } else {
+                    preprocess_into_clamped(
+                        scene,
+                        &camera,
+                        self.policy,
+                        &mut self.pre,
+                        &mut self.splats,
+                        cfg.max_sh_degree,
+                    )
+                };
+                (preprocess, self.cull.stats().delta_since(&cull_before))
+            }
         };
         if self.build_stream {
             self.stream.rebuild_from(&self.splats);
@@ -398,7 +478,7 @@ impl Session {
             splats: &self.splats,
             stream: &self.stream,
             preprocess,
-            cull: self.cull.stats().delta_since(&cull_before),
+            cull,
         })
     }
 
@@ -431,6 +511,85 @@ impl Session {
         index: usize,
         gpu: &GpuConfig,
         variant: PipelineVariant,
+    ) -> Result<SequenceFrameRecord, DrawError> {
+        self.render_frame_vrpipe_inner(scene, cfg, index, gpu, variant, None)
+    }
+
+    /// [`Session::render_frame_vrpipe`] as one member of a cross-stream
+    /// batch — the hardware-pipeline counterpart of
+    /// [`Session::render_frame_batched`], with the same round protocol and
+    /// bit-exactness guarantee.
+    // vrlint: hot
+    pub fn render_frame_vrpipe_batched(
+        &mut self,
+        scene: &Scene,
+        cfg: &SequenceConfig,
+        index: usize,
+        gpu: &GpuConfig,
+        variant: PipelineVariant,
+        batch: &mut BatchCullState,
+    ) -> Result<SequenceFrameRecord, DrawError> {
+        assert!(
+            cfg.indexed,
+            "batched render requires an indexed sequence config"
+        );
+        self.render_frame_vrpipe_inner(scene, cfg, index, gpu, variant, Some(batch))
+    }
+
+    /// Renders stereo pair `pair` — frames `2*pair` (left eye) and
+    /// `2*pair + 1` (right eye) — through the simulated hardware pipeline.
+    /// On an indexed stereo sequence the two eyes provably share the
+    /// translation bound ([`Camera::is_translation_of`]), so the pair runs
+    /// as a two-member batch: one cell-classification pass and one
+    /// covariance-cache replay serve both eyes through the session's
+    /// [`BatchCullState`]. When the bound does not hold (or the sequence is
+    /// not indexed) both eyes take the exact solo path instead — either
+    /// way, every returned frame is bit-exact with
+    /// [`Session::render_frame_vrpipe`] on the same frame index.
+    pub fn render_stereo_pair(
+        &mut self,
+        scene: &Scene,
+        cfg: &SequenceConfig,
+        pair: usize,
+        gpu: &GpuConfig,
+        variant: PipelineVariant,
+    ) -> Result<(SequenceFrameRecord, SequenceFrameRecord), DrawError> {
+        let (l, r) = (2 * pair, 2 * pair + 1);
+        let left = cfg
+            .path
+            .camera(l, cfg.frames, cfg.width, cfg.height, cfg.fov_y);
+        let right = cfg
+            .path
+            .camera(r, cfg.frames, cfg.width, cfg.height, cfg.fov_y);
+        let index = match self.index.as_ref() {
+            Some(index) if cfg.indexed && right.is_translation_of(&left) => Arc::clone(index),
+            _ => {
+                // Unprovable delta (or unindexed config): exact solo path
+                // for both eyes.
+                let a = self.render_frame_vrpipe(scene, cfg, l, gpu, variant)?;
+                let b = self.render_frame_vrpipe(scene, cfg, r, gpu, variant)?;
+                return Ok((a, b));
+            }
+        };
+        // Take the batch state out so the frame calls can borrow `self`
+        // mutably; restored below even when a frame errors.
+        let mut batch = std::mem::take(&mut self.pair_batch);
+        batch.begin_round(&index, &[left, right]);
+        let a = self.render_frame_vrpipe_inner(scene, cfg, l, gpu, variant, Some(&mut batch));
+        let b = self.render_frame_vrpipe_inner(scene, cfg, r, gpu, variant, Some(&mut batch));
+        self.pair_batch = batch;
+        Ok((a?, b?))
+    }
+
+    // vrlint: hot
+    fn render_frame_vrpipe_inner(
+        &mut self,
+        scene: &Scene,
+        cfg: &SequenceConfig,
+        index: usize,
+        gpu: &GpuConfig,
+        variant: PipelineVariant,
+        batch: Option<&mut BatchCullState>,
     ) -> Result<SequenceFrameRecord, DrawError> {
         gpu.validate().map_err(DrawError::InvalidConfig)?;
         // Take the session-owned backend state out so the frame closure
@@ -472,7 +631,7 @@ impl Session {
                 tiles
             }
         };
-        let record = self.render_frame(scene, cfg, index, |f| {
+        let record = self.render_frame_inner(scene, cfg, index, batch, |f| {
             let stats =
                 try_draw_in_place(f.splats, gpu, variant, &mut color, &mut ds, &mut scratch)?;
             let retired_tile_ratio = if tiles > 0.0 {
@@ -882,6 +1041,70 @@ mod tests {
         // every pair is a pure translation of the left: cache hits happen
         // even though the orbit rotates between pairs.
         assert!(indexed.cull_stats().gaussians_refreshed > 0);
+    }
+
+    /// Tentpole seam: [`Session::render_stereo_pair`] must batch every
+    /// eligible pair (one classification pass + one covariance replay for
+    /// both eyes) and stay bit-exact with rendering each frame solo.
+    #[test]
+    fn stereo_pair_batches_and_matches_solo_frames() {
+        let scene = EVALUATED_SCENES[4].generate_scaled(0.03);
+        // Axis-aligned -z flythrough: the stereo offset lands exactly on
+        // the x axis, so both eyes share a bit-identical view rotation on
+        // every frame — all pairs are provably batchable.
+        let start = scene.center + Vec3::new(0.0, 0.5, scene.view_radius);
+        let path = CameraPath::flythrough(start, start + Vec3::new(0.0, 0.0, -8.0), 0.25, 0.01)
+            .stereo(0.065);
+        let cfg = SequenceConfig::new(path, 8, 96, 72).with_index();
+        let gpu = GpuConfig::default();
+        let mut solo = Session::default();
+        let mut paired = Session::default();
+        solo.prepare(&scene, &cfg);
+        paired.prepare(&scene, &cfg);
+        let rf: Vec<_> = (0..cfg.frames)
+            .map(|i| {
+                solo.render_frame_vrpipe(&scene, &cfg, i, &gpu, PipelineVariant::HetQm)
+                    .unwrap()
+            })
+            .collect();
+        for pair in 0..cfg.frames / 2 {
+            let (a, b) = paired
+                .render_stereo_pair(&scene, &cfg, pair, &gpu, PipelineVariant::HetQm)
+                .unwrap();
+            for (got, want) in [(&a, &rf[2 * pair]), (&b, &rf[2 * pair + 1])] {
+                assert_eq!(got.index, want.index);
+                assert_eq!(got.stats, want.stats, "frame {}", want.index);
+                assert_eq!(got.preprocess, want.preprocess, "frame {}", want.index);
+            }
+        }
+        // Every pair took the batched path: the pair batch saw all 8
+        // frames, and the per-stream solo cull state saw none.
+        let ps = paired.pair_batch_stats();
+        assert_eq!(ps.frames, cfg.frames as u64);
+        assert_eq!(paired.cull_stats().frames, 0);
+        // Batching must actually share covariance work: with one
+        // classification round per pair, the second eye replays the
+        // first eye's cache.
+        assert!(
+            ps.gaussians_refreshed > 0,
+            "no covariance replay across the pair: {ps:?}"
+        );
+        // A rotating path falls back to the exact solo path per eye.
+        let orbit = SequenceConfig::new(
+            CameraPath::orbit(scene.center, scene.view_radius, 1.2, 0.3),
+            8,
+            96,
+            72,
+        )
+        .with_index();
+        let mut fallback = Session::default();
+        fallback.prepare(&scene, &orbit);
+        let (a, b) = fallback
+            .render_stereo_pair(&scene, &orbit, 1, &gpu, PipelineVariant::HetQm)
+            .unwrap();
+        assert_eq!((a.index, b.index), (2, 3));
+        assert_eq!(fallback.pair_batch_stats().frames, 0);
+        assert_eq!(fallback.cull_stats().frames, 2);
     }
 
     #[test]

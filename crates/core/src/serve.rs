@@ -85,6 +85,32 @@
 //! recognised as a no-op: the existing allocations (and every session's
 //! warm state) are kept, so frames remain bit-exact across the swap.
 //!
+//! **Cross-stream batched preprocessing** (opt-in,
+//! [`Server::with_batching`]). Viewers of one shared world are often
+//! pure translations of each other — stereo eye pairs by construction,
+//! co-moving spectators by choice. When batching is enabled the
+//! scheduler groups ready frames by translation-bound camera key before
+//! dispatch: the picked leader's [`Camera::group_key`] filters
+//! candidates in O(M), [`Camera::is_translation_of`] confirms each
+//! member bit-for-bit, and stereo eye pairs always batch (an even-frame
+//! stereo stream contributes both eyes to one round). A ≥2-member round
+//! runs as **one** pool task over one shared
+//! [`BatchCullState`]: one widened cell-classification pass and one
+//! cached `W·Σ·Wᵀ` replay serve every member, then each member renders
+//! its own frame through [`Session::render_frame_batched`] /
+//! [`Session::render_frame_vrpipe_batched`] with its own fault seam,
+//! retry loop, panic containment and completion message. Emitted splat
+//! streams are pure functions of per-Gaussian outcomes — widened
+//! verdicts only migrate toward `Boundary`, never flip emission — so
+//! every batched frame is bit-exact with its solo session, and a
+//! faulting member never perturbs its batch-mates' bits (a partial
+//! covariance-cache write is a pure function of the leader orientation,
+//! identical no matter which member computed it). Unprovable deltas
+//! (and non-indexed streams) fall back to the exact per-stream dispatch
+//! path. [`ServeReport::batch`] records the round/occupancy accounting.
+//!
+//! [`Camera::group_key`]: gsplat::camera::Camera::group_key
+//! [`Camera::is_translation_of`]: gsplat::camera::Camera::is_translation_of
 //! [`CameraPath`]: gsplat::camera::CameraPath
 //! [`SceneIndex`]: gsplat::index::SceneIndex
 
@@ -100,6 +126,8 @@ use std::time::{Duration, Instant};
 use gsplat::asset::{self, AssetError, LoadPolicy};
 
 use gpu_sim::config::GpuConfig;
+use gsplat::batch::BatchCullState;
+use gsplat::camera::{Camera, CameraPath};
 use gsplat::index::CullStats;
 use gsplat::par::{panic_message, WorkerPool};
 use gsplat::sort::ResortStats;
@@ -574,6 +602,12 @@ struct StreamState<R> {
 struct Sched<R> {
     phase: StreamPhase,
     busy: bool,
+    /// Frames of this stream currently in flight (0 or 1 on the solo
+    /// path; a stereo self-pair dispatches 2). `busy` is maintained as
+    /// `in_flight_frames > 0`.
+    in_flight_frames: usize,
+    /// Frames of this stream delivered by ≥2-member batch rounds.
+    frames_batched: usize,
     /// Next frame index to start (dispatch and drop both advance it).
     cursor: usize,
     /// `(frame, output)` in completion order (= frame order: one in
@@ -616,6 +650,8 @@ impl<R> Default for Sched<R> {
         Self {
             phase: StreamPhase::Admitted,
             busy: false,
+            in_flight_frames: 0,
+            frames_batched: 0,
             cursor: 0,
             outputs: Vec::new(),
             dropped: Vec::new(),
@@ -661,6 +697,12 @@ struct StreamEntry<R> {
     /// The session's temporal state must be invalidated before the next
     /// run (set when a run ends in a non-`Completed` phase).
     needs_reset: bool,
+    /// Scheduler-side clone of the per-rung derived configurations
+    /// (always non-empty; index 0 is the base). Batch formation computes
+    /// candidate cameras from these without touching the stream's mutex
+    /// — the expression is the one [`Session::render_frame_batched`]
+    /// evaluates, so the bits match and membership proofs hold.
+    cam_cfgs: Vec<SequenceConfig>,
     /// Session-lifetime counter baseline at the start of the current run.
     baseline: (ResortStats, CullStats),
     /// The server scene epoch this stream's session is bound to; when it
@@ -726,6 +768,8 @@ enum Msg<R> {
         rung: u8,
         latency_ms: f64,
         retries: u32,
+        /// `true` when the frame was served by a ≥2-member batch round.
+        batched: bool,
         result: Result<R, StreamFault>,
     },
     Cmd(Command<R>),
@@ -858,6 +902,10 @@ pub struct StreamReport<R> {
     /// Step-downs forced by the server-level brownout detector (also
     /// counted in `rung_steps_down`).
     pub brownout_steps: usize,
+    /// Produced frames that were served by ≥2-member batch rounds
+    /// (0 unless [`Server::with_batching`] is on and the stream's
+    /// cameras proved translation-bound with a batch-mate).
+    pub frames_batched: usize,
 }
 
 impl<R> StreamReport<R> {
@@ -894,6 +942,58 @@ pub struct ServeReport<R> {
     pub reloads: Vec<Result<ReloadOutcome, AssetError>>,
     /// The scene epoch at the end of the run.
     pub scene_epoch: u64,
+    /// Batched-preprocessing accounting for the run (all zero when
+    /// [`Server::with_batching`] is off).
+    pub batch: BatchStats,
+}
+
+/// Batch-round accounting of one [`Server::run`] under
+/// [`Server::with_batching`]. A *round* is one dispatch by a
+/// batch-eligible leader (an indexed stream on a batching server);
+/// rounds that found no provable batch-mate fall back to the exact solo
+/// dispatch path and are counted in `solo_frames`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batch-eligible dispatch rounds (batched + fallen-back).
+    pub rounds: usize,
+    /// Rounds that dispatched ≥2 members as one widened pass.
+    pub batched_rounds: usize,
+    /// Frames dispatched by ≥2-member rounds.
+    pub batched_frames: usize,
+    /// Frames dispatched solo by eligible leaders that found no
+    /// provable batch-mate (the fallback path).
+    pub solo_frames: usize,
+    /// Occupancy histogram: `occupancy[i]` counts rounds that
+    /// dispatched `i + 1` member frames. The schema invariant
+    /// `Σ (i+1)·occupancy[i] == batched_frames + solo_frames` always
+    /// holds (the bench report gates on it).
+    pub occupancy: Vec<usize>,
+}
+
+impl BatchStats {
+    /// Fraction of eligible rounds that fell back to the solo path
+    /// (0.0 when no eligible round was dispatched).
+    pub fn fallback_ratio(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            (self.rounds - self.batched_rounds) as f64 / self.rounds as f64
+        }
+    }
+
+    /// Frames dispatched through eligible rounds, batched or not.
+    pub fn dispatched_frames(&self) -> usize {
+        self.batched_frames + self.solo_frames
+    }
+
+    /// Mean members per batch-eligible round (1.0 = nothing batched).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.dispatched_frames() as f64 / self.rounds as f64
+        }
+    }
 }
 
 impl<R> ServeReport<R> {
@@ -988,6 +1088,17 @@ pub struct Server<R> {
     /// Server-level brownout threshold, ms of aggregate lateness
     /// (`None` = detector off).
     brownout_ms: Option<f64>,
+    /// Cross-stream batched preprocessing ([`Server::with_batching`]).
+    batching: bool,
+    /// One persistent [`BatchCullState`] per camera group key, so the
+    /// cross-round covariance replay survives between rounds and runs
+    /// (the leader orientation per key is constant). A `Vec` scan, not a
+    /// hash map: lookups are per dispatch round, fleets are small, and
+    /// iteration stays deterministic.
+    batches: Vec<(u64, Arc<Mutex<BatchCullState>>)>,
+    /// Batch-round accounting for the current run (drained into the
+    /// report).
+    batch: BatchStats,
     streams: Vec<StreamEntry<R>>,
     /// Bumped on every successful reload; streams trailing it re-bind at
     /// their next dispatch.
@@ -1035,6 +1146,9 @@ impl<R: Send + 'static> Server<R> {
             capacity: None,
             watchdog_k: 4.0,
             brownout_ms: None,
+            batching: false,
+            batches: Vec::new(),
+            batch: BatchStats::default(),
             streams: Vec::new(),
             scene_epoch: 0,
             reloads: Vec::new(),
@@ -1066,6 +1180,26 @@ impl<R: Send + 'static> Server<R> {
     /// without a deadline are never watchdogged.
     pub fn with_watchdog(mut self, k: f64) -> Self {
         self.watchdog_k = k.max(1.0);
+        self
+    }
+
+    /// Enables cross-stream batched preprocessing: before dispatching a
+    /// ready indexed frame, the scheduler gathers every other ready
+    /// indexed frame whose camera is provably a pure translation of it
+    /// ([`Camera::is_translation_of`], pre-filtered in O(M) by
+    /// [`Camera::group_key`]) — stereo eye pairs always batch — and runs
+    /// the whole group as one widened classification pass plus one
+    /// covariance replay. Every batched frame stays bit-exact with its
+    /// solo session; frames whose deltas are not provable fall back to
+    /// the exact per-stream path. Off by default because batched frames
+    /// account their culling work in [`ServeReport::batch`] (one shared
+    /// pass has no meaningful per-stream attribution), so per-stream
+    /// [`StreamReport::cull`] counters read zero for them.
+    ///
+    /// [`Camera::group_key`]: gsplat::camera::Camera::group_key
+    /// [`Camera::is_translation_of`]: gsplat::camera::Camera::is_translation_of
+    pub fn with_batching(mut self) -> Self {
+        self.batching = true;
         self
     }
 
@@ -1278,6 +1412,14 @@ impl<R: Send + 'static> Server<R> {
         let rung_cfgs = spec.ladder.derive_all(&spec.cfg);
         let rung_kernels = spec.ladder.kernels();
         let cost_scales = spec.ladder.cost_scales(&spec.cfg);
+        // The scheduler-side camera-config mirror: rung_cfgs when the
+        // ladder has rungs, else the base config — exactly what the
+        // frame task resolves, so formation-time cameras match the bits
+        // the render computes.
+        let mut cam_cfgs = rung_cfgs.clone();
+        if cam_cfgs.is_empty() {
+            cam_cfgs.push(spec.cfg.clone());
+        }
         self.streams.push(StreamEntry {
             id,
             name: spec.name,
@@ -1291,6 +1433,7 @@ impl<R: Send + 'static> Server<R> {
             priority: spec.priority,
             detached: false,
             needs_reset: false,
+            cam_cfgs,
             baseline,
             scene_epoch: self.scene_epoch,
             sched: Sched::default(),
@@ -1379,6 +1522,9 @@ impl<R: Send + 'static> Server<R> {
         let mut stray = 0usize;
         self.pump(&mut stray);
         debug_assert_eq!(stray, 0, "no live dispatches outside run()");
+        // Fresh per-run batch accounting; `self.batches` (the cull/
+        // covariance state itself) persists so replay spans runs.
+        self.batch = BatchStats::default();
         for e in &mut self.streams {
             if e.needs_reset {
                 // Blocking lock: a zombie from the previous run may still
@@ -1448,14 +1594,363 @@ impl<R: Send + 'static> Server<R> {
         }
     }
 
-    /// Fills the pool with ready frames.
+    /// Fills the pool with ready frames: batch rounds when batching is
+    /// on and membership is provable, the exact solo path otherwise.
     fn dispatch_ready(&mut self, in_flight: &mut usize, workers: usize) {
         while *in_flight < workers {
             let Some(k) = self.pick() else { break };
+            if self.batching && self.streams[k].indexed {
+                let members = self.form_batch(k);
+                let m = members.len();
+                self.batch.rounds += 1;
+                if self.batch.occupancy.len() < m {
+                    self.batch.occupancy.resize(m, 0);
+                }
+                self.batch.occupancy[m - 1] += 1;
+                if m >= 2 {
+                    self.batch.batched_rounds += 1;
+                    self.batch.batched_frames += m;
+                    self.dispatch_batch(members, in_flight);
+                    continue;
+                }
+                // No provable batch-mate: fall back to the exact
+                // per-stream path (per-stream CullState, per-stream cull
+                // accounting) — the fallback the bit-exactness argument
+                // demands for unprovable deltas.
+                self.batch.solo_frames += 1;
+            }
+            self.dispatch_solo(k, in_flight);
+        }
+    }
+
+    /// The camera stream `k` renders frame `frame` with at its current
+    /// rung, computed lock-free from the scheduler-side config mirror —
+    /// the exact expression the frame task evaluates, so formation-time
+    /// membership proofs hold bit-for-bit at render time.
+    fn stream_camera(&self, k: usize, frame: usize) -> Option<Camera> {
+        let e = &self.streams[k];
+        let rung = e.sched.rung.min(e.rung_count.saturating_sub(1));
+        let cfg = e.cam_cfgs.get(rung).or_else(|| e.cam_cfgs.first())?;
+        Some(
+            cfg.path
+                .camera(frame, cfg.frames, cfg.width, cfg.height, cfg.fov_y),
+        )
+    }
+
+    /// Collects the batch round led by stream `k`'s next frame: the
+    /// leader, its stereo sibling (eye pairs always batch), and every
+    /// other ready indexed frame provably a pure translation of the
+    /// leader — the leader's [`Camera::group_key`] filters candidates in
+    /// O(M), [`Camera::is_translation_of`] confirms each bit-for-bit.
+    /// Returned `(stream index, frame)` pairs keep each stream's frames
+    /// in frame order.
+    ///
+    /// [`Camera::group_key`]: gsplat::camera::Camera::group_key
+    /// [`Camera::is_translation_of`]: gsplat::camera::Camera::is_translation_of
+    fn form_batch(&self, k: usize) -> Vec<(usize, usize)> {
+        let lead_frame = self.streams[k].sched.cursor;
+        let mut members = vec![(k, lead_frame)];
+        let Some(leader) = self.stream_camera(k, lead_frame) else {
+            return members;
+        };
+        let key = leader.group_key();
+        self.push_stereo_sibling(k, lead_frame, &leader, &mut members);
+        for j in 0..self.streams.len() {
+            if j == k {
+                continue;
+            }
+            let o = &self.streams[j];
+            let ready = matches!(o.sched.phase, StreamPhase::Running)
+                && !o.sched.busy
+                && o.sched.cursor < o.budget
+                && o.indexed;
+            if !ready {
+                continue;
+            }
+            let Some(cam) = self.stream_camera(j, o.sched.cursor) else {
+                continue;
+            };
+            if cam.group_key() == key && cam.is_translation_of(&leader) {
+                members.push((j, o.sched.cursor));
+                self.push_stereo_sibling(j, o.sched.cursor, &leader, &mut members);
+            }
+        }
+        members
+    }
+
+    /// Stereo eye pairs always batch: when stream `j`'s `frame` is the
+    /// even (left) eye of a [`CameraPath::Stereo`] sequence and the odd
+    /// (right) eye is provably a pure translation of the round leader,
+    /// the sibling frame joins the same round.
+    fn push_stereo_sibling(
+        &self,
+        j: usize,
+        frame: usize,
+        leader: &Camera,
+        members: &mut Vec<(usize, usize)>,
+    ) {
+        let e = &self.streams[j];
+        let rung = e.sched.rung.min(e.rung_count.saturating_sub(1));
+        let stereo = e
+            .cam_cfgs
+            .get(rung)
+            .or_else(|| e.cam_cfgs.first())
+            .is_some_and(|cfg| matches!(cfg.path, CameraPath::Stereo { .. }));
+        if !stereo || !frame.is_multiple_of(2) || frame + 1 >= e.budget {
+            return;
+        }
+        if let Some(sibling) = self.stream_camera(j, frame + 1) {
+            if sibling.is_translation_of(leader) {
+                members.push((j, frame + 1));
+            }
+        }
+    }
+
+    /// Dispatches one ≥2-member round as a single pool task: one widened
+    /// classification pass plus one covariance replay in the round's
+    /// persistent [`BatchCullState`] serves every member, then each
+    /// member frame renders through its own fault seam, retry loop and
+    /// panic containment and sends its own completion — a faulting
+    /// member fails only its own stream.
+    fn dispatch_batch(&mut self, members: Vec<(usize, usize)>, in_flight: &mut usize) {
+        let now = Instant::now();
+        // One persistent batch state per camera group key: the leader
+        // orientation per key is constant, so the covariance cache
+        // replays across rounds and across runs.
+        let key = match members.first().and_then(|&(k, f)| self.stream_camera(k, f)) {
+            Some(cam) => cam.group_key(),
+            None => return, // unreachable: formation proved the leader
+        };
+        let batch_state = match self.batches.iter().find(|(k, _)| *k == key) {
+            Some((_, s)) => Arc::clone(s),
+            None => {
+                let s = Arc::new(Mutex::new(BatchCullState::default()));
+                self.batches.push((key, Arc::clone(&s)));
+                s
+            }
+        };
+        let mut tasks: Vec<BatchMember<R>> = Vec::with_capacity(members.len());
+        for &(k, frame) in &members {
+            let e = &mut self.streams[k];
+            e.sched.cursor = frame + 1;
+            e.sched.busy = true;
+            e.sched.in_flight_frames += 1;
+            e.sched.dispatched_at = Some(now);
+            *in_flight += 1;
+            e.sched.rung = e.sched.rung.min(e.rung_count.saturating_sub(1));
+            // Scene-epoch fence, latched on the stream's first member of
+            // the round.
+            let rebind = e.scene_epoch != self.scene_epoch;
+            e.scene_epoch = self.scene_epoch;
+            tasks.push(BatchMember {
+                id: e.id,
+                frame,
+                rung: e.sched.rung as u8,
+                generation: e.sched.generation,
+                rebind,
+                state: Arc::clone(&e.state),
+            });
+        }
+        let shared = Arc::clone(&self.shared);
+        let tx = self.tx.clone();
+        self.pool.submit(move || {
+            // One Complete guard per member, created before anything can
+            // fail: exactly one Done per dispatched frame even if this
+            // task aborts. The Vec drops front-to-back, so completions
+            // arrive in frame order per stream.
+            let mut completes: Vec<Complete<R>> = tasks
+                .iter()
+                .map(|m| Complete {
+                    tx: tx.clone(),
+                    id: m.id,
+                    generation: m.generation,
+                    frame: m.frame,
+                    rung: m.rung,
+                    batched: true,
+                    msg: None,
+                })
+                .collect();
+            let t0 = Instant::now();
+            // Lock every distinct member stream in ascending stream-id
+            // order — a total order shared by every batch task, so
+            // concurrent rounds cannot deadlock (they cannot overlap in
+            // streams anyway: a member is !busy at formation and busy
+            // from dispatch to its last completion).
+            let mut order: Vec<usize> = Vec::new();
+            for (i, m) in tasks.iter().enumerate() {
+                if !order.iter().any(|&o| tasks[o].id == m.id) {
+                    order.push(i);
+                }
+            }
+            order.sort_by_key(|&o| tasks[o].id);
+            let guard_of: Vec<usize> = tasks
+                .iter()
+                .map(|m| order.iter().position(|&o| tasks[o].id == m.id).unwrap_or(0))
+                .collect();
+            let mut guards: Vec<_> = order.iter().map(|&o| lock_state(&tasks[o].state)).collect();
+            // Re-bind streams trailing a scene reload before anything of
+            // theirs renders (temporal invalidation + index adoption),
+            // exactly as the solo path does inside its own lock.
+            for (i, m) in tasks.iter().enumerate() {
+                if m.rebind {
+                    let st = &mut *guards[guard_of[i]];
+                    st.session.invalidate_temporal();
+                    st.session.attach_index(Arc::clone(shared.index()));
+                }
+            }
+            // Member cameras, bit-identical to what each render will
+            // compute (same config, same expression, same inputs).
+            let cameras: Vec<Camera> = tasks
+                .iter()
+                .enumerate()
+                .map(|(i, m)| {
+                    let st = &*guards[guard_of[i]];
+                    let cfg = st.rung_cfgs.get(m.rung as usize).unwrap_or(&st.cfg);
+                    cfg.path
+                        .camera(m.frame, cfg.frames, cfg.width, cfg.height, cfg.fov_y)
+                })
+                .collect();
+            // The batch lock ranks after every stream-state lock in the
+            // declared order and is always acquired last.
+            let mut batch_guard = match batch_state.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let round = &mut *batch_guard;
+            // ONE widened classification pass (and one covariance-replay
+            // epoch decision) for the whole round.
+            round.begin_round(shared.index(), &cameras);
+            let scene = shared.scene_arc();
+            for (i, m) in tasks.iter().enumerate() {
+                let st = &mut *guards[guard_of[i]];
+                let frame = m.frame;
+                let rung_ix = m.rung as usize;
+                let cost_scale = st.cost_scales.get(rung_ix).copied().unwrap_or(1.0);
+                let mut retries = 0u32;
+                let result: Result<R, StreamFault> = loop {
+                    // Same fault seam as the solo path: injected faults
+                    // fire BEFORE the member renders, so they never
+                    // half-mutate session state — and the shared batch
+                    // state only ever holds pure functions of the leader
+                    // orientation, identical no matter which member
+                    // wrote them, so a faulting member cannot move its
+                    // batch-mates' bits.
+                    let injected = st.injector.intercept_scaled(frame, retries, cost_scale);
+                    let attempt: Result<Result<R, DrawError>, String> = match injected {
+                        Some(FaultAction::Fail(e)) => Ok(Err(e)),
+                        Some(FaultAction::Panic(msg)) => {
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                // vrlint: allow(VL01, reason = "fault-injection seam: the panic exists to be caught by the enclosing catch_unwind")
+                                || -> Result<R, DrawError> { panic!("{msg}") },
+                            ))
+                            .map_err(|p| panic_message(p.as_ref()))
+                        }
+                        other => {
+                            if let Some(FaultAction::Sleep(d)) = other {
+                                std::thread::sleep(d);
+                            }
+                            let StreamState {
+                                cfg,
+                                rung_cfgs,
+                                rung_kernels,
+                                session,
+                                backend,
+                                ..
+                            } = st;
+                            let cfg = rung_cfgs.get(rung_ix).unwrap_or(cfg);
+                            let kernel = rung_kernels.get(rung_ix).copied().flatten();
+                            // catch_unwind INSIDE the locks: a panicking
+                            // backend unwinds into this Err arm, not
+                            // past the guards, so no mutex is poisoned.
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                || match backend {
+                                    Backend::Infallible(render) => Ok(session
+                                        .render_frame_batched(
+                                            &scene,
+                                            cfg,
+                                            frame,
+                                            &mut *round,
+                                            render,
+                                        )),
+                                    Backend::Fallible(render) => session.render_frame_batched(
+                                        &scene,
+                                        cfg,
+                                        frame,
+                                        &mut *round,
+                                        render,
+                                    ),
+                                    Backend::VrPipe { gpu, variant, wrap } => {
+                                        let overridden;
+                                        let gpu = match kernel {
+                                            Some(kernel) => {
+                                                overridden = GpuConfig {
+                                                    kernel,
+                                                    ..gpu.clone()
+                                                };
+                                                &overridden
+                                            }
+                                            None => &*gpu,
+                                        };
+                                        session
+                                            .render_frame_vrpipe_batched(
+                                                &scene,
+                                                cfg,
+                                                frame,
+                                                gpu,
+                                                *variant,
+                                                &mut *round,
+                                            )
+                                            .map(wrap)
+                                    }
+                                },
+                            ))
+                            .map_err(|p| panic_message(p.as_ref()))
+                        }
+                    };
+                    match attempt {
+                        Err(message) => break Err(StreamFault::Panicked { message, frame }),
+                        Ok(Ok(out)) => break Ok(out),
+                        Ok(Err(error)) => {
+                            if error.is_transient() && retries < st.retry.max_retries {
+                                let delay = st.retry.backoff_ms(m.id, frame, retries);
+                                if delay > 0.0 {
+                                    std::thread::sleep(Duration::from_secs_f64(delay / 1e3));
+                                }
+                                retries += 1;
+                            } else {
+                                break Err(StreamFault::Render { error, retries });
+                            }
+                        }
+                    }
+                };
+                completes[i].msg = Some(Msg::Done {
+                    id: m.id,
+                    generation: m.generation,
+                    frame,
+                    rung: m.rung,
+                    latency_ms: t0.elapsed().as_secs_f64() * 1e3,
+                    retries,
+                    batched: true,
+                    result,
+                });
+            }
+            drop(batch_guard);
+            drop(guards);
+            // `completes` drops last: every lock is released before any
+            // completion is observed, matching the solo path's
+            // drop(guard)-then-send ordering.
+        });
+    }
+
+    /// Dispatches stream `k`'s next frame as its own run-to-completion
+    /// task — the exact per-stream path every unbatched frame takes.
+    fn dispatch_solo(&mut self, k: usize, in_flight: &mut usize) {
+        {
             let e = &mut self.streams[k];
             let frame = e.sched.cursor;
             e.sched.cursor += 1;
             e.sched.busy = true;
+            e.sched.in_flight_frames = 1;
             e.sched.dispatched_at = Some(Instant::now());
             *in_flight += 1;
             let id = e.id;
@@ -1485,6 +1980,7 @@ impl<R: Send + 'static> Server<R> {
                     generation,
                     frame,
                     rung,
+                    batched: false,
                     msg: None,
                 };
                 let t0 = Instant::now();
@@ -1598,6 +2094,7 @@ impl<R: Send + 'static> Server<R> {
                     rung,
                     latency_ms: t0.elapsed().as_secs_f64() * 1e3,
                     retries,
+                    batched: false,
                     result,
                 });
             });
@@ -1632,13 +2129,14 @@ impl<R: Send + 'static> Server<R> {
                 e.detached = true;
                 if !e.sched.phase.is_terminal() {
                     if e.sched.busy {
-                        // The in-flight frame becomes a zombie; its
-                        // completion is recognised by generation and
+                        // In-flight frames become zombies; their
+                        // completions are recognised by generation and
                         // dropped.
                         e.sched.generation += 1;
                         e.sched.busy = false;
                         e.sched.dispatched_at = None;
-                        *in_flight -= 1;
+                        *in_flight -= e.sched.in_flight_frames;
+                        e.sched.in_flight_frames = 0;
                     }
                     e.sched.phase = StreamPhase::Evicted(EvictReason::Detached);
                 }
@@ -1650,6 +2148,7 @@ impl<R: Send + 'static> Server<R> {
                 rung,
                 latency_ms,
                 retries,
+                batched,
                 result,
             } => {
                 let Some(k) = self.find(id) else { return };
@@ -1658,17 +2157,34 @@ impl<R: Send + 'static> Server<R> {
                 }
                 let budget_ms = self.stall_budget(k);
                 let e = &mut self.streams[k];
-                e.sched.busy = false;
-                e.sched.dispatched_at = None;
+                e.sched.in_flight_frames = e.sched.in_flight_frames.saturating_sub(1);
+                e.sched.busy = e.sched.in_flight_frames > 0;
+                if !e.sched.busy {
+                    e.sched.dispatched_at = None;
+                }
                 *in_flight -= 1;
                 e.sched.busy_ms += latency_ms;
                 e.sched.retries += retries;
+                if e.sched.phase.is_terminal() {
+                    // A batch-mate completing after its own stream already
+                    // reached a terminal phase this round (e.g. the right
+                    // eye of a stereo pair whose left eye failed): the
+                    // counters above are settled, the result is discarded.
+                    return;
+                }
                 // Watchdog parity for serial pools: a frame that ran
                 // inline on the scheduler thread could not be evicted
                 // mid-stall, so evict on its (late) completion instead —
                 // both pool shapes converge on the same report.
                 if let Some(budget_ms) = budget_ms {
                     if latency_ms > budget_ms {
+                        // Batch-mates still in flight become zombies of
+                        // the bumped generation; free their pool slots
+                        // now (their Dones stop at the fence).
+                        *in_flight -= e.sched.in_flight_frames;
+                        e.sched.in_flight_frames = 0;
+                        e.sched.busy = false;
+                        e.sched.dispatched_at = None;
                         e.sched.generation += 1;
                         e.sched.phase = StreamPhase::Evicted(EvictReason::Stalled {
                             frame,
@@ -1693,10 +2209,16 @@ impl<R: Send + 'static> Server<R> {
                         }
                         e.sched.rungs.push(rung);
                         e.sched.outputs.push((frame, out));
+                        if batched {
+                            e.sched.frames_batched += 1;
+                        }
                         // Hysteresis AFTER recording: the step only
                         // affects the next dispatched frame.
                         Self::apply_hysteresis(e, missed);
-                        if e.sched.cursor >= e.budget {
+                        // A stereo self-pair's left eye must not mark the
+                        // stream Completed while the right eye is still
+                        // in flight — its Done would be discarded above.
+                        if e.sched.cursor >= e.budget && e.sched.in_flight_frames == 0 {
                             e.sched.phase = StreamPhase::Completed;
                         }
                     }
@@ -1835,7 +2357,8 @@ impl<R: Send + 'static> Server<R> {
                     waited_ms,
                     budget_ms,
                 });
-                *in_flight -= 1;
+                *in_flight -= e.sched.in_flight_frames;
+                e.sched.in_flight_frames = 0;
             }
         }
     }
@@ -1998,6 +2521,7 @@ impl<R: Send + 'static> Server<R> {
                 resort,
                 cull,
                 shares_index,
+                frames_batched: sched.frames_batched,
             });
         }
         self.streams.retain(|e| !e.detached);
@@ -2010,8 +2534,21 @@ impl<R: Send + 'static> Server<R> {
             indexed_streams,
             reloads: std::mem::take(&mut self.reloads),
             scene_epoch: self.scene_epoch,
+            batch: std::mem::take(&mut self.batch),
         }
     }
+}
+
+/// Per-member payload of one batch round's pool task.
+struct BatchMember<R> {
+    id: usize,
+    frame: usize,
+    rung: u8,
+    generation: u32,
+    /// Re-bind the stream's session to the current scene before its
+    /// first frame of this round (scene-epoch fence, once per stream).
+    rebind: bool,
+    state: Arc<Mutex<StreamState<R>>>,
 }
 
 /// Completion backstop: exactly one `Done` per dispatched frame. The
@@ -2024,6 +2561,7 @@ struct Complete<R> {
     generation: u32,
     frame: usize,
     rung: u8,
+    batched: bool,
     msg: Option<Msg<R>>,
 }
 
@@ -2036,6 +2574,7 @@ impl<R> Drop for Complete<R> {
             rung: self.rung,
             latency_ms: 0.0,
             retries: 0,
+            batched: self.batched,
             result: Err(StreamFault::Panicked {
                 message: "frame task aborted before reporting".into(),
                 frame: self.frame,
@@ -2050,6 +2589,7 @@ mod tests {
     use super::faults::FaultKind;
     use super::*;
     use gsplat::camera::CameraPath;
+    use gsplat::math::Vec3;
     use gsplat::scene::EVALUATED_SCENES;
 
     fn shared_scene() -> SharedScene {
@@ -2595,5 +3135,171 @@ mod tests {
         server.streams[1].sched.rung = 0;
         server.streams[1].sched.phase = StreamPhase::Completed;
         assert_eq!(server.brownout_target(), None);
+    }
+
+    // ---- cross-stream batched preprocessing ----
+
+    /// FNV-1a digest of everything frame-bit-relevant in a frame input:
+    /// the emitted splat stream and the preprocessing counters. `cull`
+    /// is deliberately excluded — batched frames account culling work in
+    /// the shared round state ([`ServeReport::batch`]), which is the one
+    /// counter batching is allowed to move.
+    fn splat_digest(f: &FrameInput<'_>) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in format!("{}|{:?}|{:?}", f.index, f.splats, f.preprocess).into_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Axis-aligned −z flythrough: the camera basis is bit-identical
+    /// across frames and across power-of-two x/y eye offsets, so every
+    /// such stream is provably a pure translation of every other.
+    fn translated_flythrough(
+        shared: &SharedScene,
+        dx: f32,
+        dy: f32,
+        frames: usize,
+    ) -> SequenceConfig {
+        let c = shared.scene().center;
+        let start = Vec3::new(c.x + dx, c.y + dy, c.z + 6.0);
+        SequenceConfig::new(
+            CameraPath::flythrough(start, start + Vec3::new(0.0, 0.0, -8.0), 0.25, 0.01),
+            frames,
+            64,
+            48,
+        )
+        .with_index()
+    }
+
+    fn digest_spec(name: &str, cfg: SequenceConfig) -> StreamSpec<u64> {
+        StreamSpec::new(name, cfg, |f| splat_digest(&f))
+    }
+
+    /// A fleet of translation-bound flythrough streams batches, and every
+    /// stream's frames stay bit-exact with the same server run unbatched
+    /// — on serial and threaded pools.
+    #[test]
+    fn translation_fleet_batches_and_stays_bit_exact() {
+        const FRAMES: usize = 4;
+        let offsets = [(0.0, 0.0), (0.5, 0.0), (0.0, 0.25), (0.5, 0.25)];
+        let run = |batching: bool, threads: usize| {
+            let shared = shared_scene();
+            let mut server = Server::new(shared, threads);
+            if batching {
+                server = server.with_batching();
+            }
+            for (k, &(dx, dy)) in offsets.iter().enumerate() {
+                let cfg = translated_flythrough(server.shared(), dx, dy, FRAMES);
+                server.add_stream(digest_spec(&format!("s{k}"), cfg));
+            }
+            server.run()
+        };
+        let solo = run(false, 2);
+        assert_eq!(solo.batch, BatchStats::default(), "batching is opt-in");
+        assert!(solo.streams.iter().all(|s| s.frames_batched == 0));
+        for threads in [1usize, 4] {
+            let batched = run(true, threads);
+            for (b, s) in batched.streams.iter().zip(&solo.streams) {
+                assert_eq!(b.phase, StreamPhase::Completed, "{}", b.name);
+                assert_eq!(b.frames, s.frames, "{} bit-parity", b.name);
+                assert_eq!(b.produced, s.produced, "{}", b.name);
+            }
+            let stats = &batched.batch;
+            assert_eq!(stats.dispatched_frames(), offsets.len() * FRAMES);
+            assert!(
+                stats.batched_frames > 0,
+                "fleet must actually batch: {stats:?}"
+            );
+            assert_eq!(
+                stats
+                    .occupancy
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| (i + 1) * n)
+                    .sum::<usize>(),
+                stats.dispatched_frames(),
+                "occupancy histogram accounts every dispatched frame"
+            );
+            let per_stream: usize = batched.streams.iter().map(|s| s.frames_batched).sum();
+            assert_eq!(per_stream, stats.batched_frames);
+        }
+    }
+
+    /// A lone stereo stream self-pairs: both eyes of every pair ride one
+    /// round (occupancy 2 on 100% of eligible frames) and stay bit-exact
+    /// with the unbatched run.
+    #[test]
+    fn stereo_stream_self_pairs_every_frame() {
+        const FRAMES: usize = 6; // three eye pairs
+        let run = |batching: bool| {
+            let shared = shared_scene();
+            let mut server = Server::new(shared, 2);
+            if batching {
+                server = server.with_batching();
+            }
+            let c = server.shared().scene().center;
+            let start = Vec3::new(c.x, c.y, c.z + 6.0);
+            let cfg = SequenceConfig::new(
+                CameraPath::flythrough(start, start + Vec3::new(0.0, 0.0, -8.0), 0.25, 0.01)
+                    .stereo(0.065),
+                FRAMES,
+                64,
+                48,
+            )
+            .with_index();
+            server.add_stream(digest_spec("hmd", cfg));
+            server.run()
+        };
+        let solo = run(false);
+        let batched = run(true);
+        assert_eq!(batched.streams[0].phase, StreamPhase::Completed);
+        assert_eq!(batched.streams[0].frames, solo.streams[0].frames);
+        let stats = &batched.batch;
+        assert_eq!(stats.rounds, FRAMES / 2, "one round per eye pair");
+        assert_eq!(stats.batched_rounds, stats.rounds, "100% pair occupancy");
+        assert_eq!(stats.occupancy, vec![0, FRAMES / 2]);
+        assert_eq!(stats.solo_frames, 0);
+        assert_eq!(batched.streams[0].frames_batched, FRAMES);
+        assert!(stats.fallback_ratio().abs() < 1e-12);
+        assert!((stats.mean_occupancy() - 2.0).abs() < 1e-12);
+    }
+
+    /// Rotation-distinct orbit streams can never prove membership: every
+    /// frame demonstrably falls back to the exact solo path — full
+    /// per-stream session cull accounting, identical records.
+    #[test]
+    fn unprovable_deltas_fall_back_to_the_solo_path() {
+        const FRAMES: usize = 3;
+        let run = |batching: bool| {
+            let shared = shared_scene();
+            let mut server = Server::new(shared, 2);
+            if batching {
+                server = server.with_batching();
+            }
+            for k in 0..3 {
+                let cfg = orbit_cfg(server.shared(), k as f32 * 0.2, FRAMES);
+                server.add_stream(StreamSpec::vrpipe(
+                    format!("s{k}"),
+                    cfg,
+                    GpuConfig::default(),
+                    PipelineVariant::HetQm,
+                ));
+            }
+            server.run()
+        };
+        let solo = run(false);
+        let batched = run(true);
+        let stats = &batched.batch;
+        assert_eq!(stats.batched_frames, 0, "orbits must not batch: {stats:?}");
+        assert_eq!(stats.solo_frames, 3 * FRAMES);
+        assert_eq!(stats.occupancy, vec![3 * FRAMES]);
+        assert!((stats.fallback_ratio() - 1.0).abs() < 1e-12);
+        for (b, s) in batched.streams.iter().zip(&solo.streams) {
+            assert_eq!(b.frames_batched, 0, "{}", b.name);
+            assert_eq!(b.cull, s.cull, "{}", b.name);
+            assert_eq!(b.cull.frames as usize, FRAMES, "{}", b.name);
+        }
     }
 }

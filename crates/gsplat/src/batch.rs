@@ -1,0 +1,446 @@
+//! Cross-stream **batched preprocessing** state: one cell-classification
+//! pass and one shared `W Σ Wᵀ` covariance cache serving M
+//! translation-bound cameras per round.
+//!
+//! A [`BatchCullState`] is the batch-wide sibling of
+//! [`crate::index::CullState`]: where a `CullState` pairs with *one*
+//! camera stream, a `BatchCullState` pairs with a *group* of streams
+//! whose per-frame cameras provably satisfy the pure-translation bound
+//! ([`Camera::is_translation_of`]) against a group leader. Each round
+//! ([`BatchCullState::begin_round`]) runs **one** widened cell
+//! classification ([`SceneIndex::classify_widened_into`]) whose verdicts
+//! are simultaneously conservative for every member, and the members then
+//! share **one** epoch-tagged covariance cache — `W Σ Wᵀ` depends on the
+//! camera only through the view rotation `W`, which the bound makes
+//! bit-identical across the group, so an entry computed while emitting any
+//! member's stream replays bit-exactly for every other member.
+//!
+//! Per-member **bit-exactness** with the solo path holds because the
+//! emitted splat stream is a pure function of per-Gaussian outcomes, not
+//! of verdicts: `Outside` cells emit nothing (and the widened proof shows
+//! every resident fails the member's own sphere cull), `Inside` cells skip
+//! a test the member's residents provably pass, and `Boundary` residents
+//! run the member's own per-Gaussian test exactly as solo. Widening can
+//! only migrate verdicts toward `Boundary`, never flip a resident's
+//! emission. See DESIGN.md §13 for the full argument.
+//!
+//! Membership is **proved, then enforced**: group formation filters by
+//! [`Camera::group_key`] (O(1) per stream), confirms each member against
+//! the leader with `is_translation_of`, and the preprocessing entry
+//! re-checks admission ([`BatchCullState::admits`]) so a camera outside
+//! the round's widened span can never consume the shared verdicts.
+
+use crate::camera::Camera;
+use crate::index::{CellClass, CovCacheEntry, CullStats, SceneIndex};
+use crate::math::Vec3;
+use crate::projection::FrameTransform;
+
+/// Shared temporal state of one batch group: the widened per-round cell
+/// classification, the group-shared epoch-tagged covariance cache, the
+/// current round's admission span, and accumulated [`CullStats`].
+///
+/// One `BatchCullState` pairs with one [`SceneIndex`] and one group of
+/// translation-bound camera streams. Rounds are strictly sequential per
+/// state (the scheduler serializes a group's members into one task);
+/// [`BatchCullState::invalidate`] forgets the temporal state on a scene
+/// or group cut — results stay bit-exact either way, only reuse is lost.
+///
+/// # Examples
+///
+/// ```
+/// use gsplat::batch::BatchCullState;
+/// use gsplat::camera::Camera;
+/// use gsplat::index::SceneIndex;
+/// use gsplat::math::Vec3;
+/// use gsplat::scene::EVALUATED_SCENES;
+/// let scene = EVALUATED_SCENES[4].generate_scaled(0.04);
+/// let index = SceneIndex::build(&scene.gaussians);
+/// let left = scene.default_camera();
+/// // A pure translation of the leader: always batchable.
+/// let d = Vec3::new(0.065, 0.0, 0.0);
+/// let right = Camera::look_at(left.eye() + d, Vec3::ZERO + d, left.width(), left.height(), left.fov_y());
+/// assert!(right.is_translation_of(&left));
+/// let mut batch = BatchCullState::default();
+/// batch.begin_round(&index, &[left.clone(), right.clone()]);
+/// assert!(batch.admits(&left) && batch.admits(&right));
+/// assert_eq!(batch.rounds(), 1);
+/// ```
+#[derive(Debug)]
+pub struct BatchCullState {
+    classes: Vec<CellClass>,
+    prev_classes: Vec<CellClass>,
+    mcache: Vec<CovCacheEntry>,
+    /// Current rotation epoch; bumped whenever the round leader's delta
+    /// from the previous round's leader is not a pure translation.
+    epoch: u32,
+    /// Previous round's leader — the cross-round camera-delta reference.
+    prev_leader: Option<Camera>,
+    /// Fingerprint of the [`SceneIndex`] the caches were filled under
+    /// (`0` = not yet paired).
+    paired_index: u64,
+    /// Whether the `O(scene)` cloud-content check has run for the current
+    /// pairing (done once by the batched preprocess entry, like the solo
+    /// path's on-(re)pairing check).
+    content_checked: bool,
+    stats: CullStats,
+    /// Current round's leader (`None` = no round active).
+    leader: Option<Camera>,
+    /// Inclusive component-wise bounds of the round members' view-space
+    /// translations — the admission span the widened classification
+    /// provably covers.
+    t_lo: Vec3,
+    t_hi: Vec3,
+    /// Rounds begun (each = one shared classification pass).
+    rounds: u64,
+    /// Member frames served across all rounds.
+    members_total: u64,
+}
+
+impl Default for BatchCullState {
+    fn default() -> Self {
+        Self {
+            classes: Vec::new(),
+            prev_classes: Vec::new(),
+            mcache: Vec::new(),
+            epoch: 0,
+            prev_leader: None,
+            paired_index: 0,
+            content_checked: false,
+            stats: CullStats::default(),
+            leader: None,
+            t_lo: Vec3::ZERO,
+            t_hi: Vec3::ZERO,
+            rounds: 0,
+            members_total: 0,
+        }
+    }
+}
+
+impl BatchCullState {
+    /// Counters accumulated across all member frames preprocessed through
+    /// this state. Cell counters advance once per **round** (the shared
+    /// classification runs once), Gaussian counters once per **member**
+    /// (each member's emission sweep skips/replays/recomputes residents
+    /// itself), and `frames` counts member frames.
+    pub fn stats(&self) -> CullStats {
+        self.stats
+    }
+
+    /// Rounds begun — each paid exactly one classification pass.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Member frames served across all rounds (`members_total / rounds`
+    /// is the mean batch occupancy).
+    pub fn members_total(&self) -> u64 {
+        self.members_total
+    }
+
+    /// Forgets all temporal state (classification history, covariance
+    /// cache validity, the cross-round leader reference, the active
+    /// round). Call on a scene or group cut; the next round re-projects
+    /// everything.
+    pub fn invalidate(&mut self) {
+        self.prev_classes.clear();
+        self.prev_leader = None;
+        self.leader = None;
+        // Epoch bump invalidates every cache entry without touching them.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely long sessions wrap the epoch; clear tags so no
+            // stale entry can alias the restarted counter.
+            for e in &mut self.mcache {
+                e.epoch = u32::MAX;
+            }
+            self.epoch = 1;
+        }
+    }
+
+    /// Starts a batch round over `cameras` (leader first): binds the state
+    /// to `index` (auto-invalidating on re-pairing), applies the
+    /// cross-round camera-delta bound to the shared covariance cache
+    /// (epoch holds only when the new leader is a pure translation of the
+    /// previous round's), records the members' view-translation admission
+    /// span, and runs the **single** widened classification pass whose
+    /// verdicts serve every member. Cell counters fold once per round;
+    /// Gaussian skip counters fold once per member (each member's sweep
+    /// skips `Outside` residents itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cameras` is empty or any member is not a pure
+    /// translation of the leader — callers must form groups from *proven*
+    /// members (key filter + `is_translation_of` confirmation); this is
+    /// the soundness backstop, not the grouping mechanism.
+    pub fn begin_round(&mut self, index: &SceneIndex, cameras: &[Camera]) {
+        assert!(!cameras.is_empty(), "batch round needs at least one camera");
+        for (m, cam) in cameras.iter().enumerate().skip(1) {
+            assert!(
+                cam.is_translation_of(&cameras[0]),
+                "batch member {m} is not a pure translation of the leader"
+            );
+        }
+        let leader = cameras[0].clone();
+        if self.paired_index != index.fingerprint() {
+            // Re-pairing: every cached covariance product belongs to the
+            // previous index's Gaussians — forget all temporal state.
+            self.invalidate();
+            self.paired_index = index.fingerprint();
+            self.content_checked = false;
+        }
+        self.mcache.resize(index.len(), CovCacheEntry::default());
+        let translation = self
+            .prev_leader
+            .as_ref()
+            .is_some_and(|prev| leader.is_translation_of(prev));
+        if !translation {
+            self.epoch = self.epoch.wrapping_add(1).max(1);
+        }
+        self.prev_leader = Some(leader.clone());
+
+        // Inclusive member view-translation bounds: the admission span.
+        let t_of = |c: &Camera| c.view_matrix().cols[3].truncate();
+        let t_leader = t_of(&leader);
+        let mut t_lo = t_leader;
+        let mut t_hi = t_leader;
+        for cam in &cameras[1..] {
+            let t = t_of(cam);
+            t_lo = t_lo.min(t);
+            t_hi = t_hi.max(t);
+        }
+        self.t_lo = t_lo;
+        self.t_hi = t_hi;
+
+        // One widened classification covering every member: offsets are
+        // relative to the leader (whose own offset is zero, so the bounds
+        // always contain it); `spread` is non-negative by construction.
+        let d_lo = t_lo - t_leader;
+        let d_hi = t_hi - t_leader;
+        let mid = (d_lo + d_hi) * 0.5;
+        let spread = (d_hi - d_lo) * 0.5;
+        let frame = FrameTransform::new(&leader);
+        std::mem::swap(&mut self.classes, &mut self.prev_classes);
+        index.classify_widened_into(&frame, mid, spread, &mut self.classes);
+        self.leader = Some(leader);
+
+        let members = cameras.len() as u64;
+        self.rounds += 1;
+        self.members_total += members;
+        self.stats.frames += members;
+        let history = self.prev_classes.len() == self.classes.len();
+        // Skip the trailing sentinel entry — it holds no live residents.
+        for (cell_id, class) in self.classes.iter().take(index.cell_count()).enumerate() {
+            match class {
+                CellClass::Outside => {
+                    self.stats.cells_skipped += 1;
+                    self.stats.gaussians_skipped += index.cell_live(cell_id) as u64 * members;
+                }
+                CellClass::Inside
+                    if translation
+                        && history
+                        && self.prev_classes[cell_id] == CellClass::Inside =>
+                {
+                    self.stats.cells_refreshed += 1;
+                }
+                _ => self.stats.cells_reprojected += 1,
+            }
+        }
+    }
+
+    /// `true` when `camera` is covered by the current round's widened
+    /// classification: a pure translation of the round leader whose
+    /// view-space translation lies inside the round's inclusive member
+    /// span. The batched preprocessing entry requires this for every
+    /// member it emits — a camera outside the span could see residents the
+    /// widened `Outside` proof never covered.
+    pub fn admits(&self, camera: &Camera) -> bool {
+        let Some(leader) = &self.leader else {
+            return false;
+        };
+        if !camera.is_translation_of(leader) {
+            return false;
+        }
+        let t = camera.view_matrix().cols[3].truncate();
+        self.t_lo.x <= t.x
+            && t.x <= self.t_hi.x
+            && self.t_lo.y <= t.y
+            && t.y <= self.t_hi.y
+            && self.t_lo.z <= t.z
+            && t.z <= self.t_hi.z
+    }
+
+    /// Fingerprint of the index this state is currently paired with
+    /// (`0` = not yet paired).
+    pub(crate) fn paired_with(&self) -> u64 {
+        self.paired_index
+    }
+
+    /// Whether the one-off cloud-content check has run for this pairing.
+    pub(crate) fn content_checked(&self) -> bool {
+        self.content_checked
+    }
+
+    /// Records that the cloud-content check passed for this pairing.
+    pub(crate) fn mark_content_checked(&mut self) {
+        self.content_checked = true;
+    }
+
+    /// Folds one member's projection counters into the accumulated stats.
+    pub(crate) fn record_projection(&mut self, refreshed: u64, reprojected: u64) {
+        self.stats.gaussians_refreshed += refreshed;
+        self.stats.gaussians_reprojected += reprojected;
+    }
+
+    /// Disjoint borrows for one member's projection sweep: the round's
+    /// widened classes, the shared mutable covariance cache, and the epoch
+    /// entries must be tagged with.
+    pub(crate) fn projection_parts(&mut self) -> (&[CellClass], &mut [CovCacheEntry], u32) {
+        (&self.classes, &mut self.mcache, self.epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::CameraPath;
+    use crate::scene::EVALUATED_SCENES;
+
+    fn scene() -> crate::scene::Scene {
+        EVALUATED_SCENES[2].generate_scaled(0.04)
+    }
+
+    /// Builds `count` cameras sharing a **bit-identical** view rotation:
+    /// an axis-aligned `-z` view whose look-at offset `(0, 0, -1)` is
+    /// recovered exactly by `center - eye` for every member (x/y cancel
+    /// to `+0.0`; `z` is snapped to a multiple of `0.25`, so `z - 1` is
+    /// exact) — the translation bound holds by construction, not by luck.
+    fn translated_cameras(base: Vec3, count: usize) -> Vec<Camera> {
+        let z = (base.z * 4.0).round() / 4.0;
+        (0..count)
+            .map(|m| {
+                let eye = Vec3::new(base.x + 0.5 * m as f32, base.y + 0.25 * m as f32, z);
+                Camera::look_at(eye, eye + Vec3::new(0.0, 0.0, -1.0), 128, 96, 1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn widened_verdicts_are_conservative_for_every_member() {
+        let s = scene();
+        let index = SceneIndex::build(&s.gaussians);
+        let cams = translated_cameras(s.center + Vec3::new(0.0, 1.0, s.view_radius * 0.5), 4);
+        let mut batch = BatchCullState::default();
+        batch.begin_round(&index, &cams);
+        let (classes, _, _) = batch.projection_parts();
+        let classes = classes.to_vec();
+        let mut outside = 0;
+        let mut inside = 0;
+        for cam in &cams {
+            for (i, g) in s.gaussians.iter().enumerate() {
+                if index.dead()[i] {
+                    continue;
+                }
+                match classes[index.cell_of()[i] as usize] {
+                    CellClass::Outside => {
+                        outside += 1;
+                        assert!(
+                            !cam.sphere_visible(g.mean, g.bounding_radius()),
+                            "gaussian {i} visible in an Outside cell for a member"
+                        );
+                    }
+                    CellClass::Inside => {
+                        inside += 1;
+                        assert!(
+                            cam.sphere_visible(g.mean, g.bounding_radius()),
+                            "gaussian {i} culled in an Inside cell for a member"
+                        );
+                    }
+                    CellClass::Boundary => {}
+                }
+            }
+        }
+        assert!(outside > 0, "no outside gaussians — camera too wide");
+        assert!(inside > 0, "no inside gaussians — camera too narrow");
+    }
+
+    #[test]
+    fn admission_requires_round_coverage() {
+        let s = scene();
+        let index = SceneIndex::build(&s.gaussians);
+        let cams = translated_cameras(s.center + Vec3::new(0.0, 1.0, s.view_radius), 3);
+        let mut batch = BatchCullState::default();
+        assert!(!batch.admits(&cams[0]), "no round active yet");
+        batch.begin_round(&index, &cams);
+        for cam in &cams {
+            assert!(batch.admits(cam));
+        }
+        // A translation outside the member span is rejected even though
+        // the bound itself holds.
+        let far_eye = cams[0].eye() + Vec3::new(50.0, 0.0, 0.0);
+        let far = Camera::look_at(far_eye, far_eye + Vec3::new(0.0, 0.0, -1.0), 128, 96, 1.0);
+        assert!(far.is_translation_of(&cams[0]));
+        assert!(!batch.admits(&far));
+        // A rotated camera is rejected outright.
+        let spun = Camera::look_at(
+            cams[0].eye() + Vec3::new(0.0, 2.0, 0.0),
+            s.center,
+            128,
+            96,
+            1.0,
+        );
+        assert!(!batch.admits(&spun));
+        // Points inside the span (e.g. the midpoint camera re-derived)
+        // stay admitted after more rounds with the same leader.
+        batch.begin_round(&index, &cams);
+        assert!(batch.admits(&cams[1]));
+    }
+
+    #[test]
+    fn epoch_holds_across_translated_rounds_and_bumps_on_rotation() {
+        let s = scene();
+        let index = SceneIndex::build(&s.gaussians);
+        let mut batch = BatchCullState::default();
+        let path = CameraPath::flythrough(
+            s.center + Vec3::new(0.0, 1.0, s.view_radius),
+            s.center,
+            0.05,
+            0.01,
+        )
+        .stereo(0.065);
+        let mut epochs = Vec::new();
+        for k in 0..4 {
+            let l = path.camera(2 * k, 8, 96, 72, 1.0);
+            let r = path.camera(2 * k + 1, 8, 96, 72, 1.0);
+            batch.begin_round(&index, &[l, r]);
+            epochs.push(batch.projection_parts().2);
+        }
+        // Stereo flythrough: every round's leader translates — one epoch.
+        assert!(epochs.windows(2).all(|w| w[0] == w[1]), "{epochs:?}");
+        assert_eq!(batch.rounds(), 4);
+        assert_eq!(batch.members_total(), 8);
+        assert_eq!(batch.stats().frames, 8);
+        // An orbit step rotates the leader: the epoch must advance.
+        let orbit = CameraPath::orbit(s.center, s.view_radius, 1.0, 0.25);
+        let cam = orbit.camera(1, 8, 96, 72, 1.0);
+        batch.begin_round(&index, std::slice::from_ref(&cam));
+        assert!(batch.projection_parts().2 > epochs[0]);
+        // Invalidation also advances it and ends the round.
+        let e = batch.projection_parts().2;
+        batch.invalidate();
+        assert!(!batch.admits(&cam));
+        batch.begin_round(&index, std::slice::from_ref(&cam));
+        assert!(batch.projection_parts().2 > e);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a pure translation")]
+    fn unprovable_member_panics() {
+        let s = scene();
+        let index = SceneIndex::build(&s.gaussians);
+        let a = Camera::look_at(s.center + Vec3::new(0.0, 1.0, 4.0), s.center, 128, 96, 1.0);
+        let spun = Camera::look_at(s.center + Vec3::new(2.0, 1.0, 4.0), s.center, 128, 96, 1.0);
+        let mut batch = BatchCullState::default();
+        batch.begin_round(&index, &[a, spun]);
+    }
+}

@@ -166,6 +166,58 @@ impl Camera {
             && mat4_bits_eq(&self.proj, &other.proj)
     }
 
+    /// A grouping key for cross-stream batched preprocessing: an FNV-1a
+    /// hash over **exactly** the bit-fields [`Camera::is_translation_of`]
+    /// compares (viewport, intrinsics, view rotation `W`, projection
+    /// matrix). Two cameras that satisfy the translation bound always hash
+    /// equal, so a scheduler can group M candidate streams in O(M) — one
+    /// key per camera — instead of O(M²) pairwise bit-compares. Hash
+    /// collisions are possible in principle, so group formation must still
+    /// confirm each member against the group leader with
+    /// `is_translation_of` (O(1) per member); a key match is a filter, not
+    /// a proof.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gsplat::camera::Camera;
+    /// use gsplat::math::Vec3;
+    /// let a = Camera::look_at(Vec3::new(0.0, 0.0, 5.0), Vec3::ZERO, 640, 480, 1.0);
+    /// let shift = Vec3::new(0.3, 0.0, 0.0);
+    /// let b = Camera::look_at(shift + Vec3::new(0.0, 0.0, 5.0), shift, 640, 480, 1.0);
+    /// assert!(b.is_translation_of(&a));
+    /// assert_eq!(a.group_key(), b.group_key());
+    /// ```
+    pub fn group_key(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |bits: u32| {
+            for byte in bits.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.width);
+        mix(self.height);
+        mix(self.fov_y.to_bits());
+        mix(self.near.to_bits());
+        mix(self.far.to_bits());
+        let w = self.view.upper_left3();
+        for c in 0..3 {
+            mix(w.cols[c].x.to_bits());
+            mix(w.cols[c].y.to_bits());
+            mix(w.cols[c].z.to_bits());
+        }
+        for c in 0..4 {
+            mix(self.proj.cols[c].x.to_bits());
+            mix(self.proj.cols[c].y.to_bits());
+            mix(self.proj.cols[c].z.to_bits());
+            mix(self.proj.cols[c].w.to_bits());
+        }
+        h
+    }
+
     /// Focal length in pixels along x and y — the EWA projection Jacobian
     /// scale factors.
     #[inline]
@@ -563,6 +615,32 @@ mod tests {
             let fwd =
                 |c: &Camera| c.view_matrix().upper_left3().transpose() * Vec3::new(0.0, 0.0, -1.0);
             assert!((fwd(&left) - fwd(&right)).length() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn group_key_tracks_translation_bound() {
+        let a = cam();
+        // Pure translation: same key.
+        let d = Vec3::new(0.25, -0.1, 0.4);
+        let b = Camera::look_at(Vec3::new(0.0, 0.0, 10.0) + d, d, 640, 480, 1.0);
+        assert!(b.is_translation_of(&a));
+        assert_eq!(a.group_key(), b.group_key());
+        // Rotated view, different viewport, different fov: all distinct keys.
+        let spun = Camera::look_at(Vec3::new(1.0, 2.0, 10.0), Vec3::ZERO, 640, 480, 1.0);
+        assert!(!spun.is_translation_of(&a));
+        assert_ne!(spun.group_key(), a.group_key());
+        let resized = Camera::look_at(Vec3::new(0.0, 0.0, 10.0), Vec3::ZERO, 320, 240, 1.0);
+        assert_ne!(resized.group_key(), a.group_key());
+        let zoomed = Camera::look_at(Vec3::new(0.0, 0.0, 10.0), Vec3::ZERO, 640, 480, 0.9);
+        assert_ne!(zoomed.group_key(), a.group_key());
+        // Stereo eyes always share a key (the guaranteed-batchable pair).
+        let stereo = CameraPath::orbit(Vec3::ZERO, 4.0, 1.0, 0.25).stereo(0.065);
+        for k in 0..4 {
+            let l = stereo.camera(2 * k, 8, 160, 120, 1.0);
+            let r = stereo.camera(2 * k + 1, 8, 160, 120, 1.0);
+            assert!(r.is_translation_of(&l));
+            assert_eq!(l.group_key(), r.group_key(), "pair {k}");
         }
     }
 

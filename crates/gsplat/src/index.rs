@@ -288,8 +288,36 @@ impl SceneIndex {
     /// trailing sentinel entry — always [`CellClass::Outside`] — that
     /// dead Gaussians' [`SceneIndex::cell_of`] ids point at).
     pub fn classify_into(&self, frame: &FrameTransform, classes: &mut Vec<CellClass>) {
+        self.classify_widened_into(frame, Vec3::ZERO, Vec3::ZERO, classes);
+    }
+
+    /// [`SceneIndex::classify_into`] widened to cover a whole **batch** of
+    /// translation-bound cameras at once: `frame` is the batch leader's
+    /// transform, and every member camera's space differs from the
+    /// leader's by a pure camera-space offset `d_m` (see
+    /// [`crate::camera::Camera::is_translation_of`]). With `mid` and
+    /// `spread` the component-wise center and half-range of the member
+    /// offsets (leader included at `d = 0`), each cell's camera-space box
+    /// is widened to contain its image in **every** member's camera space,
+    /// so one classification pass yields verdicts that are simultaneously
+    /// conservative for all members: `Outside` ⇒ every resident fails the
+    /// sphere cull in every member frame, `Inside` ⇒ every resident passes
+    /// it in every member frame. Verdicts feed only comparisons, never
+    /// output arithmetic, which is why shared (widened) verdicts keep every
+    /// member's emitted splat stream bit-exact with its solo run.
+    pub fn classify_widened_into(
+        &self,
+        frame: &FrameTransform,
+        mid: Vec3,
+        spread: Vec3,
+        classes: &mut Vec<CellClass>,
+    ) {
         classes.clear();
-        classes.extend(self.cells.iter().map(|c| classify_cell(c, frame)));
+        classes.extend(
+            self.cells
+                .iter()
+                .map(|c| classify_cell_widened(c, frame, mid, spread)),
+        );
         classes.push(CellClass::Outside);
     }
 }
@@ -312,7 +340,18 @@ impl SceneIndex {
 /// Any non-finite intermediate (overflowing corners, infinite radius)
 /// falls through to `Boundary` — comparisons with NaN are false, and an
 /// explicit finiteness check guards the corner fold.
-fn classify_cell(cell: &Cell, frame: &FrameTransform) -> CellClass {
+///
+/// The widened form (`mid`/`spread` non-zero) grows the camera-space box
+/// by the batch members' offset range before the proofs run — see
+/// [`SceneIndex::classify_widened_into`]. The solo path passes zeros;
+/// adding `±0.0` cannot change any verdict because verdicts depend only
+/// on numeric comparisons (where `-0.0 == 0.0`), never on output bits.
+fn classify_cell_widened(
+    cell: &Cell,
+    frame: &FrameTransform,
+    mid: Vec3,
+    spread: Vec3,
+) -> CellClass {
     if cell.live == 0 {
         // Nothing lives here; classification is never consulted. `Outside`
         // keeps the stats honest (zero Gaussians skipped).
@@ -321,8 +360,12 @@ fn classify_cell(cell: &Cell, frame: &FrameTransform) -> CellClass {
     // Camera-space bounds of the mean-AABB via the affine-AABB identity:
     // the image of a box under `x ↦ W x + t` has center `W c + t` and
     // half-extents `|W| h` — exact (the corner hull's AABB), at two
-    // transforms per cell instead of eight.
-    let center = frame.to_camera_space((cell.lo + cell.hi) * 0.5);
+    // transforms per cell instead of eight. A batch shifts the center by
+    // the member-offset midpoint and inflates the half-extents by the
+    // offset half-range, so the box covers every member's image of the
+    // cell (the `CLASSIFY_PAD` below absorbs the extra f32 roundings the
+    // same way it absorbs the transform's own).
+    let center = frame.to_camera_space((cell.lo + cell.hi) * 0.5) + mid;
     let half_in = (cell.hi - cell.lo) * 0.5;
     let rot = frame.rotation();
     let abs_col = |c: usize| {
@@ -332,7 +375,7 @@ fn classify_cell(cell: &Cell, frame: &FrameTransform) -> CellClass {
             rot.cols[c].z.abs(),
         )
     };
-    let half = abs_col(0) * half_in.x + abs_col(1) * half_in.y + abs_col(2) * half_in.z;
+    let half = abs_col(0) * half_in.x + abs_col(1) * half_in.y + abs_col(2) * half_in.z + spread;
     let lo = center - half;
     let hi = center + half;
     if !lo.is_finite() || !hi.is_finite() {

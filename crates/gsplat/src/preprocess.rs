@@ -15,6 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::batch::BatchCullState;
 use crate::camera::Camera;
 use crate::gaussian::Gaussian;
 use crate::index::{CellClass, CovCacheEntry, CullState, SceneIndex};
@@ -495,6 +496,165 @@ pub fn preprocess_into_indexed_clamped(
 
     // The indexed path is inherently temporal: it exists for coherent
     // frame streams, so it always feeds the id-keyed warm-started sort.
+    finish_preprocess(n, scratch, out, true)
+}
+
+/// One member's emission sweep of a **batched** preprocessing round —
+/// bit-exact with [`preprocess_into_indexed`] run solo on the same stream.
+///
+/// The caller owns the round: [`BatchCullState::begin_round`] must have
+/// admitted `camera` (leader or proven translation-bound member), after
+/// which M member sweeps share the round's single widened classification
+/// and the group-wide `W Σ Wᵀ` cache — the covariance product depends on
+/// the camera only through the view rotation, which the bound makes
+/// bit-identical across the group, so an entry computed during any
+/// member's sweep replays bit-exactly for every other member. Everything
+/// genuinely per-camera (sphere tests in `Boundary` cells, the projection
+/// tail, SH color, the warm-started depth sort over the member's own
+/// `scratch`) runs with the member's own [`FrameTransform`], which is why
+/// the emitted splats, their order, and the returned [`PreprocessStats`]
+/// are all identical to the member's solo run.
+///
+/// # Panics
+///
+/// Panics when `index` was not built from this scene's cloud (as
+/// [`preprocess_into_indexed`]), or when `camera` is not admitted by the
+/// current round — unprovable deltas must take the solo per-stream path.
+// vrlint: hot
+pub fn preprocess_into_indexed_batched(
+    scene: &Scene,
+    camera: &Camera,
+    policy: ThreadPolicy,
+    index: &SceneIndex,
+    batch: &mut BatchCullState,
+    scratch: &mut PreprocessScratch,
+    out: &mut Vec<Splat>,
+) -> PreprocessStats {
+    preprocess_into_indexed_batched_clamped(
+        scene,
+        camera,
+        policy,
+        index,
+        batch,
+        scratch,
+        out,
+        MAX_SH_DEGREE,
+    )
+}
+
+/// [`preprocess_into_indexed_batched`] with the SH evaluation degree
+/// capped at `max_sh_degree`. Mixed caps within one batch are sound: the
+/// shared verdicts and covariance cache are geometric (cap-invariant),
+/// and the cap rides each member's own frame transform.
+// vrlint: hot
+#[allow(clippy::too_many_arguments)]
+pub fn preprocess_into_indexed_batched_clamped(
+    scene: &Scene,
+    camera: &Camera,
+    policy: ThreadPolicy,
+    index: &SceneIndex,
+    batch: &mut BatchCullState,
+    scratch: &mut PreprocessScratch,
+    out: &mut Vec<Splat>,
+    max_sh_degree: u8,
+) -> PreprocessStats {
+    assert_eq!(
+        index.len(),
+        scene.len(),
+        "spatial index built for a different cloud size"
+    );
+    assert_eq!(
+        batch.paired_with(),
+        index.fingerprint(),
+        "batch state not paired with this index (begin_round not called)"
+    );
+    if !batch.content_checked() {
+        // One-off per pairing: the O(scene) content check that the index
+        // really describes this cloud. Steady-state frames skip it.
+        assert_eq!(
+            index.fingerprint(),
+            crate::index::cloud_fingerprint(&scene.gaussians),
+            "spatial index built for a different scene"
+        );
+        batch.mark_content_checked();
+    }
+    assert!(
+        batch.admits(camera),
+        "camera not admitted by the current batch round — unprovable deltas take the solo path"
+    );
+    let n = scene.len();
+    let workers = policy.workers(n);
+    let frame = FrameTransform::new(camera).with_max_sh_degree(max_sh_degree);
+    scratch.clear_staging();
+
+    let (classes, mcache, epoch) = batch.projection_parts();
+    let (refreshed, reprojected) = if workers <= 1 {
+        let (staging, depths, ids) = scratch.staging_parts();
+        project_indexed_range(
+            &scene.gaussians,
+            index,
+            &frame,
+            classes,
+            epoch,
+            0..n,
+            mcache,
+            staging,
+            depths,
+            ids,
+        )
+    } else {
+        let parts = chunked_ranges_mut(n, workers, mcache);
+        // vrlint: allow(VL02, reason = "Vec::new allocates nothing; resize_with grows the worker table only on first use or a worker-count change")
+        scratch.worker_out.resize_with(parts.len(), Vec::new);
+        scratch
+            .worker_keys
+            .resize_with(parts.len(), Default::default);
+        // vrlint: allow-block(VL02[collect], reason = "O(workers) scoped-thread handle lists per fan-out, not O(gaussians)")
+        let counters = std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .zip(scratch.worker_out.iter_mut())
+                .zip(scratch.worker_keys.iter_mut())
+                .map(|(((range, mstate), chunk_out), chunk_keys)| {
+                    let gaussians = &scene.gaussians;
+                    let frame = &frame;
+                    s.spawn(move || {
+                        chunk_out.clear();
+                        chunk_keys.0.clear();
+                        chunk_keys.1.clear();
+                        project_indexed_range(
+                            gaussians,
+                            index,
+                            frame,
+                            classes,
+                            epoch,
+                            range,
+                            mstate,
+                            chunk_out,
+                            &mut chunk_keys.0,
+                            &mut chunk_keys.1,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                // A worker panic propagates to the submitter unchanged
+                // rather than re-panicking with a second message.
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect::<Vec<_>>()
+        });
+        // Chunk-order concatenation == serial projection order.
+        scratch.merge_worker_chunks();
+        counters
+            .iter()
+            .fold((0, 0), |(a, b), &(r, p)| (a + r, b + p))
+    };
+    batch.record_projection(refreshed, reprojected);
+
+    // Same warm-started id-keyed sort as the solo indexed path, over the
+    // member's own scratch: the per-stream sorter sequence is preserved
+    // whether a frame was served batched or solo.
     finish_preprocess(n, scratch, out, true)
 }
 

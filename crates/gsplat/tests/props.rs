@@ -6,6 +6,7 @@ use gsplat::color::Rgba;
 use gsplat::gaussian::Gaussian;
 use gsplat::index::{CellClass, SceneIndex};
 use gsplat::math::{Mat2, Vec2, Vec3};
+use gsplat::preprocess::PreprocessScratch;
 use gsplat::projection::{project_gaussian, FrameTransform};
 use gsplat::sh::ShColor;
 use gsplat::sort::{depth_key, radix_argsort, sort_splats_by_depth, IncrementalSorter};
@@ -459,5 +460,74 @@ proptest! {
             gsplat::index::cloud_fingerprint(&scene.gaussians)
         );
         prop_assert_eq!(loaded.report.kept_fingerprint, loaded.report.file_fingerprint);
+    }
+}
+
+proptest! {
+    /// Grouped ⇒ bit-exact: every camera that proves the pure-translation
+    /// bound and joins a batch round receives splats (values *and* order)
+    /// and [`gsplat::preprocess::PreprocessStats`] identical to its own
+    /// solo indexed session — across two consecutive rounds, so the
+    /// round-to-round covariance replay path is exercised, not just the
+    /// cold pass. Unprovable deltas never reach the round: they are
+    /// filtered out exactly as a batch-forming scheduler must.
+    #[test]
+    fn batched_members_are_bit_exact_with_solo(
+        cloud in cloud_strategy(),
+        eye in ((-18.0f32..18.0), (-18.0f32..18.0), (3.0f32..20.0)),
+        deltas in proptest::collection::vec(
+            ((-0.6f32..0.6), (-0.6f32..0.6), (-0.6f32..0.6)), 1..4),
+        step in ((-0.4f32..0.4), (-0.4f32..0.4), (-0.4f32..0.4)),
+    ) {
+        let eye = Vec3::new(eye.0, eye.1, eye.2);
+        let step = Vec3::new(step.0, step.1, step.2);
+        let target = Vec3::ZERO;
+        prop_assume!(eye.length() > 0.5);
+        let scene = asset_scene(cloud);
+        let index = SceneIndex::build(&scene.gaussians);
+        let policy = gsplat::par::ThreadPolicy::serial();
+
+        // Round cameras: a leader plus every shifted camera that *proves*
+        // the bound (same look direction, translated eye and target —
+        // f32 rounding decides, so filter like a scheduler would).
+        let round = |shift: Vec3| -> Vec<Camera> {
+            let leader = Camera::look_at(eye + shift, target + shift, 256, 192, 1.0);
+            let mut cams = vec![leader.clone()];
+            cams.extend(deltas.iter().filter_map(|d| {
+                let d = Vec3::new(d.0, d.1, d.2);
+                let cam = Camera::look_at(eye + shift + d, target + shift + d, 256, 192, 1.0);
+                cam.is_translation_of(&leader).then_some(cam)
+            }));
+            cams
+        };
+        let rounds = [round(Vec3::ZERO), round(step)];
+        prop_assume!(rounds[0].len() >= 2 && rounds[0].len() == rounds[1].len());
+
+        let mut batch = gsplat::batch::BatchCullState::default();
+        // One scratch per member (per-stream warm-sort state), one shared
+        // batch state — the serving topology.
+        let members = rounds[0].len();
+        let mut batched: Vec<(PreprocessScratch, Vec<Splat>)> =
+            (0..members).map(|_| (PreprocessScratch::default(), Vec::new())).collect();
+        let mut solo: Vec<(gsplat::index::CullState, PreprocessScratch, Vec<Splat>)> =
+            (0..members)
+                .map(|_| (gsplat::index::CullState::default(), PreprocessScratch::default(), Vec::new()))
+                .collect();
+
+        for cams in &rounds {
+            batch.begin_round(&index, cams);
+            for (k, cam) in cams.iter().enumerate() {
+                let (scratch, out) = &mut batched[k];
+                let stats_batched = gsplat::preprocess::preprocess_into_indexed_batched(
+                    &scene, cam, policy, &index, &mut batch, scratch, out,
+                );
+                let (cull, scratch, reference) = &mut solo[k];
+                let stats_solo = gsplat::preprocess::preprocess_into_indexed(
+                    &scene, cam, policy, &index, cull, scratch, reference,
+                );
+                prop_assert_eq!(stats_batched, stats_solo, "member {} stats diverged", k);
+                prop_assert_eq!(&*out, &*reference, "member {} splats diverged", k);
+            }
+        }
     }
 }

@@ -328,3 +328,120 @@ fn non_indexed_streams_do_not_touch_the_shared_index() {
     // Shared Arc + the one indexed session.
     assert_eq!(Arc::strong_count(server.shared().index()), 2);
 }
+
+/// An axis-aligned −z flythrough from a per-stream (dx, dy) offset: the
+/// camera basis is bit-identical across frames and across offsets, so
+/// every such stream provably satisfies the pure-translation bound
+/// against every other — the batchable fleet.
+fn translated_path(scene: &Scene, dx: f32, dy: f32) -> CameraPath {
+    let start = scene.center + Vec3::new(dx, dy, scene.view_radius + 6.0);
+    CameraPath::flythrough(start, start + Vec3::new(0.0, 0.0, -8.0), 0.25, 0.01)
+}
+
+/// FNV-1a frame digest for closure streams: preprocess stats as the
+/// string half, raw splat debug bits as the numeric half.
+fn frame_digest(f: &FrameInput<'_>) -> Digest {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in format!("{}|{:?}", f.index, f.splats).bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (format!("{:?}", f.preprocess), h)
+}
+
+/// Batched serving acceptance gate: a mixed fleet — three
+/// translation-bound streams (batchable), one orbit stream (unprovable
+/// delta, must fall back to the exact solo path), and one stereo pair —
+/// under a batching server is bit-exact, stream for stream and frame for
+/// frame, with each stream's own solo [`Session`].
+fn check_batched_serve_matches_solo(threads: usize) {
+    let scene = train_scene();
+    let mut cfgs: Vec<(String, SequenceConfig)> = [(0.0, 0.0), (0.5, 0.0), (0.0, 0.25)]
+        .iter()
+        .enumerate()
+        .map(|(k, &(dx, dy))| {
+            let path = translated_path(&scene, dx, dy);
+            (
+                format!("fleet-{k}"),
+                SequenceConfig::new(path, FRAMES, 64, 48).with_index(),
+            )
+        })
+        .collect();
+    cfgs.push((
+        "orbit".to_string(),
+        SequenceConfig::new(
+            CameraPath::orbit(scene.center, scene.view_radius, 1.2, 0.03),
+            FRAMES,
+            64,
+            48,
+        )
+        .with_index(),
+    ));
+    cfgs.push((
+        "hmd".to_string(),
+        SequenceConfig::new(
+            translated_path(&scene, 0.25, 0.5).stereo(0.065),
+            FRAMES,
+            64,
+            48,
+        )
+        .with_index(),
+    ));
+
+    let solo: Vec<Vec<Digest>> = cfgs
+        .iter()
+        .map(|(_, cfg)| Session::default().run(&scene, cfg, |f| frame_digest(&f)))
+        .collect();
+
+    let mut server = Server::new(SharedScene::new(scene.clone()), threads).with_batching();
+    for (name, cfg) in &cfgs {
+        server.add_stream(StreamSpec::new(name.clone(), cfg.clone(), |f| {
+            frame_digest(&f)
+        }));
+    }
+    let report = server.run();
+    assert_eq!(report.total_frames, cfgs.len() * FRAMES);
+
+    for (sid, stream) in report.streams.iter().enumerate() {
+        assert_eq!(stream.frames.len(), FRAMES, "{}", stream.name);
+        for (i, (served, alone)) in stream.frames.iter().zip(&solo[sid]).enumerate() {
+            assert_eq!(
+                served, alone,
+                "stream {} ({}) frame {i} diverged from its solo render under batching",
+                sid, stream.name
+            );
+        }
+    }
+
+    // The fleet batched, the orbit stream fell back to the exact path,
+    // and every dispatched frame is accounted for in exactly one round.
+    let b = &report.batch;
+    assert!(b.batched_frames > 0, "the fleet must batch: {b:?}");
+    assert_eq!(
+        report.streams[3].frames_batched, 0,
+        "the orbit stream's deltas are unprovable"
+    );
+    assert_eq!(
+        report.streams[3].cull.frames as usize, FRAMES,
+        "the fallback path still runs the exact per-stream cull"
+    );
+    assert_eq!(b.dispatched_frames(), cfgs.len() * FRAMES);
+    assert_eq!(
+        report
+            .streams
+            .iter()
+            .map(|s| s.frames_batched)
+            .sum::<usize>(),
+        b.batched_frames,
+        "per-stream batched-frame counters must sum to the report total"
+    );
+}
+
+#[test]
+fn batched_streams_match_solo_sessions_one_worker() {
+    check_batched_serve_matches_solo(1);
+}
+
+#[test]
+fn batched_streams_match_solo_sessions_four_workers() {
+    check_batched_serve_matches_solo(4);
+}

@@ -314,6 +314,120 @@ fn eviction_frees_admission_capacity() {
     assert_produced_bits_match_solo(&scene, &report.streams[1], 1);
 }
 
+/// The k-th member of a translation-bound fleet: an axis-aligned −z
+/// flythrough whose camera basis is bit-identical across offsets, so the
+/// batching server provably groups every member into shared rounds.
+fn batched_viewer_cfg(scene: &Scene, k: usize) -> SequenceConfig {
+    let start =
+        scene.center + gsplat::math::Vec3::new(0.5 * k as f32, 0.0, scene.view_radius + 6.0);
+    SequenceConfig::new(
+        CameraPath::flythrough(
+            start,
+            start + gsplat::math::Vec3::new(0.0, 0.0, -8.0),
+            0.25,
+            0.01,
+        ),
+        FRAMES,
+        48,
+        36,
+    )
+    .with_index()
+}
+
+fn batched_vr_spec(scene: &Scene, k: usize) -> StreamSpec<SequenceFrameRecord> {
+    StreamSpec::vrpipe(
+        format!("fleet-{k}"),
+        batched_viewer_cfg(scene, k),
+        GpuConfig::default(),
+        PipelineVariant::HetQm,
+    )
+}
+
+/// Parity of a fleet stream's produced frames against its solo session.
+fn assert_batched_bits_match_solo(
+    scene: &Scene,
+    stream: &StreamReport<SequenceFrameRecord>,
+    k: usize,
+) {
+    let solo: Vec<String> = Session::default()
+        .run_vrpipe(
+            scene,
+            &batched_viewer_cfg(scene, k),
+            &GpuConfig::default(),
+            PipelineVariant::HetQm,
+        )
+        .expect("valid config")
+        .iter()
+        .map(digest)
+        .collect();
+    let served = served_digests(stream);
+    assert_eq!(served.len(), stream.produced.len());
+    for (d, &frame) in served.iter().zip(&stream.produced) {
+        assert_eq!(
+            d, &solo[frame],
+            "fleet stream {k} frame {frame} diverged from its solo render"
+        );
+    }
+}
+
+/// Chaos under batching: a persistent fault on one member of a
+/// translation-bound batch never perturbs its batch-mates' bits — the
+/// survivors keep batching and stay frame-for-frame identical to their
+/// solo sessions, on serial and threaded pools alike.
+fn check_batched_fault_isolation(threads: usize) {
+    let scene = lego_scene();
+    let mut server = Server::new(SharedScene::new(scene.clone()), threads).with_batching();
+    for k in 0..3 {
+        let mut spec = batched_vr_spec(&scene, k);
+        if k == 1 {
+            spec = spec.with_faults(FaultInjector::at(1, FaultKind::Error));
+        }
+        server.add_stream(spec);
+    }
+    let report = server.run();
+
+    // The fleet really batched — frame 0 rode a shared round with the
+    // faulty member aboard — and the fault was contained to its stream.
+    assert!(
+        report.batch.batched_frames > 0,
+        "the fleet must batch: {:?}",
+        report.batch
+    );
+    let faulted = &report.streams[1];
+    match &faulted.phase {
+        StreamPhase::Failed(StreamFault::Render { error, retries }) => {
+            assert_eq!(*retries, 3, "default retry budget must be exhausted");
+            assert!(
+                error.to_string().contains("injected persistent error"),
+                "report must name the exact cause: {error}"
+            );
+        }
+        p => panic!("faulted member should fail with a render fault, got {p:?}"),
+    }
+    assert_eq!(faulted.produced, vec![0], "frames before the fault survive");
+
+    // Every member — healthy or faulted — is bit-exact on what it
+    // produced, and the survivors complete their full budgets.
+    for (k, stream) in report.streams.iter().enumerate() {
+        assert_batched_bits_match_solo(&scene, stream, k);
+        if k != 1 {
+            assert_eq!(stream.phase, StreamPhase::Completed, "stream {k}");
+            assert_eq!(stream.frames.len(), FRAMES, "stream {k}");
+            assert_eq!(stream.frames_dropped, 0, "stream {k}");
+        }
+    }
+}
+
+#[test]
+fn batched_fault_never_perturbs_batch_mates_one_worker() {
+    check_batched_fault_isolation(1);
+}
+
+#[test]
+fn batched_fault_never_perturbs_batch_mates_four_workers() {
+    check_batched_fault_isolation(4);
+}
+
 /// FNV-1a over a color buffer's pixel bits (bit-exactness digest for the
 /// closure-backend streams below).
 fn image_digest(color: &ColorBuffer) -> u64 {
